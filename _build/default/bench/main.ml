@@ -1,0 +1,143 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Section V) from live compilation + simulation, and
+   provides one Bechamel micro-benchmark per table/figure measuring the
+   end-to-end cost of regenerating it.
+
+   Usage:
+     bench/main.exe                 regenerate all figures/tables
+     bench/main.exe fig10a|fig10b|fig10c|fig10d|fig10e
+     bench/main.exe fig11 | fig12 | fig13
+     bench/main.exe ablation-xs | ablation-fmm
+     bench/main.exe csv             machine-readable dump of everything
+     bench/main.exe bechamel        Bechamel timings (one per figure)
+
+   Figure ids follow DESIGN.md's experiment index:
+     fig10a=xsbench  fig10b=rsbench  fig10c=testsnap  fig10d=minifmm
+     (fig10e=gridmini relative row, see also fig12)                     *)
+
+module E = Ozo_harness.Experiments
+module R = Ozo_harness.Report
+module Registry = Ozo_proxies.Registry
+
+let fig10_ids =
+  [ ("fig10a", "xsbench"); ("fig10b", "rsbench"); ("fig10c", "testsnap");
+    ("fig10d", "minifmm"); ("fig10e", "gridmini") ]
+
+let run_fig10 name =
+  let p = E.find_proxy name in
+  let ms = E.fig10 p in
+  Fmt.pr "%a" R.pp_fig10 (name, ms);
+  ms
+
+let run_fig11 () =
+  List.iter
+    (fun p ->
+      let ms = E.fig11 p in
+      Fmt.pr "%a" R.pp_fig11 (p.Ozo_proxies.Proxy.p_name, ms))
+    (Registry.all ())
+
+let run_fig12 () = Fmt.pr "%a" R.pp_fig12 (E.fig12 ())
+
+let run_ablation name =
+  let p = E.find_proxy name in
+  Fmt.pr "%a" R.pp_ablation (name, E.ablation p)
+
+let run_csv () =
+  Fmt.pr "%a" R.pp_csv_header ();
+  List.iter
+    (fun p -> List.iter (fun m -> Fmt.pr "%a" R.pp_csv m) (E.fig10 p))
+    (Registry.all ())
+
+let run_all () =
+  Fmt.pr "=== Reproduction of 'Co-Designing an OpenMP GPU Runtime and Optimizations \
+          for Near-Zero Overhead Execution' (IPDPS'22) ===@.";
+  Fmt.pr "(simulated virtual-GPU cycles; shapes, not absolute times, are the claim)@.";
+  Fmt.pr "@.--- Figure 10: relative performance per proxy application ---@.";
+  List.iter (fun (_, name) -> ignore (run_fig10 name)) fig10_ids;
+  Fmt.pr "@.--- Figure 11: kernel time / registers / shared memory ---@.";
+  run_fig11 ();
+  Fmt.pr "@.--- Figure 12: GridMini flops/cycle ---@.";
+  run_fig12 ();
+  Fmt.pr "@.--- Figure 13: GridMini optimization ablation ---@.";
+  run_ablation "gridmini";
+  Fmt.pr "@.--- Section V-C: XSBench / MiniFMM ablations ---@.";
+  run_ablation "xsbench";
+  run_ablation "minifmm";
+  Fmt.pr "@.--- Section III-G: debug-mode runs (all runtime assumptions verified) ---@.";
+  List.iter
+    (fun p ->
+      let m = E.debug_run p in
+      let rel = E.measure p (E.new_rt_for p) in
+      Fmt.pr "  %-10s debug build: %s (ktime %.0f cycles, %+.0f%% vs release)@."
+        p.Ozo_proxies.Proxy.p_name
+        (match m.E.r_check with
+        | Ok () -> "results ok, assumptions hold"
+        | Error e -> "FAILED: " ^ e)
+        m.E.r_cycles
+        (100.0 *. ((m.E.r_cycles /. rel.E.r_cycles) -. 1.0)))
+    (Registry.all ())
+
+(* --- Bechamel micro-benchmarks: one Test.make per table/figure --------- *)
+
+let bechamel () =
+  let open Bechamel in
+  let small name =
+    Registry.all_small () |> List.find (fun p -> p.Ozo_proxies.Proxy.p_name = name)
+  in
+  let test_fig10 id pname =
+    Test.make ~name:id (Staged.stage (fun () -> ignore (E.fig10 (small pname))))
+  in
+  let tests =
+    [ test_fig10 "fig10a-xsbench" "xsbench";
+      test_fig10 "fig10b-rsbench" "rsbench";
+      test_fig10 "fig10c-testsnap" "testsnap";
+      test_fig10 "fig10d-minifmm" "minifmm";
+      Test.make ~name:"fig11-all-builds"
+        (Staged.stage (fun () ->
+             List.iter (fun p -> ignore (E.fig11 p)) (Registry.all_small ())));
+      Test.make ~name:"fig12-gridmini"
+        (Staged.stage (fun () -> ignore (E.fig10 (small "gridmini"))));
+      Test.make ~name:"fig13-ablation-gridmini"
+        (Staged.stage (fun () -> ignore (E.ablation (small "gridmini"))))
+    ]
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  Fmt.pr "Bechamel: wall-clock cost of regenerating each figure (test-size workloads)@.";
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Fmt.pr "  %-26s %12.0f ns/run@." name est
+          | _ -> Fmt.pr "  %-26s (no estimate)@." name)
+        results)
+    tests
+
+let () =
+  match if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None with
+  | None -> run_all ()
+  | Some "csv" -> run_csv ()
+  | Some "fig11" -> run_fig11 ()
+  | Some "fig12" -> run_fig12 ()
+  | Some "fig13" -> run_ablation "gridmini"
+  | Some "ablation-xs" -> run_ablation "xsbench"
+  | Some "ablation-fmm" -> run_ablation "minifmm"
+  | Some "bechamel" -> bechamel ()
+  | Some id -> (
+    match List.assoc_opt id fig10_ids with
+    | Some pname -> ignore (run_fig10 pname)
+    | None -> (
+      match Registry.find id with
+      | Some _ -> ignore (run_fig10 id)
+      | None ->
+        Fmt.epr "unknown target %s@." id;
+        exit 1))

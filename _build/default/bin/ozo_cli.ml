@@ -1,0 +1,151 @@
+(* Command-line driver: compile, run, inspect and measure the proxy
+   applications under any build configuration.
+
+     ozo_cli list
+     ozo_cli run xsbench --build new-rt [--debug] [--small]
+     ozo_cli inspect gridmini --build new-rt [--full-ir]
+     ozo_cli remarks rsbench
+     ozo_cli ablate gridmini                                              *)
+
+module C = Ozo_core.Codesign
+module E = Ozo_harness.Experiments
+module R = Ozo_harness.Report
+module Proxy = Ozo_proxies.Proxy
+module Registry = Ozo_proxies.Registry
+open Cmdliner
+
+let build_of_string p = function
+  | "old-rt" -> Ok C.old_rt_nightly
+  | "new-rt-nightly" -> Ok C.new_rt_nightly
+  | "new-rt-no-assumptions" -> Ok C.new_rt_no_assumptions
+  | "new-rt" -> Ok (E.new_rt_for p)
+  | "cuda" -> Ok C.cuda
+  | s -> Error (`Msg ("unknown build " ^ s ^ " (old-rt|new-rt-nightly|new-rt-no-assumptions|new-rt|cuda)"))
+
+let proxy_arg =
+  let doc = "Proxy application (xsbench, rsbench, gridmini, testsnap, minifmm)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROXY" ~doc)
+
+let build_arg =
+  let doc = "Build configuration: old-rt, new-rt-nightly, new-rt-no-assumptions, new-rt, cuda." in
+  Arg.(value & opt string "new-rt" & info [ "build"; "b" ] ~docv:"BUILD" ~doc)
+
+let small_arg =
+  let doc = "Use the reduced test-size workload." in
+  Arg.(value & flag & info [ "small" ] ~doc)
+
+let debug_arg =
+  let doc = "Compile the runtime in debug mode and verify assumptions at runtime." in
+  Arg.(value & flag & info [ "debug" ] ~doc)
+
+let find_proxy small name =
+  let pool = if small then Registry.all_small () else Registry.all () in
+  match List.find_opt (fun p -> p.Proxy.p_name = name) pool with
+  | Some p -> Ok p
+  | None -> Error (`Msg ("unknown proxy " ^ name))
+
+let handle = function
+  | Ok () -> 0
+  | Error (`Msg m) ->
+    Fmt.epr "error: %s@." m;
+    1
+
+(* --- list --------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun p ->
+        Fmt.pr "%-10s teams=%-3d threads=%-3d  %s@." p.Proxy.p_name p.Proxy.p_teams
+          p.Proxy.p_threads p.Proxy.p_descr)
+      (Registry.all ());
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available proxy applications")
+    Term.(const run $ const ())
+
+(* --- run ---------------------------------------------------------------- *)
+
+let run_cmd =
+  let run name build small debug =
+    handle
+      (let ( let* ) = Result.bind in
+       let* p = find_proxy small name in
+       let* b = build_of_string p build in
+       let b = if debug then C.with_debug b else b in
+       let m = E.measure ~check_assumes:debug p b in
+       Fmt.pr "%a%a" R.pp_fig11 (name, [ m ]) R.pp_csv_header ();
+       Fmt.pr "%a" R.pp_csv m;
+       match m.E.r_check with
+       | Ok () ->
+         Fmt.pr "result check: ok@.";
+         Ok ()
+       | Error e -> Error (`Msg ("result check failed: " ^ e)))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and run one proxy under one build configuration")
+    Term.(const run $ proxy_arg $ build_arg $ small_arg $ debug_arg)
+
+(* --- inspect ------------------------------------------------------------ *)
+
+let inspect_cmd =
+  let full_ir =
+    Arg.(value & flag & info [ "full-ir" ] ~doc:"Print the whole module, not just the kernel.")
+  in
+  let run name build small full =
+    handle
+      (let ( let* ) = Result.bind in
+       let* p = find_proxy small name in
+       let* b = build_of_string p build in
+       let c = C.compile b (Proxy.kernel_for p b.C.b_abi) in
+       Fmt.pr "build: %s   mode: %s   regs: %d   smem: %dB@.@." b.C.b_label
+         (match c.C.c_mode with Ozo_opt.Spmdize.Spmd -> "SPMD" | _ -> "generic")
+         c.C.c_regs c.C.c_smem;
+       if full then Fmt.pr "%a@." Ozo_ir.Printer.pp_module c.C.c_module
+       else
+         Fmt.pr "%a@." Ozo_ir.Printer.pp_func
+           (Ozo_ir.Types.find_func_exn c.C.c_module c.C.c_kernel);
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Print the optimized IR of a proxy kernel")
+    Term.(const run $ proxy_arg $ build_arg $ small_arg $ full_ir)
+
+(* --- remarks ------------------------------------------------------------- *)
+
+let remarks_cmd =
+  let run name build small =
+    handle
+      (let ( let* ) = Result.bind in
+       let* p = find_proxy small name in
+       let* b = build_of_string p build in
+       Ozo_opt.Remarks.reset ();
+       ignore (C.compile b (Proxy.kernel_for p b.C.b_abi));
+       List.iter (fun r -> Fmt.pr "%a@." Ozo_opt.Remarks.pp r) (Ozo_opt.Remarks.all ());
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "remarks"
+       ~doc:"Show optimization remarks (-Rpass=openmp-opt analog) for a proxy build")
+    Term.(const run $ proxy_arg $ build_arg $ small_arg)
+
+(* --- ablate -------------------------------------------------------------- *)
+
+let ablate_cmd =
+  let run name small =
+    handle
+      (let ( let* ) = Result.bind in
+       let* p = find_proxy small name in
+       Fmt.pr "%a" R.pp_ablation (name, E.ablation p);
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "ablate" ~doc:"Run the per-optimization ablation for one proxy (Fig. 13)")
+    Term.(const run $ proxy_arg $ small_arg)
+
+let () =
+  let doc = "reproduction of the near-zero-overhead OpenMP GPU runtime (IPDPS'22)" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "ozo_cli" ~doc)
+          [ list_cmd; run_cmd; inspect_cmd; remarks_cmd; ablate_cmd ]))

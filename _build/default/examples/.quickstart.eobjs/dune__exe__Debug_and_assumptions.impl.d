@@ -1,0 +1,1 @@
+examples/debug_and_assumptions.ml: Fmt Ozo_core Ozo_frontend Ozo_vgpu

@@ -1,0 +1,1 @@
+examples/debug_and_assumptions.mli:

@@ -1,0 +1,1 @@
+examples/heat_stencil.ml: Array Float Fmt List Ozo_core Ozo_frontend Ozo_vgpu

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Float Fmt List Ozo_core Ozo_frontend Ozo_vgpu

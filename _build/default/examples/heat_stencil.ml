@@ -1,0 +1,112 @@
+(* A domain-specific example beyond the bundled proxies: a 2-D 5-point
+   heat-diffusion stencil written once in the kernel DSL and executed
+   under every build configuration, time-stepped from the host like a real
+   solver would be (one kernel launch per step, ping-pong buffers).
+
+     dune exec examples/heat_stencil.exe *)
+
+open Ozo_frontend.Ast
+module C = Ozo_core.Codesign
+module Device = Ozo_vgpu.Device
+module Engine = Ozo_vgpu.Engine
+
+let nx = 64
+let ny = 64
+let steps = 4
+let alpha = 0.1
+
+(* out[x,y] = in[x,y] + alpha * (N + S + E + W - 4 * in[x,y]), interior only *)
+let kernel =
+  let idx x y = Add (Mul (y, Int nx), x) in
+  let at x y = Ld (P "inp", idx x y, MF64) in
+  { k_name = "heat_step";
+    k_params = [ ("inp", TInt); ("outp", TInt); ("n", TInt) ];
+    k_construct =
+      Distribute_parallel_for
+        ( "cell",
+          P "n",
+          [ Let ("x", Rem (P "cell", Int nx));
+            Let ("y", Div (P "cell", Int nx));
+            Let ("interior",
+                 And
+                   ( And (Cmp (CGt, P "x", Int 0), Cmp (CLt, P "x", Int (nx - 1))),
+                     And (Cmp (CGt, P "y", Int 0), Cmp (CLt, P "y", Int (ny - 1))) ));
+            If
+              ( P "interior",
+                [ Let ("c", at (P "x") (P "y"));
+                  Let
+                    ( "lap",
+                      Sub
+                        ( Add
+                            ( Add (at (Sub (P "x", Int 1)) (P "y"), at (Add (P "x", Int 1)) (P "y")),
+                              Add (at (P "x") (Sub (P "y", Int 1)), at (P "x") (Add (P "y", Int 1))) ),
+                          Mul (Float 4.0, P "c") ) );
+                  Store (P "outp", idx (P "x") (P "y"), MF64, Add (P "c", Mul (Float alpha, P "lap")))
+                ],
+                [ Store (P "outp", idx (P "x") (P "y"), MF64, at (P "x") (P "y")) ] )
+          ] ) }
+
+(* host reference for validation *)
+let host_step src dst =
+  for y = 0 to ny - 1 do
+    for x = 0 to nx - 1 do
+      let i = (y * nx) + x in
+      if x > 0 && x < nx - 1 && y > 0 && y < ny - 1 then begin
+        let c = src.(i) in
+        let lap = src.(i - 1) +. src.(i + 1) +. src.(i - nx) +. src.(i + nx) -. (4.0 *. c) in
+        dst.(i) <- c +. (alpha *. lap)
+      end
+      else dst.(i) <- src.(i)
+    done
+  done
+
+let initial = Array.init (nx * ny) (fun i -> if i = ((ny / 2) * nx) + (nx / 2) then 1000.0 else 0.0)
+
+let expected () =
+  let a = Array.copy initial and b = Array.make (nx * ny) 0.0 in
+  let src = ref a and dst = ref b in
+  for _ = 1 to steps do
+    host_step !src !dst;
+    let t = !src in
+    src := !dst;
+    dst := t
+  done;
+  !src
+
+let run (build : C.build) =
+  let n = nx * ny in
+  let compiled = C.compile build kernel in
+  let dev = C.device compiled in
+  let a = Device.alloc dev (n * 8) and b = Device.alloc dev (n * 8) in
+  Device.write_f64_array dev a initial;
+  let total = ref 0.0 in
+  let src = ref a and dst = ref b in
+  let teams = (n + 63) / 64 in
+  (try
+     for _ = 1 to steps do
+       (match
+          C.launch compiled dev ~teams ~threads:64
+            [ Engine.Ai (Device.ptr !src); Ai (Device.ptr !dst); Ai n ]
+        with
+       | Ok m -> total := !total +. m.C.m_kernel_cycles
+       | Error e -> Fmt.failwith "%a" Device.pp_error e);
+       let t = !src in
+       src := !dst;
+       dst := t
+     done;
+     let got = Device.read_f64_array dev !src n in
+     let exp = expected () in
+     let ok = ref true in
+     Array.iteri (fun i v -> if Float.abs (v -. exp.(i)) > 1e-9 then ok := false) got;
+     Fmt.pr "  %-26s %-5s total=%9.0f cycles over %d steps@." build.C.b_label
+       (if !ok then "ok" else "WRONG")
+       !total steps
+   with Failure msg -> Fmt.pr "  %-26s error: %s@." build.C.b_label msg)
+
+let () =
+  Fmt.pr "2-D heat diffusion, %dx%d grid, %d time steps (one launch per step):@.@." nx ny
+    steps;
+  List.iter run C.standard_builds;
+  Fmt.pr
+    "@.Launch-heavy solvers amplify fixed runtime overheads — exactly the@.\
+     pattern where the paper's near-zero-overhead runtime pays off.@."

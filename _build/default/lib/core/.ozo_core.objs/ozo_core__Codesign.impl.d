@@ -1,0 +1,1 @@
+lib/core/codesign.ml: Fmt List Ozo_frontend Ozo_ir Ozo_opt Ozo_runtime Ozo_vgpu

@@ -1,0 +1,150 @@
+(* Public entry point of the library: compile a kernel under one of the
+   paper's build configurations, launch it on the virtual GPU and read
+   back the Nsight-style metrics.
+
+   The five standard build rows correspond to Fig. 10/11 of the paper:
+   CUDA (NVCC), Old RT (Nightly), New RT (Nightly), New RT without
+   assumptions, and New RT. *)
+
+open Ozo_ir.Types
+module Ast = Ozo_frontend.Ast
+module Lower = Ozo_frontend.Lower
+module Rt_config = Ozo_runtime.Config
+module Pipeline = Ozo_opt.Pipeline
+module Spmdize = Ozo_opt.Spmdize
+module Device = Ozo_vgpu.Device
+module Engine = Ozo_vgpu.Engine
+module Counters = Ozo_vgpu.Counters
+module Cost = Ozo_vgpu.Cost
+
+type build = {
+  b_label : string;
+  b_abi : Lower.abi;
+  b_rt : Rt_config.t option; (* None for CUDA *)
+  b_pipe : Pipeline.config;
+}
+
+(* nvcc performs the generic optimizations (register promotion of locals,
+   inlining, folding) too: the full pipeline's OpenMP-specific passes are
+   no-ops on runtime-free CUDA code *)
+let cuda = { b_label = "CUDA (NVCC)"; b_abi = Lower.Cuda; b_rt = None; b_pipe = Pipeline.full }
+
+let old_rt_nightly =
+  { b_label = "Old RT (Nightly)"; b_abi = Lower.Omp Lower.Old_abi;
+    b_rt = Some Rt_config.old_rt; b_pipe = Pipeline.full }
+(* the old runtime is opaque (no_inline, global state), so even the full
+   pipeline cannot do anything to it — exactly the nightly situation *)
+
+let new_rt_nightly =
+  { b_label = "New RT (Nightly)"; b_abi = Lower.Omp Lower.New_abi;
+    b_rt = Some Rt_config.default; b_pipe = Pipeline.nightly }
+
+let new_rt_no_assumptions =
+  { b_label = "New RT - w/o Assumptions"; b_abi = Lower.Omp Lower.New_abi;
+    b_rt = Some Rt_config.default; b_pipe = Pipeline.full }
+
+let new_rt =
+  { b_label = "New RT"; b_abi = Lower.Omp Lower.New_abi;
+    b_rt = Some Rt_config.(with_assumptions default); b_pipe = Pipeline.full }
+
+(* per-application assumption profile: the oversubscription flags are
+   user promises, so "New RT" means "with the flags this application can
+   honestly pass" *)
+let new_rt_teams_only =
+  { b_label = "New RT"; b_abi = Lower.Omp Lower.New_abi;
+    b_rt = Some Rt_config.(with_teams_assumption default); b_pipe = Pipeline.full }
+
+let standard_builds =
+  [ old_rt_nightly; new_rt_nightly; new_rt_no_assumptions; new_rt; cuda ]
+
+(* debug variants: runtime assertion checking enabled at compile time *)
+let with_debug b =
+  match b.b_rt with
+  | None -> b
+  | Some rt -> { b with b_label = b.b_label ^ " [debug]"; b_rt = Some (Rt_config.with_debug rt) }
+
+(* ablation variant: one co-designed optimization disabled *)
+let without feature b =
+  { b with
+    b_label = b.b_label ^ " w/o " ^ Pipeline.feature_name feature;
+    b_pipe = Pipeline.disable feature b.b_pipe }
+
+type compiled = {
+  c_build : build;
+  c_module : modul;
+  c_kernel : string;
+  c_mode : Spmdize.exec_mode;
+  c_regs : int;  (* per-thread register estimate (liveness-based) *)
+  c_smem : int;  (* static shared memory bytes per team *)
+}
+
+exception Compile_error of string
+
+let compile (b : build) (k : Ast.kernel) : compiled =
+  let app = Lower.lower ~abi:b.b_abi k in
+  let linked =
+    match b.b_rt with
+    | None -> app
+    | Some rt_cfg -> Ozo_ir.Linker.link app (Ozo_runtime.Runtime.build rt_cfg)
+  in
+  (match Ozo_ir.Verifier.check linked with
+  | Ok () -> ()
+  | Error vs ->
+    raise
+      (Compile_error
+         (Fmt.str "%a" (Fmt.list ~sep:Fmt.semi Ozo_ir.Verifier.pp_violation) vs)));
+  let optimized = Pipeline.run b.b_pipe linked in
+  (match Ozo_ir.Verifier.check optimized with
+  | Ok () -> ()
+  | Error vs ->
+    raise
+      (Compile_error
+         (Fmt.str "post-opt: %a" (Fmt.list ~sep:Fmt.semi Ozo_ir.Verifier.pp_violation) vs)));
+  let mode =
+    match b.b_abi with
+    | Lower.Cuda -> Spmdize.Spmd
+    | Lower.Omp _ -> Spmdize.kernel_mode optimized k.Ast.k_name
+  in
+  let kf = find_func_exn optimized k.Ast.k_name in
+  { c_build = b; c_module = optimized; c_kernel = k.Ast.k_name;
+    c_mode = mode;
+    c_regs = Ozo_ir.Liveness.kernel_register_estimate optimized kf;
+    c_smem = Engine.shared_bytes optimized }
+
+(* hardware threads per team for a user-visible thread count: generic mode
+   hosts the main thread in one extra warp *)
+let hw_threads (c : compiled) ~threads =
+  match c.c_mode with
+  | Spmdize.Spmd -> threads
+  | Spmdize.Generic -> threads + Ozo_runtime.Layout.warp_size
+
+type metrics = {
+  m_counters : Counters.t;           (* totals over all teams *)
+  m_kernel_cycles : float;           (* occupancy-adjusted makespan *)
+  m_regs : int;
+  m_smem : int;
+  m_occupancy : float;
+}
+
+(* Create a device for a compiled kernel (callers allocate buffers on it
+   before launching). *)
+let device ?(params = Cost.default) (c : compiled) = Device.create ~params c.c_module
+
+let launch ?(check_assumes = false) ?(trace = false) (c : compiled) (dev : Device.t)
+    ~teams ~threads (args : Engine.arg list) : (metrics, Device.error) result =
+  let hw = hw_threads c ~threads in
+  match Device.launch ~check_assumes ~trace dev ~teams ~threads:hw args with
+  | Error e -> Error e
+  | Ok r ->
+    let occ =
+      Cost.occupancy Cost.default ~threads_per_team:hw ~regs_per_thread:c.c_regs
+        ~shared_per_team:c.c_smem
+    in
+    let cycles =
+      Cost.kernel_time Cost.default ~occupancy:occ
+        ~team_cycles:(List.map (fun ct -> ct.Counters.cycles) r.Engine.r_counters)
+        ~mem_cycles:(Counters.memory_cycles Cost.default r.Engine.r_total)
+    in
+    Ok
+      { m_counters = r.Engine.r_total; m_kernel_cycles = cycles; m_regs = c.c_regs;
+        m_smem = c.c_smem; m_occupancy = occ.Cost.o_occupancy }

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Format List Map Ozo_ir Ozo_runtime Printf SSet String

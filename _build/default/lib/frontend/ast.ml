@@ -1,0 +1,157 @@
+(* Kernel description language: a small, explicitly scoped OpenMP-flavoured
+   AST that the lowering turns into IR, playing the role of Clang's OpenMP
+   codegen. The same kernel can be lowered for the OpenMP runtimes (new or
+   old ABI) or directly in CUDA style. *)
+
+type ety = TInt | TFloat
+
+(* element types of memory accesses *)
+type mty = MF64 | MI64 | MI32
+
+let ety_of_mty = function MF64 -> TFloat | MI64 | MI32 -> TInt
+
+let size_of_mty = function MF64 | MI64 -> 8 | MI32 -> 4
+
+type cmpop = CEq | CNe | CLt | CLe | CGt | CGe
+
+type expr =
+  | Int of int
+  | Float of float
+  | P of string                    (* parameter / let / local / loop variable *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Rem of expr * expr             (* int only *)
+  | Band of expr * expr            (* int only *)
+  | Bxor of expr * expr            (* int only *)
+  | Shl of expr * expr             (* int only *)
+  | Shr of expr * expr             (* int only *)
+  | Min of expr * expr
+  | Max of expr * expr
+  | Neg of expr
+  | Sqrt of expr
+  | Expf of expr
+  | Logf of expr
+  | Sinf of expr
+  | Cosf of expr
+  | Fabs of expr
+  | ToFloat of expr
+  | ToInt of expr
+  | Cmp of cmpop * expr * expr     (* int result 0/1 *)
+  | And of expr * expr             (* logical, non-short-circuit *)
+  | Or of expr * expr
+  | Not of expr
+  | Select of expr * expr * expr
+  | Ld of expr * expr * mty        (* load base[idx] *)
+  | OmpThreadNum
+  | OmpNumThreads
+  | OmpLevel
+  | OmpTeamNum
+  | OmpNumTeams
+
+type stmt =
+  | Let of string * expr                  (* immutable SSA binding *)
+  | Local of string * ety * expr option   (* mutable scalar variable *)
+  | LocalArr of string * mty * int        (* mutable array; P name = base pointer *)
+  | Set of string * expr                  (* assign to a Local *)
+  | Store of expr * expr * mty * expr     (* base[idx] <- value *)
+  | AtomicAdd of expr * expr * mty * expr (* base[idx] atomically += value *)
+  | If of expr * stmt list * stmt list
+  | For of string * expr * expr * stmt list  (* sequential: var in [lo, hi) *)
+  | While of expr * stmt list
+  | Ws_for of string * expr * stmt list   (* work-shared loop within a parallel *)
+  | Parallel of int option * stmt list    (* fork: num_threads (None = default) *)
+  | Nested_parallel of stmt list          (* parallel inside a parallel: serialized *)
+  | Assert of expr
+  | Trace of string * expr list
+
+(* Top-level target construct of a kernel. *)
+type construct =
+  | Distribute_parallel_for of string * expr * stmt list
+      (* combined `target teams distribute parallel for`: var, trip count, body *)
+  | Generic of stmt list
+      (* `target`: sequential main-thread code containing Parallel stmts *)
+  | Spmd of stmt list
+      (* `target parallel`: all threads execute the body (may use Ws_for) *)
+
+type kernel = {
+  k_name : string;
+  k_params : (string * ety) list;
+  k_construct : construct;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Free variables of statements (for outlining captures).             *)
+(* ------------------------------------------------------------------ *)
+
+module SSet = Set.Make (String)
+
+let rec expr_vars = function
+  | Int _ | Float _ | OmpThreadNum | OmpNumThreads | OmpLevel | OmpTeamNum
+  | OmpNumTeams -> SSet.empty
+  | P n -> SSet.singleton n
+  | Neg e | Sqrt e | Expf e | Logf e | Sinf e | Cosf e | Fabs e | ToFloat e | ToInt e
+  | Not e -> expr_vars e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Rem (a, b) | Band (a, b)
+  | Bxor (a, b) | Shl (a, b) | Shr (a, b) | Min (a, b) | Max (a, b)
+  | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+    SSet.union (expr_vars a) (expr_vars b)
+  | Select (a, b, c) -> SSet.union (expr_vars a) (SSet.union (expr_vars b) (expr_vars c))
+  | Ld (a, b, _) -> SSet.union (expr_vars a) (expr_vars b)
+
+(* free variables of a statement sequence: used minus locally bound *)
+let free_vars (stmts : stmt list) : SSet.t =
+  let rec go_stmts bound acc stmts =
+    List.fold_left (fun (bound, acc) s -> go_stmt bound acc s) (bound, acc) stmts
+  and use bound acc e = SSet.union acc (SSet.diff (expr_vars e) bound)
+  and go_stmt bound acc = function
+    | Let (n, e) -> (SSet.add n bound, use bound acc e)
+    | Local (n, _, init) ->
+      let acc = match init with Some e -> use bound acc e | None -> acc in
+      (SSet.add n bound, acc)
+    | LocalArr (n, _, _) -> (SSet.add n bound, acc)
+    | Set (n, e) ->
+      let acc = use bound acc e in
+      (bound, if SSet.mem n bound then acc else SSet.add n acc)
+    | Store (b, i, _, v) -> (bound, use bound (use bound (use bound acc b) i) v)
+    | AtomicAdd (b, i, _, v) -> (bound, use bound (use bound (use bound acc b) i) v)
+    | If (c, t, f) ->
+      let acc = use bound acc c in
+      let _, acc = go_stmts bound acc t in
+      let _, acc = go_stmts bound acc f in
+      (bound, acc)
+    | For (v, lo, hi, body) ->
+      let acc = use bound (use bound acc lo) hi in
+      let _, acc = go_stmts (SSet.add v bound) acc body in
+      (bound, acc)
+    | While (c, body) ->
+      let acc = use bound acc c in
+      let _, acc = go_stmts bound acc body in
+      (bound, acc)
+    | Ws_for (v, n, body) ->
+      let acc = use bound acc n in
+      let _, acc = go_stmts (SSet.add v bound) acc body in
+      (bound, acc)
+    | Parallel (_, body) | Nested_parallel body ->
+      let _, acc = go_stmts bound acc body in
+      (bound, acc)
+    | Assert e -> (bound, use bound acc e)
+    | Trace (_, es) -> (bound, List.fold_left (use bound) acc es)
+  in
+  snd (go_stmts SSet.empty SSet.empty stmts)
+
+(* All Local/LocalArr declarations in a function-level body (for hoisting
+   allocations to the function entry). Does not descend into Parallel or
+   Ws_for bodies: those are outlined into their own functions. *)
+let rec local_decls (stmts : stmt list) : (string * [ `Scalar of ety | `Arr of mty * int ]) list =
+  List.concat_map
+    (function
+      | Local (n, t, _) -> [ (n, `Scalar t) ]
+      | LocalArr (n, t, k) -> [ (n, `Arr (t, k)) ]
+      | If (_, t, f) -> local_decls t @ local_decls f
+      | For (_, _, _, b) | While (_, b) -> local_decls b
+      | Nested_parallel b -> local_decls b
+      | Let _ | Set _ | Store _ | AtomicAdd _ | Assert _ | Trace _ | Ws_for _
+      | Parallel _ -> [])
+    stmts

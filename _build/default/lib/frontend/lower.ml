@@ -1,0 +1,659 @@
+(* Lowering from the kernel AST to IR.
+
+   Three ABIs:
+   - [Omp New_abi]  — codegen against the new runtime: combined CUDA-style
+     work-sharing calls, conservative globalization via __kmpc_alloc_shared,
+     TRegion-style *generic* kernels by default (SPMD-ization is left to
+     the optimizer, which flips the __kmpc_target_init mode constant).
+   - [Omp Old_abi]  — codegen against the old runtime: split distribute /
+     for_static_init work-sharing through stack out-parameters, defensive
+     barriers after work-sharing loops.
+   - [Cuda]         — direct grid-stride lowering with no runtime at all;
+     the baseline the paper compares against.
+
+   Clang-like conservatism: every mutable local and every outlined-region
+   argument pack is allocated with __kmpc_alloc_shared ("globalization",
+   Section IV-A2); proving them thread-private and demoting them to
+   private stack memory is the optimizer's job, not the frontend's. *)
+
+open Ast
+open Ozo_ir.Types
+module B = Ozo_ir.Builder
+module L = Ozo_runtime.Layout
+module SMap = Map.Make (String)
+
+type omp_abi = New_abi | Old_abi
+
+type abi = Omp of omp_abi | Cuda
+
+exception Lower_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Lower_error s)) fmt
+
+type binding =
+  | Val of operand * ety          (* immutable value *)
+  | Mut of operand * ety          (* pointer to a mutable scalar *)
+  | Arr of operand * mty          (* pointer to a local array *)
+
+type ctx = {
+  b : B.t;
+  abi : abi;
+  spmd_at_frontend : bool;
+  kname : string;
+  mutable counter : int;
+  (* outlined functions pending construction (built after the current
+     function is finished, since the builder is single-function) *)
+  mutable pending : (unit -> unit) list;
+  (* shared allocations of the current function, to release at its end *)
+  mutable shared_allocs : (operand * int) list;
+}
+
+let fresh_name ctx hint =
+  ctx.counter <- ctx.counter + 1;
+  Printf.sprintf "%s__%s%d" ctx.kname hint ctx.counter
+
+let typ_of_ety = function TInt -> I64 | TFloat -> F64
+
+let ir_mty = function MF64 -> F64 | MI64 -> I64 | MI32 -> I32
+
+(* ------------------------------------------------------------------ *)
+(* Expression typing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec typeof env = function
+  | Int _ -> TInt
+  | Float _ -> TFloat
+  | P n -> (
+    match SMap.find_opt n env with
+    | Some (Val (_, t)) | Some (Mut (_, t)) -> t
+    | Some (Arr _) -> TInt (* array name denotes its base pointer *)
+    | None -> err "unbound variable %s" n)
+  | Add (a, _) | Sub (a, _) | Mul (a, _) | Div (a, _) | Min (a, _) | Max (a, _)
+  | Neg a -> typeof env a
+  | Rem _ | Band _ | Bxor _ | Shl _ | Shr _ -> TInt
+  | Sqrt _ | Expf _ | Logf _ | Sinf _ | Cosf _ | Fabs _ | ToFloat _ -> TFloat
+  | ToInt _ -> TInt
+  | Cmp _ | And _ | Or _ | Not _ -> TInt
+  | Select (_, a, _) -> typeof env a
+  | Ld (_, _, m) -> ety_of_mty m
+  | OmpThreadNum | OmpNumThreads | OmpLevel | OmpTeamNum | OmpNumTeams -> TInt
+
+(* ------------------------------------------------------------------ *)
+(* Expression lowering                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* current thread-number value inside a parallel region, if statically
+   available (the outlined function's tid parameter) *)
+type tctx = { tid : operand option }
+
+let rec lower_expr ctx env tctx (e : expr) : operand =
+  let b = ctx.b in
+  let recur e = lower_expr ctx env tctx e in
+  let arith fi ff a b' =
+    let t = typeof env a in
+    let x = recur a and y = recur b' in
+    B.binop b (if t = TInt then fi else ff) x y
+  in
+  match e with
+  | Int n -> B.i64 n
+  | Float x -> B.f64 x
+  | P n -> (
+    match SMap.find_opt n env with
+    | Some (Val (o, _)) -> o
+    | Some (Mut (p, t)) -> B.load b (typ_of_ety t) p
+    | Some (Arr (p, _)) -> p
+    | None -> err "unbound variable %s" n)
+  | Add (a, c) -> arith Ozo_ir.Types.Add Fadd a c
+  | Sub (a, c) -> arith Ozo_ir.Types.Sub Fsub a c
+  | Mul (a, c) -> arith Ozo_ir.Types.Mul Fmul a c
+  | Div (a, c) -> arith Sdiv Fdiv a c
+  | Min (a, c) -> arith Smin Fmin a c
+  | Max (a, c) -> arith Smax Fmax a c
+  | Rem (a, c) -> B.srem b (recur a) (recur c)
+  | Band (a, c) -> B.and_ b (recur a) (recur c)
+  | Bxor (a, c) -> B.xor b (recur a) (recur c)
+  | Shl (a, c) -> B.shl b (recur a) (recur c)
+  | Shr (a, c) -> B.binop b Ashr (recur a) (recur c)
+  | Neg a ->
+    if typeof env a = TInt then B.sub b (B.i64 0) (recur a)
+    else B.unop b Fneg (recur a)
+  | Sqrt a -> B.unop b Fsqrt (recur a)
+  | Expf a -> B.unop b Fexp (recur a)
+  | Logf a -> B.unop b Flog (recur a)
+  | Sinf a -> B.unop b Fsin (recur a)
+  | Cosf a -> B.unop b Fcos (recur a)
+  | Fabs a -> B.unop b Fabs (recur a)
+  | ToFloat a -> B.unop b Sitofp (recur a)
+  | ToInt a -> B.unop b Fptosi (recur a)
+  | Cmp (op, a, c) ->
+    let t = typeof env a in
+    if t = TInt then
+      let iop =
+        match op with CEq -> Eq | CNe -> Ne | CLt -> Slt | CLe -> Sle | CGt -> Sgt
+        | CGe -> Sge
+      in
+      B.icmp b iop (recur a) (recur c)
+    else
+      let fop =
+        match op with CEq -> Feq | CNe -> Fne | CLt -> Flt | CLe -> Fle | CGt -> Fgt
+        | CGe -> Fge
+      in
+      B.fcmp b fop (recur a) (recur c)
+  | And (a, c) -> B.and_ b (recur a) (recur c)
+  | Or (a, c) -> B.or_ b (recur a) (recur c)
+  | Not a -> B.xor b (recur a) (B.i64 1)
+  | Select (c, x, y) ->
+    let t = typeof env x in
+    B.select b (typ_of_ety t) (recur c) (recur x) (recur y)
+  | Ld (base, idx, m) ->
+    let addr = elem_addr ctx env tctx base idx m in
+    B.load b (ir_mty m) addr
+  | OmpThreadNum -> (
+    match tctx.tid with
+    | Some o -> o
+    | None -> (
+      match ctx.abi with
+      | Cuda -> B.thread_id b
+      | Omp _ -> B.call_val b L.get_thread_num []))
+  | OmpNumThreads -> (
+    match ctx.abi with
+    | Cuda -> B.block_dim b
+    | Omp _ -> B.call_val b L.get_num_threads [])
+  | OmpLevel -> (
+    match ctx.abi with Cuda -> B.i64 0 | Omp _ -> B.call_val b L.get_level [])
+  | OmpTeamNum -> (
+    match ctx.abi with
+    | Cuda -> B.block_id b
+    | Omp _ -> B.call_val b L.get_team_num [])
+  | OmpNumTeams -> (
+    match ctx.abi with
+    | Cuda -> B.grid_dim b
+    | Omp _ -> B.call_val b L.get_num_teams [])
+
+and elem_addr ctx env tctx base idx m =
+  let b = ctx.b in
+  let bp = lower_expr ctx env tctx base in
+  let off = B.mul b (lower_expr ctx env tctx idx) (B.i64 (size_of_mty m)) in
+  B.ptradd b bp off
+
+(* ------------------------------------------------------------------ *)
+(* Local variable storage                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Names referenced from regions that will be outlined into separate
+   functions within [stmts] (and may therefore execute on *other*
+   threads): Parallel bodies always, Ws_for bodies in the new ABI (the
+   old ABI and CUDA keep work-shared bodies inline). Nested regions of an
+   outlined body belong to that body's own function and are not
+   collected here. *)
+let outlined_captures ~abi (stmts : stmt list) : SSet.t =
+  let acc = ref SSet.empty in
+  let rec go s =
+    match s with
+    | Parallel (_, body) -> acc := SSet.union !acc (free_vars body)
+    | Ws_for (_, _, body) -> (
+      match abi with
+      | Omp New_abi -> acc := SSet.union !acc (free_vars body)
+      | Omp Old_abi | Cuda -> List.iter go body)
+    | If (_, t, f) ->
+      List.iter go t;
+      List.iter go f
+    | For (_, _, _, body) | While (_, body) | Nested_parallel body -> List.iter go body
+    | Let _ | Local _ | LocalArr _ | Set _ | Store _ | AtomicAdd _ | Assert _
+    | Trace _ -> ()
+  in
+  List.iter go stmts;
+  !acc
+
+(* Allocate storage for every Local/LocalArr of a function body at the
+   function entry. Locals that may be accessed by other threads — they
+   are captured by reference into an outlined region — are *globalized*
+   through __kmpc_alloc_shared (Section IV-A2); everything else lives on
+   the private stack. CUDA has no cross-thread locals and always uses the
+   stack. *)
+let allocate_locals ctx (body : stmt list) : (operand * binding) SMap.t =
+  let b = ctx.b in
+  let decls = local_decls body in
+  let escaping =
+    match ctx.abi with Cuda -> SSet.empty | Omp _ -> outlined_captures ~abi:ctx.abi body
+  in
+  List.fold_left
+    (fun acc (name, kind) ->
+      if SMap.mem name acc then err "duplicate local %s in one function scope" name;
+      let size =
+        match kind with
+        | `Scalar _ -> 8
+        | `Arr (m, n) -> size_of_mty m * n
+      in
+      let ptr =
+        if SSet.mem name escaping then begin
+          let p = B.call_val b L.alloc_shared [ B.i64 size ] in
+          ctx.shared_allocs <- (p, size) :: ctx.shared_allocs;
+          p
+        end
+        else B.alloca b size
+      in
+      let binding =
+        match kind with
+        | `Scalar t -> Mut (ptr, t)
+        | `Arr (m, _) -> Arr (ptr, m)
+      in
+      SMap.add name (ptr, binding) acc)
+    SMap.empty decls
+
+let release_locals ctx =
+  (match ctx.abi with
+  | Cuda -> ()
+  | Omp _ ->
+    List.iter
+      (fun (p, size) -> B.call_void ctx.b L.free_shared [ p; B.i64 size ])
+      ctx.shared_allocs);
+  ctx.shared_allocs <- []
+
+(* ------------------------------------------------------------------ *)
+(* Capture packs for outlined regions                                  *)
+(* ------------------------------------------------------------------ *)
+
+type capture = { c_name : string; c_slot : int; c_binding : binding }
+
+(* Build the capture list for a region body given the current env.
+   [exclude] removes region-bound names (the loop variable); [extra] adds
+   synthetic captures such as the trip count. *)
+let captures_of env ?(extra = []) ?(exclude = []) (body : stmt list) : capture list =
+  let names =
+    SSet.elements (free_vars body) @ extra
+    |> List.filter (fun n -> not (List.mem n exclude))
+  in
+  let names = List.sort_uniq compare names in
+  List.mapi
+    (fun i n ->
+      match SMap.find_opt n env with
+      | Some bind -> { c_name = n; c_slot = i; c_binding = bind }
+      | None -> err "captured variable %s is unbound" n)
+    names
+
+(* Store captured values into an argument pack. *)
+let store_captures ctx env tctx (pack : operand) (caps : capture list) =
+  let b = ctx.b in
+  List.iter
+    (fun c ->
+      let addr = B.ptradd b pack (B.i64 (c.c_slot * 8)) in
+      match c.c_binding with
+      | Val (o, TInt) -> B.store b I64 o addr
+      | Val (o, TFloat) -> B.store b F64 o addr
+      | Mut (p, _) | Arr (p, _) -> B.store b I64 p addr)
+    caps;
+  ignore env;
+  ignore tctx
+
+(* Rebind captured values inside an outlined function from its pack. *)
+let load_captures ctx (pack : operand) (caps : capture list) : binding SMap.t =
+  let b = ctx.b in
+  List.fold_left
+    (fun acc c ->
+      let addr = B.ptradd b pack (B.i64 (c.c_slot * 8)) in
+      let bind =
+        match c.c_binding with
+        | Val (_, TInt) -> Val (B.load b I64 addr, TInt)
+        | Val (_, TFloat) -> Val (B.load b F64 addr, TFloat)
+        | Mut (_, t) -> Mut (B.load b I64 addr, t)
+        | Arr (_, m) -> Arr (B.load b I64 addr, m)
+      in
+      SMap.add c.c_name bind acc)
+    SMap.empty caps
+
+(* ------------------------------------------------------------------ *)
+(* Statement lowering                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_stmts ctx env tctx (stmts : stmt list) : binding SMap.t =
+  List.fold_left (fun env s -> lower_stmt ctx env tctx s) env stmts
+
+and lower_stmt ctx env tctx (s : stmt) : binding SMap.t =
+  let b = ctx.b in
+  let expr e = lower_expr ctx env tctx e in
+  match s with
+  | Let (n, e) ->
+    let t = typeof env e in
+    SMap.add n (Val (expr e, t)) env
+  | Local (n, _t, init) ->
+    (* storage was hoisted to the function entry; [env] already holds the
+       binding under a reserved key *)
+    let bind =
+      match SMap.find_opt ("__storage." ^ n) env with
+      | Some bind -> bind
+      | None -> err "missing hoisted storage for local %s" n
+    in
+    let env = SMap.add n bind env in
+    (match (init, bind) with
+    | Some e, Mut (p, et) ->
+      B.store b (typ_of_ety et) (lower_expr ctx env tctx e) p
+    | Some _, _ -> err "initializer on array local %s" n
+    | None, _ -> ());
+    env
+  | LocalArr (n, _, _) ->
+    let bind =
+      match SMap.find_opt ("__storage." ^ n) env with
+      | Some bind -> bind
+      | None -> err "missing hoisted storage for local array %s" n
+    in
+    SMap.add n bind env
+  | Set (n, e) ->
+    (match SMap.find_opt n env with
+    | Some (Mut (p, t)) -> B.store b (typ_of_ety t) (expr e) p
+    | Some _ -> err "%s is not a mutable local" n
+    | None -> err "unbound variable %s" n);
+    env
+  | Store (base, idx, m, v) ->
+    let addr = elem_addr ctx env tctx base idx m in
+    B.store b (ir_mty m) (expr v) addr;
+    env
+  | AtomicAdd (base, idx, m, v) ->
+    let addr = elem_addr ctx env tctx base idx m in
+    let value = expr v in
+    B.atomic_add b (ir_mty m) addr value;
+    env
+  | If (c, t, f) ->
+    let cv = expr c in
+    B.if_then_else b cv
+      ~then_:(fun () -> ignore (lower_stmts ctx env tctx t))
+      ~else_:(fun () -> ignore (lower_stmts ctx env tctx f));
+    env
+  | For (v, lo, hi, body) ->
+    let lov = expr lo and hiv = expr hi in
+    ignore
+      (B.for_loop b ~lo:lov ~hi:hiv ~step:(B.i64 1) ~body:(fun iv ->
+           ignore (lower_stmts ctx (SMap.add v (Val (iv, TInt)) env) tctx body)));
+    env
+  | While (c, body) ->
+    let lh = B.fresh_label b "while.head" in
+    let lb = B.fresh_label b "while.body" in
+    let lx = B.fresh_label b "while.exit" in
+    B.br b lh;
+    B.set_block b lh;
+    let cv = expr c in
+    B.cond_br b cv lb lx;
+    B.set_block b lb;
+    ignore (lower_stmts ctx env tctx body);
+    if not (B.is_terminated b) then B.br b lh;
+    B.set_block b lx;
+    env
+  | Assert e -> (
+    match ctx.abi with
+    | Cuda ->
+      let c = expr e in
+      let bad = B.icmp b Eq c (B.i64 0) in
+      B.if_then b bad ~then_:(fun () -> B.trap b "assertion failed");
+      env
+    | Omp _ ->
+      B.call_void b L.omp_assert [ expr e ];
+      env)
+  | Trace (msg, es) ->
+    B.debug_print b msg (List.map expr es);
+    env
+  | Ws_for (var, n, body) -> lower_ws_for ctx env tctx ~var ~n ~body
+  | Parallel (nt, body) -> lower_parallel ctx env tctx ~nt ~body
+  | Nested_parallel body -> (
+    match ctx.abi with
+    | Cuda -> err "nested parallel is not expressible in the CUDA lowering"
+    | Omp _ ->
+      (* serialized nested region: materialize a thread ICV state (this is
+         what defeats the zero-thread-state optimization, Fig. 4) and
+         advance its nesting level *)
+      let ts = B.call_val b L.push_icv_state [] in
+      let lvl_addr = B.ptradd b ts (B.i64 L.icv_levels) in
+      let lvl = B.load b I64 lvl_addr in
+      B.store b I64 (B.add b lvl (B.i64 1)) lvl_addr;
+      ignore (lower_stmts ctx env { tid = Some (B.i64 0) } body);
+      B.call_void b L.pop_icv_state [];
+      env)
+
+(* Work-shared loop inside a parallel region. *)
+and lower_ws_for ctx env tctx ~var ~n ~body : binding SMap.t =
+  let b = ctx.b in
+  match ctx.abi with
+  | Cuda ->
+    (* thread-strided loop; the inline body needs its own local storage *)
+    let storage = allocate_locals ctx body in
+    let env =
+      SMap.fold (fun n (_, bind) acc -> SMap.add ("__storage." ^ n) bind acc) storage env
+    in
+    let nv = lower_expr ctx env tctx n in
+    let tid = match tctx.tid with Some t -> t | None -> B.thread_id b in
+    let bdim = B.block_dim b in
+    ignore
+      (B.for_loop b ~lo:tid ~hi:nv ~step:bdim ~body:(fun iv ->
+           ignore (lower_stmts ctx (SMap.add var (Val (iv, TInt)) env) tctx body)));
+    env
+  | Omp Old_abi ->
+    (* split static-init work-sharing with stack out-parameters and a
+       defensive trailing barrier, old-Clang style; body is inline *)
+    let storage = allocate_locals ctx body in
+    let env =
+      SMap.fold (fun n (_, bind) acc -> SMap.add ("__storage." ^ n) bind acc) storage env
+    in
+    let nv = lower_expr ctx env tctx n in
+    let a_lb = B.alloca b 8 and a_ub = B.alloca b 8 and a_st = B.alloca b 8 in
+    B.call_void b L.old_for_static_init [ a_lb; a_ub; a_st; B.i64 0; nv ];
+    let lb = B.load b I64 a_lb and ub = B.load b I64 a_ub in
+    ignore
+      (B.for_loop b ~lo:lb ~hi:ub ~step:(B.i64 1) ~body:(fun iv ->
+           ignore (lower_stmts ctx (SMap.add var (Val (iv, TInt)) env) tctx body)));
+    B.call_void b L.barrier [];
+    env
+  | Omp New_abi ->
+    (* combined CUDA-style runtime loop over an outlined body *)
+    let caps = captures_of env ~exclude:[ var ] body in
+    let fn_name = fresh_name ctx "ws_body" in
+    let pack = B.call_val b L.alloc_shared [ B.i64 (max 8 (List.length caps * 8)) ] in
+    store_captures ctx env tctx pack caps;
+    let nv = lower_expr ctx env tctx n in
+    B.call_void b L.for_loop [ Func_addr fn_name; pack; nv ];
+    B.call_void b L.free_shared [ pack; B.i64 (max 8 (List.length caps * 8)) ];
+    queue_outline ctx ~name:fn_name ~param_var:var ~caps ~body ~tid_param:false;
+    env
+
+(* Fork a parallel region. *)
+and lower_parallel ctx env tctx ~nt ~body : binding SMap.t =
+  let b = ctx.b in
+  match ctx.abi with
+  | Cuda -> err "parallel is not expressible in the CUDA lowering"
+  | Omp _ ->
+    let caps = captures_of env body in
+    let fn_name = fresh_name ctx "par" in
+    let size = max 8 (List.length caps * 8) in
+    let pack = B.call_val b L.alloc_shared [ B.i64 size ] in
+    store_captures ctx env tctx pack caps;
+    let ntv = match nt with Some k -> B.i64 k | None -> B.i64 (-1) in
+    B.call_void b L.parallel [ Func_addr fn_name; pack; ntv ];
+    B.call_void b L.free_shared [ pack; B.i64 size ];
+    queue_outline ctx ~name:fn_name ~param_var:"" ~caps ~body ~tid_param:true;
+    env
+
+(* Queue construction of an outlined function (iv/tid, args) -> void. *)
+and queue_outline ctx ~name ~param_var ~caps ~body ~tid_param =
+  let build () =
+    let b = ctx.b in
+    match B.begin_func b ~name ~params:[ I64; I64 ] ~ret:None () with
+    | [ p0; pack ] ->
+      B.set_block b "entry";
+      let saved_allocs = ctx.shared_allocs in
+      ctx.shared_allocs <- [];
+      let env0 = load_captures ctx pack caps in
+      (* hoisted storage for this function's locals *)
+      let storage = allocate_locals ctx body in
+      let env0 =
+        SMap.fold
+          (fun n (_, bind) acc -> SMap.add ("__storage." ^ n) bind acc)
+          storage env0
+      in
+      let env0, tctx =
+        if tid_param then (env0, { tid = Some p0 })
+        else (SMap.add param_var (Val (p0, TInt)) env0, { tid = None })
+      in
+      ignore (lower_stmts ctx env0 tctx body);
+      release_locals ctx;
+      ctx.shared_allocs <- saved_allocs;
+      B.ret b None;
+      ignore (B.end_func b)
+    | _ -> assert false
+  in
+  ctx.pending <- ctx.pending @ [ build ]
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-level lowering                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Lower a function-level body: hoist local storage, lower statements. *)
+let lower_function_body ctx env tctx body =
+  let storage = allocate_locals ctx body in
+  let env =
+    SMap.fold (fun n (_, bind) acc -> SMap.add ("__storage." ^ n) bind acc) storage env
+  in
+  ignore (lower_stmts ctx env tctx body);
+  release_locals ctx
+
+(* CUDA lowering of the combined construct, in the style the CUDA versions
+   of the proxy apps are written: one thread per element with a bounds
+   guard (`i = blockIdx*blockDim + threadIdx; if (i < n) ...`). Launches
+   must cover the iteration space, which is also the precondition of the
+   OpenMP oversubscription flags — keeping the comparison fair. *)
+let cuda_one_per_thread ctx env tctx ~var ~count ~body =
+  let b = ctx.b in
+  (* hoist the loop body's locals to the kernel entry *)
+  let storage = allocate_locals ctx body in
+  let env =
+    SMap.fold (fun n (_, bind) acc -> SMap.add ("__storage." ^ n) bind acc) storage env
+  in
+  let nv = lower_expr ctx env tctx count in
+  let tid = B.thread_id b in
+  let bdim = B.block_dim b in
+  let bid = B.block_id b in
+  let iv = B.add b (B.mul b bid bdim) tid in
+  let inb = B.icmp b Slt iv nv in
+  B.if_then b inb ~then_:(fun () ->
+      ignore (lower_stmts ctx (SMap.add var (Val (iv, TInt)) env) tctx body))
+
+(* The OpenMP combined construct, TRegion style: a generic-mode kernel
+   whose main thread immediately forks the distributed loop. The optimizer
+   is expected to SPMD-ize it (Section IV-A3). *)
+let omp_combined ctx env tctx ~var ~count ~body ~mode =
+  let b = ctx.b in
+  let abi = match ctx.abi with Omp a -> a | Cuda -> assert false in
+  let is_spmd = if mode = `Spmd then 1 else 0 in
+  let r = B.call_val b L.target_init [ B.i64 is_spmd ] in
+  let proceed = B.icmp b Eq r (B.i64 1) in
+  B.if_then b proceed ~then_:(fun () ->
+      let env = SMap.add "__omp.trip_count" (Val (lower_expr ctx env tctx count, TInt)) env in
+      let wrapper = fresh_name ctx "par_ws" in
+      let caps = captures_of env ~extra:[ "__omp.trip_count" ] ~exclude:[ var ] body in
+      let size = max 8 (List.length caps * 8) in
+      let pack = B.call_val b L.alloc_shared [ B.i64 size ] in
+      store_captures ctx env tctx pack caps;
+      B.call_void b L.parallel [ Func_addr wrapper; pack; B.i64 (-1) ];
+      B.call_void b L.free_shared [ pack; B.i64 size ];
+      (* outlined parallel wrapper: runs the distributed loop *)
+      let build_wrapper () =
+        match B.begin_func b ~name:wrapper ~params:[ I64; I64 ] ~ret:None () with
+        | [ _tid; pack ] ->
+          B.set_block b "entry";
+          let saved = ctx.shared_allocs in
+          ctx.shared_allocs <- [];
+          let env0 = load_captures ctx pack caps in
+          let nv =
+            match SMap.find_opt "__omp.trip_count" env0 with
+            | Some (Val (o, _)) -> o
+            | _ -> assert false
+          in
+          (match abi with
+          | New_abi ->
+            (* combined CUDA-style loop over a second outline *)
+            let body_fn = fresh_name ctx "ws_body" in
+            B.call_void b L.distribute_for_loop [ Func_addr body_fn; pack; nv ];
+            queue_outline ctx ~name:body_fn ~param_var:var ~caps ~body ~tid_param:false
+          | Old_abi ->
+            (* split distribute + for_static_init through out-params *)
+            let storage = allocate_locals ctx body in
+            let env0 =
+              SMap.fold
+                (fun n (_, bind) acc -> SMap.add ("__storage." ^ n) bind acc)
+                storage env0
+            in
+            let a_lb = B.alloca b 8 and a_ub = B.alloca b 8 and a_st = B.alloca b 8 in
+            B.call_void b L.old_distribute_init [ a_lb; a_ub; nv ];
+            let tlb = B.load b I64 a_lb and tub = B.load b I64 a_ub in
+            B.call_void b L.old_for_static_init [ a_lb; a_ub; a_st; tlb; tub ];
+            let lb = B.load b I64 a_lb and ub = B.load b I64 a_ub in
+            ignore
+              (B.for_loop b ~lo:lb ~hi:ub ~step:(B.i64 1) ~body:(fun iv ->
+                   ignore
+                     (lower_stmts ctx
+                        (SMap.add var (Val (iv, TInt)) env0)
+                        { tid = None } body)));
+            B.call_void b L.barrier [];
+            release_locals ctx);
+          ctx.shared_allocs <- saved;
+          B.ret b None;
+          ignore (B.end_func b)
+        | _ -> assert false
+      in
+      ctx.pending <- ctx.pending @ [ build_wrapper ];
+      B.call_void b L.target_deinit [ B.i64 is_spmd ])
+
+let lower_kernel ctx (k : kernel) =
+  let b = ctx.b in
+  let param_types = List.map (fun (_, t) -> typ_of_ety t) k.k_params in
+  let param_ops =
+    B.begin_func b ~name:k.k_name ~linkage:External ~kernel:true ~params:param_types
+      ~ret:None ()
+  in
+  B.set_block b "entry";
+  let env =
+    List.fold_left2
+      (fun acc (n, t) o -> SMap.add n (Val (o, t)) acc)
+      SMap.empty k.k_params param_ops
+  in
+  let tctx = { tid = None } in
+  (match (k.k_construct, ctx.abi) with
+  | Distribute_parallel_for (var, count, body), Cuda ->
+    cuda_one_per_thread ctx env tctx ~var ~count ~body
+  | Distribute_parallel_for (var, count, body), Omp _ ->
+    let mode = if ctx.spmd_at_frontend then `Spmd else `Generic in
+    omp_combined ctx env tctx ~var ~count ~body ~mode
+  | Spmd body, Cuda -> lower_function_body ctx env tctx body
+  | Spmd body, Omp _ ->
+    let r = B.call_val b L.target_init [ B.i64 1 ] in
+    let proceed = B.icmp b Eq r (B.i64 1) in
+    B.if_then b proceed ~then_:(fun () ->
+        lower_function_body ctx env tctx body;
+        B.call_void b L.target_deinit [ B.i64 1 ])
+  | Generic _, Cuda -> err "generic target regions have no direct CUDA lowering"
+  | Generic body, Omp _ ->
+    let r = B.call_val b L.target_init [ B.i64 0 ] in
+    let proceed = B.icmp b Eq r (B.i64 1) in
+    B.if_then b proceed ~then_:(fun () ->
+        lower_function_body ctx env tctx body;
+        B.call_void b L.target_deinit [ B.i64 0 ]));
+  if not (B.is_terminated b) then B.ret b None;
+  ignore (B.end_func b);
+  (* drain outlined-function queue (outlines can enqueue more) *)
+  let rec drain () =
+    match ctx.pending with
+    | [] -> ()
+    | f :: rest ->
+      ctx.pending <- rest;
+      f ();
+      drain ()
+  in
+  drain ()
+
+(* Lower a kernel to a standalone application module (link it with a
+   runtime module before execution, except for CUDA). *)
+let lower ?(spmd_at_frontend = false) ~(abi : abi) (k : kernel) : modul =
+  let b = B.create (k.k_name ^ "_app") in
+  let ctx =
+    { b; abi; spmd_at_frontend; kname = k.k_name; counter = 0; pending = [];
+      shared_allocs = [] }
+  in
+  lower_kernel ctx k;
+  B.finish b

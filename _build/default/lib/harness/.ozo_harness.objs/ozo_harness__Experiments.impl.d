@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Fmt List Ozo_core Ozo_opt Ozo_proxies Ozo_vgpu

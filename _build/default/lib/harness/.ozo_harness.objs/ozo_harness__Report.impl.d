@@ -1,0 +1,1 @@
+lib/harness/report.ml: Experiments Float Fmt List Ozo_vgpu String

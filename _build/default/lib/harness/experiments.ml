@@ -1,0 +1,85 @@
+(* The evaluation harness: compiles each proxy under each build
+   configuration, runs it on the virtual GPU, validates the results
+   against the host reference, and returns the measurements from which
+   every figure and table of the paper's Section V is regenerated.
+
+   Build rows follow Fig. 10/11: Old RT (Nightly), New RT (Nightly),
+   New RT - w/o Assumptions, New RT, CUDA (NVCC). "New RT" uses the
+   oversubscription flags the application can honestly pass
+   (Proxy.assume_profile). *)
+
+module C = Ozo_core.Codesign
+module Proxy = Ozo_proxies.Proxy
+module Pipeline = Ozo_opt.Pipeline
+
+type measurement = {
+  r_proxy : string;
+  r_build : string;
+  r_cycles : float;      (* occupancy-adjusted kernel time, simulated cycles *)
+  r_regs : int;
+  r_smem : int;
+  r_occupancy : float;
+  r_counters : Ozo_vgpu.Counters.t;
+  r_check : (unit, string) result;
+  r_flops : float;
+}
+
+exception Harness_error of string
+
+(* the "New RT" row honoring the proxy's honest assumption set *)
+let new_rt_for (p : Proxy.t) =
+  match p.Proxy.p_assume with
+  | Proxy.Assume_both -> C.new_rt
+  | Proxy.Assume_teams_only -> C.new_rt_teams_only
+
+let builds_for (p : Proxy.t) : C.build list =
+  [ C.old_rt_nightly; C.new_rt_nightly; C.new_rt_no_assumptions; new_rt_for p; C.cuda ]
+
+let measure ?(check_assumes = false) (p : Proxy.t) (b : C.build) : measurement =
+  let k = Proxy.kernel_for p b.C.b_abi in
+  let c = C.compile b k in
+  let dev = C.device c in
+  let inst = p.Proxy.p_setup dev in
+  match
+    C.launch ~check_assumes c dev ~teams:p.Proxy.p_teams ~threads:p.Proxy.p_threads
+      inst.Proxy.i_args
+  with
+  | Error e ->
+    raise
+      (Harness_error
+         (Fmt.str "%s under %s: %a" p.Proxy.p_name b.C.b_label Ozo_vgpu.Device.pp_error e))
+  | Ok m ->
+    { r_proxy = p.Proxy.p_name; r_build = b.C.b_label;
+      r_cycles = m.C.m_kernel_cycles; r_regs = m.C.m_regs; r_smem = m.C.m_smem;
+      r_occupancy = m.C.m_occupancy; r_counters = m.C.m_counters;
+      r_check = inst.Proxy.i_check (); r_flops = p.Proxy.p_flops }
+
+(* Figure 10 (a-d) + the TestSNAP column: relative performance of every
+   build, normalized to Old RT (Nightly) — the paper's baseline. *)
+let fig10 (p : Proxy.t) : measurement list = List.map (measure p) (builds_for p)
+
+(* Figure 11: kernel time / registers / shared memory per build. Same
+   measurements as fig10; kept separate for reporting. *)
+let fig11 = fig10
+
+(* Figure 12: GridMini GFlops across builds (flops per simulated kernel
+   cycle, scaled — absolute units are arbitrary in simulation). *)
+let fig12 () : measurement list = fig10 (Ozo_proxies.Registry.find_exn "gridmini")
+
+(* Figure 13 + Section V-C: disable one co-designed optimization at a
+   time. Returns (feature name, measurement) with the full build first. *)
+let ablation (p : Proxy.t) : (string * measurement) list =
+  let full = new_rt_for p in
+  ("full", measure p full)
+  :: List.map
+       (fun f -> (Pipeline.feature_name f, measure p (C.without f full)))
+       [ Pipeline.B1; Pipeline.B2; Pipeline.B3; Pipeline.B4; Pipeline.C; Pipeline.D ]
+
+(* debug-mode validation run: every assumption checked at runtime *)
+let debug_run (p : Proxy.t) : measurement =
+  measure ~check_assumes:true p (C.with_debug (new_rt_for p))
+
+let find_proxy name =
+  match Ozo_proxies.Registry.find name with
+  | Some p -> p
+  | None -> raise (Harness_error ("unknown proxy " ^ name))

@@ -1,0 +1,85 @@
+(* Table/figure formatting for the reproduction of the paper's evaluation
+   section. Output mirrors the paper's presentation: Fig. 10 as relative
+   speedups over the Old RT baseline, Fig. 11 as the kernel-time /
+   registers / shared-memory table, Fig. 12 as GridMini GFlops, Fig. 13
+   as the per-optimization ablation. *)
+
+open Experiments
+
+let baseline_cycles (ms : measurement list) =
+  match List.find_opt (fun m -> m.r_build = "Old RT (Nightly)") ms with
+  | Some m -> m.r_cycles
+  | None -> (List.hd ms).r_cycles
+
+let check_str = function Ok () -> "ok" | Error e -> "FAILED: " ^ e
+
+let bar width frac =
+  let n = int_of_float (frac *. float_of_int width) in
+  String.make (max 0 (min width n)) '#'
+
+(* Fig. 10-style: relative performance (higher is better), baseline = 1.0 *)
+let pp_fig10 ppf (title, ms) =
+  let base = baseline_cycles ms in
+  Fmt.pf ppf "@.%s — relative performance (Old RT Nightly = 1.00)@." title;
+  Fmt.pf ppf "  %-26s %9s  %-40s %s@." "build" "speedup" "" "check";
+  List.iter
+    (fun m ->
+      let speedup = base /. m.r_cycles in
+      Fmt.pf ppf "  %-26s %8.2fx  %-40s %s@." m.r_build speedup
+        (bar 40 (speedup /. 3.0))
+        (check_str m.r_check))
+    ms
+
+(* Fig. 11-style table *)
+let pp_fig11 ppf (title, ms) =
+  Fmt.pf ppf "@.%s — kernel time, registers, shared memory (Fig. 11)@." title;
+  Fmt.pf ppf "  %-26s %14s %7s %9s %6s %10s %9s@." "build" "ktime(cyc)" "#regs"
+    "smem(B)" "occup" "warp-insts" "barriers";
+  List.iter
+    (fun m ->
+      Fmt.pf ppf "  %-26s %14.0f %7d %9d %6.2f %10d %9d@." m.r_build m.r_cycles m.r_regs
+        m.r_smem m.r_occupancy m.r_counters.Ozo_vgpu.Counters.warp_instructions
+        m.r_counters.Ozo_vgpu.Counters.barriers)
+    ms
+
+(* Fig. 12-style: GridMini "GFlops" (useful flops per simulated cycle,
+   arbitrary units — only ratios are meaningful) *)
+let pp_fig12 ppf ms =
+  Fmt.pf ppf "@.gridmini — achieved flops/cycle (Fig. 12; relative units)@.";
+  Fmt.pf ppf "  %-26s %12s  %-40s@." "build" "flops/cyc" "";
+  let best =
+    List.fold_left (fun acc m -> Float.max acc (m.r_flops /. m.r_cycles)) 0.0 ms
+  in
+  List.iter
+    (fun m ->
+      let fpc = m.r_flops /. m.r_cycles in
+      Fmt.pf ppf "  %-26s %12.3f  %-40s@." m.r_build fpc (bar 40 (fpc /. best)))
+    ms
+
+(* Fig. 13-style ablation: performance with one optimization disabled,
+   relative to the full pipeline *)
+let pp_ablation ppf (title, rows) =
+  Fmt.pf ppf "@.%s — ablation: one co-designed optimization disabled (Fig. 13 / §V-C)@."
+    title;
+  match rows with
+  | [] -> ()
+  | (_, full) :: _ ->
+    Fmt.pf ppf "  %-38s %14s %9s  %s@." "configuration" "ktime(cyc)" "vs full" "check";
+    List.iter
+      (fun (name, m) ->
+        Fmt.pf ppf "  %-38s %14.0f %8.1f%%  %s@."
+          (if name = "full" then "full pipeline" else "w/o " ^ name)
+          m.r_cycles
+          (100.0 *. m.r_cycles /. full.r_cycles)
+          (check_str m.r_check))
+      rows
+
+(* machine-readable one-line records, convenient for regression diffing *)
+let pp_csv_header ppf () =
+  Fmt.pf ppf "proxy,build,cycles,regs,smem,occupancy,warp_insts,barriers,check@."
+
+let pp_csv ppf m =
+  Fmt.pf ppf "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%s@." m.r_proxy m.r_build m.r_cycles m.r_regs
+    m.r_smem m.r_occupancy m.r_counters.Ozo_vgpu.Counters.warp_instructions
+    m.r_counters.Ozo_vgpu.Counters.barriers
+    (match m.r_check with Ok () -> "ok" | Error _ -> "fail")

@@ -1,0 +1,1 @@
+lib/ir/callgraph.pp.ml: Cfg List Option Types

@@ -1,0 +1,1 @@
+lib/ir/cfg.pp.ml: List Map Option Set String Types

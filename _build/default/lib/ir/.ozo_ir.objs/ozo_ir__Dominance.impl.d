@@ -1,0 +1,1 @@
+lib/ir/dominance.pp.ml: Cfg Hashtbl List Option Types

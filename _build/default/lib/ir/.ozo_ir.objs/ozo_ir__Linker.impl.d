@@ -1,0 +1,1 @@
+lib/ir/linker.pp.ml: List Types

@@ -1,0 +1,1 @@
+lib/ir/liveness.pp.ml: Cfg Hashtbl Int List Option Set Types

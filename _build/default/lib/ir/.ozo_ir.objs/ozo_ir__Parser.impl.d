@@ -1,0 +1,1 @@
+lib/ir/parser.pp.ml: Buffer Format Int64 List String Types

@@ -1,0 +1,1 @@
+lib/ir/printer.pp.ml: Fmt List String Types

@@ -1,0 +1,1 @@
+lib/ir/types.pp.ml: Format List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ir/verifier.pp.ml: Cfg Dominance Fmt Format Hashtbl List String Types

@@ -1,0 +1,90 @@
+(* Call graph over a module. Direct calls produce precise edges; indirect
+   calls are resolved to the set of address-taken functions (any function
+   whose address appears as a [Func_addr] operand anywhere), which is the
+   same conservative treatment LLVM's Attributor uses absent call-site
+   refinement. *)
+
+open Types
+module SMap = Cfg.SMap
+module SSet = Cfg.SSet
+
+type t = {
+  callees : SSet.t SMap.t;      (* function -> functions it may call *)
+  callers : SSet.t SMap.t;      (* function -> functions that may call it *)
+  address_taken : SSet.t;       (* functions whose address escapes *)
+  kernels : string list;        (* entry points *)
+}
+
+let address_taken_funcs (m : modul) : SSet.t =
+  let taken = ref SSet.empty in
+  let scan_op = function
+    | Func_addr f -> taken := SSet.add f !taken
+    | Reg _ | Imm_int _ | Imm_float _ | Global_addr _ | Undef _ -> ()
+  in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter (fun p -> List.iter (fun (_, o) -> scan_op o) p.phi_incoming) b.b_phis;
+          List.iter (fun i -> List.iter scan_op (inst_uses i)) b.b_insts;
+          List.iter scan_op (term_uses b.b_term))
+        f.f_blocks)
+    m.m_funcs;
+  !taken
+
+let build (m : modul) : t =
+  let address_taken = address_taken_funcs m in
+  let callees = ref SMap.empty and callers = ref SMap.empty in
+  let add_edge caller callee =
+    let cs = Option.value ~default:SSet.empty (SMap.find_opt caller !callees) in
+    callees := SMap.add caller (SSet.add callee cs) !callees;
+    let rs = Option.value ~default:SSet.empty (SMap.find_opt callee !callers) in
+    callers := SMap.add callee (SSet.add caller rs) !callers
+  in
+  List.iter
+    (fun f ->
+      callees :=
+        SMap.update f.f_name
+          (function None -> Some SSet.empty | s -> s)
+          !callees;
+      List.iter
+        (fun b ->
+          List.iter
+            (function
+              | Call (_, callee, _) -> add_edge f.f_name callee
+              | Call_indirect _ ->
+                SSet.iter (fun callee -> add_edge f.f_name callee) address_taken
+              | _ -> ())
+            b.b_insts)
+        f.f_blocks)
+    m.m_funcs;
+  let kernels =
+    List.filter_map (fun f -> if f.f_is_kernel then Some f.f_name else None) m.m_funcs
+  in
+  { callees = !callees; callers = !callers; address_taken; kernels }
+
+let callees t f = Option.value ~default:SSet.empty (SMap.find_opt f t.callees)
+let callers t f = Option.value ~default:SSet.empty (SMap.find_opt f t.callers)
+let is_address_taken t f = SSet.mem f t.address_taken
+
+(* Functions transitively reachable from the kernels. *)
+let reachable_from_kernels t =
+  let seen = ref SSet.empty in
+  let rec go f =
+    if not (SSet.mem f !seen) then begin
+      seen := SSet.add f !seen;
+      SSet.iter go (callees t f)
+    end
+  in
+  List.iter go t.kernels;
+  !seen
+
+(* Is [f] (possibly transitively) recursive? *)
+let is_recursive t fname =
+  let rec dfs seen cur =
+    SSet.exists
+      (fun callee ->
+        callee = fname || ((not (SSet.mem callee seen)) && dfs (SSet.add callee seen) callee))
+      (callees t cur)
+  in
+  dfs SSet.empty fname

@@ -1,0 +1,119 @@
+(* Control-flow graph utilities over a function: successor/predecessor
+   maps, reverse post-order, and reachability. *)
+
+open Types
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type t = {
+  entry : label;
+  blocks : block SMap.t;
+  succs : label list SMap.t;
+  preds : label list SMap.t;
+  (* Blocks in reverse post-order from the entry (unreachable blocks last,
+     in arbitrary order). *)
+  rpo : label list;
+}
+
+let of_func (f : func) : t =
+  let blocks =
+    List.fold_left (fun acc b -> SMap.add b.b_label b acc) SMap.empty f.f_blocks
+  in
+  let succs =
+    List.fold_left
+      (fun acc b -> SMap.add b.b_label (term_succs b.b_term) acc)
+      SMap.empty f.f_blocks
+  in
+  let preds = ref SMap.empty in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          let existing = Option.value ~default:[] (SMap.find_opt s !preds) in
+          preds := SMap.add s (b.b_label :: existing) !preds)
+        (term_succs b.b_term))
+    f.f_blocks;
+  let preds =
+    List.fold_left
+      (fun acc b ->
+        if SMap.mem b.b_label acc then acc else SMap.add b.b_label [] acc)
+      !preds f.f_blocks
+  in
+  let entry = (entry_block f).b_label in
+  (* Depth-first post-order, reversed. *)
+  let visited = ref SSet.empty in
+  let order = ref [] in
+  let rec dfs l =
+    if not (SSet.mem l !visited) then begin
+      visited := SSet.add l !visited;
+      List.iter dfs (Option.value ~default:[] (SMap.find_opt l succs));
+      order := l :: !order
+    end
+  in
+  dfs entry;
+  let reachable = !order in
+  let unreachable =
+    List.filter_map
+      (fun b -> if SSet.mem b.b_label !visited then None else Some b.b_label)
+      f.f_blocks
+  in
+  { entry; blocks; succs; preds; rpo = reachable @ unreachable }
+
+let succs t l = Option.value ~default:[] (SMap.find_opt l t.succs)
+let preds t l = Option.value ~default:[] (SMap.find_opt l t.preds)
+let block t l = SMap.find l t.blocks
+let labels t = t.rpo
+let is_reachable t l =
+  (* rpo lists reachable blocks first; a block is reachable iff it was
+     visited in the DFS, i.e. it has an index smaller than the number of
+     visited blocks. Recompute cheaply via preds/entry instead. *)
+  l = t.entry
+  ||
+  let rec bfs seen frontier =
+    match frontier with
+    | [] -> false
+    | x :: rest ->
+      if x = l then true
+      else if SSet.mem x seen then bfs seen rest
+      else bfs (SSet.add x seen) (succs t x @ rest)
+  in
+  bfs SSet.empty [ t.entry ]
+
+(* Exit blocks: those terminated by Ret or Unreachable. *)
+let exits t =
+  SMap.fold
+    (fun l b acc ->
+      match b.b_term with Ret _ | Unreachable -> l :: acc | _ -> acc)
+    t.blocks []
+
+(* Remove unreachable blocks from a function, dropping phi incomings from
+   removed predecessors. *)
+let prune_unreachable (f : func) : func * bool =
+  let t = of_func f in
+  let visited = ref SSet.empty in
+  let rec dfs l =
+    if not (SSet.mem l !visited) then begin
+      visited := SSet.add l !visited;
+      List.iter dfs (succs t l)
+    end
+  in
+  dfs t.entry;
+  let keep b = SSet.mem b.b_label !visited in
+  if List.for_all keep f.f_blocks then (f, false)
+  else
+    let blocks =
+      List.filter keep f.f_blocks
+      |> List.map (fun b ->
+             let phis =
+               List.map
+                 (fun p ->
+                   { p with
+                     phi_incoming =
+                       List.filter (fun (l, _) -> SSet.mem l !visited) p.phi_incoming
+                   })
+                 b.b_phis
+             in
+             { b with b_phis = phis })
+    in
+    ({ f with f_blocks = blocks }, true)

@@ -1,0 +1,147 @@
+(* Dominator and post-dominator trees (Cooper–Harvey–Kennedy iterative
+   algorithm). Post-dominance is computed on the reversed CFG with a
+   virtual exit node joining all Ret/Unreachable blocks; the virtual exit
+   is also used as the reconvergence point of divergent warps in the
+   virtual GPU. *)
+
+open Types
+module SMap = Cfg.SMap
+
+type t = {
+  idom : label option SMap.t; (* None for the root *)
+  root : label;
+  (* children lists, for tree walks *)
+  children : label list SMap.t;
+  (* depth of each node in the tree, root = 0 *)
+  depth : int SMap.t;
+}
+
+(* Generic CHK fixpoint over an arbitrary graph given in RPO with a root. *)
+let compute_idoms ~root ~rpo ~preds =
+  let index = Hashtbl.create 64 in
+  List.iteri (fun i l -> Hashtbl.replace index l i) rpo;
+  let idom : (label, label) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace idom root root;
+  let intersect a b =
+    let rec go a b =
+      if a = b then a
+      else
+        let ia = Hashtbl.find index a and ib = Hashtbl.find index b in
+        if ia > ib then go (Hashtbl.find idom a) b else go a (Hashtbl.find idom b)
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> root then begin
+          let processed_preds =
+            List.filter (fun p -> Hashtbl.mem idom p && Hashtbl.mem index p) (preds l)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            (match Hashtbl.find_opt idom l with
+            | Some old when old = new_idom -> ()
+            | _ ->
+              Hashtbl.replace idom l new_idom;
+              changed := true)
+        end)
+      rpo
+  done;
+  idom
+
+let build ~root ~rpo ~preds =
+  let idom_tbl = compute_idoms ~root ~rpo ~preds in
+  let idom =
+    List.fold_left
+      (fun acc l ->
+        if l = root then SMap.add l None acc
+        else
+          match Hashtbl.find_opt idom_tbl l with
+          | Some d -> SMap.add l (Some d) acc
+          | None -> acc (* unreachable from root: not in the tree *))
+      SMap.empty rpo
+  in
+  let children =
+    SMap.fold
+      (fun l d acc ->
+        match d with
+        | Some d ->
+          let existing = Option.value ~default:[] (SMap.find_opt d acc) in
+          SMap.add d (l :: existing) acc
+        | None -> acc)
+      idom SMap.empty
+  in
+  let depth = ref (SMap.singleton root 0) in
+  let rec assign_depth l d =
+    depth := SMap.add l d !depth;
+    List.iter
+      (fun c -> assign_depth c (d + 1))
+      (Option.value ~default:[] (SMap.find_opt l children))
+  in
+  assign_depth root 0;
+  { idom; root; children; depth = !depth }
+
+(* Dominator tree of a function's CFG. *)
+let dominators (cfg : Cfg.t) : t =
+  build ~root:cfg.entry ~rpo:cfg.rpo ~preds:(Cfg.preds cfg)
+
+let virtual_exit = "<exit>"
+
+(* Post-dominator tree: dominators of the reversed graph, rooted at a
+   virtual exit node that every Ret/Unreachable block feeds into.
+
+   In the reversed graph G' (edge u->v iff v->u in the original extended
+   with exit->virtual edges):
+   - successors of l in G' are the original *predecessors* of l (and the
+     exit blocks for the virtual root) — used for the RPO walk;
+   - predecessors of l in G' are the original *successors* of l, plus the
+     virtual exit when l is an exit block — used by the CHK fixpoint. *)
+let post_dominators (cfg : Cfg.t) : t =
+  let exits = Cfg.exits cfg in
+  let succs_rev l = if l = virtual_exit then exits else Cfg.preds cfg l in
+  let preds_rev l =
+    if l = virtual_exit then []
+    else Cfg.succs cfg l @ (if List.mem l exits then [ virtual_exit ] else [])
+  in
+  (* RPO of the reversed graph starting at the virtual exit. *)
+  let visited = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.replace visited l ();
+      List.iter dfs (succs_rev l);
+      order := l :: !order
+    end
+  in
+  dfs virtual_exit;
+  build ~root:virtual_exit ~rpo:!order ~preds:preds_rev
+
+let idom t l = Option.join (SMap.find_opt l t.idom)
+
+let in_tree t l = SMap.mem l t.idom
+
+(* Does [a] dominate [b] (reflexively)? *)
+let dominates t a b =
+  if not (in_tree t a) || not (in_tree t b) then false
+  else
+    let rec walk x =
+      if x = a then true
+      else match idom t x with Some d -> walk d | None -> false
+    in
+    walk b
+
+let strictly_dominates t a b = a <> b && dominates t a b
+
+(* Immediate post-dominator usable as a reconvergence point: the ipdom in
+   the post-dominator tree, skipping the virtual exit. *)
+let reconvergence_point t l =
+  match idom t l with
+  | Some d when d <> virtual_exit -> Some d
+  | _ -> None
+
+let depth t l = Option.value ~default:0 (SMap.find_opt l t.depth)

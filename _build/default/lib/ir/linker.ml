@@ -1,0 +1,29 @@
+(* Module linking: the paper's compilation model links the device runtime
+   into the application as a bitcode library *before* optimization, so the
+   optimizer sees runtime and application code together. [link] merges two
+   modules; declarations (external symbols without bodies are not modelled
+   — every function has a body) collide by name, which is an error unless
+   the definitions are identical. *)
+
+open Types
+
+let link ?(name = "linked") (a : modul) (b : modul) : modul =
+  let globals =
+    List.fold_left
+      (fun acc g ->
+        match List.find_opt (fun g' -> g'.g_name = g.g_name) acc with
+        | Some g' when equal_global g g' -> acc
+        | Some _ -> ir_error "conflicting definitions of global %s" g.g_name
+        | None -> acc @ [ g ])
+      a.m_globals b.m_globals
+  in
+  let funcs =
+    List.fold_left
+      (fun acc f ->
+        match List.find_opt (fun f' -> f'.f_name = f.f_name) acc with
+        | Some f' when equal_func f f' -> acc
+        | Some _ -> ir_error "conflicting definitions of function %s" f.f_name
+        | None -> acc @ [ f ])
+      a.m_funcs b.m_funcs
+  in
+  { m_name = name; m_globals = globals; m_funcs = funcs }

@@ -1,0 +1,195 @@
+(* Liveness analysis over virtual registers. The maximum number of
+   simultaneously live registers after optimization is the reproduction's
+   stand-in for the per-thread hardware register count that Nsight Compute
+   reports in the paper's Figure 11 (and which drives occupancy in the
+   virtual GPU). *)
+
+open Types
+module SMap = Cfg.SMap
+
+module RSet = Set.Make (Int)
+
+type t = {
+  live_in : RSet.t SMap.t;
+  live_out : RSet.t SMap.t;
+}
+
+let operand_regs_set ops =
+  List.fold_left
+    (fun acc o -> List.fold_left (fun acc r -> RSet.add r acc) acc (operand_regs o))
+    RSet.empty ops
+
+(* use/def of a whole block, with phi handling: phi destinations are defs
+   of this block; phi operands are uses *on the corresponding incoming
+   edge*, which we conservatively attribute to the predecessor's live-out
+   (standard SSA liveness treatment). *)
+let block_use_def (b : block) =
+  (* Walk backwards accumulating uses not shadowed by later defs. *)
+  let uses = ref RSet.empty in
+  let defs = ref RSet.empty in
+  let process_uses ops = uses := RSet.union (operand_regs_set ops) !uses in
+  let process_def = function
+    | Some r ->
+      defs := RSet.add r !defs;
+      uses := RSet.remove r !uses
+    | None -> ()
+  in
+  process_uses (term_uses b.b_term);
+  List.iter
+    (fun i ->
+      process_def (inst_def i);
+      process_uses (inst_uses i))
+    (List.rev b.b_insts);
+  List.iter
+    (fun p ->
+      defs := RSet.add p.phi_reg !defs;
+      uses := RSet.remove p.phi_reg !uses)
+    b.b_phis;
+  (!uses, !defs)
+
+let analyse (f : func) : t =
+  let cfg = Cfg.of_func f in
+  let use_def =
+    List.fold_left
+      (fun acc b -> SMap.add b.b_label (block_use_def b) acc)
+      SMap.empty f.f_blocks
+  in
+  (* phi uses per incoming edge: map pred label -> registers used by phis
+     of its successors along that edge *)
+  let phi_edge_uses = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun (pred, o) ->
+              List.iter
+                (fun r ->
+                  let cur =
+                    Option.value ~default:RSet.empty
+                      (Hashtbl.find_opt phi_edge_uses pred)
+                  in
+                  Hashtbl.replace phi_edge_uses pred (RSet.add r cur))
+                (operand_regs o))
+            p.phi_incoming)
+        b.b_phis)
+    f.f_blocks;
+  let live_in = ref SMap.empty and live_out = ref SMap.empty in
+  List.iter
+    (fun b ->
+      live_in := SMap.add b.b_label RSet.empty !live_in;
+      live_out := SMap.add b.b_label RSet.empty !live_out)
+    f.f_blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* iterate in reverse RPO for fast convergence *)
+    List.iter
+      (fun l ->
+        match SMap.find_opt l use_def with
+        | None -> ()
+        | Some (uses, defs) ->
+          let out =
+            List.fold_left
+              (fun acc s ->
+                RSet.union acc
+                  (RSet.union
+                     (Option.value ~default:RSet.empty (SMap.find_opt s !live_in))
+                     RSet.empty))
+              RSet.empty (Cfg.succs cfg l)
+          in
+          (* registers used by successors' phis along this edge are live out *)
+          let out =
+            RSet.union out
+              (Option.value ~default:RSet.empty (Hashtbl.find_opt phi_edge_uses l))
+          in
+          let inn = RSet.union uses (RSet.diff out defs) in
+          if
+            not
+              (RSet.equal inn
+                 (Option.value ~default:RSet.empty (SMap.find_opt l !live_in)))
+            || not
+                 (RSet.equal out
+                    (Option.value ~default:RSet.empty (SMap.find_opt l !live_out)))
+          then begin
+            live_in := SMap.add l inn !live_in;
+            live_out := SMap.add l out !live_out;
+            changed := true
+          end)
+      (List.rev cfg.rpo)
+  done;
+  { live_in = !live_in; live_out = !live_out }
+
+(* Maximum register pressure: walk each block backwards from live-out,
+   recording the largest live set seen at any program point. *)
+let max_pressure (f : func) : int =
+  let lv = analyse f in
+  let best = ref 0 in
+  List.iter
+    (fun b ->
+      let live =
+        ref (Option.value ~default:RSet.empty (SMap.find_opt b.b_label lv.live_out))
+      in
+      let bump () = best := max !best (RSet.cardinal !live) in
+      bump ();
+      List.iter
+        (fun i ->
+          (match inst_def i with Some r -> live := RSet.remove r !live | None -> ());
+          live := RSet.union !live (operand_regs_set (inst_uses i));
+          bump ())
+        (List.rev b.b_insts);
+      List.iter (fun p -> live := RSet.remove p.phi_reg !live) b.b_phis;
+      bump ())
+    f.f_blocks;
+  !best
+
+(* Register estimate for a kernel: pressure of the kernel function plus
+   the worst-case transitive callee pressure. A GPU ABI without spilling
+   keeps the caller's live registers reserved across calls, so chains of
+   surviving runtime calls (the opaque old runtime) add up — this is why
+   the paper's Fig. 11 shows the old runtime at very high register counts
+   while fully inlined code pays only its own liveness. *)
+let kernel_register_estimate (m : modul) (kernel : func) : int =
+  let pressure_cache = Hashtbl.create 16 in
+  let pressure_of f =
+    match Hashtbl.find_opt pressure_cache f.f_name with
+    | Some p -> p
+    | None ->
+      let p = max_pressure f in
+      Hashtbl.replace pressure_cache f.f_name p;
+      p
+  in
+  let rec total seen f =
+    if List.mem f.f_name seen then pressure_of f (* recursion: cut off *)
+    else begin
+      let seen = f.f_name :: seen in
+      let callees =
+        List.concat_map
+          (fun b ->
+            List.filter_map
+              (function Call (_, callee, _) -> find_func m callee | _ -> None)
+              b.b_insts)
+          f.f_blocks
+      in
+      let indirect =
+        List.exists
+          (fun b ->
+            List.exists (function Call_indirect _ -> true | _ -> false) b.b_insts)
+          f.f_blocks
+      in
+      let callee_max = List.fold_left (fun acc c -> max acc (total seen c)) 0 callees in
+      let callee_max =
+        if indirect then
+          (* any address-taken function may be the callee *)
+          List.fold_left
+            (fun acc c ->
+              if c.f_name <> f.f_name && not (List.mem c.f_name seen) then
+                max acc (total seen c)
+              else acc)
+            callee_max m.m_funcs
+        else callee_max
+      in
+      pressure_of f + callee_max
+    end
+  in
+  max 1 (total [] kernel)

@@ -1,0 +1,679 @@
+(* Parser for the textual IR form produced by {!Printer}. Round-trips with
+   the printer (property-tested), so modules can be stored, diffed and
+   written by hand as text fixtures. *)
+
+open Types
+
+exception Parse_error of string
+
+let perr fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ---------- lexer ------------------------------------------------------ *)
+
+type token =
+  | Ident of string     (* bare word: add, func, entry, i64, ... *)
+  | Reg_tok of int      (* %12 *)
+  | Global_tok of string(* @name *)
+  | Func_tok of string  (* &name *)
+  | Int_tok of int64
+  | Float_tok of float
+  | Str_tok of string   (* "..." *)
+  | Punct of char       (* ( ) [ ] , : = - > *)
+  | Arrow               (* -> *)
+  | Newline
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '$'
+
+let lex (src : string) : token list =
+  let n = String.length src in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      push Newline;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '%' then begin
+      (* register or hex float like %h output? printer uses %h for floats:
+         they start with a digit/-; registers are %<digits> *)
+      incr i;
+      let start = !i in
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+        incr i
+      done;
+      if !i = start then perr "bad register at offset %d" start;
+      push (Reg_tok (int_of_string (String.sub src start (!i - start))))
+    end
+    else if c = '@' || c = '&' then begin
+      incr i;
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let name = String.sub src start (!i - start) in
+      push (if c = '@' then Global_tok name else Func_tok name)
+    end
+    else if c = '"' then begin
+      (* OCaml-escaped string literal *)
+      let buf = Buffer.create 16 in
+      incr i;
+      let fin = ref false in
+      while not !fin do
+        if !i >= n then perr "unterminated string";
+        (match src.[!i] with
+        | '"' -> fin := true
+        | '\\' -> (
+          incr i;
+          match peek 0 with
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some '\\' -> Buffer.add_char buf '\\'
+          | Some '"' -> Buffer.add_char buf '"'
+          | Some c2 -> Buffer.add_char buf c2
+          | None -> perr "bad escape")
+        | c2 -> Buffer.add_char buf c2);
+        incr i
+      done;
+      push (Str_tok (Buffer.contents buf))
+    end
+    else if c = '-' && peek 1 = Some '>' then begin
+      push Arrow;
+      i := !i + 2
+    end
+    else if
+      (c >= '0' && c <= '9')
+      || ((c = '-' || c = '+')
+         && match peek 1 with Some d -> d >= '0' && d <= '9' | None -> false)
+      || (c = 'n' && peek 1 = Some 'a' && peek 2 = Some 'n')
+    then begin
+      (* number: integer, or float (contains '.', 'x', 'p', 'e', inf, nan) *)
+      let start = !i in
+      if c = '-' || c = '+' then incr i;
+      while
+        !i < n
+        &&
+        let d = src.[!i] in
+        (d >= '0' && d <= '9')
+        || d = '.' || d = 'x' || d = 'X' || d = 'p' || d = 'P' || d = 'e'
+        || d = 'a' || d = 'b' || d = 'c' || d = 'd' || d = 'f' || d = 'n' || d = 'i'
+        || ((d = '-' || d = '+') && (src.[!i - 1] = 'p' || src.[!i - 1] = 'e' || src.[!i - 1] = 'P'))
+      do
+        incr i
+      done;
+      let s = String.sub src start (!i - start) in
+      (* disambiguate: pure integers have only digits (and sign) *)
+      let pure_int = ref true in
+      String.iter (fun d -> if not ((d >= '0' && d <= '9') || d = '-' || d = '+') then pure_int := false) s;
+      if !pure_int then push (Int_tok (Int64.of_string s))
+      else push (Float_tok (float_of_string s))
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (Ident (String.sub src start (!i - start)))
+    end
+    else begin
+      push (Punct c);
+      incr i
+    end
+  done;
+  List.rev !toks
+
+(* ---------- token stream ------------------------------------------------ *)
+
+type stream = { mutable toks : token list }
+
+let tok_str = function
+  | Ident s -> s
+  | Reg_tok r -> "%" ^ string_of_int r
+  | Global_tok g -> "@" ^ g
+  | Func_tok f -> "&" ^ f
+  | Int_tok v -> Int64.to_string v
+  | Float_tok f -> string_of_float f
+  | Str_tok s -> "\"" ^ s ^ "\""
+  | Punct c -> String.make 1 c
+  | Arrow -> "->"
+  | Newline -> "\\n"
+
+let next st =
+  match st.toks with
+  | [] -> perr "unexpected end of input"
+  | t :: rest ->
+    st.toks <- rest;
+    t
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let skip_newlines st =
+  let rec go () =
+    match peek st with
+    | Some Newline ->
+      ignore (next st);
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect st t =
+  let got = next st in
+  if got <> t then perr "expected %s, got %s" (tok_str t) (tok_str got)
+
+let expect_ident st =
+  skip_newlines st;
+  match next st with Ident s -> s | t -> perr "expected identifier, got %s" (tok_str t)
+
+let accept st t =
+  match peek st with
+  | Some t' when t' = t ->
+    ignore (next st);
+    true
+  | _ -> false
+
+(* ---------- grammar ------------------------------------------------------ *)
+
+let parse_typ st =
+  skip_newlines st;
+  match next st with
+  | Ident "i1" -> I1
+  | Ident "i32" -> I32
+  | Ident "i64" -> I64
+  | Ident "f64" -> F64
+  | Ident "ptr" ->
+    expect st (Punct '(');
+    let sp =
+      match expect_ident st with
+      | "global" -> Global
+      | "shared" -> Shared
+      | "local" -> Local
+      | "const" -> Constant
+      | s -> perr "bad address space %s" s
+    in
+    expect st (Punct ')');
+    Ptr sp
+  | t -> perr "expected a type, got %s" (tok_str t)
+
+(* operand: %r | <int>:typ | <float> | @g | &f | undef:typ.
+   Leading newlines are skipped: the printer's boxes wrap after commas. *)
+let parse_operand st =
+  skip_newlines st;
+  match next st with
+  | Reg_tok r -> Reg r
+  | Global_tok g -> Global_addr g
+  | Func_tok f -> Func_addr f
+  | Float_tok f -> Imm_float f
+  | Int_tok v ->
+    expect st (Punct ':');
+    let t = parse_typ st in
+    Imm_int (v, t)
+  | Ident "undef" ->
+    expect st (Punct ':');
+    Undef (parse_typ st)
+  | t -> perr "expected an operand, got %s" (tok_str t)
+
+let binop_of_name = function
+  | "add" -> Some Add | "sub" -> Some Sub | "mul" -> Some Mul | "sdiv" -> Some Sdiv
+  | "srem" -> Some Srem | "udiv" -> Some Udiv | "urem" -> Some Urem | "and" -> Some And
+  | "or" -> Some Or | "xor" -> Some Xor | "shl" -> Some Shl | "ashr" -> Some Ashr
+  | "lshr" -> Some Lshr | "smin" -> Some Smin | "smax" -> Some Smax | "fadd" -> Some Fadd
+  | "fsub" -> Some Fsub | "fmul" -> Some Fmul | "fdiv" -> Some Fdiv | "fmin" -> Some Fmin
+  | "fmax" -> Some Fmax
+  | _ -> None
+
+let unop_of_name = function
+  | "not" -> Some Not | "fneg" -> Some Fneg | "fsqrt" -> Some Fsqrt | "fexp" -> Some Fexp
+  | "flog" -> Some Flog | "fsin" -> Some Fsin | "fcos" -> Some Fcos | "fabs" -> Some Fabs
+  | "sitofp" -> Some Sitofp | "fptosi" -> Some Fptosi | "zext" -> Some Zext32to64
+  | "trunc" -> Some Trunc64to32
+  | _ -> None
+
+let icmp_of_name = function
+  | "eq" -> Some Eq | "ne" -> Some Ne | "slt" -> Some Slt | "sle" -> Some Sle
+  | "sgt" -> Some Sgt | "sge" -> Some Sge | "ult" -> Some Ult | "ule" -> Some Ule
+  | "ugt" -> Some Ugt | "uge" -> Some Uge
+  | _ -> None
+
+let fcmp_of_name = function
+  | "feq" -> Some Feq | "fne" -> Some Fne | "flt" -> Some Flt | "fle" -> Some Fle
+  | "fgt" -> Some Fgt | "fge" -> Some Fge
+  | _ -> None
+
+let intrinsic_of_name = function
+  | "thread.id" -> Some Thread_id | "block.id" -> Some Block_id
+  | "block.dim" -> Some Block_dim | "grid.dim" -> Some Grid_dim
+  | "warp.size" -> Some Warp_size | "lane.id" -> Some Lane_id
+  | _ -> None
+
+let atomic_of_name = function
+  | "add" -> Some Atomic_add | "exch" -> Some Atomic_exch | "cas" -> Some Atomic_cas
+  | "max" -> Some Atomic_max
+  | _ -> None
+
+let parse_args st =
+  (* comma-separated operands until ')' *)
+  let rec go acc =
+    skip_newlines st;
+    match peek st with
+    | Some (Punct ')') ->
+      ignore (next st);
+      List.rev acc
+    | _ ->
+      let o = parse_operand st in
+      (match peek st with
+      | Some (Punct ',') -> ignore (next st)
+      | _ -> ());
+      go (o :: acc)
+  in
+  go []
+
+(* an instruction with destination [dst] (already consumed "%r =") *)
+let parse_rhs st (dst : reg) : inst =
+  match next st with
+  | Ident "icmp" ->
+    let op = match icmp_of_name (expect_ident st) with Some o -> o | None -> perr "bad icmp" in
+    let a = parse_operand st in
+    expect st (Punct ',');
+    let b = parse_operand st in
+    Icmp (dst, op, a, b)
+  | Ident "fcmp" ->
+    let op = match fcmp_of_name (expect_ident st) with Some o -> o | None -> perr "bad fcmp" in
+    let a = parse_operand st in
+    expect st (Punct ',');
+    let b = parse_operand st in
+    Fcmp (dst, op, a, b)
+  | Ident "select" ->
+    let t = parse_typ st in
+    let c = parse_operand st in
+    expect st (Punct ',');
+    let x = parse_operand st in
+    expect st (Punct ',');
+    let y = parse_operand st in
+    Select (dst, t, c, x, y)
+  | Ident "load" ->
+    let t = parse_typ st in
+    expect st (Punct ',');
+    let addr = parse_operand st in
+    Load (dst, t, addr)
+  | Ident "ptradd" ->
+    let a = parse_operand st in
+    expect st (Punct ',');
+    let b = parse_operand st in
+    Ptradd (dst, a, b)
+  | Ident "alloca" -> (
+    match next st with
+    | Int_tok sz -> Alloca (dst, Int64.to_int sz)
+    | t -> perr "alloca size expected, got %s" (tok_str t))
+  | Ident "call" ->
+    let name = expect_ident st in
+    expect st (Punct '(');
+    let args = parse_args st in
+    Call (Some dst, name, args)
+  | Ident "call.ind" ->
+    let callee = parse_operand st in
+    expect st (Punct '(');
+    let args = parse_args st in
+    Call_indirect (Some dst, Some I64, callee, args)
+  | Ident "malloc" -> Malloc (dst, parse_operand st)
+  | Ident name when String.length name > 7 && String.sub name 0 7 = "atomic." ->
+    let op =
+      match atomic_of_name (String.sub name 7 (String.length name - 7)) with
+      | Some o -> o
+      | None -> perr "bad atomic %s" name
+    in
+    let t = parse_typ st in
+    let addr = parse_operand st in
+    expect st (Punct ',');
+    let rec ops acc =
+      let o = parse_operand st in
+      match peek st with
+      | Some (Punct ',') ->
+        ignore (next st);
+        ops (o :: acc)
+      | _ -> List.rev (o :: acc)
+    in
+    Atomic (Some dst, op, t, addr, ops [])
+  | Ident name -> (
+    match (binop_of_name name, unop_of_name name, intrinsic_of_name name) with
+    | Some op, _, _ ->
+      let a = parse_operand st in
+      expect st (Punct ',');
+      let b = parse_operand st in
+      Binop (dst, op, a, b)
+    | None, Some op, _ -> Unop (dst, op, parse_operand st)
+    | None, None, Some i -> Intrinsic (dst, i)
+    | None, None, None -> perr "unknown instruction %s" name)
+  | t -> perr "bad instruction rhs %s" (tok_str t)
+
+(* void instruction starting with [head] *)
+let parse_void st head : inst =
+  match head with
+  | Ident "store" ->
+    let t = parse_typ st in
+    let v = parse_operand st in
+    expect st (Punct ',');
+    let addr = parse_operand st in
+    Store (t, v, addr)
+  | Ident "call" ->
+    let name = expect_ident st in
+    expect st (Punct '(');
+    let args = parse_args st in
+    Call (None, name, args)
+  | Ident "call.ind" ->
+    let callee = parse_operand st in
+    expect st (Punct '(');
+    let args = parse_args st in
+    Call_indirect (None, None, callee, args)
+  | Ident "barrier" -> Barrier { aligned = false }
+  | Ident "barrier.aligned" -> Barrier { aligned = true }
+  | Ident "assume" -> Assume (parse_operand st)
+  | Ident "trap" -> (
+    match next st with Str_tok s -> Trap s | t -> perr "trap message expected, got %s" (tok_str t))
+  | Ident "free" -> Free (parse_operand st)
+  | Ident "debug.print" -> (
+    match next st with
+    | Str_tok s ->
+      expect st (Punct ',');
+      let rec ops acc =
+        match peek st with
+        | Some Newline | None -> List.rev acc
+        | Some (Punct ',') ->
+          ignore (next st);
+          skip_newlines st;
+          ops acc
+        | _ -> ops (parse_operand st :: acc)
+      in
+      Debug_print (s, ops [])
+    | t -> perr "debug.print message expected, got %s" (tok_str t))
+  | Ident name when String.length name > 7 && String.sub name 0 7 = "atomic." ->
+    let op =
+      match atomic_of_name (String.sub name 7 (String.length name - 7)) with
+      | Some o -> o
+      | None -> perr "bad atomic %s" name
+    in
+    let t = parse_typ st in
+    let addr = parse_operand st in
+    expect st (Punct ',');
+    let rec ops acc =
+      let o = parse_operand st in
+      match peek st with
+      | Some (Punct ',') ->
+        ignore (next st);
+        ops (o :: acc)
+      | _ -> List.rev (o :: acc)
+    in
+    Atomic (None, op, t, addr, ops [])
+  | t -> perr "unknown statement %s" (tok_str t)
+
+(* terminator *)
+let parse_term st head : terminator =
+  match head with
+  | Ident "ret" -> (
+    match peek st with
+    | Some Newline | None -> Ret None
+    | _ -> Ret (Some (parse_operand st)))
+  | Ident "unreachable" -> Unreachable
+  | Ident "br" -> (
+    (* br label  |  br %c, l1, l2 *)
+    match peek st with
+    | Some (Ident l) ->
+      ignore (next st);
+      Br l
+    | _ ->
+      let c = parse_operand st in
+      expect st (Punct ',');
+      let l1 = expect_ident st in
+      expect st (Punct ',');
+      let l2 = expect_ident st in
+      Cond_br (c, l1, l2))
+  | Ident "switch" ->
+    let o = parse_operand st in
+    expect st (Punct ',');
+    expect st (Ident "default");
+    let d = expect_ident st in
+    expect st (Punct '[');
+    let rec cases acc =
+      skip_newlines st;
+      match peek st with
+      | Some (Punct ']') ->
+        ignore (next st);
+        List.rev acc
+      | Some (Punct ',') ->
+        ignore (next st);
+        cases acc
+      | _ -> (
+        match next st with
+        | Int_tok v ->
+          expect st Arrow;
+          let l = expect_ident st in
+          cases ((v, l) :: acc)
+        | t -> perr "switch case expected, got %s" (tok_str t))
+    in
+    Switch (o, cases [], d)
+  | t -> perr "unknown terminator %s" (tok_str t)
+
+let parse_phi st (dst : reg) : phi =
+  (* "phi" typ [l: o, l: o] — "phi" already consumed *)
+  let t = parse_typ st in
+  expect st (Punct '[');
+  let rec inc acc =
+    match peek st with
+    | Some (Punct ']') ->
+      ignore (next st);
+      List.rev acc
+    | Some (Punct ',') ->
+      ignore (next st);
+      inc acc
+    | Some Newline ->
+      ignore (next st);
+      inc acc
+    | _ ->
+      let l = expect_ident st in
+      expect st (Punct ':');
+      let o = parse_operand st in
+      inc ((l, o) :: acc)
+  in
+  { phi_reg = dst; phi_typ = t; phi_incoming = inc [] }
+
+(* one line inside a block: phi | inst | terminator. Returns which. *)
+type line = Lphi of phi | Linst of inst | Lterm of terminator
+
+let parse_line st : line =
+  match peek st with
+  | Some (Reg_tok r) -> (
+    ignore (next st);
+    expect st (Punct '=');
+    match peek st with
+    | Some (Ident "phi") ->
+      ignore (next st);
+      Lphi (parse_phi st r)
+    | _ -> Linst (parse_rhs st r))
+  | Some (Ident ("ret" | "br" | "switch" | "unreachable")) ->
+    let h = next st in
+    Lterm (parse_term st h)
+  | Some _ ->
+    let h = next st in
+    Linst (parse_void st h)
+  | None -> perr "unexpected end of input in block"
+
+let attr_of_name = function
+  | "inline_hint" -> Attr_inline_hint
+  | "no_inline" -> Attr_no_inline
+  | "aligned_barrier" -> Attr_aligned_barrier
+  | "no_sync" -> Attr_no_sync
+  | "no_free_state" -> Attr_no_free_state
+  | "main_thread_only" -> Attr_main_thread_only
+  | s -> perr "unknown attribute %s" s
+
+(* function header: [kernel] [internal] func NAME(%0: typ, ...) [-> typ] [attrs] *)
+let parse_func st : func =
+  skip_newlines st;
+  let is_kernel = accept st (Ident "kernel") in
+  let linkage = if accept st (Ident "internal") then Internal else External in
+  expect st (Ident "func");
+  let name = expect_ident st in
+  expect st (Punct '(');
+  let rec params acc =
+    match peek st with
+    | Some (Punct ')') ->
+      ignore (next st);
+      List.rev acc
+    | Some (Punct ',') | Some Newline ->
+      ignore (next st);
+      params acc
+    | _ -> (
+      match next st with
+      | Reg_tok r ->
+        expect st (Punct ':');
+        let t = parse_typ st in
+        params ((r, t) :: acc)
+      | t -> perr "parameter expected, got %s" (tok_str t))
+  in
+  let ps = params [] in
+  let ret = if accept st Arrow then Some (parse_typ st) else None in
+  let attrs =
+    if accept st (Punct '[') then begin
+      let rec go acc =
+        match next st with
+        | Punct ']' -> List.rev acc
+        | Punct ',' | Newline -> go acc
+        | Ident a -> go (attr_of_name a :: acc)
+        | t -> perr "attribute expected, got %s" (tok_str t)
+      in
+      go []
+    end
+    else []
+  in
+  skip_newlines st;
+  (* blocks: "label:" then lines until the next label or end of function
+     (blank separation is already consumed by skip_newlines) *)
+  let blocks = ref [] in
+  let rec parse_blocks () =
+    match (peek st, st.toks) with
+    | Some (Ident lbl), _ :: Punct ':' :: _ ->
+      ignore (next st);
+      ignore (next st);
+      skip_newlines st;
+      let phis = ref [] and insts = ref [] and term = ref None in
+      let fin = ref false in
+      while not !fin do
+        skip_newlines st;
+        match (peek st, st.toks) with
+        | None, _ -> fin := true
+        | Some (Ident _), _ :: Punct ':' :: _ -> fin := true (* next label *)
+        | Some (Ident ("func" | "kernel" | "module" | "global")), _ -> fin := true
+        | _ -> (
+          match parse_line st with
+          | Lphi p -> phis := p :: !phis
+          | Linst i -> insts := i :: !insts
+          | Lterm t ->
+            term := Some t;
+            fin := true)
+      done;
+      (match !term with
+      | None -> perr "block %s lacks a terminator" lbl
+      | Some t ->
+        blocks :=
+          { b_label = lbl; b_phis = List.rev !phis; b_insts = List.rev !insts; b_term = t }
+          :: !blocks);
+      skip_newlines st;
+      parse_blocks ()
+    | _ -> ()
+  in
+  parse_blocks ();
+  let blocks = List.rev !blocks in
+  let next_reg =
+    List.fold_left
+      (fun acc b ->
+        let acc = List.fold_left (fun a p -> max a (p.phi_reg + 1)) acc b.b_phis in
+        List.fold_left
+          (fun a i -> match inst_def i with Some r -> max a (r + 1) | None -> a)
+          acc b.b_insts)
+      (List.fold_left (fun a (r, _) -> max a (r + 1)) 0 ps)
+      blocks
+  in
+  { f_name = name; f_params = ps; f_ret = ret; f_blocks = blocks; f_linkage = linkage;
+    f_attrs = attrs; f_is_kernel = is_kernel; f_next_reg = next_reg }
+
+(* global line: [internal] [const] global @n : space[SIZE] [= zeroinit | = [w,...]] *)
+let parse_global st : global =
+  let linkage = if accept st (Ident "internal") then Internal else External in
+  let const = accept st (Ident "const") in
+  expect st (Ident "global");
+  let name =
+    match next st with Global_tok g -> g | t -> perr "global name expected, got %s" (tok_str t)
+  in
+  expect st (Punct ':');
+  let space =
+    match expect_ident st with
+    | "global" -> Global
+    | "shared" -> Shared
+    | "local" -> Local
+    | "const" -> Constant
+    | s -> perr "bad space %s" s
+  in
+  expect st (Punct '[');
+  let size =
+    match next st with Int_tok v -> Int64.to_int v | t -> perr "size expected, got %s" (tok_str t)
+  in
+  expect st (Punct ']');
+  let init =
+    if accept st (Punct '=') then
+      if accept st (Ident "zeroinit") then Zero_init
+      else begin
+        expect st (Punct '[');
+        let rec ws acc =
+          match next st with
+          | Punct ']' -> List.rev acc
+          | Punct ',' | Newline -> ws acc
+          | Int_tok v -> ws (v :: acc)
+          | t -> perr "word expected, got %s" (tok_str t)
+        in
+        Words_init (ws [])
+      end
+    else No_init
+  in
+  { g_name = name; g_space = space; g_size = size; g_init = init; g_linkage = linkage;
+    g_const = const }
+
+let parse_module (src : string) : modul =
+  let st = { toks = lex src } in
+  skip_newlines st;
+  expect st (Ident "module");
+  let name = expect_ident st in
+  skip_newlines st;
+  let globals = ref [] and funcs = ref [] in
+  (* a top-level item is a global or a function; scan to the first
+     keyword to disambiguate "internal global" from "internal func" *)
+  let rec first_kw = function
+    | Ident "func" :: _ | Ident "kernel" :: _ -> `Func
+    | Ident "global" :: _ -> `Global
+    | _ :: rest -> first_kw rest
+    | [] -> `Eof
+  in
+  let rec go () =
+    skip_newlines st;
+    match peek st with
+    | None -> ()
+    | Some _ -> (
+      match first_kw st.toks with
+      | `Global ->
+        globals := parse_global st :: !globals;
+        go ()
+      | `Func ->
+        funcs := parse_func st :: !funcs;
+        go ()
+      | `Eof -> ())
+  in
+  go ();
+  skip_newlines st;
+  (match peek st with
+  | None -> ()
+  | Some t -> perr "trailing input at module level: %s" (tok_str t));
+  { m_name = name; m_globals = List.rev !globals; m_funcs = List.rev !funcs }

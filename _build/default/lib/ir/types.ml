@@ -1,0 +1,319 @@
+(* Core type definitions for the OZO intermediate representation.
+
+   The IR is a small SSA language modelled after LLVM IR, restricted to the
+   constructs the paper's optimizations reason about: typed virtual
+   registers, byte-addressed memory in distinct GPU address spaces,
+   direct/indirect calls, GPU intrinsics, aligned/unaligned barriers and
+   compiler-visible assumptions. *)
+
+type typ =
+  | I1
+  | I32
+  | I64
+  | F64
+  | Ptr of addrspace
+
+and addrspace =
+  | Global   (* device global memory, shared by the whole grid *)
+  | Shared   (* per-team scratchpad ("shared"/LDS) memory *)
+  | Local    (* per-thread stack memory (alloca) *)
+  | Constant (* read-only memory, e.g. kernel argument buffers *)
+[@@deriving show { with_path = false }, eq, ord]
+
+(* Byte width of a value of type [t] when stored in memory. *)
+let size_of_typ = function
+  | I1 -> 1
+  | I32 -> 4
+  | I64 -> 8
+  | F64 -> 8
+  | Ptr _ -> 8
+
+type reg = int [@@deriving show { with_path = false }, eq, ord]
+
+type label = string [@@deriving show { with_path = false }, eq, ord]
+
+type operand =
+  | Reg of reg
+  | Imm_int of int64 * typ    (* integer immediate of type I1/I32/I64 *)
+  | Imm_float of float
+  | Global_addr of string     (* address of a module-level global *)
+  | Func_addr of string       (* address of a function (for indirect calls) *)
+  | Undef of typ
+[@@deriving show { with_path = false }, eq, ord]
+
+type binop =
+  | Add | Sub | Mul | Sdiv | Srem | Udiv | Urem
+  | And | Or | Xor | Shl | Ashr | Lshr
+  | Smin | Smax
+  | Fadd | Fsub | Fmul | Fdiv
+  | Fmin | Fmax
+[@@deriving show { with_path = false }, eq, ord]
+
+type unop =
+  | Not                       (* bitwise not *)
+  | Fneg | Fsqrt | Fexp | Flog | Fsin | Fcos | Fabs
+  | Sitofp                    (* int -> float *)
+  | Fptosi                    (* float -> int (truncating) *)
+  | Zext32to64 | Trunc64to32
+[@@deriving show { with_path = false }, eq, ord]
+
+type icmp = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+[@@deriving show { with_path = false }, eq, ord]
+
+type fcmp = Feq | Fne | Flt | Fle | Fgt | Fge
+[@@deriving show { with_path = false }, eq, ord]
+
+(* GPU intrinsics reading launch geometry / thread identity. All are
+   invariant for the duration of a kernel launch, which the invariant
+   value propagation pass (paper Section IV-B4) exploits. *)
+type intrinsic =
+  | Thread_id        (* thread index within the team *)
+  | Block_id         (* team index within the grid *)
+  | Block_dim        (* number of threads per team *)
+  | Grid_dim         (* number of teams *)
+  | Warp_size
+  | Lane_id
+[@@deriving show { with_path = false }, eq, ord]
+
+type atomic_op = Atomic_add | Atomic_exch | Atomic_cas | Atomic_max
+[@@deriving show { with_path = false }, eq, ord]
+
+type inst =
+  | Binop of reg * binop * operand * operand
+  | Unop of reg * unop * operand
+  | Icmp of reg * icmp * operand * operand
+  | Fcmp of reg * fcmp * operand * operand
+  | Select of reg * typ * operand * operand * operand (* dst, type, cond, if-true, if-false *)
+  | Load of reg * typ * operand                   (* dst, loaded type, address *)
+  | Store of typ * operand * operand              (* stored type, value, address *)
+  | Ptradd of reg * operand * operand             (* dst, base pointer, byte offset *)
+  | Alloca of reg * int                           (* dst, size in bytes (per-thread) *)
+  | Call of reg option * string * operand list
+  | Call_indirect of reg option * typ option * operand * operand list
+      (* dst, return type, callee address, args *)
+  | Intrinsic of reg * intrinsic
+  | Barrier of { aligned : bool }
+  | Atomic of reg option * atomic_op * typ * operand * operand list
+      (* optional old-value dst, op, type, address, operands
+         (one operand for add/exch/max, two for cas: expected, desired) *)
+  | Assume of operand                             (* compiler-visible invariant *)
+  | Trap of string                                (* abort execution, e.g. assert_fail *)
+  | Malloc of reg * operand                       (* dst pointer, size in bytes *)
+  | Free of operand
+  | Debug_print of string * operand list          (* runtime tracing hook *)
+[@@deriving show { with_path = false }, eq, ord]
+
+type terminator =
+  | Ret of operand option
+  | Br of label
+  | Cond_br of operand * label * label
+  | Switch of operand * (int64 * label) list * label
+  | Unreachable
+[@@deriving show { with_path = false }, eq, ord]
+
+(* A phi node: (destination, type, incoming (predecessor label, value)). *)
+type phi = { phi_reg : reg; phi_typ : typ; phi_incoming : (label * operand) list }
+[@@deriving show { with_path = false }, eq, ord]
+
+type block = {
+  b_label : label;
+  b_phis : phi list;
+  b_insts : inst list;
+  b_term : terminator;
+}
+[@@deriving show { with_path = false }, eq]
+
+type linkage = Internal | External
+[@@deriving show { with_path = false }, eq, ord]
+
+(* Function-level attributes. The assumption attributes mirror the paper's
+   `omp assumes` extensions (Fig. 6): [Attr_aligned_barrier] marks a
+   function as behaving like an aligned barrier, [Attr_no_sync] promises
+   the function performs no synchronization, [Attr_no_free_state] promises
+   it neither allocates nor frees runtime thread state. *)
+type attr =
+  | Attr_inline_hint
+  | Attr_no_inline
+  | Attr_aligned_barrier
+  | Attr_no_sync
+  | Attr_no_free_state
+  | Attr_main_thread_only    (* only executed by thread 0 of a team *)
+[@@deriving show { with_path = false }, eq, ord]
+
+type func = {
+  f_name : string;
+  f_params : (reg * typ) list;
+  f_ret : typ option;
+  f_blocks : block list; (* entry block first *)
+  f_linkage : linkage;
+  f_attrs : attr list;
+  f_is_kernel : bool;
+  f_next_reg : reg; (* first unused virtual register number *)
+}
+[@@deriving show { with_path = false }, eq]
+
+(* Initial contents of a global. [Zero_init] is semantically significant
+   for the optimizer: the thread-state array NULL-folding rule (paper
+   Section IV-B1) relies on recognizing zero-initialized regions. *)
+type ginit =
+  | Zero_init
+  | Words_init of int64 list (* little-endian 8-byte words *)
+  | No_init                  (* uninitialized (e.g. shared memory stack) *)
+[@@deriving show { with_path = false }, eq, ord]
+
+type global = {
+  g_name : string;
+  g_space : addrspace;
+  g_size : int; (* bytes *)
+  g_init : ginit;
+  g_linkage : linkage;
+  g_const : bool; (* never written after initialization *)
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+type modul = {
+  m_name : string;
+  m_globals : global list;
+  m_funcs : func list;
+}
+[@@deriving show { with_path = false }, eq]
+
+exception Ir_error of string
+
+let ir_error fmt = Format.kasprintf (fun s -> raise (Ir_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Small accessors used throughout analyses and passes.               *)
+(* ------------------------------------------------------------------ *)
+
+let find_func m name = List.find_opt (fun f -> f.f_name = name) m.m_funcs
+
+let find_func_exn m name =
+  match find_func m name with
+  | Some f -> f
+  | None -> ir_error "function %s not found in module %s" name m.m_name
+
+let find_global m name = List.find_opt (fun g -> g.g_name = name) m.m_globals
+
+let find_block f label = List.find_opt (fun b -> b.b_label = label) f.f_blocks
+
+let find_block_exn f label =
+  match find_block f label with
+  | Some b -> b
+  | None -> ir_error "block %s not found in function %s" label f.f_name
+
+let entry_block f =
+  match f.f_blocks with
+  | b :: _ -> b
+  | [] -> ir_error "function %s has no blocks" f.f_name
+
+(* Replace a function in a module by name. *)
+let update_func m f =
+  { m with m_funcs = List.map (fun g -> if g.f_name = f.f_name then f else g) m.m_funcs }
+
+let map_funcs fn m = { m with m_funcs = List.map fn m.m_funcs }
+
+(* Destination register defined by an instruction, if any. *)
+let inst_def = function
+  | Binop (r, _, _, _)
+  | Unop (r, _, _)
+  | Icmp (r, _, _, _)
+  | Fcmp (r, _, _, _)
+  | Select (r, _, _, _, _)
+  | Load (r, _, _)
+  | Ptradd (r, _, _)
+  | Alloca (r, _)
+  | Intrinsic (r, _)
+  | Malloc (r, _) -> Some r
+  | Call (d, _, _) | Call_indirect (d, _, _, _) | Atomic (d, _, _, _, _) -> d
+  | Store _ | Barrier _ | Assume _ | Trap _ | Free _ | Debug_print _ -> None
+
+(* Operands read by an instruction. *)
+let inst_uses = function
+  | Binop (_, _, a, b) | Icmp (_, _, a, b) | Fcmp (_, _, a, b) | Ptradd (_, a, b) ->
+    [ a; b ]
+  | Unop (_, _, a) | Assume a | Free a | Malloc (_, a) -> [ a ]
+  | Select (_, _, c, t, f) -> [ c; t; f ]
+  | Load (_, _, addr) -> [ addr ]
+  | Store (_, v, addr) -> [ v; addr ]
+  | Alloca _ | Barrier _ | Trap _ -> []
+  | Call (_, _, args) -> args
+  | Call_indirect (_, _, callee, args) -> callee :: args
+  | Intrinsic _ -> []
+  | Atomic (_, _, _, addr, ops) -> addr :: ops
+  | Debug_print (_, ops) -> ops
+
+let term_uses = function
+  | Ret (Some o) -> [ o ]
+  | Ret None | Br _ | Unreachable -> []
+  | Cond_br (c, _, _) -> [ c ]
+  | Switch (o, _, _) -> [ o ]
+
+let term_succs = function
+  | Ret _ | Unreachable -> []
+  | Br l -> [ l ]
+  | Cond_br (_, t, f) -> if t = f then [ t ] else [ t; f ]
+  | Switch (_, cases, default) ->
+    let targets = default :: List.map snd cases in
+    List.sort_uniq compare targets
+
+(* Registers appearing in an operand (0 or 1). *)
+let operand_regs = function
+  | Reg r -> [ r ]
+  | Imm_int _ | Imm_float _ | Global_addr _ | Func_addr _ | Undef _ -> []
+
+(* Does this instruction have side effects that forbid removing it even if
+   its result is unused?  [Assume] is kept: it carries information. *)
+let inst_has_side_effects = function
+  | Store _ | Call _ | Call_indirect _ | Barrier _ | Atomic _ | Trap _
+  | Malloc _ | Free _ | Debug_print _ | Assume _ -> true
+  | Binop _ | Unop _ | Icmp _ | Fcmp _ | Select _ | Load _ | Ptradd _
+  | Alloca _ | Intrinsic _ -> false
+
+(* Map the operands of an instruction (used by substitution passes). *)
+let map_inst_operands fn inst =
+  match inst with
+  | Binop (r, op, a, b) -> Binop (r, op, fn a, fn b)
+  | Unop (r, op, a) -> Unop (r, op, fn a)
+  | Icmp (r, op, a, b) -> Icmp (r, op, fn a, fn b)
+  | Fcmp (r, op, a, b) -> Fcmp (r, op, fn a, fn b)
+  | Select (r, ty, c, t, f) -> Select (r, ty, fn c, fn t, fn f)
+  | Load (r, t, addr) -> Load (r, t, fn addr)
+  | Store (t, v, addr) -> Store (t, fn v, fn addr)
+  | Ptradd (r, base, off) -> Ptradd (r, fn base, fn off)
+  | Alloca _ as i -> i
+  | Call (d, callee, args) -> Call (d, callee, List.map fn args)
+  | Call_indirect (d, rt, callee, args) ->
+    Call_indirect (d, rt, fn callee, List.map fn args)
+  | Intrinsic _ as i -> i
+  | Barrier _ as i -> i
+  | Atomic (d, op, t, addr, ops) -> Atomic (d, op, t, fn addr, List.map fn ops)
+  | Assume o -> Assume (fn o)
+  | Trap _ as i -> i
+  | Malloc (r, sz) -> Malloc (r, fn sz)
+  | Free o -> Free (fn o)
+  | Debug_print (s, ops) -> Debug_print (s, List.map fn ops)
+
+let map_term_operands fn = function
+  | Ret (Some o) -> Ret (Some (fn o))
+  | Ret None -> Ret None
+  | Br l -> Br l
+  | Cond_br (c, t, f) -> Cond_br (fn c, t, f)
+  | Switch (o, cases, d) -> Switch (fn o, cases, d)
+  | Unreachable -> Unreachable
+
+let map_phi_operands fn p =
+  { p with phi_incoming = List.map (fun (l, o) -> (l, fn o)) p.phi_incoming }
+
+(* All registers defined anywhere in a function (params, phis, insts). *)
+let func_defs f =
+  let defs = ref [] in
+  List.iter (fun (r, _) -> defs := r :: !defs) f.f_params;
+  List.iter
+    (fun b ->
+      List.iter (fun p -> defs := p.phi_reg :: !defs) b.b_phis;
+      List.iter
+        (fun i -> match inst_def i with Some r -> defs := r :: !defs | None -> ())
+        b.b_insts)
+    f.f_blocks;
+  !defs

@@ -1,0 +1,1 @@
+lib/opt/barrier_elim.ml: Array List Ozo_ir Ptrres Remarks

@@ -1,0 +1,1 @@
+lib/opt/globalization.ml: Hashtbl Int64 Internalize List Ozo_ir Ozo_runtime Remarks

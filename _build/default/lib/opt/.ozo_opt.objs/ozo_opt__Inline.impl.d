@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Hashtbl List Option Ozo_ir Printf Remarks

@@ -1,0 +1,1 @@
+lib/opt/internalize.ml: Hashtbl List Option Ozo_ir Remarks

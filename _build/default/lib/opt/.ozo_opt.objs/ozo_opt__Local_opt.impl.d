@@ -1,0 +1,1 @@
+lib/opt/local_opt.ml: Float Fmt Hashtbl Int64 List Option Ozo_ir

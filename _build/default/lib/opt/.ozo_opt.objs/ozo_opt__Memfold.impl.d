@@ -1,0 +1,1 @@
+lib/opt/memfold.ml: Fmt Hashtbl List Option Ozo_ir Printf Ptrres Remarks

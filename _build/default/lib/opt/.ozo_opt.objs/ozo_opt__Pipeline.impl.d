@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Barrier_elim Cse Fmt Globalization Inline Internalize List Local_opt Memfold Ozo_ir Spmdize Strip

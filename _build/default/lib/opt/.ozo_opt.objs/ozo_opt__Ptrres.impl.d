@@ -1,0 +1,1 @@
+lib/opt/ptrres.ml: Hashtbl Int64 List Ozo_ir

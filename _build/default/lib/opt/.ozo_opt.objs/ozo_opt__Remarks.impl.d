@@ -1,0 +1,1 @@
+lib/opt/remarks.ml: Fmt Format List

@@ -1,0 +1,1 @@
+lib/opt/spmdize.ml: Hashtbl Internalize List Ozo_ir Ozo_runtime Printf Ptrres Remarks

@@ -1,0 +1,1 @@
+lib/opt/strip.ml: Hashtbl List Ozo_ir Remarks

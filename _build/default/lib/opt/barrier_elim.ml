@@ -1,0 +1,123 @@
+(* Aligned barrier elimination (paper Section IV-D). An aligned barrier is
+   removable when no non-thread-local side effect separates it from an
+   adjacent aligned synchronization point; kernel entry and exit act as
+   implicit aligned barriers. As in the paper, loads from shareable memory
+   count as blocking effects (Section VII discusses this conservatism),
+   while accesses to provably private stack memory do not. Only *aligned*
+   barriers are candidates — unaligned ones may pair with diverged
+   threads in the state machine.
+
+   Calls to functions carrying [Attr_aligned_barrier] — the paper's
+   `omp assumes ext_aligned_barrier` annotation on inline-assembly
+   wrappers (Fig. 6) — are treated exactly like aligned barrier
+   instructions. *)
+
+open Ozo_ir.Types
+open Ptrres
+
+let pass = "openmp-opt:barrier-elim"
+
+(* does this instruction act as an aligned barrier? *)
+let is_aligned_barrier_inst (m : modul) = function
+  | Barrier { aligned = true } -> true
+  | Call (None, callee, []) -> (
+    match find_func m callee with
+    | Some f -> List.mem Attr_aligned_barrier f.f_attrs
+    | None -> false)
+  | _ -> false
+
+(* is this instruction invisible to other threads? *)
+let thread_local (defs : Ptrres.defs) (i : inst) : bool =
+  let private_addr addr =
+    match resolve defs addr with
+    | Known ts -> List.for_all (fun t -> match t.t_obj with Alc _ -> true | Glob _ -> false) ts
+    | Unknown -> false
+  in
+  match i with
+  | Binop _ | Unop _ | Icmp _ | Fcmp _ | Select _ | Ptradd _ | Intrinsic _
+  | Alloca _ | Assume _ -> true
+  | Load (_, _, addr) -> private_addr addr
+  | Store (_, _, addr) -> private_addr addr
+  | Barrier _ | Atomic _ | Call _ | Call_indirect _ | Malloc _ | Free _ | Trap _
+  | Debug_print _ -> false
+
+(* Remove redundant aligned barriers inside each kernel:
+   1. consecutive aligned barriers in a block with only thread-local
+      instructions between them: drop the later one;
+   2. an aligned barrier preceded (within the entry block) only by
+      thread-local instructions: entry is an implicit barrier, drop it;
+   3. an aligned barrier followed only by thread-local instructions and a
+      Ret in its block: exit is an implicit barrier, drop it. *)
+let process_function (m : modul) (f : func) : func * int =
+  let defs = Ptrres.build_defs f in
+  let entry = (entry_block f).b_label in
+  let removed = ref 0 in
+  let blocks =
+    List.map
+      (fun b ->
+        let insts = Array.of_list b.b_insts in
+        let n = Array.length insts in
+        let keep = Array.make n true in
+        let is_aligned i = keep.(i) && is_aligned_barrier_inst m insts.(i) in
+        let local_between i j =
+          (* strictly between indices i and j, only thread-local or removed *)
+          let ok = ref true in
+          for k = i + 1 to j - 1 do
+            if keep.(k) && not (thread_local defs insts.(k)) then ok := false
+          done;
+          !ok
+        in
+        (* rule 1: pairs of aligned barriers *)
+        for j = 0 to n - 1 do
+          if is_aligned j then
+            for i = 0 to j - 1 do
+              if keep.(j) && is_aligned i && local_between i j then begin
+                keep.(j) <- false;
+                incr removed
+              end
+            done
+        done;
+        (* rule 2: entry-adjacent *)
+        if b.b_label = entry then
+          for j = 0 to n - 1 do
+            if is_aligned j && local_between (-1) j then begin
+              keep.(j) <- false;
+              incr removed
+            end
+          done;
+        (* rule 3: exit-adjacent *)
+        (match b.b_term with
+        | Ret _ ->
+          for i = 0 to n - 1 do
+            if is_aligned i && local_between i n then begin
+              keep.(i) <- false;
+              incr removed
+            end
+          done
+        | _ -> ());
+        let insts' =
+          Array.to_list insts
+          |> List.filteri (fun i _ -> keep.(i))
+        in
+        { b with b_insts = insts' })
+      f.f_blocks
+  in
+  ({ f with f_blocks = blocks }, !removed)
+
+let run (m : modul) : modul * bool =
+  let changed = ref false in
+  let funcs =
+    List.map
+      (fun f ->
+        if f.f_is_kernel then begin
+          let f', n = process_function m f in
+          if n > 0 then begin
+            changed := true;
+            Remarks.applied ~pass ~func:f.f_name "removed %d redundant aligned barriers" n
+          end;
+          f'
+        end
+        else f)
+      m.m_funcs
+  in
+  ({ m with m_funcs = funcs }, !changed)

@@ -1,0 +1,160 @@
+(* Globalization elimination (paper Section IV-A2, LLVM's AAHeapToShared /
+   AAHeapToStack analog): the frontend conservatively routes mutable
+   locals and outlined-region argument packs through __kmpc_alloc_shared.
+   When the allocation is provably used by only the allocating thread —
+   its pointer never escapes into memory, another call, a return or a phi
+   — it is demoted to a private stack allocation and its matching
+   __kmpc_free_shared calls are dropped.
+
+   The demoted Alloca is hoisted to the function entry: the alloc_shared
+   may sit inside a loop after inlining, and per-iteration private
+   allocations are equivalent once the pointer cannot escape an
+   iteration. *)
+
+open Ozo_ir.Types
+module L = Ozo_runtime.Layout
+
+let pass = "openmp-opt:globalization"
+
+(* alloc_shared entry points, pre- or post-internalization *)
+let is_alloc_shared n =
+  n = L.alloc_shared || n = L.alloc_shared ^ Internalize.clone_suffix
+
+let is_free_shared n = n = L.free_shared || n = L.free_shared ^ Internalize.clone_suffix
+
+(* Check every use of [r] (an alloc_shared result) in [f]. Returns the
+   list of free_shared call locations if all uses are benign. Uses allowed:
+   address of loads/stores/atomics, ptradd derivation (recursively
+   checked), icmp, free_shared(p, _). *)
+let private_uses (f : func) (r : reg) : (label * int) list option =
+  (* set of registers that denote the allocation's address *)
+  let aliases = Hashtbl.create 8 in
+  Hashtbl.replace aliases r ();
+  (* collect ptradd aliases to a fixpoint *)
+  let grew = ref true in
+  while !grew do
+    grew := false;
+    List.iter
+      (fun b ->
+        List.iter
+          (fun i ->
+            match i with
+            | Ptradd (d, Reg base, _) when Hashtbl.mem aliases base && not (Hashtbl.mem aliases d) ->
+              Hashtbl.replace aliases d ();
+              grew := true
+            | Select (d, _, _, Reg a, Reg b') when (Hashtbl.mem aliases a || Hashtbl.mem aliases b') && not (Hashtbl.mem aliases d) ->
+              Hashtbl.replace aliases d ();
+              grew := true
+            | _ -> ())
+          b.b_insts)
+      f.f_blocks
+  done;
+  let is_alias = function Reg x -> Hashtbl.mem aliases x | _ -> false in
+  let frees = ref [] in
+  let ok = ref true in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun p ->
+          if List.exists (fun (_, o) -> is_alias o) p.phi_incoming then ok := false)
+        b.b_phis;
+      List.iteri
+        (fun idx i ->
+          match i with
+          | Load (_, _, _) -> () (* address use: fine *)
+          | Store (_, v, _) -> if is_alias v then ok := false
+          | Atomic (_, _, _, _, ops) -> if List.exists is_alias ops then ok := false
+          | Call (_, callee, args) when is_free_shared callee -> (
+            match args with
+            | [ p; _ ] when is_alias p -> frees := (b.b_label, idx) :: !frees
+            | _ -> if List.exists is_alias args then ok := false)
+          | Call (_, _, args) -> if List.exists is_alias args then ok := false
+          | Call_indirect (_, _, callee, args) ->
+            if is_alias callee || List.exists is_alias args then ok := false
+          | Free p -> if is_alias p then ok := false
+          | Malloc _ | Alloca _ | Barrier _ | Trap _ | Debug_print _ -> ()
+          | Assume _ | Icmp _ | Fcmp _ -> () (* comparisons are benign *)
+          | Binop (_, _, a, b') ->
+            (* arithmetic on the raw pointer other than ptradd: reject
+               unless it is a recognized alias (handled above) *)
+            if is_alias a || is_alias b' then ok := false
+          | Unop (_, _, a) -> if is_alias a then ok := false
+          | Select _ | Ptradd _ -> () (* handled via the alias set *)
+          | Intrinsic _ -> ())
+        b.b_insts;
+      match b.b_term with
+      | Ret (Some o) -> if is_alias o then ok := false
+      | Cond_br (c, _, _) -> if is_alias c then ok := false
+      | Switch (o, _, _) -> if is_alias o then ok := false
+      | Ret None | Br _ | Unreachable -> ())
+    f.f_blocks;
+  if !ok then Some !frees else None
+
+let run (m : modul) : modul * bool =
+  let changed = ref false in
+  let process f =
+    (* find candidate allocations *)
+    let candidates =
+      List.concat_map
+        (fun b ->
+          List.filter_map
+            (function
+              | Call (Some r, callee, [ Imm_int (size, _) ])
+                when is_alloc_shared callee ->
+                Some (r, Int64.to_int size)
+              | _ -> None)
+            b.b_insts)
+        f.f_blocks
+    in
+    let to_demote =
+      List.filter_map
+        (fun (r, size) ->
+          match private_uses f r with
+          | Some frees -> Some (r, size, frees)
+          | None ->
+            Remarks.missed ~pass ~func:f.f_name
+              "allocation %%%d stays globalized: pointer may be shared with other threads"
+              r;
+            None)
+        candidates
+    in
+    if to_demote = [] then f
+    else begin
+      changed := true;
+      let demote = Hashtbl.create 8 in
+      List.iter (fun (r, size, _) -> Hashtbl.replace demote r size) to_demote;
+      let dead_frees = Hashtbl.create 8 in
+      List.iter
+        (fun (_, _, frees) -> List.iter (fun l -> Hashtbl.replace dead_frees l ()) frees)
+        to_demote;
+      let hoisted = ref [] in
+      let blocks =
+        List.map
+          (fun b ->
+            let insts =
+              List.filteri
+                (fun idx i ->
+                  match i with
+                  | Call (Some r, callee, _)
+                    when is_alloc_shared callee && Hashtbl.mem demote r ->
+                    hoisted := Alloca (r, Hashtbl.find demote r) :: !hoisted;
+                    Remarks.applied ~pass ~func:f.f_name
+                      "demoted globalized allocation %%%d (%d bytes) to private stack"
+                      r (Hashtbl.find demote r);
+                    false
+                  | _ -> not (Hashtbl.mem dead_frees (b.b_label, idx)))
+                b.b_insts
+            in
+            { b with b_insts = insts })
+          f.f_blocks
+      in
+      let blocks =
+        match blocks with
+        | e :: rest -> { e with b_insts = List.rev !hoisted @ e.b_insts } :: rest
+        | [] -> []
+      in
+      { f with f_blocks = blocks }
+    end
+  in
+  let funcs = List.map process m.m_funcs in
+  ({ m with m_funcs = funcs }, !changed)

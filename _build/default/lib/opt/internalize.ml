@@ -1,0 +1,55 @@
+(* Internalization (paper Section IV-A1): clone externally visible
+   functions into internal copies and redirect in-module uses to the
+   clones, so inlining and inter-procedural reasoning are not blocked by
+   linkage. The external originals remain as exports; dead-code stripping
+   removes them from the final device image if nothing outside the module
+   could need them (closed-world device link). *)
+
+open Ozo_ir.Types
+
+let pass = "openmp-opt:internalize"
+
+let clone_suffix = ".internalized"
+
+let run (m : modul) : modul * bool =
+  let to_clone =
+    List.filter (fun f -> f.f_linkage = External && not f.f_is_kernel) m.m_funcs
+  in
+  if to_clone = [] then (m, false)
+  else begin
+    let renames = Hashtbl.create 16 in
+    List.iter (fun f -> Hashtbl.replace renames f.f_name (f.f_name ^ clone_suffix)) to_clone;
+    let rename n = Option.value ~default:n (Hashtbl.find_opt renames n) in
+    let clones =
+      List.map
+        (fun f ->
+          Remarks.applied ~pass ~func:f.f_name "internalized as %s" (rename f.f_name);
+          { f with f_name = rename f.f_name; f_linkage = Internal })
+        to_clone
+    in
+    (* redirect calls and function-address references module-wide (in the
+       clones too, so runtime-internal calls stay inside the clone set) *)
+    let redirect_op = function
+      | Func_addr n -> Func_addr (rename n)
+      | o -> o
+    in
+    let redirect_inst i =
+      let i = map_inst_operands redirect_op i in
+      match i with
+      | Call (d, callee, args) -> Call (d, rename callee, args)
+      | _ -> i
+    in
+    let fix f =
+      { f with
+        f_blocks =
+          List.map
+            (fun b ->
+              { b with
+                b_phis = List.map (map_phi_operands redirect_op) b.b_phis;
+                b_insts = List.map redirect_inst b.b_insts;
+                b_term = map_term_operands redirect_op b.b_term })
+            f.f_blocks }
+    in
+    let funcs = List.map fix (m.m_funcs @ clones) in
+    ({ m with m_funcs = funcs }, true)
+  end

@@ -1,0 +1,151 @@
+(* Pass pipeline. Configurations map to the paper's build rows:
+
+   - [o0]       — no optimization (debugging / differential testing).
+   - [baseline] — generic cleanups only: inlining, constant folding, CFG
+                  simplification, DCE, dead-symbol stripping. What a
+                  compiler without any OpenMP awareness would do.
+   - [nightly]  — baseline + internalization + SPMD-ization: the pre-
+                  existing openmp-opt capabilities (Section IV-A) without
+                  this paper's additions. Models "New RT (Nightly)".
+   - [full]     — everything: + inter-procedural conditional value
+                  propagation (IV-B), globalization elimination driven by
+                  it, exclusive-execution forwarding (IV-C) and aligned
+                  barrier elimination (IV-D). Models "New RT".
+
+   [disable] switches off one sub-optimization for the Fig. 13-style
+   ablation; disabling B1 disables all of IV-B, as in the paper. *)
+
+open Ozo_ir.Types
+
+type config = {
+  name : string;
+  internalize : bool;
+  spmdize : bool;
+  globalization : bool;
+  memfold : Memfold.opts option;
+  barrier_elim : bool;
+  rounds : int;
+}
+
+let o0 =
+  { name = "O0"; internalize = false; spmdize = false; globalization = false;
+    memfold = None; barrier_elim = false; rounds = 0 }
+
+let baseline =
+  { o0 with name = "baseline"; rounds = 4 }
+
+let nightly =
+  { baseline with name = "nightly"; internalize = true; spmdize = true }
+
+let full =
+  { nightly with
+    name = "full"; globalization = true; memfold = Some Memfold.all_on;
+    barrier_elim = true; rounds = 6 }
+
+type feature = B1 | B2 | B3 | B4 | C | D
+
+let feature_name = function
+  | B1 -> "field-sensitive-access (IV-B1)"
+  | B2 -> "reachability-dominance (IV-B2)"
+  | B3 -> "assumed-memory-content (IV-B3)"
+  | B4 -> "invariant-propagation (IV-B4)"
+  | C -> "exclusive-aligned-execution (IV-C)"
+  | D -> "barrier-elimination (IV-D)"
+
+let disable (feat : feature) (c : config) : config =
+  let mf o =
+    match (feat, o) with
+    | B1, _ -> None (* disabling IV-B1 disables all of IV-B *)
+    | B2, Some o -> Some { o with Memfold.b2 = false }
+    | B3, Some o -> Some { o with Memfold.b3 = false }
+    | B4, Some o -> Some { o with Memfold.b4 = false }
+    | _, o -> o
+  in
+  match feat with
+  | B1 | B2 | B3 | B4 ->
+    { c with name = c.name ^ "-no-" ^ feature_name feat; memfold = mf c.memfold }
+  | C -> (
+    { c with
+      name = c.name ^ "-no-IV-C";
+      memfold =
+        match c.memfold with Some o -> Some { o with Memfold.c = false } | None -> None })
+  | D -> { c with name = c.name ^ "-no-IV-D"; barrier_elim = false }
+
+(* When set, the IR is verified after every pass — used by the test suite
+   and while debugging pass bugs; off by default for speed. *)
+let verify_each_step = ref false
+
+(* run one pass, tracking whether anything changed *)
+let step ?(name = "pass") changed (f : modul -> modul * bool) m =
+  let before = m in
+  let m, ch = f m in
+  if ch then changed := true;
+  ignore before;
+  if !verify_each_step then begin
+    match Ozo_ir.Verifier.check m with
+    | Ok () -> ()
+    | Error vs ->
+      Fmt.epr "pipeline: IR invalid after %s:@." name;
+      List.iter (fun v -> Fmt.epr "  %a@." Ozo_ir.Verifier.pp_violation v) vs;
+      (match vs with
+      | { Ozo_ir.Verifier.v_func; _ } :: _ -> (
+        (match Ozo_ir.Types.find_func before v_func with
+        | Some f -> Fmt.epr "BEFORE %s:@.%a@." name Ozo_ir.Printer.pp_func f
+        | None -> ());
+        match Ozo_ir.Types.find_func m v_func with
+        | Some f -> Fmt.epr "AFTER:@.%a@." Ozo_ir.Printer.pp_func f
+        | None -> ())
+      | [] -> ());
+      failwith ("pipeline: IR invalid after " ^ name)
+  end;
+  m
+
+let run (cfg : config) (m : modul) : modul =
+  if cfg.rounds = 0 then m
+  else begin
+    let m = ref m in
+    if cfg.internalize then m := fst (Internalize.run !m);
+    if cfg.spmdize then begin
+      (* clean up first so the kernel structure is canonical *)
+      m := fst (Local_opt.run !m);
+      m := fst (Spmdize.run !m)
+    end;
+    let round = ref 0 in
+    let any = ref true in
+    while !any && !round < cfg.rounds do
+      incr round;
+      let changed = ref false in
+      m := step ~name:"inline" changed Inline.run !m;
+      m := step ~name:"local_opt" changed Local_opt.run !m;
+      m := step ~name:"cse" changed Cse.run !m;
+      m := step ~name:"strip" changed Strip.run !m;
+      (match cfg.memfold with
+      | Some opts -> m := step ~name:"memfold" changed (Memfold.run ~opts) !m
+      | None -> ());
+      if cfg.globalization then m := step ~name:"globalization" changed Globalization.run !m;
+      m := step ~name:"local_opt2" changed Local_opt.run !m;
+      m := step ~name:"strip2" changed Strip.run !m;
+      any := !changed
+    done;
+    (* tail: consume assumptions, final DSE, barrier elimination *)
+    m := fst (Memfold.drop_assumes !m);
+    m := fst (Local_opt.run !m);
+    m := fst (Cse.run !m);
+    m := fst (Local_opt.run !m);
+    (match cfg.memfold with
+    | Some opts ->
+      m := fst (Memfold.run ~opts !m);
+      m := fst (Local_opt.run !m)
+    | None -> ());
+    m := fst (Strip.run !m);
+    if cfg.barrier_elim then begin
+      m := fst (Barrier_elim.run !m);
+      m := fst (Local_opt.run !m);
+      (match cfg.memfold with
+      | Some opts -> m := fst (Memfold.run ~opts !m)
+      | None -> ());
+      m := fst (Local_opt.run !m);
+      m := fst (Strip.run !m)
+    end;
+    !m
+  end

@@ -1,0 +1,28 @@
+(* Optimization remarks, the analog of -Rpass=openmp-opt /
+   -Rpass-missed=openmp-opt (paper Section VII): passes report what they
+   did and, more importantly, what they could not do and why. *)
+
+type kind = Applied | Missed | Analysis
+
+type t = { r_pass : string; r_kind : kind; r_func : string; r_msg : string }
+
+let store : t list ref = ref []
+let enabled = ref true
+
+let emit ~pass ~kind ~func fmt =
+  Format.kasprintf
+    (fun msg ->
+      if !enabled then store := { r_pass = pass; r_kind = kind; r_func = func; r_msg = msg } :: !store)
+    fmt
+
+let applied ~pass ~func fmt = emit ~pass ~kind:Applied ~func fmt
+let missed ~pass ~func fmt = emit ~pass ~kind:Missed ~func fmt
+
+let reset () = store := []
+let all () = List.rev !store
+
+let pp ppf r =
+  let k = match r.r_kind with Applied -> "applied" | Missed -> "missed" | Analysis -> "analysis" in
+  Fmt.pf ppf "[%s:%s] %s: %s" r.r_pass k r.r_func r.r_msg
+
+let dump ppf () = List.iter (fun r -> Fmt.pf ppf "%a@." pp r) (all ())

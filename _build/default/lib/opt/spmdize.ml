@@ -1,0 +1,237 @@
+(* SPMD-ization (paper Section IV-A3). Generic-mode kernels execute their
+   sequential region on one main thread and drive workers through the
+   state machine. When every instruction of the sequential region is safe
+   to execute *redundantly* by all threads, the kernel can run in SPMD
+   mode instead: the pass flips the constant mode argument of
+   __kmpc_target_init / __kmpc_target_deinit and lets constant propagation
+   fold the runtime's mode checks — the co-designed runtime branches on
+   that one flag everywhere.
+
+   Safety of the sequential region (the kernel body outside parallel
+   regions): pure computation and loads are trivially redundant-safe;
+   __kmpc_alloc_shared / free_shared become per-thread private copies;
+   stores are allowed only into such local allocations, and the stored
+   values must not be pointers to other such allocations (a shared
+   variable captured by reference would change meaning). Anything else
+   keeps the kernel generic, with a missed-optimization remark
+   (-Rpass-missed=openmp-opt). *)
+
+open Ozo_ir.Types
+module L = Ozo_runtime.Layout
+open Ptrres
+
+let pass = "openmp-opt:spmdize"
+
+let is_rt n base = n = base || n = base ^ Internalize.clone_suffix
+
+(* conservative: registers holding alloc_shared results (plus ptradd
+   offsets of them) *)
+let alloc_shared_regs (f : func) : (reg, unit) Hashtbl.t =
+  let t = Hashtbl.create 8 in
+  let grew = ref true in
+  while !grew do
+    grew := false;
+    List.iter
+      (fun b ->
+        List.iter
+          (fun i ->
+            match i with
+            | Call (Some r, callee, _)
+              when is_rt callee L.alloc_shared && not (Hashtbl.mem t r) ->
+              Hashtbl.replace t r ();
+              grew := true
+            | Ptradd (d, Reg base, _) when Hashtbl.mem t base && not (Hashtbl.mem t d) ->
+              Hashtbl.replace t d ();
+              grew := true
+            | _ -> ())
+          b.b_insts)
+      f.f_blocks
+  done;
+  t
+
+(* Classification of the kernel's sequential-region instructions for SPMD
+   execution by all threads:
+   - [`Safe]: recomputing on every thread is semantically identical
+     (pure code, loads, per-thread allocations, the runtime protocol
+     calls — which are designed to be executed by the whole team);
+   - [`Guard]: has an observable side effect that must happen once —
+     wrapped in a main-thread guard ("others are guarded for single
+     threaded execution", Section IV-A3);
+   - [`Fatal reason]: cannot be made safe; the kernel stays generic. *)
+let classify_inst (allocs : (reg, unit) Hashtbl.t) defs (i : inst) :
+    [ `Safe | `Guard | `Fatal of string ] =
+  match i with
+  | Store (_, v, addr) -> (
+    let addr_private =
+      (match addr with Reg r -> Hashtbl.mem allocs r | _ -> false)
+      ||
+      match resolve defs addr with
+      | Known ts ->
+        List.for_all (fun t -> match t.t_obj with Alc _ -> true | Glob _ -> false) ts
+      | Unknown -> false
+    in
+    match v with
+    | Reg r when Hashtbl.mem allocs r ->
+      (* a per-thread copy of the allocation would change the region's
+         sharing semantics *)
+      `Fatal "a shared allocation is captured by reference"
+    | _ -> if addr_private then `Safe else `Guard)
+  | Atomic _ -> `Guard
+  | Debug_print _ -> `Guard
+  | Barrier _ -> `Fatal "barrier in sequential region"
+  | Malloc _ -> `Fatal "global allocation in sequential region"
+  | Free _ -> `Fatal "free in sequential region"
+  | Trap _ -> `Safe (* fires identically on every thread *)
+  | Call (_, callee, _) ->
+    if
+      is_rt callee L.target_init || is_rt callee L.target_deinit
+      || is_rt callee L.parallel || is_rt callee L.alloc_shared
+      || is_rt callee L.free_shared || is_rt callee L.omp_assert
+      || is_rt callee L.get_team_num || is_rt callee L.get_num_teams
+      || is_rt callee L.get_thread_num || is_rt callee L.get_num_threads
+      || is_rt callee L.get_level
+    then `Safe
+    else `Fatal ("call to " ^ callee ^ " in sequential region")
+  | Call_indirect _ -> `Fatal "indirect call in sequential region"
+  | Load _ | Binop _ | Unop _ | Icmp _ | Fcmp _ | Select _ | Ptradd _ | Alloca _
+  | Intrinsic _ | Assume _ -> `Safe
+
+(* Does a guarded instruction define a register? Its value would be
+   missing on non-main threads, so such instructions cannot be guarded. *)
+let guardable i = inst_def i = None
+
+let region_analysis (f : func) : (int, string) result =
+  let allocs = alloc_shared_regs f in
+  let defs = Ptrres.build_defs f in
+  let guards = ref 0 in
+  let bad = ref None in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match classify_inst allocs defs i with
+          | `Safe -> ()
+          | `Guard ->
+            if guardable i then incr guards
+            else if !bad = None then bad := Some "guarded instruction produces a value"
+          | `Fatal s -> if !bad = None then bad := Some s)
+        b.b_insts)
+    f.f_blocks;
+  match !bad with None -> Ok !guards | Some s -> Error s
+
+(* Rewrite the kernel: wrap every `Guard instruction in an is-main-thread
+   conditional. Produces fresh blocks by splitting around the guarded
+   instruction. *)
+let insert_guards (f : func) : func =
+  let allocs = alloc_shared_regs f in
+  let defs = Ptrres.build_defs f in
+  let next_reg = ref f.f_next_reg in
+  let fresh () =
+    let r = !next_reg in
+    incr next_reg;
+    r
+  in
+  let counter = ref 0 in
+  let blocks =
+    List.concat_map
+      (fun b ->
+        (* split the instruction list into runs at guarded instructions *)
+        let rec emit label phis acc_rev insts =
+          match insts with
+          | [] -> [ { b_label = label; b_phis = phis; b_insts = List.rev acc_rev; b_term = b.b_term } ]
+          | i :: rest when classify_inst allocs defs i = `Guard ->
+            incr counter;
+            let n = !counter in
+            let tid = fresh () and is0 = fresh () in
+            let guard_lbl = Printf.sprintf "%s.guard%d" b.b_label n in
+            let cont_lbl = Printf.sprintf "%s.gcont%d" b.b_label n in
+            let head =
+              { b_label = label; b_phis = phis;
+                b_insts =
+                  List.rev acc_rev
+                  @ [ Intrinsic (tid, Thread_id);
+                      Icmp (is0, Eq, Reg tid, Imm_int (0L, I64)) ];
+                b_term = Cond_br (Reg is0, guard_lbl, cont_lbl) }
+            in
+            let guard =
+              { b_label = guard_lbl; b_phis = []; b_insts = [ i ]; b_term = Br cont_lbl }
+            in
+            head :: guard :: emit cont_lbl [] [] rest
+          | i :: rest -> emit label phis (i :: acc_rev) rest
+        in
+        emit b.b_label b.b_phis [] b.b_insts)
+      f.f_blocks
+  in
+  { f with f_blocks = blocks; f_next_reg = !next_reg }
+
+let run (m : modul) : modul * bool =
+  let changed = ref false in
+  let process f =
+    if not f.f_is_kernel then f
+    else begin
+      let has_generic_init =
+        List.exists
+          (fun b ->
+            List.exists
+              (function
+                | Call (_, callee, [ Imm_int (0L, _) ]) when is_rt callee L.target_init ->
+                  true
+                | _ -> false)
+              b.b_insts)
+          f.f_blocks
+      in
+      if not has_generic_init then f
+      else
+        match region_analysis f with
+        | Error why ->
+          Remarks.missed ~pass ~func:f.f_name
+            "kernel stays in generic mode: %s" why;
+          f
+        | Ok guards ->
+          changed := true;
+          if guards = 0 then
+            Remarks.applied ~pass ~func:f.f_name
+              "transformed generic-mode kernel to SPMD mode"
+          else
+            Remarks.applied ~pass ~func:f.f_name
+              "transformed generic-mode kernel to SPMD mode, guarding %d side-effecting \
+               instructions for single-threaded execution"
+              guards;
+          let f = if guards > 0 then insert_guards f else f in
+          let flip i =
+            match i with
+            | Call (d, callee, [ Imm_int (0L, t) ])
+              when is_rt callee L.target_init || is_rt callee L.target_deinit ->
+              Call (d, callee, [ Imm_int (1L, t) ])
+            | _ -> i
+          in
+          { f with
+            f_blocks =
+              List.map
+                (fun b -> { b with b_insts = List.map flip b.b_insts })
+                f.f_blocks }
+    end
+  in
+  let funcs = List.map process m.m_funcs in
+  ({ m with m_funcs = funcs }, !changed)
+
+(* Execution mode of a kernel, read back from the IR (the launch side
+   needs it to size the team: generic mode hosts the main thread in an
+   extra warp). *)
+type exec_mode = Spmd | Generic
+
+let kernel_mode (m : modul) (kname : string) : exec_mode =
+  match find_func m kname with
+  | None -> Spmd
+  | Some f ->
+    let generic = ref false in
+    List.iter
+      (fun b ->
+        List.iter
+          (function
+            | Call (_, callee, [ Imm_int (0L, _) ])
+              when is_rt callee L.target_init -> generic := true
+            | _ -> ())
+          b.b_insts)
+      f.f_blocks;
+    if !generic then Generic else Spmd

@@ -1,0 +1,95 @@
+(* Dead symbol stripping for the device image: functions unreachable from
+   any kernel and globals referenced by nothing are removed. Shrinking the
+   set of live functions is what turns the module-wide memory aggregates
+   precise (a store in a dead runtime entry point must not keep state
+   alive), and removing dead shared-space globals is what produces the
+   paper's "SMem -> 0" effect. *)
+
+open Ozo_ir.Types
+module Callgraph = Ozo_ir.Callgraph
+module SSet = Ozo_ir.Cfg.SSet
+
+let pass = "strip"
+
+let referenced_globals (m : modul) : SSet.t =
+  let set = ref SSet.empty in
+  let scan_op = function
+    | Global_addr g -> set := SSet.add g !set
+    | _ -> ()
+  in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter (fun p -> List.iter (fun (_, o) -> scan_op o) p.phi_incoming) b.b_phis;
+          List.iter (fun i -> List.iter scan_op (inst_uses i)) b.b_insts;
+          List.iter scan_op (term_uses b.b_term))
+        f.f_blocks)
+    m.m_funcs;
+  !set
+
+(* Functions live from kernels via direct calls and via Func_addr
+   references (a referenced address must stay resolvable even if we cannot
+   see an indirect call to it). *)
+let live_functions (m : modul) : SSet.t =
+  let by_name = Hashtbl.create 32 in
+  List.iter (fun f -> Hashtbl.replace by_name f.f_name f) m.m_funcs;
+  let live = ref SSet.empty in
+  let rec visit name =
+    if not (SSet.mem name !live) then begin
+      live := SSet.add name !live;
+      match Hashtbl.find_opt by_name name with
+      | None -> ()
+      | Some f ->
+        let scan_op = function Func_addr g -> visit g | _ -> () in
+        List.iter
+          (fun b ->
+            List.iter
+              (fun p -> List.iter (fun (_, o) -> scan_op o) p.phi_incoming)
+              b.b_phis;
+            List.iter
+              (fun i ->
+                List.iter scan_op (inst_uses i);
+                match i with Call (_, callee, _) -> visit callee | _ -> ())
+              b.b_insts;
+            List.iter scan_op (term_uses b.b_term))
+          f.f_blocks
+    end
+  in
+  List.iter (fun f -> if f.f_is_kernel then visit f.f_name) m.m_funcs;
+  !live
+
+let run (m : modul) : modul * bool =
+  let live = live_functions m in
+  let changed = ref false in
+  let funcs =
+    List.filter
+      (fun f ->
+        if f.f_is_kernel || SSet.mem f.f_name live then true
+        else begin
+          changed := true;
+          Remarks.applied ~pass ~func:f.f_name "removed dead function";
+          false
+        end)
+      m.m_funcs
+  in
+  let m = { m with m_funcs = funcs } in
+  let refs = referenced_globals m in
+  let globals =
+    List.filter
+      (fun g ->
+        if SSet.mem g.g_name refs then true
+        else begin
+          changed := true;
+          Remarks.applied ~pass ~func:"<module>" "removed dead global @%s (%d bytes %s)"
+            g.g_name g.g_size
+            (match g.g_space with
+            | Shared -> "shared"
+            | Global -> "global"
+            | Constant -> "constant"
+            | Local -> "local");
+          false
+        end)
+      m.m_globals
+  in
+  ({ m with m_globals = globals }, !changed)

@@ -1,0 +1,1 @@
+lib/proxies/gridmini.ml: Array List Ozo_frontend Ozo_vgpu Printf Prng Proxy

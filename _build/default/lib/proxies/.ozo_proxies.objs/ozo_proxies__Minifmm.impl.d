@@ -1,0 +1,1 @@
+lib/proxies/minifmm.ml: Array Ozo_frontend Ozo_vgpu Prng Proxy

@@ -1,0 +1,1 @@
+lib/proxies/prng.ml: Int64

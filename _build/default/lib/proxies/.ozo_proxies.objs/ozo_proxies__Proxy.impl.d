@@ -1,0 +1,1 @@
+lib/proxies/proxy.ml: Array Float Ozo_frontend Ozo_vgpu Printf

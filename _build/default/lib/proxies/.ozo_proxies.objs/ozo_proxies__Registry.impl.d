@@ -1,0 +1,1 @@
+lib/proxies/registry.ml: Gridmini List Minifmm Proxy Rsbench Testsnap Xsbench

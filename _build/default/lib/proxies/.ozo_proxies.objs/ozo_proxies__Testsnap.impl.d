@@ -1,0 +1,1 @@
+lib/proxies/testsnap.ml: Array Ozo_frontend Ozo_vgpu Printf Prng Proxy

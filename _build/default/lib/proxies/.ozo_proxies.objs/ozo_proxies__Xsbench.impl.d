@@ -1,0 +1,1 @@
+lib/proxies/xsbench.ml: Array List Ozo_frontend Ozo_vgpu Printf Prng Proxy

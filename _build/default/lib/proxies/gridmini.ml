@@ -1,0 +1,125 @@
+(* GridMini proxy: lattice-QCD style SU(3) matrix × vector product over a
+   four-dimensional site lattice (the core of Grid's ax+b benchmarks).
+   Per site: a 3x3 complex matrix applied to a complex 3-vector — 66
+   flops against 48 doubles of traffic, the balanced kernel for which the
+   paper reports GFlops (Fig. 12).
+
+   The loop upper bound is a by-value kernel argument, matching the
+   paper's note that GridMini was adjusted to pass the bound by value. *)
+
+open Ozo_frontend.Ast
+
+type params = { lattice : int (* L: sites = L^4 *); teams : int; threads : int; seed : int }
+
+let default = { lattice = 8; teams = 8; threads = 64; seed = 11 }
+
+let small = { default with lattice = 3; teams = 2; threads = 32 }
+
+let sites p = p.lattice * p.lattice * p.lattice * p.lattice
+
+(* Grid uses SoA (structure-of-arrays) layouts so that consecutive
+   threads touch consecutive addresses — fully coalesced: element k of the
+   matrix lives at mat[k*sites + site]. *)
+type data = {
+  mat : float array; (* 18 * sites: 3x3 complex, element-major *)
+  vec : float array; (* 6 * sites *)
+}
+
+let generate (p : params) : data =
+  let rng = Prng.create p.seed in
+  let s = sites p in
+  { mat = Array.init (s * 18) (fun _ -> Prng.float_range rng (-1.0) 1.0);
+    vec = Array.init (s * 6) (fun _ -> Prng.float_range rng (-1.0) 1.0) }
+
+let reference (p : params) (d : data) : float array =
+  let s = sites p in
+  let out = Array.make (s * 6) 0.0 in
+  for site = 0 to s - 1 do
+    for row = 0 to 2 do
+      let zr = ref 0.0 and zi = ref 0.0 in
+      for col = 0 to 2 do
+        let me = ((row * 3) + col) * 2 in
+        let mr = d.mat.((me * s) + site) and mi = d.mat.(((me + 1) * s) + site) in
+        let vr = d.vec.((col * 2 * s) + site) and vi = d.vec.((((col * 2) + 1) * s) + site) in
+        zr := !zr +. ((mr *. vr) -. (mi *. vi));
+        zi := !zi +. ((mr *. vi) +. (mi *. vr))
+      done;
+      out.((row * 2 * s) + site) <- !zr;
+      out.((((row * 2) + 1) * s) + site) <- !zi
+    done
+  done;
+  out
+
+(* element e of an SoA field f at the current site *)
+let soa f e = Ld (P f, Add (Mul (Int e, P "n_sites"), P "site"), MF64)
+
+let body : stmt list =
+  List.concat_map
+    (fun row ->
+      [ Local (Printf.sprintf "zr%d" row, TFloat, Some (Float 0.0));
+        Local (Printf.sprintf "zi%d" row, TFloat, Some (Float 0.0)) ]
+      @ List.concat_map
+          (fun col ->
+            let me = ((row * 3) + col) * 2 in
+            let zr = Printf.sprintf "zr%d" row and zi = Printf.sprintf "zi%d" row in
+            [ Let (Printf.sprintf "mr%d%d" row col, soa "mat" me);
+              Let (Printf.sprintf "mi%d%d" row col, soa "mat" (me + 1));
+              Let (Printf.sprintf "vr%d%d" row col, soa "vec" (col * 2));
+              Let (Printf.sprintf "vi%d%d" row col, soa "vec" ((col * 2) + 1));
+              Set
+                ( zr,
+                  Add
+                    ( P zr,
+                      Sub
+                        ( Mul (P (Printf.sprintf "mr%d%d" row col), P (Printf.sprintf "vr%d%d" row col)),
+                          Mul (P (Printf.sprintf "mi%d%d" row col), P (Printf.sprintf "vi%d%d" row col)) ) ) );
+              Set
+                ( zi,
+                  Add
+                    ( P zi,
+                      Add
+                        ( Mul (P (Printf.sprintf "mr%d%d" row col), P (Printf.sprintf "vi%d%d" row col)),
+                          Mul (P (Printf.sprintf "mi%d%d" row col), P (Printf.sprintf "vr%d%d" row col)) ) ) )
+            ])
+          [ 0; 1; 2 ]
+      @ [ Store (P "out", Add (Mul (Int (row * 2), P "n_sites"), P "site"), MF64,
+                 P (Printf.sprintf "zr%d" row));
+          Store (P "out", Add (Mul (Int ((row * 2) + 1), P "n_sites"), P "site"), MF64,
+                 P (Printf.sprintf "zi%d" row)) ])
+    [ 0; 1; 2 ]
+
+let kernel : kernel =
+  { k_name = "su3_mv_kernel";
+    k_params = [ ("mat", TInt); ("vec", TInt); ("out", TInt); ("n_sites", TInt) ];
+    k_construct = Distribute_parallel_for ("site", P "n_sites", body) }
+
+(* flops per site of a complex 3x3 * 3 MV: 9 cmul (6 flops) + 6 cadd
+   (2 flops each per component pair => 9*2 adds into accumulators) *)
+let flops_per_site = 66.0
+
+let problem ?(params = default) () : Proxy.t =
+  let p = params in
+  let d = generate p in
+  let expected = reference p d in
+  let s = sites p in
+  { p_name = "gridmini";
+    p_descr = "lattice-QCD SU(3) matrix-vector product over a 4-D lattice (Grid proxy)";
+    p_kernel_omp = kernel;
+    p_kernel_cuda = kernel;
+    (* one-thread-per-element launch: covers the iteration space so the
+       oversubscription assumptions hold, like the CUDA originals *)
+    p_teams = max p.teams ((sites p + p.threads - 1) / p.threads);
+    p_threads = p.threads;
+    p_assume = Proxy.Assume_both;
+    p_flops = flops_per_site *. float_of_int s;
+    p_setup =
+      (fun dev ->
+        let mat = Proxy.alloc_f64 dev d.mat in
+        let vec = Proxy.alloc_f64 dev d.vec in
+        let out = Ozo_vgpu.Device.alloc dev (s * 6 * 8) in
+        { Proxy.i_args =
+            [ Ozo_vgpu.Engine.Ai (Ozo_vgpu.Device.ptr mat);
+              Ai (Ozo_vgpu.Device.ptr vec); Ai (Ozo_vgpu.Device.ptr out); Ai s ];
+          i_check = (fun () -> Proxy.check_f64 ~name:"su3_out" dev out expected ~tol:1e-9)
+        })
+  }

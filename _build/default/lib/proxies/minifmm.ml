@@ -1,0 +1,252 @@
+(* MiniFMM proxy: fast-multipole-method dual-tree traversal (University of
+   Bristol proxy, a dynamic-task-parallelism stress test).
+
+   Per target cell: a far-field (M2L-like) accumulation over the cell's
+   interaction list, then a near-field P2P evaluation among the cell's own
+   particles.
+
+   The OpenMP form deliberately mirrors MiniFMM's nested parallelism: the
+   kernel is a generic `target` region whose main thread forks a parallel
+   work-shared traversal, and the near-field phase sits in a *nested*
+   parallel region. The nested region is serialized on the GPU but forces
+   the runtime to materialize per-thread ICV states through the
+   shared-memory stack (paper Fig. 3/4) — this is why MiniFMM cannot
+   reach full CUDA parity in the paper (≈0.5x) while the others can.
+
+   The CUDA form is a flat grid-stride kernel over cells (the hand-ported
+   structure), so the two differ structurally, as in the real suite. *)
+
+open Ozo_frontend.Ast
+
+type params = {
+  cells : int;
+  ilist_len : int;       (* interaction-list entries per cell *)
+  multipoles : int;      (* coefficients per cell *)
+  particles : int;       (* particles per leaf cell *)
+  teams : int;
+  threads : int;
+  seed : int;
+}
+
+let default =
+  { cells = 512; ilist_len = 8; multipoles = 4; particles = 4; teams = 8; threads = 64;
+    seed = 13 }
+
+let small =
+  { default with cells = 32; ilist_len = 4; multipoles = 2; particles = 2; teams = 2;
+    threads = 32 }
+
+type data = {
+  centers : float array; (* cells * 2 *)
+  mp : float array;      (* cells * multipoles *)
+  ilist : int array;     (* cells * ilist_len (source cell ids) *)
+  px : float array;      (* cells * particles * 2 positions *)
+}
+
+let generate (p : params) : data =
+  let rng = Prng.create p.seed in
+  { centers = Array.init (p.cells * 2) (fun _ -> Prng.float_range rng 0.0 100.0);
+    mp = Array.init (p.cells * p.multipoles) (fun _ -> Prng.float_range rng (-1.0) 1.0);
+    ilist =
+      Array.init (p.cells * p.ilist_len) (fun i ->
+          let c = i / p.ilist_len in
+          let s = Prng.int rng (p.cells - 1) in
+          if s >= c then s + 1 else s);
+    px = Array.init (p.cells * p.particles * 2) (fun _ -> Prng.float_range rng 0.0 100.0)
+  }
+
+let reference (p : params) (d : data) : float array =
+  let out = Array.make (p.cells * p.particles) 0.0 in
+  for c = 0 to p.cells - 1 do
+    (* far field *)
+    let acc = ref 0.0 in
+    for t = 0 to p.ilist_len - 1 do
+      let s = d.ilist.((c * p.ilist_len) + t) in
+      let dx = d.centers.(c * 2) -. d.centers.(s * 2) in
+      let dy = d.centers.((c * 2) + 1) -. d.centers.((s * 2) + 1) in
+      let r = sqrt ((dx *. dx) +. (dy *. dy) +. 1.0) in
+      for m = 0 to p.multipoles - 1 do
+        acc := !acc +. (d.mp.((s * p.multipoles) + m) /. (r +. float_of_int (m + 1)))
+      done
+    done;
+    (* occasional near-base refinement: the nested-task path *)
+    if c mod 8 = 0 then
+      for m2 = 0 to p.multipoles - 1 do
+        acc := !acc +. (d.mp.((c * p.multipoles) + m2) *. 0.01)
+      done;
+    (* near field: P2P among the cell's particles *)
+    for q = 0 to p.particles - 1 do
+      let pot = ref !acc in
+      let qx = d.px.(((c * p.particles) + q) * 2) in
+      let qy = d.px.((((c * p.particles) + q) * 2) + 1) in
+      for o = 0 to p.particles - 1 do
+        if o <> q then begin
+          let ox = d.px.(((c * p.particles) + o) * 2) in
+          let oy = d.px.((((c * p.particles) + o) * 2) + 1) in
+          let dx = qx -. ox and dy = qy -. oy in
+          pot := !pot +. (1.0 /. sqrt ((dx *. dx) +. (dy *. dy) +. 0.1))
+        end
+      done;
+      out.((c * p.particles) + q) <- !pot
+    done
+  done;
+  out
+
+(* traversal body for one target cell [c]; the near-field part is wrapped
+   by the caller (nested parallel for OpenMP, inline for CUDA) *)
+let far_field (p : params) : stmt list =
+  [ Local ("acc", TFloat, Some (Float 0.0));
+    For
+      ( "t",
+        Int 0,
+        Int p.ilist_len,
+        [ Let ("s", Ld (P "ilist", Add (Mul (P "c", Int p.ilist_len), P "t"), MI64));
+          Let ("dx", Sub (Ld (P "centers", Mul (P "c", Int 2), MF64),
+                          Ld (P "centers", Mul (P "s", Int 2), MF64)));
+          Let ("dy", Sub (Ld (P "centers", Add (Mul (P "c", Int 2), Int 1), MF64),
+                          Ld (P "centers", Add (Mul (P "s", Int 2), Int 1), MF64)));
+          Let ("r", Sqrt (Add (Add (Mul (P "dx", P "dx"), Mul (P "dy", P "dy")),
+                               Float 1.0)));
+          For
+            ( "m",
+              Int 0,
+              Int p.multipoles,
+              [ Set
+                  ( "acc",
+                    Add
+                      ( P "acc",
+                        Div
+                          ( Ld (P "mp", Add (Mul (P "s", Int p.multipoles), P "m"), MF64),
+                            Add (P "r", Add (ToFloat (P "m"), Float 1.0)) ) ) )
+              ] )
+        ] )
+  ]
+
+(* the occasionally-taken refinement step; in the OpenMP form it runs in
+   a *nested parallel region* (serialized, but forcing the runtime to
+   materialize a thread ICV state — paper Fig. 3/4), mirroring MiniFMM's
+   dynamic task nesting on a subset of the tree *)
+let refinement (p : params) : stmt list =
+  [ For
+      ( "m2",
+        Int 0,
+        Int p.multipoles,
+        [ Set
+            ( "acc",
+              Add
+                ( P "acc",
+                  Mul (Ld (P "mp", Add (Mul (P "c", Int p.multipoles), P "m2"), MF64),
+                       Float 0.01) ) )
+        ] )
+  ]
+
+let near_field (p : params) : stmt list =
+  [ For
+      ( "q",
+        Int 0,
+        Int p.particles,
+        [ Local ("pot", TFloat, Some (P "acc"));
+          Let ("qb", Mul (Add (Mul (P "c", Int p.particles), P "q"), Int 2));
+          Let ("qx", Ld (P "px", P "qb", MF64));
+          Let ("qy", Ld (P "px", Add (P "qb", Int 1), MF64));
+          For
+            ( "o",
+              Int 0,
+              Int p.particles,
+              [ If
+                  ( Cmp (CNe, P "o", P "q"),
+                    [ Let ("ob", Mul (Add (Mul (P "c", Int p.particles), P "o"), Int 2));
+                      Let ("ox", Ld (P "px", P "ob", MF64));
+                      Let ("oy", Ld (P "px", Add (P "ob", Int 1), MF64));
+                      Let ("ddx", Sub (P "qx", P "ox"));
+                      Let ("ddy", Sub (P "qy", P "oy"));
+                      Set
+                        ( "pot",
+                          Add
+                            ( P "pot",
+                              Div
+                                ( Float 1.0,
+                                  Sqrt
+                                    (Add
+                                       ( Add (Mul (P "ddx", P "ddx"), Mul (P "ddy", P "ddy")),
+                                         Float 0.1 )) ) ) )
+                    ],
+                    [] )
+              ] );
+          Store (P "out", Add (Mul (P "c", Int p.particles), P "q"), MF64, P "pot")
+        ] )
+  ]
+
+let kernel_omp (p : params) : kernel =
+  { k_name = "fmm_traversal_kernel";
+    k_params =
+      [ ("centers", TInt); ("mp", TInt); ("ilist", TInt); ("px", TInt); ("out", TInt);
+        ("n_cells", TInt) ];
+    k_construct =
+      Generic
+        [ Parallel
+            ( None,
+              [ Ws_for
+                  ( "c",
+                    P "n_cells",
+                    far_field p
+                    @ [ If
+                          ( Cmp (CEq, Rem (P "c", Int 8), Int 0),
+                            [ Nested_parallel (refinement p) ],
+                            [] )
+                      ]
+                    @ near_field p )
+              ] )
+        ] }
+
+let kernel_cuda (p : params) : kernel =
+  { k_name = "fmm_traversal_kernel";
+    k_params =
+      [ ("centers", TInt); ("mp", TInt); ("ilist", TInt); ("px", TInt); ("out", TInt);
+        ("n_cells", TInt) ];
+    (* the CUDA port launches one block and strides cells across its
+       threads (matching the single-team OpenMP traversal) *)
+    k_construct =
+      Spmd
+        [ Ws_for
+            ( "c",
+              P "n_cells",
+              far_field p
+              @ [ If (Cmp (CEq, Rem (P "c", Int 8), Int 0), refinement p, []) ]
+              @ near_field p )
+        ] }
+
+let problem ?(params = default) () : Proxy.t =
+  let p = params in
+  let d = generate p in
+  let expected = reference p d in
+  { p_name = "minifmm";
+    p_descr = "FMM dual-tree traversal with nested parallelism (Bristol proxy)";
+    p_kernel_omp = kernel_omp p;
+    p_kernel_cuda = kernel_cuda p;
+    (* `target` + `parallel for`: the work-shared loop runs on a single
+       team, so the kernel launches one team and iterates more times than
+       the team has threads — only the teams-oversubscription promise can
+       honestly be made *)
+    p_teams = 1;
+    p_threads = p.threads;
+    p_assume = Proxy.Assume_teams_only;
+    p_flops =
+      float_of_int
+        (p.cells
+        * ((p.ilist_len * ((p.multipoles * 4) + 10))
+          + (p.particles * p.particles * 10)));
+    p_setup =
+      (fun dev ->
+        let centers = Proxy.alloc_f64 dev d.centers in
+        let mp = Proxy.alloc_f64 dev d.mp in
+        let ilist = Proxy.alloc_i64 dev d.ilist in
+        let px = Proxy.alloc_f64 dev d.px in
+        let out = Ozo_vgpu.Device.alloc dev (p.cells * p.particles * 8) in
+        { Proxy.i_args =
+            [ Ozo_vgpu.Engine.Ai (Ozo_vgpu.Device.ptr centers);
+              Ai (Ozo_vgpu.Device.ptr mp); Ai (Ozo_vgpu.Device.ptr ilist);
+              Ai (Ozo_vgpu.Device.ptr px); Ai (Ozo_vgpu.Device.ptr out); Ai p.cells ];
+          i_check =
+            (fun () -> Proxy.check_f64 ~name:"potential" dev out expected ~tol:1e-9) })
+  }

@@ -1,0 +1,71 @@
+(* Common interface of the proxy applications. Each proxy provides its
+   kernels (the OpenMP form and, when the structures differ as for
+   MiniFMM, a separate CUDA form), launch geometry, a device-memory setup
+   step and a host-side result check against a reference computed in
+   OCaml. *)
+
+module Ast = Ozo_frontend.Ast
+module Device = Ozo_vgpu.Device
+module Engine = Ozo_vgpu.Engine
+
+type instance = {
+  i_args : Engine.arg list;
+  i_check : unit -> (unit, string) result; (* validate device results *)
+}
+
+(* Which oversubscription flags a user could honestly pass for this
+   application (paper Section III-F: the flags are per-application
+   promises). [`Teams_only] fits kernels whose work-shared loops iterate
+   more times than one team has threads (MiniFMM). *)
+type assume_profile = Assume_both | Assume_teams_only
+
+type t = {
+  p_name : string;
+  p_descr : string;
+  p_kernel_omp : Ast.kernel;
+  p_kernel_cuda : Ast.kernel;
+  p_teams : int;
+  p_threads : int;
+  p_flops : float; (* nominal useful flops per kernel execution *)
+  p_assume : assume_profile;
+  p_setup : Device.t -> instance;
+}
+
+let kernel_for (p : t) (abi : Ozo_frontend.Lower.abi) =
+  match abi with
+  | Ozo_frontend.Lower.Cuda -> p.p_kernel_cuda
+  | Ozo_frontend.Lower.Omp _ -> p.p_kernel_omp
+
+(* helpers shared by the proxies *)
+
+let alloc_f64 dev (a : float array) =
+  let buf = Device.alloc dev (Array.length a * 8) in
+  Device.write_f64_array dev buf a;
+  buf
+
+let alloc_i64 dev (a : int array) =
+  let buf = Device.alloc dev (Array.length a * 8) in
+  Device.write_i64_array dev buf a;
+  buf
+
+let check_f64 ~name dev buf (expected : float array) ~tol : (unit, string) result =
+  let n = Array.length expected in
+  let got = Device.read_f64_array dev buf n in
+  let bad = ref None in
+  Array.iteri
+    (fun i e ->
+      let g = got.(i) in
+      let scale = Float.max 1.0 (Float.abs e) in
+      if Float.abs (g -. e) /. scale > tol && !bad = None then bad := Some (i, e, g))
+    expected;
+  match !bad with
+  | None -> Ok ()
+  | Some (i, e, g) ->
+    Error (Printf.sprintf "%s[%d]: expected %.12g, got %.12g" name i e g)
+
+let rms_error dev buf (expected : float array) =
+  let n = Array.length expected in
+  let got = Device.read_f64_array dev buf n in
+  let acc = ref 0.0 in
+  Array.iteri (fun i e -> acc := !acc +. ((got.(i) -. e) ** 2.0)) expected;
+  sqrt (!acc /. float_of_int n)

@@ -1,0 +1,19 @@
+(* All proxy applications, at evaluation size and at a reduced test size. *)
+
+let all () : Proxy.t list =
+  [ Xsbench.problem (); Rsbench.problem (); Gridmini.problem (); Testsnap.problem ();
+    Minifmm.problem () ]
+
+let all_small () : Proxy.t list =
+  [ Xsbench.problem ~params:Xsbench.small ();
+    Rsbench.problem ~params:Rsbench.small ();
+    Gridmini.problem ~params:Gridmini.small ();
+    Testsnap.problem ~params:Testsnap.small ();
+    Minifmm.problem ~params:Minifmm.small () ]
+
+let find name = List.find_opt (fun p -> p.Proxy.p_name = name) (all ())
+
+let find_exn name =
+  match find name with
+  | Some p -> p
+  | None -> invalid_arg ("unknown proxy: " ^ name)

@@ -1,0 +1,145 @@
+(* RSBench proxy: the compute-bound multipole cross-section representation
+   of OpenMC. Per lookup, every pole of every nuclide contributes a
+   rational resonance term plus a Doppler-broadening factor (exp), making
+   arithmetic — not memory — the bottleneck, in contrast to XSBench. *)
+
+open Ozo_frontend.Ast
+
+type params = {
+  n_nuclides : int;
+  n_poles : int; (* per nuclide *)
+  lookups : int;
+  teams : int;
+  threads : int;
+  seed : int;
+}
+
+let default = { n_nuclides = 12; n_poles = 64; lookups = 384; teams = 8; threads = 64; seed = 7 }
+
+let small = { default with n_nuclides = 2; n_poles = 8; lookups = 64; teams = 2; threads = 32 }
+
+type data = {
+  pole_e : float array;  (* nn*np resonance energies *)
+  pole_w : float array;  (* nn*np widths *)
+  pole_a : float array;  (* nn*np*2 residue (re, im) for sig_t *)
+  pole_b : float array;  (* nn*np*2 residue (re, im) for sig_a *)
+  lookup_e : float array;
+}
+
+let generate (p : params) : data =
+  let rng = Prng.create p.seed in
+  let n = p.n_nuclides * p.n_poles in
+  { pole_e = Array.init n (fun _ -> Prng.float rng);
+    pole_w = Array.init n (fun _ -> Prng.float_range rng 0.01 0.1);
+    pole_a = Array.init (n * 2) (fun _ -> Prng.float_range rng (-1.0) 1.0);
+    pole_b = Array.init (n * 2) (fun _ -> Prng.float_range rng (-1.0) 1.0);
+    lookup_e = Array.init p.lookups (fun _ -> Prng.float rng) }
+
+let reference (p : params) (d : data) : float array =
+  let out = Array.make (p.lookups * 2) 0.0 in
+  let np = p.n_poles in
+  for i = 0 to p.lookups - 1 do
+    let e = d.lookup_e.(i) in
+    let sig_t = ref 0.0 and sig_a = ref 0.0 in
+    for j = 0 to p.n_nuclides - 1 do
+      for q = 0 to np - 1 do
+        let idx = (j * np) + q in
+        let dr = e -. d.pole_e.(idx) in
+        let w = d.pole_w.(idx) in
+        let den = (dr *. dr) +. (w *. w) in
+        let dop = exp (-.(dr *. dr) /. (w +. 0.5)) in
+        sig_t :=
+          !sig_t
+          +. (((d.pole_a.(idx * 2) *. dr) +. (d.pole_a.((idx * 2) + 1) *. w)) /. den *. dop);
+        sig_a :=
+          !sig_a
+          +. (((d.pole_b.(idx * 2) *. dr) +. (d.pole_b.((idx * 2) + 1) *. w)) /. den *. dop)
+      done
+    done;
+    out.(i * 2) <- !sig_t;
+    out.((i * 2) + 1) <- !sig_a
+  done;
+  out
+
+let body (p : params) : stmt list =
+  let np = p.n_poles in
+  [ Let ("e", Ld (P "lookup_e", P "i", MF64));
+    Local ("sig_t", TFloat, Some (Float 0.0));
+    Local ("sig_a", TFloat, Some (Float 0.0));
+    For
+      ( "j",
+        Int 0,
+        Int p.n_nuclides,
+        [ For
+            ( "q",
+              Int 0,
+              Int np,
+              [ Let ("idx", Add (Mul (P "j", Int np), P "q"));
+                Let ("dr", Sub (P "e", Ld (P "pole_e", P "idx", MF64)));
+                Let ("w", Ld (P "pole_w", P "idx", MF64));
+                Let ("den", Add (Mul (P "dr", P "dr"), Mul (P "w", P "w")));
+                Let
+                  ( "dop",
+                    Expf (Div (Neg (Mul (P "dr", P "dr")), Add (P "w", Float 0.5))) );
+                Let ("ar", Ld (P "pole_a", Mul (P "idx", Int 2), MF64));
+                Let ("ai", Ld (P "pole_a", Add (Mul (P "idx", Int 2), Int 1), MF64));
+                Set
+                  ( "sig_t",
+                    Add
+                      ( P "sig_t",
+                        Mul
+                          ( Div (Add (Mul (P "ar", P "dr"), Mul (P "ai", P "w")), P "den"),
+                            P "dop" ) ) );
+                Let ("br", Ld (P "pole_b", Mul (P "idx", Int 2), MF64));
+                Let ("bi", Ld (P "pole_b", Add (Mul (P "idx", Int 2), Int 1), MF64));
+                Set
+                  ( "sig_a",
+                    Add
+                      ( P "sig_a",
+                        Mul
+                          ( Div (Add (Mul (P "br", P "dr"), Mul (P "bi", P "w")), P "den"),
+                            P "dop" ) ) )
+              ] )
+        ] );
+    Store (P "out", Mul (P "i", Int 2), MF64, P "sig_t");
+    Store (P "out", Add (Mul (P "i", Int 2), Int 1), MF64, P "sig_a")
+  ]
+
+let kernel (p : params) : kernel =
+  { k_name = "rs_lookup_kernel";
+    k_params =
+      [ ("pole_e", TInt); ("pole_w", TInt); ("pole_a", TInt); ("pole_b", TInt);
+        ("lookup_e", TInt); ("out", TInt); ("n_lookups", TInt) ];
+    k_construct = Distribute_parallel_for ("i", P "n_lookups", body p) }
+
+let problem ?(params = default) () : Proxy.t =
+  let p = params in
+  let d = generate p in
+  let expected = reference p d in
+  let k = kernel p in
+  { p_name = "rsbench";
+    p_descr = "compute-bound multipole cross-section lookup (OpenMC proxy)";
+    p_kernel_omp = k;
+    p_kernel_cuda = k;
+    (* one-thread-per-element launch: covers the iteration space so the
+       oversubscription assumptions hold, like the CUDA originals *)
+    p_teams = max p.teams ((p.lookups + p.threads - 1) / p.threads);
+    p_threads = p.threads;
+    (* ~20 flops per pole per lookup *)
+    p_assume = Proxy.Assume_both;
+    p_flops = float_of_int (p.lookups * p.n_nuclides * p.n_poles * 20);
+    p_setup =
+      (fun dev ->
+        let pole_e = Proxy.alloc_f64 dev d.pole_e in
+        let pole_w = Proxy.alloc_f64 dev d.pole_w in
+        let pole_a = Proxy.alloc_f64 dev d.pole_a in
+        let pole_b = Proxy.alloc_f64 dev d.pole_b in
+        let lookup_e = Proxy.alloc_f64 dev d.lookup_e in
+        let out = Ozo_vgpu.Device.alloc dev (p.lookups * 2 * 8) in
+        { Proxy.i_args =
+            [ Ozo_vgpu.Engine.Ai (Ozo_vgpu.Device.ptr pole_e);
+              Ai (Ozo_vgpu.Device.ptr pole_w); Ai (Ozo_vgpu.Device.ptr pole_a);
+              Ai (Ozo_vgpu.Device.ptr pole_b); Ai (Ozo_vgpu.Device.ptr lookup_e);
+              Ai (Ozo_vgpu.Device.ptr out); Ai p.lookups ];
+          i_check = (fun () -> Proxy.check_f64 ~name:"sigma" dev out expected ~tol:1e-9) })
+  }

@@ -1,0 +1,141 @@
+(* TestSNAP proxy: the SNAP force kernel of LAMMPS. One thread per atom
+   loops over that atom's neighbor list, evaluating a short polynomial
+   expansion (standing in for the bispectrum contraction) of the pair
+   distance and accumulating a three-component force. Synthetic neighbor
+   positions and reference forces, RMS-checked — the same validation
+   scheme the real TestSNAP uses. *)
+
+open Ozo_frontend.Ast
+
+type params = {
+  atoms : int;
+  neighbors : int; (* per atom *)
+  coeffs : int;    (* polynomial expansion terms *)
+  teams : int;
+  threads : int;
+  seed : int;
+}
+
+let default = { atoms = 1024; neighbors = 26; coeffs = 8; teams = 8; threads = 64; seed = 5 }
+
+let small = { default with atoms = 64; neighbors = 6; coeffs = 4; teams = 2; threads = 32 }
+
+type data = {
+  pos : float array;    (* atoms * 3 *)
+  neigh : int array;    (* atoms * neighbors, neighbor atom ids *)
+  coeff : float array;  (* coeffs *)
+}
+
+let generate (p : params) : data =
+  let rng = Prng.create p.seed in
+  { pos = Array.init (p.atoms * 3) (fun _ -> Prng.float_range rng 0.0 10.0);
+    neigh =
+      Array.init (p.atoms * p.neighbors) (fun i ->
+          (* any atom other than the owner *)
+          let a = i / p.neighbors in
+          let n = Prng.int rng (p.atoms - 1) in
+          if n >= a then n + 1 else n);
+    coeff = Array.init p.coeffs (fun _ -> Prng.float_range rng (-0.5) 0.5) }
+
+let reference (p : params) (d : data) : float array =
+  let out = Array.make (p.atoms * 3) 0.0 in
+  for a = 0 to p.atoms - 1 do
+    let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
+    for j = 0 to p.neighbors - 1 do
+      let n = d.neigh.((a * p.neighbors) + j) in
+      let dx = d.pos.(a * 3) -. d.pos.(n * 3) in
+      let dy = d.pos.((a * 3) + 1) -. d.pos.((n * 3) + 1) in
+      let dz = d.pos.((a * 3) + 2) -. d.pos.((n * 3) + 2) in
+      let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 1.0 in
+      let rinv = 1.0 /. r2 in
+      (* short polynomial in 1/r2, the stand-in for the bispectrum sum *)
+      let s = ref 0.0 and t = ref rinv in
+      for k = 0 to p.coeffs - 1 do
+        s := !s +. (d.coeff.(k) *. !t);
+        t := !t *. rinv
+      done;
+      fx := !fx +. (!s *. dx);
+      fy := !fy +. (!s *. dy);
+      fz := !fz +. (!s *. dz)
+    done;
+    out.(a * 3) <- !fx;
+    out.((a * 3) + 1) <- !fy;
+    out.((a * 3) + 2) <- !fz
+  done;
+  out
+
+let body (p : params) : stmt list =
+  [ Local ("fx", TFloat, Some (Float 0.0));
+    Local ("fy", TFloat, Some (Float 0.0));
+    Local ("fz", TFloat, Some (Float 0.0));
+    For
+      ( "j",
+        Int 0,
+        Int p.neighbors,
+        [ Let ("n", Ld (P "neigh", Add (Mul (P "a", Int p.neighbors), P "j"), MI64));
+          Let ("dx", Sub (Ld (P "pos", Mul (P "a", Int 3), MF64),
+                          Ld (P "pos", Mul (P "n", Int 3), MF64)));
+          Let ("dy", Sub (Ld (P "pos", Add (Mul (P "a", Int 3), Int 1), MF64),
+                          Ld (P "pos", Add (Mul (P "n", Int 3), Int 1), MF64)));
+          Let ("dz", Sub (Ld (P "pos", Add (Mul (P "a", Int 3), Int 2), MF64),
+                          Ld (P "pos", Add (Mul (P "n", Int 3), Int 2), MF64)));
+          Let ("r2",
+               Add (Add (Mul (P "dx", P "dx"), Mul (P "dy", P "dy")),
+                    Add (Mul (P "dz", P "dz"), Float 1.0)));
+          Let ("rinv", Div (Float 1.0, P "r2"));
+          Local ("s", TFloat, Some (Float 0.0));
+          Local ("t", TFloat, Some (P "rinv"));
+          For
+            ( "k",
+              Int 0,
+              Int p.coeffs,
+              [ Set ("s", Add (P "s", Mul (Ld (P "coeff", P "k", MF64), P "t")));
+                Set ("t", Mul (P "t", P "rinv"))
+              ] );
+          Set ("fx", Add (P "fx", Mul (P "s", P "dx")));
+          Set ("fy", Add (P "fy", Mul (P "s", P "dy")));
+          Set ("fz", Add (P "fz", Mul (P "s", P "dz")))
+        ] );
+    Store (P "out", Mul (P "a", Int 3), MF64, P "fx");
+    Store (P "out", Add (Mul (P "a", Int 3), Int 1), MF64, P "fy");
+    Store (P "out", Add (Mul (P "a", Int 3), Int 2), MF64, P "fz")
+  ]
+
+let kernel (p : params) : kernel =
+  { k_name = "snap_force_kernel";
+    k_params =
+      [ ("pos", TInt); ("neigh", TInt); ("coeff", TInt); ("out", TInt); ("n_atoms", TInt) ];
+    k_construct = Distribute_parallel_for ("a", P "n_atoms", body p) }
+
+let problem ?(params = default) () : Proxy.t =
+  let p = params in
+  let d = generate p in
+  let expected = reference p d in
+  let k = kernel p in
+  { p_name = "testsnap";
+    p_descr = "SNAP force calculation (LAMMPS proxy), RMS-checked against reference";
+    p_kernel_omp = k;
+    p_kernel_cuda = k;
+    (* one-thread-per-element launch: covers the iteration space so the
+       oversubscription assumptions hold, like the CUDA originals *)
+    p_teams = max p.teams ((p.atoms + p.threads - 1) / p.threads);
+    p_threads = p.threads;
+    p_assume = Proxy.Assume_both;
+    p_flops = float_of_int (p.atoms * p.neighbors * ((4 * p.coeffs) + 20));
+    p_setup =
+      (fun dev ->
+        let pos = Proxy.alloc_f64 dev d.pos in
+        let neigh = Proxy.alloc_i64 dev d.neigh in
+        let coeff = Proxy.alloc_f64 dev d.coeff in
+        let out = Ozo_vgpu.Device.alloc dev (p.atoms * 3 * 8) in
+        { Proxy.i_args =
+            [ Ozo_vgpu.Engine.Ai (Ozo_vgpu.Device.ptr pos);
+              Ai (Ozo_vgpu.Device.ptr neigh); Ai (Ozo_vgpu.Device.ptr coeff);
+              Ai (Ozo_vgpu.Device.ptr out); Ai p.atoms ];
+          i_check =
+            (fun () ->
+              let rms = Proxy.rms_error dev out expected in
+              if rms < 1e-9 then Ok ()
+              else Error (Printf.sprintf "force RMS error %.3g exceeds tolerance" rms))
+        })
+  }

@@ -1,0 +1,194 @@
+(* XSBench proxy: the memory-bound continuous-energy macroscopic neutron
+   cross-section lookup of OpenMC. Per lookup: binary search on the
+   unionized energy grid, then for every nuclide an indexed gather into
+   its per-nuclide grid and linear interpolation of five cross sections,
+   accumulated into the macroscopic result. The accesses into the nuclide
+   grids are data-dependent (energy-driven), which is what makes the real
+   XSBench memory bound.
+
+   As in the paper's setup, the reduction over lookups stays outside the
+   timed kernel: each lookup writes its own five-component result. *)
+
+open Ozo_frontend.Ast
+
+type params = {
+  n_nuclides : int;
+  n_gridpoints : int; (* per nuclide *)
+  lookups : int;
+  teams : int;
+  threads : int;
+  seed : int;
+}
+
+let default = { n_nuclides = 16; n_gridpoints = 128; lookups = 2048; teams = 8; threads = 64; seed = 42 }
+
+let small = { default with n_nuclides = 4; n_gridpoints = 16; lookups = 64; teams = 2; threads = 32 }
+
+type data = {
+  egrid : float array;          (* unionized energies, sorted, size u *)
+  index_grid : int array;       (* u * nn: per-nuclide grid index *)
+  ngrid_e : float array;        (* nn * g nuclide energies *)
+  ngrid_xs : float array;       (* nn * g * 5 cross sections *)
+  lookup_e : float array;       (* lookup energies *)
+}
+
+let generate (p : params) : data =
+  let rng = Prng.create p.seed in
+  let nn = p.n_nuclides and g = p.n_gridpoints in
+  let u = nn * g in
+  let egrid = Array.init u (fun _ -> Prng.float rng) in
+  Array.sort compare egrid;
+  (* nuclide grids: sorted energies covering [0,1] *)
+  let ngrid_e = Array.make (nn * g) 0.0 in
+  for j = 0 to nn - 1 do
+    let es = Array.init g (fun _ -> Prng.float rng) in
+    Array.sort compare es;
+    es.(0) <- 0.0;
+    es.(g - 1) <- 1.0;
+    Array.blit es 0 ngrid_e (j * g) g
+  done;
+  let ngrid_xs = Array.init (nn * g * 5) (fun _ -> Prng.float_range rng 0.1 1.0) in
+  (* index grid: for each unionized point and nuclide, the last nuclide
+     grid point with energy <= egrid value (capped so idx+1 is valid) *)
+  let index_grid = Array.make (u * nn) 0 in
+  for ui = 0 to u - 1 do
+    for j = 0 to nn - 1 do
+      let e = egrid.(ui) in
+      let idx = ref 0 in
+      for k = 0 to g - 2 do
+        if ngrid_e.((j * g) + k) <= e then idx := k
+      done;
+      index_grid.((ui * nn) + j) <- min !idx (g - 2)
+    done
+  done;
+  let lookup_e = Array.init p.lookups (fun _ -> Prng.float_range rng 0.001 0.999) in
+  { egrid; index_grid; ngrid_e; ngrid_xs; lookup_e }
+
+(* host reference: mirrors the kernel arithmetic exactly *)
+let reference (p : params) (d : data) : float array =
+  let nn = p.n_nuclides and g = p.n_gridpoints in
+  let u = nn * g in
+  let out = Array.make (p.lookups * 5) 0.0 in
+  for i = 0 to p.lookups - 1 do
+    let e = d.lookup_e.(i) in
+    (* binary search *)
+    let lo = ref 0 and hi = ref (u - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if d.egrid.(mid) <= e then lo := mid else hi := mid
+    done;
+    let m = Array.make 5 0.0 in
+    for j = 0 to nn - 1 do
+      let idx = d.index_grid.((!lo * nn) + j) in
+      let base = (j * g) + idx in
+      let e0 = d.ngrid_e.(base) and e1 = d.ngrid_e.(base + 1) in
+      let f = (e -. e0) /. (e1 -. e0) in
+      for k = 0 to 4 do
+        let x0 = d.ngrid_xs.((base * 5) + k) and x1 = d.ngrid_xs.(((base + 1) * 5) + k) in
+        m.(k) <- m.(k) +. (x0 +. (f *. (x1 -. x0)))
+      done
+    done;
+    for k = 0 to 4 do
+      out.((i * 5) + k) <- m.(k)
+    done
+  done;
+  out
+
+(* kernel body shared by the OpenMP and CUDA forms *)
+let body (p : params) : stmt list =
+  let nn = p.n_nuclides and g = p.n_gridpoints in
+  let u = nn * g in
+  [ Let ("e", Ld (P "lookup_e", P "i", MF64));
+    Local ("lo", TInt, Some (Int 0));
+    Local ("hi", TInt, Some (Int (u - 1)));
+    While
+      ( Cmp (CGt, Sub (P "hi", P "lo"), Int 1),
+        [ Let ("mid", Div (Add (P "lo", P "hi"), Int 2));
+          If
+            ( Cmp (CLe, Ld (P "egrid", P "mid", MF64), P "e"),
+              [ Set ("lo", P "mid") ],
+              [ Set ("hi", P "mid") ] )
+        ] );
+    Local ("m0", TFloat, Some (Float 0.0));
+    Local ("m1", TFloat, Some (Float 0.0));
+    Local ("m2", TFloat, Some (Float 0.0));
+    Local ("m3", TFloat, Some (Float 0.0));
+    Local ("m4", TFloat, Some (Float 0.0));
+    For
+      ( "j",
+        Int 0,
+        Int nn,
+        Let ("idx", Ld (P "index_grid", Add (Mul (P "lo", Int nn), P "j"), MI64))
+        :: Let ("base", Add (Mul (P "j", Int g), P "idx"))
+        :: Let ("e0", Ld (P "ngrid_e", P "base", MF64))
+        :: Let ("e1", Ld (P "ngrid_e", Add (P "base", Int 1), MF64))
+        :: Let ("f", Div (Sub (P "e", P "e0"), Sub (P "e1", P "e0")))
+        :: List.concat_map
+             (fun k ->
+               [ Let
+                   ( Printf.sprintf "x0_%d" k,
+                     Ld (P "ngrid_xs", Add (Mul (P "base", Int 5), Int k), MF64) );
+                 Let
+                   ( Printf.sprintf "x1_%d" k,
+                     Ld
+                       ( P "ngrid_xs",
+                         Add (Mul (Add (P "base", Int 1), Int 5), Int k),
+                         MF64 ) );
+                 Set
+                   ( Printf.sprintf "m%d" k,
+                     Add
+                       ( P (Printf.sprintf "m%d" k),
+                         Add
+                           ( P (Printf.sprintf "x0_%d" k),
+                             Mul
+                               ( P "f",
+                                 Sub
+                                   ( P (Printf.sprintf "x1_%d" k),
+                                     P (Printf.sprintf "x0_%d" k) ) ) ) ) )
+               ])
+             [ 0; 1; 2; 3; 4 ] )
+  ]
+  @ List.map
+      (fun k ->
+        Store (P "out", Add (Mul (P "i", Int 5), Int k), MF64, P (Printf.sprintf "m%d" k)))
+      [ 0; 1; 2; 3; 4 ]
+
+let kernel (p : params) : kernel =
+  { k_name = "xs_lookup_kernel";
+    k_params =
+      [ ("egrid", TInt); ("index_grid", TInt); ("ngrid_e", TInt); ("ngrid_xs", TInt);
+        ("lookup_e", TInt); ("out", TInt); ("n_lookups", TInt) ];
+    k_construct = Distribute_parallel_for ("i", P "n_lookups", body p) }
+
+let problem ?(params = default) () : Proxy.t =
+  let p = params in
+  let d = generate p in
+  let expected = reference p d in
+  let k = kernel p in
+  { p_name = "xsbench";
+    p_descr = "memory-bound macroscopic cross-section lookup (OpenMC proxy)";
+    p_kernel_omp = k;
+    p_kernel_cuda = k;
+    (* one-thread-per-element launch: covers the iteration space so the
+       oversubscription assumptions hold, like the CUDA originals *)
+    p_teams = max p.teams ((p.lookups + p.threads - 1) / p.threads);
+    p_threads = p.threads;
+    (* ~5 flops per xs channel per nuclide per lookup *)
+    p_assume = Proxy.Assume_both;
+    p_flops = float_of_int (p.lookups * p.n_nuclides * 5 * 5);
+    p_setup =
+      (fun dev ->
+        let egrid = Proxy.alloc_f64 dev d.egrid in
+        let index_grid = Proxy.alloc_i64 dev d.index_grid in
+        let ngrid_e = Proxy.alloc_f64 dev d.ngrid_e in
+        let ngrid_xs = Proxy.alloc_f64 dev d.ngrid_xs in
+        let lookup_e = Proxy.alloc_f64 dev d.lookup_e in
+        let out = Ozo_vgpu.Device.alloc dev (p.lookups * 5 * 8) in
+        { Proxy.i_args =
+            [ Ozo_vgpu.Engine.Ai (Ozo_vgpu.Device.ptr egrid);
+              Ai (Ozo_vgpu.Device.ptr index_grid); Ai (Ozo_vgpu.Device.ptr ngrid_e);
+              Ai (Ozo_vgpu.Device.ptr ngrid_xs); Ai (Ozo_vgpu.Device.ptr lookup_e);
+              Ai (Ozo_vgpu.Device.ptr out); Ai p.lookups ];
+          i_check = (fun () -> Proxy.check_f64 ~name:"macro_xs" dev out expected ~tol:1e-9)
+        })
+  }

@@ -1,0 +1,1 @@
+lib/runtime/new_rt.ml: Config Layout List Ozo_ir

@@ -1,0 +1,1 @@
+lib/runtime/old_rt.ml: Config Layout Ozo_ir

@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Config New_rt Old_rt Ozo_ir

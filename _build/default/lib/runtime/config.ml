@@ -1,0 +1,30 @@
+(* Build-time configuration of the device runtime — the analog of the
+   paper's compiler flags. [debug] and the two oversubscription assumptions
+   are materialized as constant globals the runtime "reads", so turning
+   them on/off changes which code the optimizer can prove dead
+   (Sections III-F and III-G). *)
+
+type variant = New_rt | Old_rt
+
+type t = {
+  variant : variant;
+  debug : bool;
+  assume_teams_oversub : bool;   (* -fopenmp-assume-teams-oversubscription *)
+  assume_threads_oversub : bool; (* -fopenmp-assume-threads-oversubscription *)
+  max_threads : int;             (* thread-state slots per team *)
+  stack_bytes : int;             (* shared-memory stack size *)
+  max_teams : int;               (* old runtime: global team-state slots *)
+}
+
+let default =
+  { variant = New_rt; debug = false; assume_teams_oversub = false;
+    assume_threads_oversub = false; max_threads = 128; stack_bytes = 9216;
+    max_teams = 256 }
+
+let old_rt = { default with variant = Old_rt }
+
+let with_assumptions c = { c with assume_teams_oversub = true; assume_threads_oversub = true }
+
+let with_teams_assumption c = { c with assume_teams_oversub = true }
+
+let with_debug c = { c with debug = true }

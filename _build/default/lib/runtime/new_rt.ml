@@ -1,0 +1,460 @@
+(* The new OpenMP device runtime (paper Section III), built as an IR
+   module. Design rules that make it optimizable:
+
+   - All team-wide state lives in *static shared memory* with a fixed,
+     compiler-visible layout (Layout).
+   - The SPMD-mode flag is written once during initialization and its
+     value is passed *by value* into runtime entry points, so pre-barrier
+     code never reads it from memory (III-A).
+   - Thread-state pointers are NULL-initialized; a thread state is only
+     materialized by nested data environments (III-C), so the common case
+     is recognizable statically (all stores zero ⇒ loads fold to NULL).
+   - Broadcast writes use the conditional-pointer scheme (Fig. 7b): the
+     write always executes, its target is selected between the real slot
+     and a dummy sink, keeping control flow straight-line.
+   - After every broadcast barrier the runtime *assumes* the broadcast
+     content (Fig. 8b); debug builds verify those assumptions at runtime.
+   - Work-sharing uses the combined CUDA-style grid-stride scheme of
+     Fig. 5, with the oversubscription break folded in from constant
+     configuration globals. *)
+
+open Ozo_ir.Types
+module B = Ozo_ir.Builder
+module L = Layout
+
+let shared_ptr = Ptr Shared
+
+(* conditional write through a selected pointer (Fig. 7b) *)
+let cond_write b ~cond ~addr ~value =
+  let p = B.select b shared_ptr cond addr (Global_addr L.dummy) in
+  B.store b I64 value p
+
+let field base off = (base, off)
+
+let field_addr b (base, off) =
+  if off = 0 then Global_addr base else B.ptradd b (Global_addr base) (B.i64 off)
+
+let load_field b fld = B.load b I64 (field_addr b fld)
+let store_field b fld v = B.store b I64 v (field_addr b fld)
+
+(* assume the content of a broadcast field (Fig. 8b): load; icmp; assume.
+   The optimizer recognizes exactly this pattern. *)
+let assume_field_eq b fld v =
+  let lv = load_field b fld in
+  let c = B.icmp b Eq lv v in
+  B.assume b c
+
+let team_field off = field L.team_icv off
+
+let add_globals cfg b =
+  let add ?init ?(const = false) ?(space = Shared) name size =
+    ignore (B.add_global b ~const ~space ~size ?init name)
+  in
+  add L.spmd_flag 8;
+  add L.team_icv L.icv_size;
+  add L.thread_states (cfg.Config.max_threads * 8);
+  add L.smem_stack cfg.Config.stack_bytes ~init:No_init;
+  add L.smem_stack_sps (cfg.Config.max_threads * 8);
+  add L.work_fn 8;
+  add L.work_args 8;
+  add L.work_nt 8;
+  add L.dummy 8 ~init:No_init;
+  let flag name v =
+    add name 8 ~space:Constant ~const:true ~init:(Words_init [ (if v then 1L else 0L) ])
+  in
+  flag L.cfg_debug cfg.Config.debug;
+  flag L.cfg_assume_teams_oversub cfg.Config.assume_teams_oversub;
+  flag L.cfg_assume_threads_oversub cfg.Config.assume_threads_oversub
+
+(* __omp_assert(cond): trap in debug builds, assume in release (III-G). *)
+let build_assert b =
+  match B.begin_func b ~name:L.omp_assert ~params:[ I64 ] ~ret:None () with
+  | [ cond ] ->
+    B.set_block b "entry";
+    let dbg = B.load b I64 (Global_addr L.cfg_debug) in
+    let is_dbg = B.icmp b Ne dbg (B.i64 0) in
+    B.if_then_else b is_dbg
+      ~then_:(fun () ->
+        let bad = B.icmp b Eq cond (B.i64 0) in
+        B.if_then b bad ~then_:(fun () -> B.trap b "OpenMP runtime assertion failed"))
+      ~else_:(fun () -> B.assume b cond);
+    B.ret b None;
+    ignore (B.end_func b)
+  | _ -> assert false
+
+(* thread-state slot address for the current thread *)
+let ts_slot b =
+  let tid = B.thread_id b in
+  B.ptradd b (Global_addr L.thread_states) (B.mul b tid (B.i64 8))
+
+(* __kmpc_alloc_shared(size): bump this thread's slice of the shared
+   stack, fall back to global malloc when the slice is full (III-D). The
+   stack is partitioned per thread — a shared bump pointer would corrupt
+   under interleaved alloc/free from different threads.
+   alloc/free_shared stay out-of-line so the globalization-elimination
+   pass can recognize and rewrite the call sites (LLVM keeps them as
+   runtime calls for the same reason). *)
+let build_alloc_shared cfg b =
+  let slice = cfg.Config.stack_bytes / cfg.Config.max_threads in
+  (match
+     B.begin_func b ~name:L.alloc_shared ~attrs:[ Attr_no_inline ] ~params:[ I64 ]
+       ~ret:(Some I64) ()
+   with
+  | [ size ] ->
+    B.set_block b "entry";
+    let tid = B.thread_id b in
+    let sp_addr = B.ptradd b (Global_addr L.smem_stack_sps) (B.mul b tid (B.i64 8)) in
+    let sp = B.load b I64 sp_addr in
+    let fits = B.icmp b Sle (B.add b sp size) (B.i64 slice) in
+    B.cond_br b fits "stack" "heap";
+    B.set_block b "stack";
+    B.store b I64 (B.add b sp size) sp_addr;
+    let base = B.ptradd b (Global_addr L.smem_stack) (B.mul b tid (B.i64 slice)) in
+    let p = B.ptradd b base sp in
+    B.ret b (Some p);
+    B.set_block b "heap";
+    let m = B.malloc b size in
+    B.ret b (Some m)
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let build_free_shared cfg b =
+  (match
+     B.begin_func b ~name:L.free_shared ~attrs:[ Attr_no_inline ] ~params:[ I64; I64 ]
+       ~ret:None ()
+   with
+  | [ p; size ] ->
+    B.set_block b "entry";
+    let lo = Global_addr L.smem_stack in
+    let hi = B.ptradd b lo (B.i64 cfg.Config.stack_bytes) in
+    let ge = B.icmp b Uge p lo in
+    let lt = B.icmp b Ult p hi in
+    let instack = B.and_ b ge lt in
+    B.if_then_else b instack
+      ~then_:(fun () ->
+        (* LIFO within this thread's slice *)
+        let tid = B.thread_id b in
+        let sp_addr =
+          B.ptradd b (Global_addr L.smem_stack_sps) (B.mul b tid (B.i64 8))
+        in
+        let sp = B.load b I64 sp_addr in
+        B.store b I64 (B.sub b sp size) sp_addr)
+      ~else_:(fun () -> B.free b p);
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+(* icv lookup honoring an on-demand thread state (III-C): NULL slot means
+   "use the team state". *)
+let build_icv_read b ~name ~off =
+  (match B.begin_func b ~name ~params:[] ~ret:(Some I64) () with
+  | [] ->
+    B.set_block b "entry";
+    let slot = ts_slot b in
+    let ts = B.load b I64 slot in
+    let has = B.icmp b Ne ts (B.i64 0) in
+    B.cond_br b has "own" "team";
+    B.set_block b "own";
+    let v1 = B.load b I64 (B.ptradd b ts (B.i64 off)) in
+    B.ret b (Some v1);
+    B.set_block b "team";
+    let v2 = load_field b (team_field off) in
+    B.ret b (Some v2)
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+(* __kmpc_push_icv_state: materialize a thread ICV state for a nested data
+   environment; copies the currently visible state (III-C, Fig. 3). *)
+let build_push_icv b =
+  (match B.begin_func b ~name:L.push_icv_state ~params:[] ~ret:(Some I64) () with
+  | [] ->
+    B.set_block b "entry";
+    let slot = ts_slot b in
+    let old = B.load b I64 slot in
+    let fresh = B.call_val b L.alloc_shared [ B.i64 L.ts_size ] in
+    let has = B.icmp b Ne old (B.i64 0) in
+    let src = B.select b shared_ptr has old (Global_addr L.team_icv) in
+    List.iter
+      (fun off ->
+        let v = B.load b I64 (B.ptradd b src (B.i64 off)) in
+        B.store b I64 v (B.ptradd b fresh (B.i64 off)))
+      L.all_icv_offsets;
+    B.store b I64 old (B.ptradd b fresh (B.i64 L.ts_prev));
+    B.store b I64 fresh slot;
+    B.ret b (Some fresh)
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let build_pop_icv b =
+  (match B.begin_func b ~name:L.pop_icv_state ~params:[] ~ret:None () with
+  | [] ->
+    B.set_block b "entry";
+    let slot = ts_slot b in
+    let ts = B.load b I64 slot in
+    B.call_void b L.omp_assert [ B.icmp b Ne ts (B.i64 0) ];
+    let prev = B.load b I64 (B.ptradd b ts (B.i64 L.ts_prev)) in
+    B.store b I64 prev slot;
+    B.call_void b L.free_shared [ ts; B.i64 L.ts_size ];
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+(* Generic-mode worker state machine (Section II-C). Workers wait at a
+   barrier for the main thread to publish an outlined parallel region,
+   execute it if they participate, and synchronize completion. A NULL
+   function pointer terminates the kernel. *)
+let build_worker_loop b =
+  (match B.begin_func b ~name:L.worker_loop ~params:[] ~ret:None () with
+  | [] ->
+    B.set_block b "entry";
+    B.br b "wait";
+    B.set_block b "wait";
+    B.barrier b ~aligned:false;
+    let fn = load_field b (field L.work_fn 0) in
+    let fin = B.icmp b Eq fn (B.i64 0) in
+    B.cond_br b fin "done" "work";
+    B.set_block b "work";
+    let tid = B.thread_id b in
+    let nt = load_field b (field L.work_nt 0) in
+    let inpar = B.icmp b Slt tid nt in
+    B.if_then b inpar ~then_:(fun () ->
+        let args = load_field b (field L.work_args 0) in
+        B.call_indirect_void b fn [ tid; args ]);
+    B.barrier b ~aligned:false;
+    B.br b "wait";
+    B.set_block b "done";
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+(* __kmpc_target_init(is_spmd) -> proceed?  SPMD: every thread initializes
+   and proceeds. Generic: workers enter the state machine and return 0
+   when the kernel finishes; the main thread (last thread of the team)
+   initializes state and proceeds; the remaining lanes of the last warp
+   park. *)
+let build_target_init b =
+  (match B.begin_func b ~name:L.target_init ~params:[ I64 ] ~ret:(Some I64) () with
+  | [ is_spmd ] ->
+    B.set_block b "entry";
+    let tid = B.thread_id b in
+    let bdim = B.block_dim b in
+    (* defensive NULL initialization of the thread-state slot (III-C);
+       stores of zero over zero-initialized memory — statically removable *)
+    let slot = ts_slot b in
+    B.store b I64 (B.i64 0) slot;
+    let spmd = B.icmp b Ne is_spmd (B.i64 0) in
+    B.cond_br b spmd "spmd" "generic";
+
+    B.set_block b "spmd";
+    let is0 = B.icmp b Eq tid (B.i64 0) in
+    (* broadcast the mode and the team ICV state (conditional pointers) *)
+    cond_write b ~cond:is0 ~addr:(Global_addr L.spmd_flag) ~value:is_spmd;
+    cond_write b ~cond:is0 ~addr:(field_addr b (team_field L.icv_levels)) ~value:(B.i64 0);
+    cond_write b ~cond:is0 ~addr:(field_addr b (team_field L.icv_nthreads)) ~value:bdim;
+    cond_write b ~cond:is0
+      ~addr:(field_addr b (team_field L.icv_active_levels))
+      ~value:(B.i64 0);
+    cond_write b ~cond:is0
+      ~addr:(field_addr b (team_field L.icv_thread_limit))
+      ~value:bdim;
+    B.barrier b ~aligned:true;
+    (* broadcast assumes: verified in debug builds, folded in release *)
+    assume_field_eq b (field L.spmd_flag 0) is_spmd;
+    assume_field_eq b (team_field L.icv_levels) (B.i64 0);
+    assume_field_eq b (team_field L.icv_nthreads) bdim;
+    B.ret b (Some (B.i64 1));
+
+    B.set_block b "generic";
+    let nworkers = B.sub b bdim (B.i64 L.warp_size) in
+    let is_worker = B.icmp b Slt tid nworkers in
+    B.cond_br b is_worker "worker" "main_check";
+    B.set_block b "worker";
+    B.call_void b L.worker_loop [];
+    B.ret b (Some (B.i64 0));
+    B.set_block b "main_check";
+    let main_tid = B.sub b bdim (B.i64 1) in
+    let is_main = B.icmp b Eq tid main_tid in
+    B.cond_br b is_main "main_init" "park";
+    B.set_block b "park";
+    B.ret b (Some (B.i64 0));
+    B.set_block b "main_init";
+    (* only the main thread executes here: plain stores *)
+    store_field b (field L.spmd_flag 0) (B.i64 0);
+    store_field b (team_field L.icv_levels) (B.i64 0);
+    store_field b (team_field L.icv_nthreads) nworkers;
+    store_field b (team_field L.icv_active_levels) (B.i64 0);
+    store_field b (team_field L.icv_thread_limit) nworkers;
+    store_field b (field L.work_fn 0) (B.i64 0);
+    B.ret b (Some (B.i64 1))
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+(* __kmpc_target_deinit(is_spmd) *)
+let build_target_deinit b =
+  (match B.begin_func b ~name:L.target_deinit ~params:[ I64 ] ~ret:None () with
+  | [ is_spmd ] ->
+    B.set_block b "entry";
+    let spmd = B.icmp b Ne is_spmd (B.i64 0) in
+    B.cond_br b spmd "spmd" "generic";
+    B.set_block b "spmd";
+    B.barrier b ~aligned:true;
+    B.ret b None;
+    B.set_block b "generic";
+    (* main thread terminates the state machine *)
+    store_field b (field L.work_fn 0) (B.i64 0);
+    B.barrier b ~aligned:false;
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+(* __kmpc_parallel(fn, args, num_threads): fork-join. The SPMD path is
+   straight-line apart from the participation test; the generic path
+   drives the worker state machine. num_threads = -1 means "ICV
+   default". *)
+let build_parallel b =
+  (match B.begin_func b ~name:L.parallel ~params:[ I64; I64; I64 ] ~ret:None () with
+  | [ fn; args; num_threads ] ->
+    B.set_block b "entry";
+    let flag = load_field b (field L.spmd_flag 0) in
+    let spmd = B.icmp b Ne flag (B.i64 0) in
+    B.cond_br b spmd "spmd" "generic";
+
+    B.set_block b "spmd";
+    let tid = B.thread_id b in
+    let is0 = B.icmp b Eq tid (B.i64 0) in
+    let use_icv = B.icmp b Eq num_threads (B.i64 (-1)) in
+    let icv_nt = load_field b (team_field L.icv_nthreads) in
+    let nt = B.select b I64 use_icv icv_nt num_threads in
+    cond_write b ~cond:is0 ~addr:(field_addr b (team_field L.icv_levels)) ~value:(B.i64 1);
+    B.barrier b ~aligned:true;
+    assume_field_eq b (team_field L.icv_levels) (B.i64 1);
+    let inpar = B.icmp b Slt tid nt in
+    B.if_then b inpar ~then_:(fun () -> B.call_indirect_void b fn [ tid; args ]);
+    B.barrier b ~aligned:true;
+    cond_write b ~cond:is0 ~addr:(field_addr b (team_field L.icv_levels)) ~value:(B.i64 0);
+    B.barrier b ~aligned:true;
+    assume_field_eq b (team_field L.icv_levels) (B.i64 0);
+    B.ret b None;
+
+    B.set_block b "generic";
+    (* only the main thread can reach this path *)
+    let use_icv2 = B.icmp b Eq num_threads (B.i64 (-1)) in
+    let icv_nt2 = load_field b (team_field L.icv_nthreads) in
+    let nt2 = B.select b I64 use_icv2 icv_nt2 num_threads in
+    store_field b (field L.work_fn 0) fn;
+    store_field b (field L.work_args 0) args;
+    store_field b (field L.work_nt 0) nt2;
+    store_field b (team_field L.icv_levels) (B.i64 1);
+    B.barrier b ~aligned:false; (* release the workers *)
+    B.barrier b ~aligned:false; (* wait for completion *)
+    store_field b (team_field L.icv_levels) (B.i64 0);
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+(* Combined work-sharing (Fig. 5). [stride_kind] selects grid-stride
+   (distribute parallel for) vs. team-stride (for within a team). *)
+let build_ws_loop b ~name ~grid ~oversub_flag =
+  (match B.begin_func b ~name ~params:[ I64; I64; I64 ] ~ret:None () with
+  | [ fn; args; num_iters ] ->
+    B.set_block b "entry";
+    let tid = B.thread_id b in
+    (* the participating thread count is an ICV, not the hardware block
+       size: in generic mode only the workers share the iterations. In
+       SPMD mode the load folds to block_dim through the broadcast assume
+       placed by __kmpc_target_init. *)
+    let nthr = B.call_val b L.get_num_threads [] in
+    let total, iv0 =
+      if grid then begin
+        let gdim = B.grid_dim b in
+        let bid = B.block_id b in
+        (B.mul b gdim nthr, B.add b (B.mul b bid nthr) tid)
+      end
+      else (nthr, tid)
+    in
+    let oversub = B.load b I64 (Global_addr oversub_flag) in
+    let have_assumption = B.icmp b Ne oversub (B.i64 0) in
+    (* debug builds verify the user-provided oversubscription assumption *)
+    B.if_then b have_assumption ~then_:(fun () ->
+        B.call_void b L.omp_assert [ B.icmp b Sle num_iters total ]);
+    let cover = B.icmp b Slt iv0 num_iters in
+    B.cond_br b cover "loop" "exit";
+    B.set_block b "loop";
+    (* do-while with an explicit oversubscription break, as in Fig. 5 *)
+    B.br b "head";
+    B.set_block b "head";
+    let ivn_reg = B.fresh_reg b in
+    let iv = B.phi b I64 [ ("loop", iv0); ("latch", Reg ivn_reg) ] in
+    B.call_indirect_void b fn [ iv; args ];
+    B.cond_br b have_assumption "exit" "latch";
+    B.set_block b "latch";
+    B.append b (Binop (ivn_reg, Add, iv, total));
+    let again = B.icmp b Slt (Reg ivn_reg) num_iters in
+    B.cond_br b again "head" "exit";
+    B.set_block b "exit";
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let build_barrier_fn b =
+  (match B.begin_func b ~name:L.barrier ~params:[] ~ret:None () with
+  | [] ->
+    B.set_block b "entry";
+    B.barrier b ~aligned:false;
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+(* omp_get_thread_num: in generic mode the main thread reports 0 in the
+   sequential region; workers report their hardware id. *)
+let build_get_thread_num b =
+  (match B.begin_func b ~name:L.get_thread_num ~params:[] ~ret:(Some I64) () with
+  | [] ->
+    B.set_block b "entry";
+    let flag = load_field b (field L.spmd_flag 0) in
+    let spmd = B.icmp b Ne flag (B.i64 0) in
+    B.cond_br b spmd "spmd" "generic";
+    B.set_block b "spmd";
+    let t1 = B.thread_id b in
+    B.ret b (Some t1);
+    B.set_block b "generic";
+    let tid = B.thread_id b in
+    let bdim = B.block_dim b in
+    let is_main = B.icmp b Eq tid (B.sub b bdim (B.i64 1)) in
+    let r = B.select b I64 is_main (B.i64 0) tid in
+    B.ret b (Some r)
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let build_simple b ~name ~emit =
+  (match B.begin_func b ~name ~params:[] ~ret:(Some I64) () with
+  | [] ->
+    B.set_block b "entry";
+    let v = emit b in
+    B.ret b (Some v)
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let build (cfg : Config.t) : modul =
+  let b = B.create "openmp_device_rt_new" in
+  add_globals cfg b;
+  build_assert b;
+  build_alloc_shared cfg b;
+  build_free_shared cfg b;
+  build_icv_read b ~name:L.get_num_threads ~off:L.icv_nthreads;
+  build_icv_read b ~name:L.get_level ~off:L.icv_levels;
+  build_push_icv b;
+  build_pop_icv b;
+  build_worker_loop b;
+  build_target_init b;
+  build_target_deinit b;
+  build_parallel b;
+  build_ws_loop b ~name:L.distribute_for_loop ~grid:true
+    ~oversub_flag:L.cfg_assume_teams_oversub;
+  build_ws_loop b ~name:L.for_loop ~grid:false
+    ~oversub_flag:L.cfg_assume_threads_oversub;
+  build_barrier_fn b;
+  build_get_thread_num b;
+  build_simple b ~name:L.get_team_num ~emit:(fun b -> B.block_id b);
+  build_simple b ~name:L.get_num_teams ~emit:(fun b -> B.grid_dim b);
+  B.finish b

@@ -1,0 +1,428 @@
+(* The pre-co-design device runtime, used as the "Old RT" baseline.
+
+   Deliberate contrasts with New_rt, mirroring the original LLVM/OpenMP
+   device runtime the paper replaces:
+
+   - Functions carry [Attr_no_inline]: the runtime was an opaque library
+     the optimizer could not see through, so every entry point stays a
+     call and no state folds.
+   - Team state lives in *global memory*, indexed by team id: reads pay
+     global-memory latency, and nothing about them is analyzable.
+   - Broadcast writes use conditional *execution* (Fig. 7a), introducing
+     control flow instead of straight-line selects.
+   - Barriers are unaligned (never removable by the aligned-barrier
+     elimination pass).
+   - Work-sharing is split distribute + for with contiguous ("static
+     chunked") per-thread ranges communicated through stack out-parameters
+     — which the opaque callee writes, defeating forwarding, and whose
+     contiguous blocks ruin global-memory coalescing compared to the
+     CUDA-style interleaved scheme of the new runtime. *)
+
+open Ozo_ir.Types
+module B = Ozo_ir.Builder
+module L = Layout
+
+let team_stride = 64
+
+(* offsets within a team's global-memory state *)
+let o_mode = 0
+let o_levels = 8
+let o_nthreads = 16
+let o_work_fn = 24
+let o_work_args = 32
+let o_work_nt = 40
+
+let no_inline = [ Attr_no_inline ]
+
+let team_base b =
+  let bid = B.block_id b in
+  B.ptradd b (Global_addr L.old_team_state) (B.mul b bid (B.i64 team_stride))
+
+let load_state b base off = B.load b I64 (B.ptradd b base (B.i64 off))
+let store_state b base off v = B.store b I64 v (B.ptradd b base (B.i64 off))
+
+(* 1024B of data-sharing slots + 1024B of per-thread slice pointers +
+   288B worksharing descriptor = 2336B, the old runtime's Fig. 11
+   footprint *)
+let data_share_bytes = 1024
+let data_share_threads = 128
+let data_share_slice = data_share_bytes / data_share_threads
+
+let add_globals cfg b =
+  ignore
+    (B.add_global b ~space:Global ~size:(cfg.Config.max_teams * team_stride)
+       L.old_team_state);
+  ignore (B.add_global b ~space:Shared ~size:data_share_bytes ~init:No_init L.old_data_share);
+  ignore (B.add_global b ~space:Shared ~size:(data_share_threads * 8) L.old_data_share_sps);
+  (* per-thread parallel-level counters (the old runtime's parallelLevel
+     array), in global memory like the rest of its state *)
+  ignore
+    (B.add_global b ~space:Global
+       ~size:(cfg.Config.max_teams * data_share_threads * 8)
+       "__old_omp_plevel");
+  (* external: the tooling-visible worksharing descriptor survives DCE *)
+  ignore (B.add_global b ~linkage:External ~space:Shared ~size:288 ~init:No_init L.old_wds);
+  (* debug flag: the old runtime reads it from constant memory too *)
+  ignore
+    (B.add_global b ~space:Constant ~const:true ~size:8
+       ~init:(Words_init [ (if cfg.Config.debug then 1L else 0L) ])
+       L.cfg_debug)
+
+let build_assert b =
+  (match
+     B.begin_func b ~name:L.omp_assert ~attrs:no_inline ~params:[ I64 ] ~ret:None ()
+   with
+  | [ cond ] ->
+    B.set_block b "entry";
+    let dbg = B.load b I64 (Global_addr L.cfg_debug) in
+    let on = B.icmp b Ne dbg (B.i64 0) in
+    B.if_then b on ~then_:(fun () ->
+        let bad = B.icmp b Eq cond (B.i64 0) in
+        B.if_then b bad ~then_:(fun () -> B.trap b "OpenMP runtime assertion failed"));
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+(* The old data-sharing slots are tiny (8 bytes per thread), so most
+   sharing traffic falls back to global malloc — one reason the old
+   runtime's globalized variables were expensive. *)
+let build_alloc_shared b =
+  (match
+     B.begin_func b ~name:L.alloc_shared ~attrs:no_inline ~params:[ I64 ] ~ret:(Some I64)
+       ()
+   with
+  | [ size ] ->
+    B.set_block b "entry";
+    let tid = B.thread_id b in
+    let sp_addr = B.ptradd b (Global_addr L.old_data_share_sps) (B.mul b tid (B.i64 8)) in
+    let sp = B.load b I64 sp_addr in
+    let fits = B.icmp b Sle (B.add b sp size) (B.i64 data_share_slice) in
+    B.cond_br b fits "stack" "heap";
+    B.set_block b "stack";
+    B.store b I64 (B.add b sp size) sp_addr;
+    let base =
+      B.ptradd b (Global_addr L.old_data_share) (B.mul b tid (B.i64 data_share_slice))
+    in
+    B.ret b (Some (B.ptradd b base sp));
+    B.set_block b "heap";
+    let m = B.malloc b size in
+    B.ret b (Some m)
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let build_free_shared b =
+  (match
+     B.begin_func b ~name:L.free_shared ~attrs:no_inline ~params:[ I64; I64 ] ~ret:None
+       ()
+   with
+  | [ p; size ] ->
+    B.set_block b "entry";
+    let lo = Global_addr L.old_data_share in
+    let hi = B.ptradd b lo (B.i64 data_share_bytes) in
+    let instack = B.and_ b (B.icmp b Uge p lo) (B.icmp b Ult p hi) in
+    B.if_then_else b instack
+      ~then_:(fun () ->
+        let tid = B.thread_id b in
+        let sp_addr =
+          B.ptradd b (Global_addr L.old_data_share_sps) (B.mul b tid (B.i64 8))
+        in
+        let sp = B.load b I64 sp_addr in
+        B.store b I64 (B.sub b sp size) sp_addr)
+      ~else_:(fun () -> B.free b p);
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let build_worker_loop b =
+  (match B.begin_func b ~name:L.worker_loop ~attrs:no_inline ~params:[] ~ret:None () with
+  | [] ->
+    B.set_block b "entry";
+    B.br b "wait";
+    B.set_block b "wait";
+    B.barrier b ~aligned:false;
+    let base = team_base b in
+    let fn = load_state b base o_work_fn in
+    let fin = B.icmp b Eq fn (B.i64 0) in
+    B.cond_br b fin "done" "work";
+    B.set_block b "work";
+    let tid = B.thread_id b in
+    let nt = load_state b base o_work_nt in
+    let inpar = B.icmp b Slt tid nt in
+    B.if_then b inpar ~then_:(fun () ->
+        let args = load_state b base o_work_args in
+        B.call_indirect_void b fn [ tid; args ]);
+    B.barrier b ~aligned:false;
+    B.br b "wait";
+    B.set_block b "done";
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let build_target_init b =
+  (match
+     B.begin_func b ~name:L.target_init ~attrs:no_inline ~params:[ I64 ] ~ret:(Some I64)
+       ()
+   with
+  | [ is_spmd ] ->
+    B.set_block b "entry";
+    let tid = B.thread_id b in
+    let bdim = B.block_dim b in
+    let base = team_base b in
+    let spmd = B.icmp b Ne is_spmd (B.i64 0) in
+    B.cond_br b spmd "spmd" "generic";
+
+    B.set_block b "spmd";
+    (* conditional execution broadcast (Fig. 7a) *)
+    let is0 = B.icmp b Eq tid (B.i64 0) in
+    B.if_then b is0 ~then_:(fun () ->
+        store_state b base o_mode (B.i64 1);
+        store_state b base o_levels (B.i64 0);
+        store_state b base o_nthreads bdim);
+    B.barrier b ~aligned:false;
+    B.ret b (Some (B.i64 1));
+
+    B.set_block b "generic";
+    let nworkers = B.sub b bdim (B.i64 L.warp_size) in
+    let is_worker = B.icmp b Slt tid nworkers in
+    B.cond_br b is_worker "worker" "main_check";
+    B.set_block b "worker";
+    B.call_void b L.worker_loop [];
+    B.ret b (Some (B.i64 0));
+    B.set_block b "main_check";
+    let is_main = B.icmp b Eq tid (B.sub b bdim (B.i64 1)) in
+    B.cond_br b is_main "main_init" "park";
+    B.set_block b "park";
+    B.ret b (Some (B.i64 0));
+    B.set_block b "main_init";
+    store_state b base o_mode (B.i64 0);
+    store_state b base o_levels (B.i64 0);
+    store_state b base o_nthreads nworkers;
+    store_state b base o_work_fn (B.i64 0);
+    B.ret b (Some (B.i64 1))
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let build_target_deinit b =
+  (match
+     B.begin_func b ~name:L.target_deinit ~attrs:no_inline ~params:[ I64 ] ~ret:None ()
+   with
+  | [ is_spmd ] ->
+    B.set_block b "entry";
+    let spmd = B.icmp b Ne is_spmd (B.i64 0) in
+    B.cond_br b spmd "spmd" "generic";
+    B.set_block b "spmd";
+    B.barrier b ~aligned:false;
+    B.ret b None;
+    B.set_block b "generic";
+    let base = team_base b in
+    store_state b base o_work_fn (B.i64 0);
+    B.barrier b ~aligned:false;
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let build_parallel b =
+  (match
+     B.begin_func b ~name:L.parallel ~attrs:no_inline ~params:[ I64; I64; I64 ]
+       ~ret:None ()
+   with
+  | [ fn; args; num_threads ] ->
+    B.set_block b "entry";
+    let base = team_base b in
+    let mode = load_state b base o_mode in
+    let spmd = B.icmp b Ne mode (B.i64 0) in
+    B.cond_br b spmd "spmd" "generic";
+
+    B.set_block b "spmd";
+    let tid = B.thread_id b in
+    let is0 = B.icmp b Eq tid (B.i64 0) in
+    let use_icv = B.icmp b Eq num_threads (B.i64 (-1)) in
+    let icv_nt = load_state b base o_nthreads in
+    let nt = B.select b I64 use_icv icv_nt num_threads in
+    B.if_then b is0 ~then_:(fun () -> store_state b base o_levels (B.i64 1));
+    B.barrier b ~aligned:false;
+    let inpar = B.icmp b Slt tid nt in
+    B.if_then b inpar ~then_:(fun () -> B.call_indirect_void b fn [ tid; args ]);
+    B.barrier b ~aligned:false;
+    B.if_then b is0 ~then_:(fun () -> store_state b base o_levels (B.i64 0));
+    B.barrier b ~aligned:false;
+    B.ret b None;
+
+    B.set_block b "generic";
+    let use_icv2 = B.icmp b Eq num_threads (B.i64 (-1)) in
+    let icv_nt2 = load_state b base o_nthreads in
+    let nt2 = B.select b I64 use_icv2 icv_nt2 num_threads in
+    store_state b base o_work_fn fn;
+    store_state b base o_work_args args;
+    store_state b base o_work_nt nt2;
+    store_state b base o_levels (B.i64 1);
+    B.barrier b ~aligned:false;
+    B.barrier b ~aligned:false;
+    store_state b base o_levels (B.i64 0);
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+(* Split work-sharing with static chunked schedules, communicated through
+   out-parameters the caller allocated on its stack. *)
+let build_distribute_init b =
+  (match
+     B.begin_func b ~name:L.old_distribute_init ~attrs:no_inline
+       ~params:[ I64; I64; I64 ] ~ret:None ()
+   with
+  | [ plb; pub; n ] ->
+    B.set_block b "entry";
+    let gdim = B.grid_dim b in
+    let bid = B.block_id b in
+    let chunk = B.sdiv b (B.sub b (B.add b n gdim) (B.i64 1)) gdim in
+    let lb = B.mul b bid chunk in
+    let ub = B.smin b (B.add b lb chunk) n in
+    B.store b I64 lb plb;
+    B.store b I64 ub pub;
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let build_for_static_init b =
+  (match
+     B.begin_func b ~name:L.old_for_static_init ~attrs:no_inline
+       ~params:[ I64; I64; I64; I64; I64 ] ~ret:None ()
+   with
+  | [ plb; pub; pstride; lb; ub ] ->
+    B.set_block b "entry";
+    let tid = B.thread_id b in
+    let base = team_base b in
+    let mode = load_state b base o_mode in
+    let generic = B.icmp b Eq mode (B.i64 0) in
+    let bdim = B.block_dim b in
+    let nthr =
+      (* in generic mode the workers are bdim - warp_size threads *)
+      B.select b I64 generic (B.sub b bdim (B.i64 L.warp_size)) bdim
+    in
+    let span = B.sub b ub lb in
+    let chunk = B.sdiv b (B.sub b (B.add b span nthr) (B.i64 1)) nthr in
+    let mylb = B.add b lb (B.mul b tid chunk) in
+    let myub = B.smin b (B.add b mylb chunk) ub in
+    B.store b I64 mylb plb;
+    B.store b I64 myub pub;
+    B.store b I64 chunk pstride;
+    (* the shared worksharing descriptor tracks the active schedule *)
+    B.store b I64 chunk (Global_addr L.old_wds);
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let plevel_slot b =
+  let bid = B.block_id b in
+  let tid = B.thread_id b in
+  let idx = B.add b (B.mul b bid (B.i64 data_share_threads)) tid in
+  B.ptradd b (Global_addr "__old_omp_plevel") (B.mul b idx (B.i64 8))
+
+let build_icv_read b ~name ~off =
+  (match B.begin_func b ~name ~attrs:no_inline ~params:[] ~ret:(Some I64) () with
+  | [] ->
+    B.set_block b "entry";
+    let base = team_base b in
+    let v = load_state b base off in
+    if off = o_levels then begin
+      (* the visible level is the team level plus this thread's nesting
+         depth (the old runtime's parallelLevel bookkeeping) *)
+      let pl = B.load b I64 (plevel_slot b) in
+      B.ret b (Some (B.add b v pl))
+    end
+    else B.ret b (Some v)
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let build_barrier_fn b =
+  (match B.begin_func b ~name:L.barrier ~attrs:no_inline ~params:[] ~ret:None () with
+  | [] ->
+    B.set_block b "entry";
+    B.barrier b ~aligned:false;
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let build_get_thread_num b =
+  (match
+     B.begin_func b ~name:L.get_thread_num ~attrs:no_inline ~params:[] ~ret:(Some I64) ()
+   with
+  | [] ->
+    B.set_block b "entry";
+    let base = team_base b in
+    let mode = load_state b base o_mode in
+    let spmd = B.icmp b Ne mode (B.i64 0) in
+    let tid = B.thread_id b in
+    let bdim = B.block_dim b in
+    let is_main = B.icmp b Eq tid (B.sub b bdim (B.i64 1)) in
+    let generic_tid = B.select b I64 is_main (B.i64 0) tid in
+    let r = B.select b I64 spmd tid generic_tid in
+    B.ret b (Some r)
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let build_simple b ~name ~emit =
+  (match B.begin_func b ~name ~attrs:no_inline ~params:[] ~ret:(Some I64) () with
+  | [] ->
+    B.set_block b "entry";
+    let v = emit b in
+    B.ret b (Some v)
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+(* The old runtime has no linked thread-state API; nested parallelism is
+   serialized through the data-sharing stack plus the parallelLevel
+   bookkeeping. The push/pop entry points keep the ABI shared with the
+   new runtime: push hands out a scratch ICV block seeded with the
+   currently visible state and bumps this thread's level counter; pop
+   undoes the bump (the scratch block leaks until kernel end — arena
+   discipline, one reason old-runtime nesting was expensive). *)
+let build_push_pop b =
+  (match
+     B.begin_func b ~name:L.push_icv_state ~attrs:no_inline ~params:[] ~ret:(Some I64) ()
+   with
+  | [] ->
+    B.set_block b "entry";
+    let p = B.call_val b L.alloc_shared [ B.i64 L.ts_size ] in
+    (* seed the scratch state with the visible levels value *)
+    let base = team_base b in
+    let team_lvl = load_state b base o_levels in
+    let slot = plevel_slot b in
+    let pl = B.load b I64 slot in
+    B.store b I64 (B.add b team_lvl pl) p;
+    B.store b I64 (B.add b pl (B.i64 1)) slot;
+    (* levels reads go through get_level, which already accounts for the
+       bump; the scratch block carries the pre-bump view *)
+    B.ret b (Some p)
+  | _ -> assert false);
+  ignore (B.end_func b);
+  (match B.begin_func b ~name:L.pop_icv_state ~attrs:no_inline ~params:[] ~ret:None () with
+  | [] ->
+    B.set_block b "entry";
+    let slot = plevel_slot b in
+    let pl = B.load b I64 slot in
+    B.store b I64 (B.sub b pl (B.i64 1)) slot;
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b)
+
+let build (cfg : Config.t) : modul =
+  let b = B.create "openmp_device_rt_old" in
+  add_globals cfg b;
+  build_assert b;
+  build_alloc_shared b;
+  build_free_shared b;
+  build_worker_loop b;
+  build_target_init b;
+  build_target_deinit b;
+  build_parallel b;
+  build_distribute_init b;
+  build_for_static_init b;
+  build_icv_read b ~name:L.get_num_threads ~off:o_nthreads;
+  build_icv_read b ~name:L.get_level ~off:o_levels;
+  build_barrier_fn b;
+  build_get_thread_num b;
+  build_simple b ~name:L.get_team_num ~emit:(fun b -> B.block_id b);
+  build_simple b ~name:L.get_num_teams ~emit:(fun b -> B.grid_dim b);
+  build_push_pop b;
+  B.finish b

@@ -1,0 +1,6 @@
+(* Entry point: build a device runtime module for a configuration. *)
+
+let build (cfg : Config.t) : Ozo_ir.Types.modul =
+  match cfg.Config.variant with
+  | Config.New_rt -> New_rt.build cfg
+  | Config.Old_rt -> Old_rt.build cfg

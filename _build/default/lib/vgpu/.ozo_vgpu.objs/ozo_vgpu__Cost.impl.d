@@ -1,0 +1,1 @@
+lib/vgpu/cost.ml: Float List

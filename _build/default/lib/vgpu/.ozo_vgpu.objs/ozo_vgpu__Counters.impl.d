@@ -1,0 +1,1 @@
+lib/vgpu/counters.ml: Cost Fmt

@@ -1,0 +1,1 @@
+lib/vgpu/device.ml: Array Cost Counters Engine Fmt Hashtbl List Memory Ozo_ir Result

@@ -1,0 +1,1 @@
+lib/vgpu/engine.ml: Array Cost Counters Float Fmt Format Hashtbl Int64 List Memory Ozo_ir Printf

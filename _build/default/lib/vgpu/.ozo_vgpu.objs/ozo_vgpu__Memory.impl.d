@@ -1,0 +1,1 @@
+lib/vgpu/memory.ml: Array Bytes Char Int32 Int64 List Ozo_ir

@@ -1,0 +1,106 @@
+(* Cycle cost model and occupancy calculator.
+
+   The absolute numbers are not calibrated against any real GPU; what
+   matters for the reproduction is the *relative* sensitivity: extra
+   instructions, barriers, memory traffic, register pressure and shared
+   memory consumption must all cost something, because those are exactly
+   the quantities the paper's co-designed optimizations reduce. *)
+
+type params = {
+  warp_size : int;
+  n_sm : int;                  (* streaming multiprocessors *)
+  max_threads_per_sm : int;
+  max_teams_per_sm : int;
+  regfile_per_sm : int;        (* registers *)
+  shared_per_sm : int;         (* bytes *)
+  (* instruction costs, in cycles per warp issue *)
+  c_alu : int;
+  c_falu : int;
+  c_special : int;             (* sqrt/exp/log/sin/cos *)
+  c_branch : int;
+  c_shared_access : int;
+  c_local_access : int;        (* per-thread stack / L1 local *)
+  c_global_segment : int;      (* per 128-byte segment touched by a warp *)
+  c_barrier : int;
+  c_call : int;
+  c_ret : int;
+  c_atomic_shared : int;
+  c_atomic_global : int;
+  c_malloc : int;
+  c_alloca : int;
+  segment_bytes : int;
+}
+
+let default =
+  { warp_size = 32;
+    n_sm = 8;
+    max_threads_per_sm = 2048;
+    max_teams_per_sm = 32;
+    (* scaled so that ~16 registers per thread fill the file at full
+       thread residency: register pressure above that costs occupancy *)
+    regfile_per_sm = 32768;
+    shared_per_sm = 100 * 1024;
+    c_alu = 1;
+    c_falu = 2;
+    c_special = 8;
+    c_branch = 2;
+    c_shared_access = 4;
+    c_local_access = 4;
+    c_global_segment = 40;
+    c_barrier = 60;
+    c_call = 12;
+    c_ret = 6;
+    c_atomic_shared = 12;
+    c_atomic_global = 80;
+    c_malloc = 600;
+    c_alloca = 2;
+    segment_bytes = 128 }
+
+(* Number of team instances that fit on one SM given the kernel's resource
+   demands. Mirrors the CUDA occupancy calculation: the binding constraint
+   is whichever of threads, registers or shared memory runs out first. *)
+let teams_per_sm p ~threads_per_team ~regs_per_thread ~shared_per_team =
+  let by_threads = p.max_threads_per_sm / max 1 threads_per_team in
+  let by_regs = p.regfile_per_sm / max 1 (regs_per_thread * threads_per_team) in
+  let by_shared =
+    if shared_per_team <= 0 then p.max_teams_per_sm else p.shared_per_sm / shared_per_team
+  in
+  max 1 (min (min by_threads by_regs) (min by_shared p.max_teams_per_sm))
+
+type occupancy = {
+  o_teams_per_sm : int;
+  o_occupancy : float; (* resident threads / max threads *)
+}
+
+let occupancy p ~threads_per_team ~regs_per_thread ~shared_per_team =
+  let tps = teams_per_sm p ~threads_per_team ~regs_per_thread ~shared_per_team in
+  { o_teams_per_sm = tps;
+    o_occupancy =
+      float_of_int (tps * threads_per_team) /. float_of_int p.max_threads_per_sm }
+
+(* Kernel makespan estimate. [team_cycles] are the simulated cycle counts
+   of every team. Teams are distributed over SMs in waves of
+   [n_sm * teams_per_sm] concurrent teams; each wave costs the mean team
+   duration (the simulator interleaves warps within a team; across teams
+   we assume load balance, which holds for the regular proxy kernels).
+
+   Occupancy additionally controls *latency hiding* within a wave: an SM
+   with fewer resident threads has fewer warps to switch to while memory
+   operations are in flight. The throughput factor (0.5 + 0.5*occupancy)
+   applies to the *memory* share of the cycles ([mem_cycles], total over
+   all teams): compute-bound kernels tolerate low occupancy (the paper's
+   RSBench), bandwidth-bound ones do not (XSBench). This is the mechanism
+   through which the paper's register-count and shared-memory reductions
+   (Fig. 11) become kernel-time improvements. *)
+let kernel_time p ~occupancy:o ~team_cycles ~mem_cycles =
+  let n_teams = List.length team_cycles in
+  if n_teams = 0 then 0.0
+  else
+    let nt = float_of_int n_teams in
+    let total = List.fold_left ( + ) 0 team_cycles in
+    let mean = float_of_int total /. nt in
+    let mean_mem = Float.min mean (float_of_int mem_cycles /. nt) in
+    let concurrent = p.n_sm * o.o_teams_per_sm in
+    let waves = (n_teams + concurrent - 1) / concurrent in
+    let hiding = 0.5 +. (0.5 *. o.o_occupancy) in
+    float_of_int waves *. (mean -. mean_mem +. (mean_mem /. hiding))

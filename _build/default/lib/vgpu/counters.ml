@@ -1,0 +1,53 @@
+(* Execution statistics collected by the SIMT engine, the reproduction's
+   stand-in for Nsight Compute counters. *)
+
+type t = {
+  mutable warp_instructions : int;  (* instruction issues (per strand) *)
+  mutable lane_instructions : int;  (* instruction executions (per active lane) *)
+  mutable barriers : int;
+  mutable aligned_barriers : int;
+  mutable global_transactions : int;
+  mutable shared_accesses : int;
+  mutable atomics : int;
+  mutable mallocs : int;
+  mutable calls : int;
+  mutable divergent_branches : int;
+  mutable cycles : int;             (* accumulated cost-model cycles *)
+  mutable traps : int;
+}
+
+let create () =
+  { warp_instructions = 0; lane_instructions = 0; barriers = 0; aligned_barriers = 0;
+    global_transactions = 0; shared_accesses = 0; atomics = 0; mallocs = 0; calls = 0;
+    divergent_branches = 0; cycles = 0; traps = 0 }
+
+let add a b =
+  { warp_instructions = a.warp_instructions + b.warp_instructions;
+    lane_instructions = a.lane_instructions + b.lane_instructions;
+    barriers = a.barriers + b.barriers;
+    aligned_barriers = a.aligned_barriers + b.aligned_barriers;
+    global_transactions = a.global_transactions + b.global_transactions;
+    shared_accesses = a.shared_accesses + b.shared_accesses;
+    atomics = a.atomics + b.atomics;
+    mallocs = a.mallocs + b.mallocs;
+    calls = a.calls + b.calls;
+    divergent_branches = a.divergent_branches + b.divergent_branches;
+    cycles = a.cycles + b.cycles;
+    traps = a.traps + b.traps }
+
+(* cycles attributable to the memory system under the cost model [p];
+   the latency-hiding part of the makespan estimate *)
+let memory_cycles (p : Cost.params) c =
+  (c.global_transactions * p.Cost.c_global_segment)
+  + (c.shared_accesses * p.Cost.c_shared_access)
+  + (c.atomics * p.Cost.c_atomic_global)
+  + (c.mallocs * p.Cost.c_malloc)
+
+let pp ppf c =
+  Fmt.pf ppf
+    "@[<v>warp insts   %d@,lane insts   %d@,barriers     %d (aligned %d)@,\
+     global txns  %d@,shared accs  %d@,atomics      %d@,mallocs      %d@,\
+     calls        %d@,div branches %d@,cycles       %d@]"
+    c.warp_instructions c.lane_instructions c.barriers c.aligned_barriers
+    c.global_transactions c.shared_accesses c.atomics c.mallocs c.calls
+    c.divergent_branches c.cycles

@@ -1,0 +1,100 @@
+(* Public virtual-GPU API: load a module, allocate device buffers, copy
+   data, launch kernels and read back metrics. This plays the role of the
+   CUDA driver + Nsight Compute in the paper's evaluation setup. *)
+
+open Ozo_ir.Types
+
+type t = {
+  d_module : modul;
+  d_params : Cost.params;
+  d_mem : Memory.t;
+  d_gaddr : (string, int) Hashtbl.t;
+  d_shared_globals : (global * int) list;
+  d_static_shared : int; (* bytes of static shared memory per team *)
+  mutable d_last : Engine.result option;
+}
+
+type buffer = { buf_ptr : int; buf_bytes : int }
+
+type error =
+  | Trap of string   (* explicit trap / failed assertion / violated assumption *)
+  | Fault of string  (* engine-detected misuse: deadlock, misaligned barrier, ... *)
+
+let pp_error ppf = function
+  | Trap m -> Fmt.pf ppf "kernel trap: %s" m
+  | Fault m -> Fmt.pf ppf "kernel fault: %s" m
+
+let create ?(params = Cost.default) (m : modul) : t =
+  let mem = Memory.create ~threads_per_team:params.max_threads_per_sm in
+  let gaddr, shared_globals, shared_size = Engine.assign_addresses mem m in
+  mem.Memory.shared_size <- shared_size;
+  { d_module = m; d_params = params; d_mem = mem; d_gaddr = gaddr;
+    d_shared_globals = shared_globals; d_static_shared = shared_size; d_last = None }
+
+(* Allocate a device buffer in global memory. *)
+let alloc t bytes = { buf_ptr = Memory.alloc_global t.d_mem bytes; buf_bytes = bytes }
+
+let alloc_const t bytes =
+  { buf_ptr = Memory.alloc_const t.d_mem bytes; buf_bytes = bytes }
+
+let ptr b = b.buf_ptr
+
+let write_i64s t buf vals =
+  List.iteri
+    (fun i v -> Memory.store_int t.d_mem ~thread:0 (buf.buf_ptr + (i * 8)) I64 v)
+    vals
+
+let write_f64s t buf vals =
+  List.iteri
+    (fun i v -> Memory.store_float t.d_mem ~thread:0 (buf.buf_ptr + (i * 8)) v)
+    vals
+
+let write_i64_array t buf vals =
+  Array.iteri
+    (fun i v -> Memory.store_int t.d_mem ~thread:0 (buf.buf_ptr + (i * 8)) I64 v)
+    vals
+
+let write_f64_array t buf vals =
+  Array.iteri
+    (fun i v -> Memory.store_float t.d_mem ~thread:0 (buf.buf_ptr + (i * 8)) v)
+    vals
+
+let read_i64 t buf i = Memory.load_int t.d_mem ~thread:0 (buf.buf_ptr + (i * 8)) I64
+let read_f64 t buf i = Memory.load_float t.d_mem ~thread:0 (buf.buf_ptr + (i * 8))
+
+let read_i64_array t buf n = Array.init n (read_i64 t buf)
+let read_f64_array t buf n = Array.init n (read_f64 t buf)
+
+let static_shared_bytes t = t.d_static_shared
+
+let launch ?(check_assumes = false) ?(trace = false) ?budget t ~teams ~threads args :
+    (Engine.result, error) Result.t =
+  let l =
+    { Engine.l_teams = teams; l_threads = threads; l_args = args;
+      l_check_assumes = check_assumes; l_trace = trace }
+  in
+  match
+    Engine.run ?budget ~params:t.d_params t.d_module ~mem:t.d_mem ~gaddr:t.d_gaddr
+      ~shared_globals:t.d_shared_globals l
+  with
+  | r ->
+    t.d_last <- Some r;
+    Ok r
+  | exception Engine.Kernel_trap m -> Error (Trap m)
+  | exception Engine.Kernel_fault m -> Error (Fault m)
+
+let last_result t = t.d_last
+
+(* Kernel-time estimate for the last launch, given the register estimate
+   of the kernel (from IR liveness) and its shared-memory footprint. *)
+let kernel_time_cycles t ~threads ~regs_per_thread =
+  match t.d_last with
+  | None -> 0.0
+  | Some r ->
+    let occ =
+      Cost.occupancy t.d_params ~threads_per_team:threads ~regs_per_thread
+        ~shared_per_team:t.d_static_shared
+    in
+    Cost.kernel_time t.d_params ~occupancy:occ
+      ~team_cycles:(List.map (fun c -> c.Counters.cycles) r.Engine.r_counters)
+      ~mem_cycles:(Counters.memory_cycles t.d_params r.Engine.r_total)

@@ -1,0 +1,1121 @@
+(* SIMT execution engine.
+
+   Execution model: each warp starts as a single *strand* — an active-lane
+   mask plus a call stack. A divergent branch splits the strand into
+   children and (when an immediate post-dominator exists) registers a join
+   at the reconvergence point; children that reach the join die and, once
+   all have arrived, a merged strand resumes. This is a deterministic
+   version of post-Volta "independent thread scheduling": sibling strands
+   can make progress while one waits at a barrier, which the OpenMP
+   generic-mode state machine (main thread vs. worker threads in the same
+   warp) requires.
+
+   Teams execute sequentially and deterministically; within a team,
+   runnable strands are scheduled in creation order, each running until it
+   blocks at a barrier, dies, or splits. Costs are charged per strand
+   instruction issue (so divergence costs extra issues) plus per-access
+   memory costs with global-memory coalescing. *)
+
+open Ozo_ir.Types
+module Dominance = Ozo_ir.Dominance
+module Cfg = Ozo_ir.Cfg
+
+exception Kernel_trap of string
+exception Kernel_fault of string
+
+let fault fmt = Format.kasprintf (fun s -> raise (Kernel_fault s)) fmt
+
+type arg = Ai of int | Af of float
+
+type launch = {
+  l_teams : int;
+  l_threads : int;
+  l_args : arg list;
+  l_check_assumes : bool;
+  l_trace : bool;
+}
+
+(* --- per-function static caches ------------------------------------- *)
+
+type cblock = {
+  cb_phis : phi list;
+  cb_insts : inst array;
+  cb_term : terminator;
+}
+
+type fn_info = {
+  fi_func : func;
+  fi_blocks : (label, cblock) Hashtbl.t;
+  fi_reconv : (label, label option) Hashtbl.t; (* immediate post-dominator *)
+}
+
+let make_fn_info f =
+  let blocks = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      Hashtbl.replace blocks b.b_label
+        { cb_phis = b.b_phis; cb_insts = Array.of_list b.b_insts; cb_term = b.b_term })
+    f.f_blocks;
+  let cfg = Cfg.of_func f in
+  let pdom = Dominance.post_dominators cfg in
+  let reconv = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      Hashtbl.replace reconv b.b_label (Dominance.reconvergence_point pdom b.b_label))
+    f.f_blocks;
+  { fi_func = f; fi_blocks = blocks; fi_reconv = reconv }
+
+(* --- dynamic structures ---------------------------------------------- *)
+
+type lane_regs = { ints : int array; floats : float array }
+
+type frame = {
+  fr_info : fn_info;
+  fr_regs : lane_regs array; (* indexed by lane *)
+  fr_sp_save : int array;    (* per-lane local stack pointer at entry *)
+  fr_id : int;
+}
+
+type slot = {
+  sl_frame : frame;
+  mutable sl_blk : label;
+  mutable sl_idx : int;
+  sl_ret_dst : (reg * bool) option; (* destination in the caller, is_float *)
+}
+
+let copy_slot s =
+  { sl_frame = s.sl_frame; sl_blk = s.sl_blk; sl_idx = s.sl_idx;
+    sl_ret_dst = s.sl_ret_dst }
+
+type join = {
+  j_id : int;
+  j_frame : int;
+  j_rpc : label;
+  mutable j_expected : int;
+  mutable j_arrived : int;
+  j_mask : bool array;
+  j_cont : slot list;
+  j_outer : join list;
+}
+
+(* pseudo-label for joins that reconverge at function return: divergent
+   paths that all return from the current function merge at the call's
+   continuation, as real SIMT hardware does *)
+let ret_marker = "<ret>"
+
+type barrier_site = { bs_fn : string; bs_blk : label; bs_idx : int; bs_aligned : bool }
+
+type status = Run | At_barrier of barrier_site | Dead
+
+type strand = {
+  st_seq : int;
+  st_warp : int;
+  mutable st_mask : bool array;
+  mutable st_stack : slot list;
+  mutable st_joins : join list; (* innermost first *)
+  mutable st_status : status;
+}
+
+type team_ctx = {
+  tc_team : int;
+  tc_threads : int;
+  tc_warp_size : int;
+  tc_done : bool array;         (* per thread in team *)
+  mutable tc_strands : strand list; (* in creation order *)
+  mutable tc_next_seq : int;
+  mutable tc_next_frame : int;
+  mutable tc_next_join : int;
+  tc_counters : Counters.t;
+}
+
+type engine = {
+  e_module : modul;
+  e_params : Cost.params;
+  e_mem : Memory.t;
+  e_launch : launch;
+  e_fn_infos : (string, fn_info) Hashtbl.t;
+  e_gaddr : (string, int) Hashtbl.t;       (* global name -> encoded address *)
+  e_ftable : func array;                   (* function pointer table *)
+  e_fidx : (string, int) Hashtbl.t;        (* function name -> index+1 (0 = null) *)
+  e_shared_globals : (global * int) list;  (* shared-space globals and offsets *)
+  mutable e_budget : int;                  (* remaining instruction issues *)
+}
+
+let fn_info e name =
+  match Hashtbl.find_opt e.e_fn_infos name with
+  | Some fi -> fi
+  | None ->
+    let f = find_func_exn e.e_module name in
+    let fi = make_fn_info f in
+    Hashtbl.replace e.e_fn_infos name fi;
+    fi
+
+let popcount mask = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask
+
+(* --- operand evaluation ---------------------------------------------- *)
+
+let gaddr e g =
+  match Hashtbl.find_opt e.e_gaddr g with
+  | Some a -> a
+  | None -> fault "unknown global @%s" g
+
+let fidx e f =
+  match Hashtbl.find_opt e.e_fidx f with
+  | Some i -> i
+  | None -> fault "unknown function &%s" f
+
+let eval_i e (fr : frame) lane = function
+  | Reg r -> fr.fr_regs.(lane).ints.(r)
+  | Imm_int (v, _) -> Int64.to_int v
+  | Imm_float _ -> fault "float immediate in integer context"
+  | Global_addr g -> gaddr e g
+  | Func_addr f -> fidx e f
+  | Undef _ -> 0
+
+let eval_f _e (fr : frame) lane = function
+  | Reg r -> fr.fr_regs.(lane).floats.(r)
+  | Imm_float x -> x
+  | Imm_int (v, _) -> Int64.to_float v
+  | Undef _ -> 0.0
+  | Global_addr _ | Func_addr _ -> fault "address in float context"
+
+let is_float_typ = function F64 -> true | I1 | I32 | I64 | Ptr _ -> false
+
+(* --- cost helpers ----------------------------------------------------- *)
+
+let charge tc n = tc.tc_counters.cycles <- tc.tc_counters.cycles + n
+
+(* Global-memory coalescing: cost per distinct segment touched. *)
+let charge_mem e tc addrs =
+  let p = e.e_params in
+  let segs = Hashtbl.create 8 in
+  let shared = ref false in
+  List.iter
+    (fun a ->
+      let space, off = Memory.decode a in
+      match space with
+      | Global | Constant ->
+        Hashtbl.replace segs (off / p.segment_bytes) ()
+      | Shared ->
+        shared := true;
+        tc.tc_counters.shared_accesses <- tc.tc_counters.shared_accesses + 1
+      | Local -> ())
+    addrs;
+  let nsegs = Hashtbl.length segs in
+  tc.tc_counters.global_transactions <- tc.tc_counters.global_transactions + nsegs;
+  charge tc (nsegs * p.c_global_segment);
+  if !shared then charge tc p.c_shared_access;
+  if nsegs = 0 && not !shared then charge tc p.c_local_access (* stack / L1 *)
+
+(* --- strand management ------------------------------------------------ *)
+
+(* Create a strand. If the strand materializes exactly at the
+   reconvergence point of its innermost pending join (a merged strand can
+   resume at a block that is simultaneously the rpc of an *outer* join —
+   chains of loop-exit joins produce this), it arrives there immediately
+   instead of executing past the join. *)
+let rec new_strand tc ~warp ~mask ~stack ~joins =
+  let s =
+    { st_seq = tc.tc_next_seq; st_warp = warp; st_mask = mask; st_stack = stack;
+      st_joins = joins; st_status = Run }
+  in
+  tc.tc_next_seq <- tc.tc_next_seq + 1;
+  tc.tc_strands <- tc.tc_strands @ [ s ];
+  (match (stack, joins) with
+  | slot :: _, j :: _
+    when j.j_frame = slot.sl_frame.fr_id && j.j_rpc = slot.sl_blk && slot.sl_idx = 0 ->
+    arrive_join tc s j
+  | _ -> ());
+  s
+
+(* Arrival of a strand at the join [j]; kills the strand and spawns the
+   merged continuation when everyone has arrived. *)
+and arrive_join tc st (j : join) =
+  let n = Array.length st.st_mask in
+  for lane = 0 to n - 1 do
+    if st.st_mask.(lane) then j.j_mask.(lane) <- true
+  done;
+  j.j_arrived <- j.j_arrived + 1;
+  st.st_status <- Dead;
+  if j.j_arrived = j.j_expected then
+    ignore
+      (new_strand tc ~warp:st.st_warp ~mask:(Array.copy j.j_mask)
+         ~stack:(List.map copy_slot j.j_cont) ~joins:j.j_outer)
+
+let make_frame tc e fname ~warp_size =
+  let fi = fn_info e fname in
+  let n = fi.fi_func.f_next_reg in
+  let regs =
+    Array.init warp_size (fun _ ->
+        { ints = Array.make (max n 1) 0; floats = Array.make (max n 1) 0.0 })
+  in
+  let fr =
+    { fr_info = fi; fr_regs = regs; fr_sp_save = Array.make warp_size 0;
+      fr_id = tc.tc_next_frame }
+  in
+  tc.tc_next_frame <- tc.tc_next_frame + 1;
+  fr
+
+(* Warp width of the engine currently running (set once per [run]; the
+   engine is single-threaded). Needed to map (warp, lane) to thread ids in
+   contexts that only see a strand. *)
+let cur_warp_size = ref 32
+
+(* global thread id of a lane in this warp within the team *)
+let lane_tid st lane = (st.st_warp * !cur_warp_size) + lane
+
+(* Evaluate the phi nodes of [to_blk] for the lanes in [mask], coming from
+   [from_blk]; parallel-copy semantics. *)
+let eval_phis e (fr : frame) ~mask ~from_blk ~to_blk =
+  match Hashtbl.find_opt fr.fr_info.fi_blocks to_blk with
+  | None -> fault "edge to unknown block %s" to_blk
+  | Some b ->
+    if b.cb_phis <> [] then begin
+      let n = Array.length mask in
+      let staged =
+        List.map
+          (fun p ->
+            let incoming =
+              match List.assoc_opt from_blk p.phi_incoming with
+              | Some o -> o
+              | None -> fault "phi %%%d in %s lacks incoming for %s" p.phi_reg to_blk from_blk
+            in
+            let fl = is_float_typ p.phi_typ in
+            let vals_i = Array.make n 0 and vals_f = Array.make n 0.0 in
+            for lane = 0 to n - 1 do
+              if mask.(lane) then
+                if fl then vals_f.(lane) <- eval_f e fr lane incoming
+                else vals_i.(lane) <- eval_i e fr lane incoming
+            done;
+            (p.phi_reg, fl, vals_i, vals_f))
+          b.cb_phis
+      in
+      List.iter
+        (fun (r, fl, vals_i, vals_f) ->
+          for lane = 0 to n - 1 do
+            if mask.(lane) then
+              if fl then fr.fr_regs.(lane).floats.(r) <- vals_f.(lane)
+              else fr.fr_regs.(lane).ints.(r) <- vals_i.(lane)
+          done)
+        staged
+    end
+
+(* Transfer the strand's top slot to [to_blk] (uniform within the strand),
+   handling phis and join arrival. *)
+let transfer e tc st slot ~to_blk =
+  eval_phis e slot.sl_frame ~mask:st.st_mask ~from_blk:slot.sl_blk ~to_blk;
+  match st.st_joins with
+  | j :: _ when j.j_frame = slot.sl_frame.fr_id && j.j_rpc = to_blk ->
+    arrive_join tc st j
+  | _ ->
+    slot.sl_blk <- to_blk;
+    slot.sl_idx <- 0
+
+(* Split a strand into groups (label, mask) diverging at [slot.sl_blk]. *)
+let diverge e tc st slot groups =
+  tc.tc_counters.divergent_branches <- tc.tc_counters.divergent_branches + 1;
+  let from_blk = slot.sl_blk in
+  let reconv =
+    match Hashtbl.find_opt slot.sl_frame.fr_info.fi_reconv from_blk with
+    | Some r -> r
+    | None -> None
+  in
+  (* evaluate the phis of every target for that edge's lanes first *)
+  List.iter
+    (fun (lbl, mask) -> eval_phis e slot.sl_frame ~mask ~from_blk ~to_blk:lbl)
+    groups;
+  (match reconv with
+  | Some rpc ->
+    let cont =
+      List.map copy_slot st.st_stack
+      |> function
+      | top :: rest ->
+        top.sl_blk <- rpc;
+        top.sl_idx <- 0;
+        top :: rest
+      | [] -> assert false
+    in
+    let j =
+      { j_id = tc.tc_next_join; j_frame = slot.sl_frame.fr_id; j_rpc = rpc;
+        j_expected = List.length groups; j_arrived = 0;
+        j_mask = Array.make (Array.length st.st_mask) false; j_cont = cont;
+        j_outer = st.st_joins }
+    in
+    tc.tc_next_join <- tc.tc_next_join + 1;
+    List.iter
+      (fun (lbl, mask) ->
+        (* a child whose target is the rpc itself arrives instantly —
+           new_strand detects and handles that *)
+        let child_slot = copy_slot slot in
+        child_slot.sl_blk <- lbl;
+        child_slot.sl_idx <- 0;
+        ignore
+          (new_strand tc ~warp:st.st_warp ~mask ~stack:[ child_slot ]
+             ~joins:(j :: st.st_joins)))
+      groups
+  | None -> (
+    match st.st_stack with
+    | _ :: (_ :: _ as caller_stack) ->
+      (* every path returns from this function: reconverge at the call's
+         continuation in the caller, like hardware does *)
+      let j =
+        { j_id = tc.tc_next_join; j_frame = slot.sl_frame.fr_id; j_rpc = ret_marker;
+          j_expected = List.length groups; j_arrived = 0;
+          j_mask = Array.make (Array.length st.st_mask) false;
+          j_cont = List.map copy_slot caller_stack; j_outer = st.st_joins }
+      in
+      tc.tc_next_join <- tc.tc_next_join + 1;
+      List.iter
+        (fun (lbl, mask) ->
+          let child_slot = copy_slot slot in
+          child_slot.sl_blk <- lbl;
+          child_slot.sl_idx <- 0;
+          ignore
+            (new_strand tc ~warp:st.st_warp ~mask ~stack:[ child_slot ]
+               ~joins:(j :: st.st_joins)))
+        groups
+    | _ ->
+      (* kernel frame: no reconvergence before kernel exit — children run
+         independently; every outer join now expects one extra arrival per
+         additional child *)
+      let extra = List.length groups - 1 in
+      List.iter (fun j -> j.j_expected <- j.j_expected + extra) st.st_joins;
+      List.iter
+        (fun (lbl, mask) ->
+          let stack = List.map copy_slot st.st_stack in
+          (match stack with
+          | top :: _ ->
+            top.sl_blk <- lbl;
+            top.sl_idx <- 0
+          | [] -> assert false);
+          ignore (new_strand tc ~warp:st.st_warp ~mask ~stack ~joins:st.st_joins))
+        groups));
+  st.st_status <- Dead
+
+(* --- ret handling ------------------------------------------------------ *)
+
+let do_ret e tc st slot ret_op =
+  charge tc e.e_params.c_ret;
+  let fr = slot.sl_frame in
+  let n = Array.length st.st_mask in
+  (* a pending return-reconvergence join for this frame? *)
+  let ret_join =
+    match st.st_joins with
+    | j :: _ when j.j_frame = fr.fr_id && j.j_rpc = ret_marker -> Some j
+    | _ -> None
+  in
+  (match st.st_joins with
+  | j :: _ when j.j_frame = fr.fr_id && j.j_rpc <> ret_marker ->
+    fault "ret in %s before reconvergence at %s" fr.fr_info.fi_func.f_name j.j_rpc
+  | _ -> ());
+  (* restore the per-lane local stack pointers *)
+  for lane = 0 to n - 1 do
+    if st.st_mask.(lane) then
+      Memory.set_local_sp e.e_mem ~thread:(lane_tid st lane) fr.fr_sp_save.(lane)
+  done;
+  match ret_join with
+  | Some j ->
+    (* deposit this strand's return values in the caller frame recorded in
+       the join continuation, then arrive *)
+    (match (slot.sl_ret_dst, ret_op, j.j_cont) with
+    | Some (dst, fl), Some o, caller :: _ ->
+      for lane = 0 to n - 1 do
+        if st.st_mask.(lane) then
+          if fl then caller.sl_frame.fr_regs.(lane).floats.(dst) <- eval_f e fr lane o
+          else caller.sl_frame.fr_regs.(lane).ints.(dst) <- eval_i e fr lane o
+      done
+    | Some _, None, _ ->
+      fault "function %s returns no value but caller expects one"
+        fr.fr_info.fi_func.f_name
+    | _, _, _ -> ());
+    arrive_join tc st j
+  | None -> (
+    match st.st_stack with
+  | [] -> assert false
+  | [ _ ] ->
+    (* kernel-level return: these lanes are done *)
+    for lane = 0 to n - 1 do
+      if st.st_mask.(lane) then tc.tc_done.(lane_tid st lane) <- true
+    done;
+    st.st_status <- Dead
+  | _ :: (caller :: _ as rest) ->
+    (match (slot.sl_ret_dst, ret_op) with
+    | Some (dst, fl), Some o ->
+      for lane = 0 to n - 1 do
+        if st.st_mask.(lane) then
+          if fl then caller.sl_frame.fr_regs.(lane).floats.(dst) <- eval_f e fr lane o
+          else caller.sl_frame.fr_regs.(lane).ints.(dst) <- eval_i e fr lane o
+      done
+    | Some (dst, fl), None ->
+      ignore dst;
+      ignore fl;
+      fault "function %s returns no value but caller expects one"
+        fr.fr_info.fi_func.f_name
+    | None, _ -> ());
+    st.st_stack <- rest)
+
+(* --- instruction execution -------------------------------------------- *)
+
+let exec_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Sdiv -> if b = 0 then fault "division by zero" else a / b
+  | Srem -> if b = 0 then fault "remainder by zero" else a mod b
+  | Udiv -> if b = 0 then fault "division by zero" else abs a / abs b
+  | Urem -> if b = 0 then fault "remainder by zero" else abs a mod abs b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 62)
+  | Ashr -> a asr (b land 62)
+  | Lshr -> (a lsr (b land 62)) land max_int
+  | Smin -> min a b
+  | Smax -> max a b
+  | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax -> fault "float binop in int context"
+
+let exec_fbinop op a b =
+  match op with
+  | Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> a /. b
+  | Fmin -> min a b
+  | Fmax -> max a b
+  | _ -> fault "int binop in float context"
+
+let is_float_binop = function
+  | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax -> true
+  | _ -> false
+
+(* 63-bit unsigned comparisons: negative = huge *)
+let icmp_ult a b =
+  (a >= 0 && b >= 0 && a < b) || (a >= 0 && b < 0) || (a < 0 && b < 0 && a < b)
+
+let icmp_fn op a b =
+  match op with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Slt -> a < b
+  | Sle -> a <= b
+  | Sgt -> a > b
+  | Sge -> a >= b
+  | Ult -> icmp_ult a b
+  | Ule -> a = b || icmp_ult a b
+  | Ugt -> icmp_ult b a
+  | Uge -> a = b || icmp_ult b a
+
+let fcmp_fn op a b =
+  match op with
+  | Feq -> a = b
+  | Fne -> a <> b
+  | Flt -> a < b
+  | Fle -> a <= b
+  | Fgt -> a > b
+  | Fge -> a >= b
+
+(* Execute one instruction for a strand. Returns [`Continue] to proceed to
+   the next instruction, [`Blocked] when the strand suspended (barrier) or
+   changed shape (call/death). *)
+let rec exec_inst e tc (st : strand) (slot : slot) (inst : inst) :
+    [ `Continue | `Suspend ] =
+  let p = e.e_params in
+  let fr = slot.sl_frame in
+  let mask = st.st_mask in
+  let n = Array.length mask in
+  tc.tc_counters.warp_instructions <- tc.tc_counters.warp_instructions + 1;
+  tc.tc_counters.lane_instructions <- tc.tc_counters.lane_instructions + popcount mask;
+  e.e_budget <- e.e_budget - 1;
+  if e.e_budget <= 0 then fault "instruction budget exceeded (runaway kernel?)";
+  let each f =
+    for lane = 0 to n - 1 do
+      if mask.(lane) then f lane
+    done
+  in
+  match inst with
+  | Binop (r, op, a, b) ->
+    if is_float_binop op then begin
+      charge tc p.c_falu;
+      each (fun l ->
+          fr.fr_regs.(l).floats.(r) <- exec_fbinop op (eval_f e fr l a) (eval_f e fr l b))
+    end
+    else begin
+      charge tc p.c_alu;
+      each (fun l ->
+          fr.fr_regs.(l).ints.(r) <- exec_binop op (eval_i e fr l a) (eval_i e fr l b))
+    end;
+    `Continue
+  | Unop (r, op, a) ->
+    (match op with
+    | Not ->
+      charge tc p.c_alu;
+      each (fun l -> fr.fr_regs.(l).ints.(r) <- lnot (eval_i e fr l a))
+    | Fneg ->
+      charge tc p.c_falu;
+      each (fun l -> fr.fr_regs.(l).floats.(r) <- -.eval_f e fr l a)
+    | Fabs ->
+      charge tc p.c_falu;
+      each (fun l -> fr.fr_regs.(l).floats.(r) <- Float.abs (eval_f e fr l a))
+    | Fsqrt ->
+      charge tc p.c_special;
+      each (fun l -> fr.fr_regs.(l).floats.(r) <- sqrt (eval_f e fr l a))
+    | Fexp ->
+      charge tc p.c_special;
+      each (fun l -> fr.fr_regs.(l).floats.(r) <- exp (eval_f e fr l a))
+    | Flog ->
+      charge tc p.c_special;
+      each (fun l -> fr.fr_regs.(l).floats.(r) <- log (eval_f e fr l a))
+    | Fsin ->
+      charge tc p.c_special;
+      each (fun l -> fr.fr_regs.(l).floats.(r) <- sin (eval_f e fr l a))
+    | Fcos ->
+      charge tc p.c_special;
+      each (fun l -> fr.fr_regs.(l).floats.(r) <- cos (eval_f e fr l a))
+    | Sitofp ->
+      charge tc p.c_alu;
+      each (fun l -> fr.fr_regs.(l).floats.(r) <- float_of_int (eval_i e fr l a))
+    | Fptosi ->
+      charge tc p.c_alu;
+      each (fun l -> fr.fr_regs.(l).ints.(r) <- int_of_float (eval_f e fr l a))
+    | Zext32to64 ->
+      charge tc p.c_alu;
+      each (fun l -> fr.fr_regs.(l).ints.(r) <- eval_i e fr l a land 0xFFFFFFFF)
+    | Trunc64to32 ->
+      charge tc p.c_alu;
+      each (fun l -> fr.fr_regs.(l).ints.(r) <- eval_i e fr l a land 0xFFFFFFFF));
+    `Continue
+  | Icmp (r, op, a, b) ->
+    charge tc p.c_alu;
+    each (fun l ->
+        fr.fr_regs.(l).ints.(r) <-
+          (if icmp_fn op (eval_i e fr l a) (eval_i e fr l b) then 1 else 0));
+    `Continue
+  | Fcmp (r, op, a, b) ->
+    charge tc p.c_falu;
+    each (fun l ->
+        fr.fr_regs.(l).ints.(r) <-
+          (if fcmp_fn op (eval_f e fr l a) (eval_f e fr l b) then 1 else 0));
+    `Continue
+  | Select (r, ty, c, x, y) ->
+    charge tc p.c_alu;
+    if is_float_typ ty then
+      each (fun l ->
+          fr.fr_regs.(l).floats.(r) <-
+            (if eval_i e fr l c <> 0 then eval_f e fr l x else eval_f e fr l y))
+    else
+      each (fun l ->
+          fr.fr_regs.(l).ints.(r) <-
+            (if eval_i e fr l c <> 0 then eval_i e fr l x else eval_i e fr l y));
+    `Continue
+  | Ptradd (r, base, off) ->
+    charge tc p.c_alu;
+    each (fun l -> fr.fr_regs.(l).ints.(r) <- eval_i e fr l base + eval_i e fr l off);
+    `Continue
+  | Load (r, ty, addr) ->
+    let addrs = ref [] in
+    each (fun l -> addrs := eval_i e fr l addr :: !addrs);
+    charge_mem e tc !addrs;
+    if is_float_typ ty then
+      each (fun l ->
+          fr.fr_regs.(l).floats.(r) <-
+            Memory.load_float e.e_mem ~thread:(lane_tid st l) (eval_i e fr l addr))
+    else
+      each (fun l ->
+          fr.fr_regs.(l).ints.(r) <-
+            Memory.load_int e.e_mem ~thread:(lane_tid st l) (eval_i e fr l addr) ty);
+    `Continue
+  | Store (ty, v, addr) ->
+    let addrs = ref [] in
+    each (fun l -> addrs := eval_i e fr l addr :: !addrs);
+    charge_mem e tc !addrs;
+    if is_float_typ ty then
+      each (fun l ->
+          Memory.store_float e.e_mem ~thread:(lane_tid st l) (eval_i e fr l addr)
+            (eval_f e fr l v))
+    else
+      each (fun l ->
+          Memory.store_int e.e_mem ~thread:(lane_tid st l) (eval_i e fr l addr) ty
+            (eval_i e fr l v));
+    `Continue
+  | Alloca (r, size) ->
+    charge tc p.c_alloca;
+    each (fun l ->
+        fr.fr_regs.(l).ints.(r) <- Memory.alloca e.e_mem ~thread:(lane_tid st l) size);
+    `Continue
+  | Intrinsic (r, i) ->
+    charge tc p.c_alu;
+    each (fun l ->
+        fr.fr_regs.(l).ints.(r) <-
+          (match i with
+          | Thread_id -> lane_tid st l
+          | Block_id -> tc.tc_team
+          | Block_dim -> tc.tc_threads
+          | Grid_dim -> e.e_launch.l_teams
+          | Warp_size -> p.warp_size
+          | Lane_id -> lane_tid st l mod p.warp_size));
+    `Continue
+  | Malloc (r, size) ->
+    charge tc p.c_malloc;
+    tc.tc_counters.mallocs <- tc.tc_counters.mallocs + 1;
+    each (fun l ->
+        fr.fr_regs.(l).ints.(r) <- Memory.malloc e.e_mem (eval_i e fr l size));
+    `Continue
+  | Free _ ->
+    charge tc p.c_alu;
+    `Continue
+  | Assume o ->
+    if e.e_launch.l_check_assumes then
+      each (fun l ->
+          if eval_i e fr l o = 0 then
+            raise
+              (Kernel_trap
+                 (Printf.sprintf "assumption violated in %s at %s:%d (thread %d)"
+                    fr.fr_info.fi_func.f_name slot.sl_blk slot.sl_idx (lane_tid st l))));
+    `Continue
+  | Trap msg -> raise (Kernel_trap msg)
+  | Debug_print (msg, ops) ->
+    if e.e_launch.l_trace then begin
+      let l = ref (-1) in
+      each (fun lane -> if !l < 0 then l := lane);
+      if !l >= 0 then
+        Fmt.epr "[vgpu team %d thread %d] %s %a@." tc.tc_team (lane_tid st !l) msg
+          (Fmt.list ~sep:Fmt.sp Fmt.int)
+          (List.map (eval_i e fr !l) ops)
+    end;
+    `Continue
+  | Atomic (dst, op, ty, addr, ops) ->
+    let global =
+      let any = ref false in
+      each (fun l ->
+          let space, _ = Memory.decode (eval_i e fr l addr) in
+          if space = Global then any := true);
+      !any
+    in
+    charge tc (if global then p.c_atomic_global else p.c_atomic_shared);
+    tc.tc_counters.atomics <- tc.tc_counters.atomics + 1;
+    (* lanes perform the RMW sequentially in lane order *)
+    each (fun l ->
+        let tid = lane_tid st l in
+        let a = eval_i e fr l addr in
+        if is_float_typ ty then begin
+          let old = Memory.load_float e.e_mem ~thread:tid a in
+          (match dst with
+          | Some r -> fr.fr_regs.(l).floats.(r) <- old
+          | None -> ());
+          let nv =
+            match (op, ops) with
+            | Atomic_add, [ v ] -> old +. eval_f e fr l v
+            | Atomic_exch, [ v ] -> eval_f e fr l v
+            | Atomic_max, [ v ] -> Float.max old (eval_f e fr l v)
+            | Atomic_cas, [ exp; des ] ->
+              if old = eval_f e fr l exp then eval_f e fr l des else old
+            | _ -> fault "malformed atomic"
+          in
+          Memory.store_float e.e_mem ~thread:tid a nv
+        end
+        else begin
+          let old = Memory.load_int e.e_mem ~thread:tid a ty in
+          (match dst with
+          | Some r -> fr.fr_regs.(l).ints.(r) <- old
+          | None -> ());
+          let nv =
+            match (op, ops) with
+            | Atomic_add, [ v ] -> old + eval_i e fr l v
+            | Atomic_exch, [ v ] -> eval_i e fr l v
+            | Atomic_max, [ v ] -> max old (eval_i e fr l v)
+            | Atomic_cas, [ exp; des ] ->
+              if old = eval_i e fr l exp then eval_i e fr l des else old
+            | _ -> fault "malformed atomic"
+          in
+          Memory.store_int e.e_mem ~thread:tid a ty nv
+        end);
+    `Continue
+  | Barrier { aligned } ->
+    charge tc p.c_barrier;
+    tc.tc_counters.barriers <- tc.tc_counters.barriers + 1;
+    if aligned then
+      tc.tc_counters.aligned_barriers <- tc.tc_counters.aligned_barriers + 1;
+    slot.sl_idx <- slot.sl_idx + 1;
+    st.st_status <-
+      At_barrier
+        { bs_fn = fr.fr_info.fi_func.f_name; bs_blk = slot.sl_blk;
+          bs_idx = slot.sl_idx - 1; bs_aligned = aligned };
+    `Suspend
+  | Call (dst, callee, args) -> do_call e tc st slot ~dst ~callee ~args
+  | Call_indirect (dst, _, callee_op, args) ->
+    (* indirect targets must be uniform across the strand *)
+    let target = ref 0 and got = ref false in
+    each (fun l ->
+        let v = eval_i e fr l callee_op in
+        if not !got then begin
+          target := v;
+          got := true
+        end
+        else if v <> !target then fault "divergent indirect call target");
+    if !target = 0 then fault "indirect call through null function pointer";
+    let callee =
+      if !target >= 1 && !target <= Array.length e.e_ftable then
+        e.e_ftable.(!target - 1).f_name
+      else fault "indirect call to invalid function pointer %d" !target
+    in
+    do_call e tc st slot ~dst ~callee ~args
+
+and do_call e tc st slot ~dst ~callee ~args =
+  charge tc e.e_params.c_call;
+  tc.tc_counters.calls <- tc.tc_counters.calls + 1;
+  let fr = slot.sl_frame in
+  let mask = st.st_mask in
+  let n = Array.length mask in
+  let fi = fn_info e callee in
+  let cf = fi.fi_func in
+  if List.length cf.f_params <> List.length args then
+    fault "call to %s with %d args (expects %d)" callee (List.length args)
+      (List.length cf.f_params);
+  (* advance the caller past the call before pushing *)
+  slot.sl_idx <- slot.sl_idx + 1;
+  let frame = make_frame tc e callee ~warp_size:n in
+  for lane = 0 to n - 1 do
+    if mask.(lane) then
+      frame.fr_sp_save.(lane) <- Memory.local_sp e.e_mem ~thread:(lane_tid st lane)
+  done;
+  List.iteri
+    (fun i ((preg, pty), argop) ->
+      ignore i;
+      let fl = is_float_typ pty in
+      for lane = 0 to n - 1 do
+        if mask.(lane) then
+          if fl then frame.fr_regs.(lane).floats.(preg) <- eval_f e fr lane argop
+          else frame.fr_regs.(lane).ints.(preg) <- eval_i e fr lane argop
+      done)
+    (List.combine cf.f_params args);
+  let ret_dst =
+    match (dst, cf.f_ret) with
+    | Some r, Some t -> Some (r, is_float_typ t)
+    | Some _, None -> fault "call to void function %s expects a value" callee
+    | None, _ -> None
+  in
+  let entry = (entry_block cf).b_label in
+  let callee_slot =
+    { sl_frame = frame; sl_blk = entry; sl_idx = 0; sl_ret_dst = ret_dst }
+  in
+  st.st_stack <- callee_slot :: st.st_stack;
+  `Suspend (* re-enter the main loop so the new top slot is picked up *)
+
+(* --- terminators -------------------------------------------------------- *)
+
+let exec_term e tc st slot term =
+  let fr = slot.sl_frame in
+  let mask = st.st_mask in
+  let n = Array.length mask in
+  charge tc e.e_params.c_branch;
+  e.e_budget <- e.e_budget - 1;
+  if e.e_budget <= 0 then fault "instruction budget exceeded (runaway kernel?)";
+  match term with
+  | Ret o -> do_ret e tc st slot o
+  | Br l -> transfer e tc st slot ~to_blk:l
+  | Unreachable -> raise (Kernel_trap "reached unreachable")
+  | Cond_br (c, lt, lf) ->
+    let mt = Array.make n false and mf = Array.make n false in
+    let any_t = ref false and any_f = ref false in
+    for lane = 0 to n - 1 do
+      if mask.(lane) then
+        if eval_i e fr lane c <> 0 then begin
+          mt.(lane) <- true;
+          any_t := true
+        end
+        else begin
+          mf.(lane) <- true;
+          any_f := true
+        end
+    done;
+    if !any_t && not !any_f then transfer e tc st slot ~to_blk:lt
+    else if !any_f && not !any_t then transfer e tc st slot ~to_blk:lf
+    else diverge e tc st slot [ (lt, mt); (lf, mf) ]
+  | Switch (o, cases, default) ->
+    let groups : (label, bool array) Hashtbl.t = Hashtbl.create 4 in
+    let order = ref [] in
+    for lane = 0 to n - 1 do
+      if mask.(lane) then begin
+        let v = eval_i e fr lane o in
+        let lbl =
+          match List.find_opt (fun (cv, _) -> Int64.to_int cv = v) cases with
+          | Some (_, l) -> l
+          | None -> default
+        in
+        (match Hashtbl.find_opt groups lbl with
+        | Some m -> m.(lane) <- true
+        | None ->
+          let m = Array.make n false in
+          m.(lane) <- true;
+          Hashtbl.replace groups lbl m;
+          order := lbl :: !order)
+      end
+    done;
+    (match !order with
+    | [ lbl ] -> transfer e tc st slot ~to_blk:lbl
+    | lbls -> diverge e tc st slot (List.rev_map (fun l -> (l, Hashtbl.find groups l)) lbls))
+
+(* --- strand / team scheduling ------------------------------------------ *)
+
+(* Run one strand until it suspends, dies or splits. *)
+let run_strand e tc st =
+  let continue_ = ref true in
+  while !continue_ && st.st_status = Run do
+    match st.st_stack with
+    | [] ->
+      st.st_status <- Dead;
+      continue_ := false
+    | slot :: _ -> (
+      let b =
+        match Hashtbl.find_opt slot.sl_frame.fr_info.fi_blocks slot.sl_blk with
+        | Some b -> b
+        | None -> fault "missing block %s" slot.sl_blk
+      in
+      let ninsts = Array.length b.cb_insts in
+      if slot.sl_idx < ninsts then begin
+        let inst = b.cb_insts.(slot.sl_idx) in
+        match exec_inst e tc st slot inst with
+        | `Continue -> slot.sl_idx <- slot.sl_idx + 1
+        | `Suspend -> continue_ := false
+      end
+      else begin
+        exec_term e tc st slot b.cb_term;
+        (* after a terminator the loop re-examines status/stack *)
+        match st.st_status with Run -> () | _ -> continue_ := false
+      end)
+  done
+
+let release_barriers tc =
+  (* aligned-barrier discipline: if any waiting strand is at an aligned
+     barrier, every waiting strand must be at the same site *)
+  let sites =
+    List.filter_map
+      (fun s -> match s.st_status with At_barrier b -> Some b | _ -> None)
+      tc.tc_strands
+  in
+  let aligned = List.exists (fun b -> b.bs_aligned) sites in
+  (match sites with
+  | first :: rest when aligned ->
+    List.iter
+      (fun b ->
+        if b.bs_fn <> first.bs_fn || b.bs_blk <> first.bs_blk || b.bs_idx <> first.bs_idx
+        then
+          fault "aligned barrier divergence: %s:%s:%d vs %s:%s:%d" first.bs_fn
+            first.bs_blk first.bs_idx b.bs_fn b.bs_blk b.bs_idx)
+      rest
+  | _ -> ());
+  List.iter
+    (fun s -> match s.st_status with At_barrier _ -> s.st_status <- Run | _ -> ())
+    tc.tc_strands
+
+(* Check partial-warp arrival at aligned barriers: a strand waiting at an
+   aligned barrier must carry every still-alive lane of its warp. *)
+let check_aligned_mask tc st site =
+  if site.bs_aligned then begin
+    let n = Array.length st.st_mask in
+    for lane = 0 to n - 1 do
+      let tid = lane_tid st lane in
+      if tid < tc.tc_threads && not tc.tc_done.(tid) && not st.st_mask.(lane) then begin
+        (* the lane is alive but not in this strand: only legal if another
+           strand of the same warp is waiting at the same site *)
+        let covered =
+          List.exists
+            (fun s' ->
+              s' != st && s'.st_warp = st.st_warp && s'.st_mask.(lane)
+              &&
+              match s'.st_status with
+              | At_barrier b' ->
+                b'.bs_fn = site.bs_fn && b'.bs_blk = site.bs_blk && b'.bs_idx = site.bs_idx
+              | _ -> false)
+            tc.tc_strands
+        in
+        if not covered then
+          fault "aligned barrier at %s:%s:%d reached divergently by warp %d" site.bs_fn
+            site.bs_blk site.bs_idx st.st_warp
+      end
+    done
+  end
+
+(* Forced partial reconvergence (independent thread scheduling): when a
+   join has arrivals but its remaining siblings are blocked (e.g. the main
+   thread executes team barriers while the rest of its warp waits at the
+   reconvergence point of the `if (target_init() == 1)` split), the parked
+   lanes must make forward progress, as Volta-class hardware guarantees.
+   The join splits: arrived lanes resume from the continuation as their
+   own strand; the remaining siblings will form another. Outer joins then
+   expect one extra arrival. Returns true if a join was split. *)
+let force_partial_reconvergence tc : bool =
+  (* collect pending joins reachable from live strands, innermost first *)
+  let candidates = ref [] in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if s.st_status <> Dead then
+        List.iter
+          (fun j ->
+            if not (Hashtbl.mem seen j.j_id) then begin
+              Hashtbl.replace seen j.j_id ();
+              if j.j_arrived > 0 && j.j_arrived < j.j_expected then
+                candidates := j :: !candidates
+            end)
+          s.st_joins)
+    tc.tc_strands;
+  match List.sort (fun a b -> compare a.j_id b.j_id) !candidates with
+  | [] -> false
+  | j :: _ ->
+    let mask = Array.copy j.j_mask in
+    Array.fill j.j_mask 0 (Array.length j.j_mask) false;
+    j.j_expected <- j.j_expected - j.j_arrived;
+    j.j_arrived <- 0;
+    List.iter (fun outer -> outer.j_expected <- outer.j_expected + 1) j.j_outer;
+    let warp =
+      (* recover the warp index from any set lane (mask lanes are within
+         one warp by construction) *)
+      match tc.tc_strands with
+      | s :: _ -> s.st_warp
+      | [] -> 0
+    in
+    (* find the true warp: the strand still holding this join *)
+    let warp =
+      match
+        List.find_opt
+          (fun s -> s.st_status <> Dead && List.memq j s.st_joins)
+          tc.tc_strands
+      with
+      | Some s -> s.st_warp
+      | None -> warp
+    in
+    ignore
+      (new_strand tc ~warp ~mask ~stack:(List.map copy_slot j.j_cont) ~joins:j.j_outer);
+    true
+
+let run_team e ~team =
+  let p = e.e_params in
+  let threads = e.e_launch.l_threads in
+  let tc =
+    { tc_team = team; tc_threads = threads; tc_warp_size = p.warp_size;
+      tc_done = Array.make threads false; tc_strands = []; tc_next_seq = 0;
+      tc_next_frame = 0; tc_next_join = 0; tc_counters = Counters.create () }
+  in
+  Memory.reset_team e.e_mem ~shared_globals:e.e_shared_globals;
+  (* spawn one strand per warp *)
+  let kernel =
+    match List.find_opt (fun f -> f.f_is_kernel) e.e_module.m_funcs with
+    | Some k -> k
+    | None -> fault "module has no kernel"
+  in
+  let nwarps = (threads + p.warp_size - 1) / p.warp_size in
+  for w = 0 to nwarps - 1 do
+    let lanes = min p.warp_size (threads - (w * p.warp_size)) in
+    let mask = Array.init p.warp_size (fun l -> l < lanes) in
+    let frame = make_frame tc e kernel.f_name ~warp_size:p.warp_size in
+    (* kernel arguments are uniform across all threads *)
+    List.iteri
+      (fun i ((preg, pty), arg) ->
+        ignore i;
+        for lane = 0 to p.warp_size - 1 do
+          match (arg, is_float_typ pty) with
+          | Ai v, false -> frame.fr_regs.(lane).ints.(preg) <- v
+          | Af v, true -> frame.fr_regs.(lane).floats.(preg) <- v
+          | Ai v, true -> frame.fr_regs.(lane).floats.(preg) <- float_of_int v
+          | Af _, false -> fault "float argument for integer kernel parameter"
+        done)
+      (try List.combine kernel.f_params e.e_launch.l_args
+       with Invalid_argument _ ->
+         fault "kernel %s expects %d args, got %d" kernel.f_name
+           (List.length kernel.f_params)
+           (List.length e.e_launch.l_args));
+    let slot =
+      { sl_frame = frame; sl_blk = (entry_block kernel).b_label; sl_idx = 0;
+        sl_ret_dst = None }
+    in
+    ignore (new_strand tc ~warp:w ~mask ~stack:[ slot ] ~joins:[])
+  done;
+  (* scheduler loop *)
+  let finished = ref false in
+  while not !finished do
+    tc.tc_strands <- List.filter (fun s -> s.st_status <> Dead) tc.tc_strands;
+    match List.find_opt (fun s -> s.st_status = Run) tc.tc_strands with
+    | Some s -> run_strand e tc s
+    | None ->
+      let alive = ref 0 in
+      Array.iter (fun d -> if not d then incr alive) tc.tc_done;
+      if !alive = 0 then finished := true
+      else begin
+        (* count lanes waiting at barriers *)
+        let waiting = ref 0 in
+        List.iter
+          (fun s ->
+            match s.st_status with
+            | At_barrier site ->
+              check_aligned_mask tc s site;
+              let m = ref 0 in
+              Array.iteri
+                (fun lane b ->
+                  if b && lane_tid s lane < threads && not tc.tc_done.(lane_tid s lane)
+                  then incr m)
+                s.st_mask;
+              waiting := !waiting + !m
+            | _ -> ())
+          tc.tc_strands;
+        if !waiting = !alive then release_barriers tc
+        else if not (force_partial_reconvergence tc) then
+          fault
+            "barrier deadlock in team %d: %d threads waiting, %d alive (a barrier was \
+             not reached by all threads)"
+            team !waiting !alive
+      end
+  done;
+  tc.tc_counters
+
+type result = {
+  r_counters : Counters.t list; (* per team *)
+  r_total : Counters.t;
+}
+
+let assign_addresses mem (m : modul) =
+  let gaddr = Hashtbl.create 16 in
+  let shared_globals = ref [] in
+  let shared_off = ref 0 in
+  List.iter
+    (fun g ->
+      match g.g_space with
+      | Shared ->
+        let aligned = (!shared_off + 7) land lnot 7 in
+        Hashtbl.replace gaddr g.g_name (Memory.encode Shared aligned);
+        shared_globals := (g, aligned) :: !shared_globals;
+        shared_off := aligned + g.g_size
+      | Global ->
+        let off = Memory.alloc_global mem g.g_size in
+        Hashtbl.replace gaddr g.g_name off;
+        Memory.init_global mem g (snd (Memory.decode off))
+      | Constant ->
+        let off = Memory.alloc_const mem g.g_size in
+        Hashtbl.replace gaddr g.g_name off;
+        Memory.init_global mem g (snd (Memory.decode off))
+      | Local -> ir_error "global %s in local space" g.g_name)
+    m.m_globals;
+  (gaddr, List.rev !shared_globals, !shared_off)
+
+(* Static shared-memory footprint of a module (bytes per team). *)
+let shared_bytes (m : modul) =
+  List.fold_left
+    (fun acc g -> match g.g_space with Shared -> acc + g.g_size | _ -> acc)
+    0 m.m_globals
+
+let run ?(params = Cost.default) ?(budget = 400_000_000) (m : modul)
+    ~(mem : Memory.t) ~(gaddr : (string, int) Hashtbl.t)
+    ~(shared_globals : (global * int) list) (launch : launch) : result =
+  cur_warp_size := params.warp_size;
+  let ftable = Array.of_list m.m_funcs in
+  let fidx = Hashtbl.create 16 in
+  Array.iteri (fun i f -> Hashtbl.replace fidx f.f_name (i + 1)) ftable;
+  let e =
+    { e_module = m; e_params = params; e_mem = mem; e_launch = launch;
+      e_fn_infos = Hashtbl.create 16; e_gaddr = gaddr; e_ftable = ftable;
+      e_fidx = fidx; e_shared_globals = shared_globals; e_budget = budget }
+  in
+  let counters = List.init launch.l_teams (fun team -> run_team e ~team) in
+  let total = List.fold_left Counters.add (Counters.create ()) counters in
+  { r_counters = counters; r_total = total }

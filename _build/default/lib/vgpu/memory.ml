@@ -1,0 +1,173 @@
+(* Byte-addressed memory for the virtual GPU.
+
+   Pointers are 63-bit integers carrying the address space in the top tag
+   bits: [tag << tag_shift | offset]. Global and constant memories are
+   device-wide; shared memory is one instance per team (teams execute
+   sequentially, so a single buffer is re-initialized per team); local
+   memory is a per-thread stack. *)
+
+open Ozo_ir.Types
+
+let tag_shift = 44
+let tag_global = 1
+let tag_shared = 2
+let tag_local = 3
+let tag_const = 4
+
+let tag_of_space = function
+  | Global -> tag_global
+  | Shared -> tag_shared
+  | Local -> tag_local
+  | Constant -> tag_const
+
+let encode space offset = (tag_of_space space lsl tag_shift) lor offset
+
+let decode ptr =
+  let tag = ptr lsr tag_shift in
+  let offset = ptr land ((1 lsl tag_shift) - 1) in
+  let space =
+    if tag = tag_global then Global
+    else if tag = tag_shared then Shared
+    else if tag = tag_local then Local
+    else if tag = tag_const then Constant
+    else ir_error "invalid pointer 0x%x (bad tag %d)" ptr tag
+  in
+  (space, offset)
+
+let null = 0
+
+type buf = { mutable data : Bytes.t; mutable used : int }
+
+let create_buf initial = { data = Bytes.make initial '\000'; used = 0 }
+
+let ensure buf size =
+  if size > Bytes.length buf.data then begin
+    let cap = max size (2 * Bytes.length buf.data) in
+    let data = Bytes.make cap '\000' in
+    Bytes.blit buf.data 0 data 0 (Bytes.length buf.data);
+    buf.data <- data
+  end
+
+(* Bump allocation; [free] is a no-op (the device heap is released when the
+   device is destroyed, like a simple arena allocator). *)
+let bump buf size =
+  let aligned = (buf.used + 7) land lnot 7 in
+  ensure buf (aligned + size);
+  buf.used <- aligned + size;
+  aligned
+
+type t = {
+  global : buf;
+  constant : buf;
+  shared : buf; (* current team's instance *)
+  mutable shared_size : int; (* static shared allocation per team *)
+  locals : Bytes.t array; (* per thread in the current team *)
+  local_sp : int array;   (* per-thread stack pointer *)
+}
+
+let local_stack_bytes = 16 * 1024
+
+let create ~threads_per_team =
+  { global = create_buf (1 lsl 16);
+    constant = create_buf (1 lsl 12);
+    shared = create_buf (1 lsl 12);
+    shared_size = 0;
+    locals = Array.init threads_per_team (fun _ -> Bytes.make local_stack_bytes '\000');
+    local_sp = Array.make threads_per_team 0 }
+
+let buf_of t = function
+  | Global -> t.global
+  | Constant -> t.constant
+  | Shared -> t.shared
+  | Local -> ir_error "local memory access requires a thread index"
+
+(* Raw accessors. Local space needs the in-team thread index. *)
+
+let read_bytes t ~thread ptr n =
+  let space, off = decode ptr in
+  match space with
+  | Local -> Bytes.sub t.locals.(thread) off n
+  | _ ->
+    let b = buf_of t space in
+    ensure b (off + n);
+    Bytes.sub b.data off n
+
+let write_bytes t ~thread ptr src =
+  let space, off = decode ptr in
+  let n = Bytes.length src in
+  match space with
+  | Local -> Bytes.blit src 0 t.locals.(thread) off n
+  | Constant -> ir_error "store to constant memory at 0x%x" ptr
+  | _ ->
+    let b = buf_of t space in
+    ensure b (off + n);
+    Bytes.blit src 0 b.data off n
+
+let load_int t ~thread ptr = function
+  | I1 -> Char.code (Bytes.get (read_bytes t ~thread ptr 1) 0) land 1
+  | I32 -> Int32.to_int (Bytes.get_int32_le (read_bytes t ~thread ptr 4) 0)
+  | I64 | Ptr _ -> Int64.to_int (Bytes.get_int64_le (read_bytes t ~thread ptr 8) 0)
+  | F64 -> ir_error "integer load of f64"
+
+let store_int t ~thread ptr typ v =
+  let b =
+    match typ with
+    | I1 -> Bytes.make 1 (Char.chr (v land 1))
+    | I32 ->
+      let b = Bytes.create 4 in
+      Bytes.set_int32_le b 0 (Int32.of_int v);
+      b
+    | I64 | Ptr _ ->
+      let b = Bytes.create 8 in
+      Bytes.set_int64_le b 0 (Int64.of_int v);
+      b
+    | F64 -> ir_error "integer store of f64"
+  in
+  write_bytes t ~thread ptr b
+
+let load_float t ~thread ptr =
+  Int64.float_of_bits (Bytes.get_int64_le (read_bytes t ~thread ptr 8) 0)
+
+let store_float t ~thread ptr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.bits_of_float v);
+  write_bytes t ~thread ptr b
+
+(* Initialize a global variable's storage at [offset] in its space. *)
+let init_global t g offset =
+  let write_words buf ws =
+    ensure buf (offset + g.g_size);
+    List.iteri
+      (fun i w ->
+        if (i * 8) + 8 <= g.g_size then Bytes.set_int64_le buf.data (offset + (i * 8)) w)
+      ws
+  in
+  match g.g_space with
+  | Local -> ir_error "global %s in local address space" g.g_name
+  | space -> (
+    let buf = buf_of t space in
+    ensure buf (offset + g.g_size);
+    match g.g_init with
+    | No_init -> ()
+    | Zero_init -> Bytes.fill buf.data offset g.g_size '\000'
+    | Words_init ws -> write_words buf ws)
+
+(* Reset per-team state before a team starts executing. *)
+let reset_team t ~shared_globals =
+  Bytes.fill t.shared.data 0 (Bytes.length t.shared.data) '\000';
+  List.iter (fun (g, off) -> init_global t g off) shared_globals;
+  Array.fill t.local_sp 0 (Array.length t.local_sp) 0
+
+let alloca t ~thread size =
+  let sp = t.local_sp.(thread) in
+  let aligned = (sp + 7) land lnot 7 in
+  if aligned + size > local_stack_bytes then ir_error "thread-local stack overflow";
+  t.local_sp.(thread) <- aligned + size;
+  encode Local aligned
+
+let local_sp t ~thread = t.local_sp.(thread)
+let set_local_sp t ~thread sp = t.local_sp.(thread) <- sp
+
+let malloc t size = encode Global (bump t.global size)
+let alloc_const t size = encode Constant (bump t.constant size)
+let alloc_global t size = encode Global (bump t.global size)

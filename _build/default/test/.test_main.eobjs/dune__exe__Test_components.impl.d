@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Array Float Fmt List Ozo_harness Ozo_ir Ozo_opt Ozo_proxies Ozo_vgpu String Util

@@ -1,0 +1,1 @@
+test/test_dominance.ml: Alcotest Fmt Hashtbl List Ozo_ir Printf QCheck QCheck_alcotest String Util

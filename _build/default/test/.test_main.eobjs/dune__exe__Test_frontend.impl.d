@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Float List Ozo_frontend Ozo_ir Ozo_opt Ozo_runtime Ozo_vgpu Printf SSet Util

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Engine List Ozo_ir Ozo_vgpu Util

@@ -1,0 +1,1 @@
+test/test_localopt.ml: Alcotest Array List Ozo_ir Ozo_opt Ozo_vgpu Util

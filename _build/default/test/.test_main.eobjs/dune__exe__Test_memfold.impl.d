@@ -1,0 +1,1 @@
+test/test_memfold.ml: Alcotest Array Ozo_ir Ozo_opt Ozo_vgpu Util

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest List Ozo_core Ozo_frontend Ozo_ir Ozo_proxies Ozo_runtime QCheck QCheck_alcotest Test_props Util

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Array List Ozo_frontend Ozo_ir Ozo_opt Ozo_runtime Ozo_vgpu Util

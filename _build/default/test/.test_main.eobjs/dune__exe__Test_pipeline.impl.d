@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest List Ozo_core Ozo_frontend Ozo_ir Ozo_opt Ozo_proxies Ozo_vgpu Util

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Float Fmt List Ozo_core Ozo_frontend Ozo_vgpu Printf QCheck QCheck_alcotest String Util

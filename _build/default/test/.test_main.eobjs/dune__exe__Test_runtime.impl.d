@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Fmt List Ozo_ir Ozo_runtime Ozo_vgpu Printf Util

@@ -1,0 +1,1 @@
+test/test_simt.ml: Alcotest Array Ozo_ir Ozo_vgpu Printf Util

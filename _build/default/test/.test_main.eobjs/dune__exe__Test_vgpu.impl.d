@@ -1,0 +1,1 @@
+test/test_vgpu.ml: Alcotest Array List Ozo_ir Ozo_vgpu Printf Util

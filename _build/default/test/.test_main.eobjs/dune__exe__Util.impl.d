@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Array Float Fmt List Ozo_ir Ozo_vgpu String

@@ -1,0 +1,182 @@
+(* Dominator / post-dominator tree tests, including the reconvergence
+   points the SIMT engine relies on, and a QCheck property validating
+   dominance against its path-based definition on random CFGs. *)
+
+open Ozo_ir.Types
+module Cfg = Ozo_ir.Cfg
+module Dom = Ozo_ir.Dominance
+open Util
+
+let blk label insts term = { b_label = label; b_phis = []; b_insts = insts; b_term = term }
+
+let func_of blocks =
+  { f_name = "f"; f_params = [ (0, I1) ]; f_ret = None; f_blocks = blocks;
+    f_linkage = Internal; f_attrs = []; f_is_kernel = true; f_next_reg = 1 }
+
+let diamond =
+  func_of
+    [ blk "entry" [] (Cond_br (Reg 0, "a", "b"));
+      blk "a" [] (Br "join");
+      blk "b" [] (Br "join");
+      blk "join" [] (Ret None) ]
+
+let loop =
+  func_of
+    [ blk "entry" [] (Br "head");
+      blk "head" [] (Cond_br (Reg 0, "body", "exit"));
+      blk "body" [] (Br "head");
+      blk "exit" [] (Ret None) ]
+
+let test_diamond_dominators () =
+  let cfg = Cfg.of_func diamond in
+  let d = Dom.dominators cfg in
+  Alcotest.(check bool) "entry dom a" true (Dom.dominates d "entry" "a");
+  Alcotest.(check bool) "entry dom join" true (Dom.dominates d "entry" "join");
+  Alcotest.(check bool) "a !dom join" false (Dom.dominates d "a" "join");
+  Alcotest.(check bool) "reflexive" true (Dom.dominates d "a" "a");
+  Alcotest.(check bool) "strict not reflexive" false (Dom.strictly_dominates d "a" "a");
+  Alcotest.(check (option string)) "idom join" (Some "entry") (Dom.idom d "join")
+
+let test_loop_dominators () =
+  let cfg = Cfg.of_func loop in
+  let d = Dom.dominators cfg in
+  Alcotest.(check bool) "head dom body" true (Dom.dominates d "head" "body");
+  Alcotest.(check bool) "head dom exit" true (Dom.dominates d "head" "exit");
+  Alcotest.(check bool) "body !dom exit" false (Dom.dominates d "body" "exit")
+
+let test_diamond_reconvergence () =
+  let cfg = Cfg.of_func diamond in
+  let pd = Dom.post_dominators cfg in
+  Alcotest.(check (option string)) "reconv of entry" (Some "join")
+    (Dom.reconvergence_point pd "entry");
+  Alcotest.(check (option string)) "reconv of a" (Some "join")
+    (Dom.reconvergence_point pd "a")
+
+let test_multi_ret_reconvergence () =
+  (* both sides return: no reconvergence before function exit *)
+  let f =
+    func_of
+      [ blk "entry" [] (Cond_br (Reg 0, "a", "b"));
+        blk "a" [] (Ret None);
+        blk "b" [] (Ret None) ]
+  in
+  let cfg = Cfg.of_func f in
+  let pd = Dom.post_dominators cfg in
+  Alcotest.(check (option string)) "no reconv" None (Dom.reconvergence_point pd "entry")
+
+let test_loop_reconvergence () =
+  let cfg = Cfg.of_func loop in
+  let pd = Dom.post_dominators cfg in
+  Alcotest.(check (option string)) "head reconverges at exit" (Some "exit")
+    (Dom.reconvergence_point pd "head")
+
+(* --- random CFG property --------------------------------------------- *)
+
+(* generate a random function of n blocks with random terminators *)
+let random_cfg_gen =
+  QCheck.Gen.(
+    sized_size (int_range 2 12) (fun n ->
+        let n = max 2 n in
+        let lbl i = Printf.sprintf "b%d" i in
+        let gen_term =
+          int_range 0 99 >>= fun k ->
+          if k < 15 then return (Ret None)
+          else if k < 60 then int_range 0 (n - 1) >>= fun t -> return (Br (lbl t))
+          else
+            int_range 0 (n - 1) >>= fun t1 ->
+            int_range 0 (n - 1) >>= fun t2 ->
+            return (Cond_br (Reg 0, lbl t1, lbl t2))
+        in
+        let rec gen_blocks i acc =
+          if i = n then return (List.rev acc)
+          else
+            gen_term >>= fun t ->
+            (* the last block always returns so an exit exists *)
+            let t = if i = n - 1 then Ret None else t in
+            gen_blocks (i + 1) ({ b_label = lbl i; b_phis = []; b_insts = []; b_term = t } :: acc)
+        in
+        gen_blocks 0 []))
+
+let arbitrary_cfg =
+  QCheck.make random_cfg_gen ~print:(fun blocks ->
+      String.concat "; "
+        (List.map
+           (fun b -> Fmt.str "%s -> %a" b.b_label Ozo_ir.Printer.pp_term b.b_term)
+           blocks))
+
+(* path-based dominance check: a dominates b iff b unreachable from entry
+   once a is removed (for a <> b, b reachable) *)
+let reachable_without blocks ~removed ~from ~target =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace tbl b.b_label b) blocks;
+  let seen = Hashtbl.create 16 in
+  let rec dfs l =
+    if l <> removed && not (Hashtbl.mem seen l) then begin
+      Hashtbl.replace seen l ();
+      match Hashtbl.find_opt tbl l with
+      | Some b -> List.iter dfs (term_succs b.b_term)
+      | None -> ()
+    end
+  in
+  dfs from;
+  Hashtbl.mem seen target
+
+let prop_dominance_matches_paths =
+  QCheck.Test.make ~name:"dominance matches path definition" ~count:200 arbitrary_cfg
+    (fun blocks ->
+      let f = func_of blocks in
+      let cfg = Cfg.of_func f in
+      let d = Dom.dominators cfg in
+      let labels = List.map (fun b -> b.b_label) blocks in
+      let entry = (List.hd blocks).b_label in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              if a = b then true
+              else if not (Cfg.is_reachable cfg b) then true
+              else
+                let dom_says = Dom.dominates d a b in
+                let path_says =
+                  a = entry
+                  || not (reachable_without blocks ~removed:a ~from:entry ~target:b)
+                in
+                dom_says = path_says)
+            labels)
+        labels)
+
+let prop_ipdom_postdominates =
+  QCheck.Test.make ~name:"reconvergence point post-dominates" ~count:200 arbitrary_cfg
+    (fun blocks ->
+      let f = func_of blocks in
+      let cfg = Cfg.of_func f in
+      let pd = Dom.post_dominators cfg in
+      (* for each reachable block with a reconvergence point r: every path
+         from the block to any exit must pass through r. Equivalent: no
+         exit reachable from the block once r is removed. *)
+      List.for_all
+        (fun b ->
+          if not (Cfg.is_reachable cfg b.b_label) then true
+          else
+            match Dom.reconvergence_point pd b.b_label with
+            | None -> true
+            | Some r ->
+              if r = b.b_label then true
+              else
+                let exits = Cfg.exits cfg in
+                List.for_all
+                  (fun e ->
+                    (not (Cfg.is_reachable cfg e))
+                    || e = r
+                    || not (reachable_without blocks ~removed:r ~from:b.b_label ~target:e))
+                  exits)
+        blocks)
+
+let suite =
+  [ tc "diamond dominators" test_diamond_dominators;
+    tc "loop dominators" test_loop_dominators;
+    tc "diamond reconvergence" test_diamond_reconvergence;
+    tc "multi-ret: no reconvergence" test_multi_ret_reconvergence;
+    tc "loop reconvergence" test_loop_reconvergence;
+    QCheck_alcotest.to_alcotest prop_dominance_matches_paths;
+    QCheck_alcotest.to_alcotest prop_ipdom_postdominates ]

@@ -1,0 +1,256 @@
+(* Unit tests for the IR core: types, builder, verifier, CFG, linker,
+   printer. *)
+
+open Ozo_ir.Types
+module B = Ozo_ir.Builder
+module Cfg = Ozo_ir.Cfg
+open Util
+
+(* hand-built raw function helpers for verifier negative tests *)
+let raw_func ?(params = []) ?(ret = None) ~name blocks next_reg =
+  { f_name = name; f_params = params; f_ret = ret; f_blocks = blocks;
+    f_linkage = Internal; f_attrs = []; f_is_kernel = true; f_next_reg = next_reg }
+
+let raw_module ?(globals = []) funcs = { m_name = "raw"; m_globals = globals; m_funcs = funcs }
+
+let blk ?(phis = []) label insts term =
+  { b_label = label; b_phis = phis; b_insts = insts; b_term = term }
+
+let expect_invalid name m =
+  match Ozo_ir.Verifier.check m with
+  | Ok () -> Alcotest.failf "%s: expected verifier failure" name
+  | Error _ -> ()
+
+let test_size_of_typ () =
+  Alcotest.(check int) "i1" 1 (size_of_typ I1);
+  Alcotest.(check int) "i32" 4 (size_of_typ I32);
+  Alcotest.(check int) "i64" 8 (size_of_typ I64);
+  Alcotest.(check int) "f64" 8 (size_of_typ F64);
+  Alcotest.(check int) "ptr" 8 (size_of_typ (Ptr Global))
+
+let test_inst_def_uses () =
+  let i = Binop (3, Add, Reg 1, Reg 2) in
+  Alcotest.(check (option int)) "def" (Some 3) (inst_def i);
+  Alcotest.(check int) "uses" 2 (List.length (inst_uses i));
+  let s = Store (I64, Reg 4, Reg 5) in
+  Alcotest.(check (option int)) "store def" None (inst_def s);
+  Alcotest.(check bool) "store effects" true (inst_has_side_effects s);
+  Alcotest.(check bool) "load effects" false (inst_has_side_effects (Load (1, I64, Reg 0)))
+
+let test_builder_simple () =
+  let m =
+    kernel_module ~params:[ I64 ]
+      (fun b ps ->
+        match ps with
+        | [ out ] ->
+          let v = B.add b (B.i64 20) (B.i64 22) in
+          B.store b I64 v out
+        | _ -> assert false)
+  in
+  check_verifies "builder simple" m;
+  let dev, _ = run_ok m [ Engine.Ai (Ozo_vgpu.Memory.encode Global 0) ] in
+  ignore dev
+
+let test_builder_duplicate_block_reuse () =
+  (* set_block on an existing label re-enters it; appending after
+     termination must fail *)
+  let b = B.create "m" in
+  ignore (B.begin_func b ~name:"f" ~params:[] ~ret:None ());
+  B.set_block b "entry";
+  B.ret b None;
+  B.set_block b "entry";
+  (match B.append b (Binop (0, Add, B.i64 1, B.i64 2)) with
+  | exception Ir_error _ -> ()
+  | () -> Alcotest.fail "expected Ir_error on appending to terminated block")
+
+let test_builder_missing_terminator () =
+  let b = B.create "m" in
+  ignore (B.begin_func b ~name:"f" ~params:[] ~ret:None ());
+  B.set_block b "entry";
+  match B.end_func b with
+  | exception Ir_error _ -> ()
+  | _ -> Alcotest.fail "expected Ir_error for missing terminator"
+
+let test_verifier_unknown_target () =
+  let f = raw_func ~name:"f" [ blk "entry" [] (Br "nowhere") ] 0 in
+  expect_invalid "unknown target" (raw_module [ f ])
+
+let test_verifier_double_def () =
+  let f =
+    raw_func ~name:"f"
+      [ blk "entry"
+          [ Binop (0, Add, Imm_int (1L, I64), Imm_int (2L, I64));
+            Binop (0, Add, Imm_int (1L, I64), Imm_int (2L, I64)) ]
+          (Ret None) ]
+      1
+  in
+  expect_invalid "double def" (raw_module [ f ])
+
+let test_verifier_use_before_def () =
+  let f =
+    raw_func ~name:"f"
+      [ blk "entry"
+          [ Binop (0, Add, Reg 1, Imm_int (2L, I64));
+            Binop (1, Add, Imm_int (1L, I64), Imm_int (2L, I64)) ]
+          (Ret None) ]
+      2
+  in
+  expect_invalid "use before def" (raw_module [ f ])
+
+let test_verifier_def_does_not_dominate () =
+  (* def in the "then" branch used in the join *)
+  let f =
+    raw_func ~name:"f"
+      [ blk "entry" [] (Cond_br (Imm_int (1L, I1), "then", "join"));
+        blk "then" [ Binop (0, Add, Imm_int (1L, I64), Imm_int (2L, I64)) ] (Br "join");
+        blk "join" [ Binop (1, Add, Reg 0, Imm_int (1L, I64)) ] (Ret None) ]
+      2
+  in
+  expect_invalid "dominance" (raw_module [ f ])
+
+let test_verifier_phi_incoming_mismatch () =
+  let f =
+    raw_func ~name:"f"
+      [ blk "entry" [] (Cond_br (Imm_int (1L, I1), "a", "b"));
+        blk "a" [] (Br "join");
+        blk "b" [] (Br "join");
+        blk "join"
+          ~phis:[ { phi_reg = 0; phi_typ = I64; phi_incoming = [ ("a", Imm_int (1L, I64)) ] } ]
+          [] (Ret None) ]
+      1
+  in
+  expect_invalid "phi incoming" (raw_module [ f ])
+
+let test_verifier_entry_phi () =
+  let f =
+    raw_func ~name:"f"
+      [ blk "entry"
+          ~phis:[ { phi_reg = 0; phi_typ = I64; phi_incoming = [] } ]
+          [] (Ret None) ]
+      1
+  in
+  expect_invalid "entry phi" (raw_module [ f ])
+
+let test_verifier_unknown_global_and_callee () =
+  let f1 =
+    raw_func ~name:"f"
+      [ blk "entry" [ Load (0, I64, Global_addr "nope") ] (Ret None) ]
+      1
+  in
+  expect_invalid "unknown global" (raw_module [ f1 ]);
+  let f2 = raw_func ~name:"g" [ blk "entry" [ Call (None, "missing", []) ] (Ret None) ] 0 in
+  expect_invalid "unknown callee" (raw_module [ f2 ])
+
+let test_verifier_duplicates () =
+  let f = raw_func ~name:"f" [ blk "entry" [] (Ret None) ] 0 in
+  expect_invalid "dup funcs" (raw_module [ f; f ]);
+  let g =
+    { g_name = "g"; g_space = Global; g_size = 8; g_init = Zero_init;
+      g_linkage = Internal; g_const = false }
+  in
+  expect_invalid "dup globals" (raw_module ~globals:[ g; g ] [ f ])
+
+let test_cfg_diamond () =
+  let f =
+    raw_func ~name:"f"
+      [ blk "entry" [] (Cond_br (Imm_int (1L, I1), "a", "b"));
+        blk "a" [] (Br "join");
+        blk "b" [] (Br "join");
+        blk "join" [] (Ret None) ]
+      0
+  in
+  let cfg = Cfg.of_func f in
+  Alcotest.(check (list string)) "succs entry" [ "a"; "b" ] (List.sort compare (Cfg.succs cfg "entry"));
+  Alcotest.(check (list string)) "preds join" [ "a"; "b" ] (List.sort compare (Cfg.preds cfg "join"));
+  Alcotest.(check string) "rpo head" "entry" (List.hd (Cfg.labels cfg));
+  Alcotest.(check bool) "join reachable" true (Cfg.is_reachable cfg "join");
+  Alcotest.(check (list string)) "exits" [ "join" ] (Cfg.exits cfg)
+
+let test_prune_unreachable () =
+  let f =
+    raw_func ~name:"f"
+      [ blk "entry" [] (Br "live");
+        blk "live"
+          ~phis:[]
+          [] (Ret None);
+        blk "dead" [] (Br "live") ]
+      0
+  in
+  let f', changed = Cfg.prune_unreachable f in
+  Alcotest.(check bool) "changed" true changed;
+  Alcotest.(check int) "blocks" 2 (List.length f'.f_blocks)
+
+let test_prune_fixes_phis () =
+  let f =
+    raw_func ~name:"f"
+      [ blk "entry" [] (Br "join");
+        blk "dead" [] (Br "join");
+        blk "join"
+          ~phis:[ { phi_reg = 0; phi_typ = I64;
+                    phi_incoming = [ ("entry", Imm_int (1L, I64)); ("dead", Imm_int (2L, I64)) ] } ]
+          [] (Ret None) ]
+      1
+  in
+  let f', _ = Cfg.prune_unreachable f in
+  let join = find_block_exn f' "join" in
+  (match join.b_phis with
+  | [ p ] -> Alcotest.(check int) "one incoming" 1 (List.length p.phi_incoming)
+  | _ -> Alcotest.fail "expected one phi");
+  check_verifies "pruned" (raw_module [ f' ])
+
+let test_linker () =
+  let g =
+    { g_name = "shared_g"; g_space = Shared; g_size = 8; g_init = Zero_init;
+      g_linkage = Internal; g_const = false }
+  in
+  let f1 = raw_func ~name:"a" [ blk "entry" [] (Ret None) ] 0 in
+  let f2 = raw_func ~name:"b" [ blk "entry" [] (Ret None) ] 0 in
+  let m1 = { m_name = "m1"; m_globals = [ g ]; m_funcs = [ f1 ] } in
+  let m2 = { m_name = "m2"; m_globals = [ g ]; m_funcs = [ f2 ] } in
+  let linked = Ozo_ir.Linker.link m1 m2 in
+  Alcotest.(check int) "globals deduped" 1 (List.length linked.m_globals);
+  Alcotest.(check int) "funcs merged" 2 (List.length linked.m_funcs);
+  (* conflicting definitions must fail *)
+  let g' = { g with g_size = 16 } in
+  let m3 = { m2 with m_globals = [ g' ] } in
+  match Ozo_ir.Linker.link m1 m3 with
+  | exception Ir_error _ -> ()
+  | _ -> Alcotest.fail "expected link conflict"
+
+let test_printer () =
+  let m =
+    kernel_module ~params:[ I64; F64 ]
+      (fun b ps ->
+        match ps with
+        | [ p; x ] ->
+          let v = B.fadd b x (B.f64 1.5) in
+          B.store b F64 v p;
+          B.barrier b ~aligned:true
+        | _ -> assert false)
+  in
+  let s = Ozo_ir.Printer.module_to_string m in
+  List.iter
+    (fun frag ->
+      if not (Util.contains s frag) then
+        Alcotest.failf "printer output missing %S in:\n%s" frag s)
+    [ "kernel"; "fadd"; "store f64"; "barrier.aligned" ]
+
+let suite =
+  [ tc "size_of_typ" test_size_of_typ;
+    tc "inst def/uses" test_inst_def_uses;
+    tc "builder: simple kernel" test_builder_simple;
+    tc "builder: append to terminated block fails" test_builder_duplicate_block_reuse;
+    tc "builder: missing terminator fails" test_builder_missing_terminator;
+    tc "verifier: unknown branch target" test_verifier_unknown_target;
+    tc "verifier: double definition" test_verifier_double_def;
+    tc "verifier: use before def" test_verifier_use_before_def;
+    tc "verifier: def must dominate use" test_verifier_def_does_not_dominate;
+    tc "verifier: phi incoming mismatch" test_verifier_phi_incoming_mismatch;
+    tc "verifier: no phis in entry" test_verifier_entry_phi;
+    tc "verifier: unknown global/callee" test_verifier_unknown_global_and_callee;
+    tc "verifier: duplicate symbols" test_verifier_duplicates;
+    tc "cfg: diamond succs/preds/rpo" test_cfg_diamond;
+    tc "cfg: prune unreachable" test_prune_unreachable;
+    tc "cfg: prune fixes phis" test_prune_fixes_phis;
+    tc "linker: dedup and conflicts" test_linker;
+    tc "printer: textual form" test_printer ]

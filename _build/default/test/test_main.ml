@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "ozo"
+    [ ("ir", Test_ir.suite);
+      ("dominance", Test_dominance.suite);
+      ("vgpu", Test_vgpu.suite);
+      ("simt", Test_simt.suite);
+      ("runtime", Test_runtime.suite);
+      ("frontend", Test_frontend.suite);
+      ("local-opt", Test_localopt.suite);
+      ("memfold", Test_memfold.suite);
+      ("passes", Test_passes.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("parser", Test_parser.suite);
+      ("components", Test_components.suite);
+      ("properties", Test_props.suite) ]

@@ -1,0 +1,349 @@
+(* Tests for the inter-procedural conditional value propagation pass
+   (paper Section IV-B): each folding rule individually, the interference
+   filtering, the ablation toggles, and dead-state elimination. *)
+
+open Ozo_ir.Types
+module B = Ozo_ir.Builder
+module Memfold = Ozo_opt.Memfold
+module Local_opt = Ozo_opt.Local_opt
+module Strip = Ozo_opt.Strip
+module Device = Ozo_vgpu.Device
+module Engine = Ozo_vgpu.Engine
+open Util
+
+let opts_all = Memfold.all_on
+let opts_no_b2 = { opts_all with Memfold.b2 = false }
+let opts_no_b3 = { opts_all with Memfold.b3 = false }
+let opts_no_b4 = { opts_all with Memfold.b4 = false }
+let opts_no_c = { opts_all with Memfold.c = false }
+
+let run_mf ?(opts = opts_all) m =
+  let m, _ = Memfold.run ~opts m in
+  let m, _ = Local_opt.run m in
+  m
+
+let loads_in m fname = count_in_func is_load (find_func_exn m fname)
+
+(* --- R0: constant-memory configuration globals ------------------------ *)
+
+let test_r0_const_global () =
+  let b = B.create "m" in
+  ignore
+    (B.add_global b ~space:Constant ~const:true ~size:8 ~init:(Words_init [ 123L ]) "cfg");
+  let ps = B.begin_func b ~name:"k" ~kernel:true ~params:[ I64 ] ~ret:None () in
+  B.set_block b "entry";
+  (match ps with
+  | [ out ] ->
+    let v = B.load b I64 (Global_addr "cfg") in
+    B.store b I64 v out;
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let m = run_mf (B.finish b) in
+  Alcotest.(check int) "load folded" 0 (loads_in m "k");
+  let dev = Device.create m in
+  let out = Device.alloc dev 8 in
+  (match Device.launch dev ~teams:1 ~threads:1 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  Alcotest.(check int) "value" 123 (i64_array dev out 1).(0)
+
+(* --- R1: zero-initialized, all stores zero (thread-state rule) -------- *)
+
+let zero_rule_module ~store_value =
+  let b = B.create "m" in
+  ignore (B.add_global b ~space:Shared ~size:256 "states");
+  let ps = B.begin_func b ~name:"k" ~kernel:true ~params:[ I64 ] ~ret:None () in
+  B.set_block b "entry";
+  (match ps with
+  | [ out ] ->
+    let tid = B.thread_id b in
+    (* store at a thread-dependent (statically unknown) offset *)
+    let slot = B.ptradd b (Global_addr "states") (B.mul b tid (B.i64 8)) in
+    B.store b I64 (B.i64 store_value) slot;
+    B.barrier b ~aligned:true;
+    (* load at another unknown offset *)
+    let other = B.ptradd b (Global_addr "states") (B.mul b (B.xor b tid (B.i64 1)) (B.i64 8)) in
+    let v = B.load b I64 other in
+    B.store b I64 v (B.ptradd b out (B.mul b tid (B.i64 8)));
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  B.finish b
+
+let test_r1_zero_rule_folds () =
+  let m = run_mf (zero_rule_module ~store_value:0) in
+  Alcotest.(check int) "NULL load folded" 0 (loads_in m "k");
+  (* the now write-only global is stripped after DSE *)
+  let m = run_mf m in
+  let m, _ = Strip.run m in
+  Alcotest.(check bool) "global gone" false (has_global m "states")
+
+let test_r1_nonzero_store_blocks () =
+  let m = run_mf (zero_rule_module ~store_value:7) in
+  Alcotest.(check int) "load survives" 1 (loads_in m "k");
+  (* and execution is still correct *)
+  let dev = Device.create m in
+  let out = Device.alloc dev (32 * 8) in
+  (match Device.launch dev ~teams:1 ~threads:32 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  Alcotest.(check int) "sees 7" 7 (i64_array dev out 1).(0)
+
+(* --- R2: assumed memory content ---------------------------------------- *)
+
+(* the runtime's broadcast idiom: conditional-pointer write, aligned
+   barrier, assume, then a consumer load *)
+let assume_module ?(cross_block = false) () =
+  let b = B.create "m" in
+  ignore (B.add_global b ~space:Shared ~size:8 "flag");
+  ignore (B.add_global b ~space:Shared ~size:8 ~init:No_init "dummy");
+  let ps = B.begin_func b ~name:"k" ~kernel:true ~params:[ I64 ] ~ret:None () in
+  B.set_block b "entry";
+  (match ps with
+  | [ out ] ->
+    let tid = B.thread_id b in
+    let is0 = B.icmp b Eq tid (B.i64 0) in
+    let p = B.select b (Ptr Shared) is0 (Global_addr "flag") (Global_addr "dummy") in
+    B.store b I64 (B.i64 1) p;
+    B.barrier b ~aligned:true;
+    let lv = B.load b I64 (Global_addr "flag") in
+    let c = B.icmp b Eq lv (B.i64 1) in
+    B.assume b c;
+    if cross_block then begin
+      (* consumer load in a separate block: needs dominance (B2) *)
+      B.br b "consumer";
+      B.set_block b "consumer"
+    end;
+    let v = B.load b I64 (Global_addr "flag") in
+    B.store b I64 (B.mul b v (B.i64 10)) (B.ptradd b out (B.mul b tid (B.i64 8)));
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  B.finish b
+
+(* count loads excluding the assume-feeding one (dropped later) *)
+let consumer_loads m =
+  (* after drop_assumes + cleanup, only unfolded consumer loads remain *)
+  let m, _ = Memfold.drop_assumes m in
+  let m, _ = Local_opt.run m in
+  loads_in m "k"
+
+let test_r2_assume_folds () =
+  let m = run_mf (assume_module ()) in
+  Alcotest.(check int) "consumer load folded" 0 (consumer_loads m);
+  let dev = Device.create m in
+  let out = Device.alloc dev (32 * 8) in
+  (match Device.launch dev ~teams:1 ~threads:32 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  Alcotest.(check int) "value" 10 (i64_array dev out 1).(0)
+
+let test_r2_needs_b3 () =
+  let m = run_mf ~opts:opts_no_b3 (assume_module ()) in
+  Alcotest.(check bool) "consumer load survives without B3" true (consumer_loads m >= 1)
+
+let test_r2_cross_block_needs_b2 () =
+  (* with B2: folds across blocks; without: only same-block windows *)
+  let m_with = run_mf (assume_module ~cross_block:true ()) in
+  Alcotest.(check int) "folds with B2" 0 (consumer_loads m_with);
+  let m_without = run_mf ~opts:opts_no_b2 (assume_module ~cross_block:true ()) in
+  Alcotest.(check bool) "survives without B2" true (consumer_loads m_without >= 1)
+
+let test_r2_interfering_store_blocks () =
+  (* a later unconditional store to the same field kills the fact *)
+  let b = B.create "m" in
+  ignore (B.add_global b ~space:Shared ~size:8 "flag");
+  ignore (B.add_global b ~space:Shared ~size:8 ~init:No_init "dummy");
+  let ps = B.begin_func b ~name:"k" ~kernel:true ~params:[ I64 ] ~ret:None () in
+  B.set_block b "entry";
+  (match ps with
+  | [ out ] ->
+    let tid = B.thread_id b in
+    let is0 = B.icmp b Eq tid (B.i64 0) in
+    let p = B.select b (Ptr Shared) is0 (Global_addr "flag") (Global_addr "dummy") in
+    B.store b I64 (B.i64 1) p;
+    B.barrier b ~aligned:true;
+    let lv = B.load b I64 (Global_addr "flag") in
+    B.assume b (B.icmp b Eq lv (B.i64 1));
+    (* interfering write between fact and consumer *)
+    let p2 = B.select b (Ptr Shared) is0 (Global_addr "flag") (Global_addr "dummy") in
+    B.store b I64 (B.i64 2) p2;
+    B.barrier b ~aligned:true;
+    let v = B.load b I64 (Global_addr "flag") in
+    B.store b I64 v (B.ptradd b out (B.mul b tid (B.i64 8)));
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let m = run_mf (B.finish b) in
+  Alcotest.(check bool) "fact killed by interference" true (consumer_loads m >= 1);
+  let dev = Device.create m in
+  let out = Device.alloc dev (32 * 8) in
+  (match Device.launch dev ~teams:1 ~threads:32 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  Alcotest.(check int) "sees second write" 2 (i64_array dev out 1).(0)
+
+let test_r2_field_sensitivity () =
+  (* a conditional write to a *different* field must not kill the fact *)
+  let b = B.create "m" in
+  ignore (B.add_global b ~space:Shared ~size:16 "icv");
+  ignore (B.add_global b ~space:Shared ~size:8 ~init:No_init "dummy");
+  let ps = B.begin_func b ~name:"k" ~kernel:true ~params:[ I64 ] ~ret:None () in
+  B.set_block b "entry";
+  (match ps with
+  | [ out ] ->
+    let tid = B.thread_id b in
+    let is0 = B.icmp b Eq tid (B.i64 0) in
+    let p = B.select b (Ptr Shared) is0 (Global_addr "icv") (Global_addr "dummy") in
+    B.store b I64 (B.i64 1) p;
+    B.barrier b ~aligned:true;
+    let lv = B.load b I64 (Global_addr "icv") in
+    B.assume b (B.icmp b Eq lv (B.i64 1));
+    (* write to field at offset 8 — disjoint *)
+    let f8 = B.ptradd b (Global_addr "icv") (B.i64 8) in
+    let p2 = B.select b (Ptr Shared) is0 f8 (Global_addr "dummy") in
+    B.store b I64 (B.i64 99) p2;
+    let v = B.load b I64 (Global_addr "icv") in
+    B.store b I64 (B.mul b v (B.i64 10)) (B.ptradd b out (B.mul b tid (B.i64 8)));
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let m = run_mf (B.finish b) in
+  Alcotest.(check int) "disjoint field ignored" 0 (consumer_loads m)
+
+(* --- R3: private store-to-load forwarding (IV-C) ----------------------- *)
+
+let forward_module ~value_is_param =
+  kernel_module ~params:[ I64; I64 ] (fun b ps ->
+      match ps with
+      | [ out; arg ] ->
+        let p = B.alloca b 8 in
+        let v = if value_is_param then arg else B.i64 33 in
+        B.store b I64 v p;
+        let l = B.load b I64 p in
+        let tid = B.thread_id b in
+        B.store b I64 l (B.ptradd b out (B.mul b tid (B.i64 8)))
+      | _ -> assert false)
+
+let test_r3_forwarding () =
+  let m = run_mf (forward_module ~value_is_param:false) in
+  Alcotest.(check int) "constant forwarded" 0 (loads_in m "k");
+  let m2 = run_mf (forward_module ~value_is_param:true) in
+  Alcotest.(check int) "invariant value forwarded (B4)" 0 (loads_in m2 "k")
+
+let test_r3_toggles () =
+  let m = run_mf ~opts:opts_no_c (forward_module ~value_is_param:false) in
+  Alcotest.(check int) "no forwarding without IV-C" 1 (loads_in m "k");
+  let m2 = run_mf ~opts:opts_no_b4 (forward_module ~value_is_param:true) in
+  Alcotest.(check int) "no invariant forwarding without B4" 1 (loads_in m2 "k");
+  let m3 = run_mf ~opts:opts_no_b4 (forward_module ~value_is_param:false) in
+  Alcotest.(check int) "constants still forward without B4" 0 (loads_in m3 "k")
+
+let test_r3_escape_blocks () =
+  (* passing the alloca to an opaque callee blocks forwarding *)
+  let b = B.create "m" in
+  (match
+     B.begin_func b ~name:"opaque" ~attrs:[ Attr_no_inline ] ~params:[ I64 ] ~ret:None ()
+   with
+  | [ p ] ->
+    B.set_block b "entry";
+    B.store b I64 (B.i64 99) p;
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let ps = B.begin_func b ~name:"k" ~kernel:true ~params:[ I64 ] ~ret:None () in
+  B.set_block b "entry";
+  (match ps with
+  | [ out ] ->
+    let p = B.alloca b 8 in
+    B.store b I64 (B.i64 33) p;
+    B.call_void b "opaque" [ p ];
+    let l = B.load b I64 p in
+    B.store b I64 l out;
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let m = run_mf (B.finish b) in
+  Alcotest.(check int) "load survives" 1 (loads_in m "k");
+  let dev = Device.create m in
+  let out = Device.alloc dev 8 in
+  (match Device.launch dev ~teams:1 ~threads:1 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  Alcotest.(check int) "sees callee write" 99 (i64_array dev out 1).(0)
+
+let test_r3_interfering_store () =
+  (* a store between the forwarded store and the load blocks forwarding *)
+  let m =
+    kernel_module ~params:[ I64 ] (fun b ps ->
+        match ps with
+        | [ out ] ->
+          let p = B.alloca b 8 in
+          B.store b I64 (B.i64 1) p;
+          B.store b I64 (B.i64 2) p;
+          let l = B.load b I64 p in
+          B.store b I64 l out
+        | _ -> assert false)
+  in
+  let m = run_mf m in
+  let dev = Device.create m in
+  let out = Device.alloc dev 8 in
+  (match Device.launch dev ~teams:1 ~threads:1 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  Alcotest.(check int) "latest store wins" 2 (i64_array dev out 1).(0)
+
+(* --- DSE + stripping ---------------------------------------------------- *)
+
+let test_dse_write_only_global () =
+  let b = B.create "m" in
+  ignore (B.add_global b ~space:Shared ~size:64 "wo");
+  let ps = B.begin_func b ~name:"k" ~kernel:true ~params:[ I64 ] ~ret:None () in
+  B.set_block b "entry";
+  (match ps with
+  | [ out ] ->
+    let tid = B.thread_id b in
+    B.store b I64 tid (B.ptradd b (Global_addr "wo") (B.mul b tid (B.i64 8)));
+    B.store b I64 (B.i64 1) out;
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let m = run_mf (B.finish b) in
+  let m, _ = Strip.run m in
+  Alcotest.(check bool) "write-only global stripped" false (has_global m "wo");
+  Alcotest.(check int) "only the live store remains" 1 (count_insts is_store m)
+
+let test_escaped_global_not_touched () =
+  (* storing the global's address makes it unanalyzable: loads survive *)
+  let b = B.create "m" in
+  ignore (B.add_global b ~space:Shared ~size:8 "esc");
+  ignore (B.add_global b ~space:Shared ~size:8 "holder");
+  let ps = B.begin_func b ~name:"k" ~kernel:true ~params:[ I64 ] ~ret:None () in
+  B.set_block b "entry";
+  (match ps with
+  | [ out ] ->
+    B.store b I64 (Global_addr "esc") (Global_addr "holder");
+    let v = B.load b I64 (Global_addr "esc") in
+    B.store b I64 v out;
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let m = run_mf (B.finish b) in
+  Alcotest.(check bool) "load survives escape" true (loads_in m "k" >= 1)
+
+let suite =
+  [ tc "R0: constant global folds" test_r0_const_global;
+    tc "R1: zero rule folds unknown-offset loads" test_r1_zero_rule_folds;
+    tc "R1: non-zero store blocks the rule" test_r1_nonzero_store_blocks;
+    tc "R2: assume-based content folds" test_r2_assume_folds;
+    tc "R2: disabled without B3" test_r2_needs_b3;
+    tc "R2: cross-block needs B2" test_r2_cross_block_needs_b2;
+    tc "R2: interfering store kills fact" test_r2_interfering_store_blocks;
+    tc "R2: field sensitivity filters disjoint fields" test_r2_field_sensitivity;
+    tc "R3: private forwarding (constant + invariant)" test_r3_forwarding;
+    tc "R3: IV-C and B4 toggles" test_r3_toggles;
+    tc "R3: escape blocks forwarding" test_r3_escape_blocks;
+    tc "R3: interference respected" test_r3_interfering_store;
+    tc "DSE: write-only global removed" test_dse_write_only_global;
+    tc "escaped global untouched" test_escaped_global_not_touched ]

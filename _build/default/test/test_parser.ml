@@ -1,0 +1,143 @@
+(* IR text parser tests: hand-written fixtures and print→parse round-trips
+   over every module the repository builds (both runtimes, all proxies
+   under several lowerings), plus a QCheck property over random kernels. *)
+
+open Ozo_ir.Types
+module Parser = Ozo_ir.Parser
+module Printer = Ozo_ir.Printer
+open Util
+
+(* [f_next_reg] is not part of the textual form (the parser recomputes a
+   tight bound); normalize before comparing *)
+let normalize (m : modul) =
+  { m with
+    m_funcs =
+      List.map
+        (fun f ->
+          let next =
+            List.fold_left
+              (fun acc b ->
+                let acc = List.fold_left (fun a p -> max a (p.phi_reg + 1)) acc b.b_phis in
+                List.fold_left
+                  (fun a i -> match inst_def i with Some r -> max a (r + 1) | None -> a)
+                  acc b.b_insts)
+              (List.fold_left (fun a (r, _) -> max a (r + 1)) 0 f.f_params)
+              f.f_blocks
+          in
+          { f with f_next_reg = next })
+        m.m_funcs }
+
+let roundtrip name (m : modul) =
+  let text = Printer.module_to_string m in
+  match Parser.parse_module text with
+  | m' ->
+    let m = normalize m and m' = normalize m' in
+    if not (equal_modul m m') then
+      Alcotest.failf "%s: round-trip mismatch.\nFIRST:\n%s\nSECOND:\n%s" name text
+        (Printer.module_to_string m')
+  | exception Parser.Parse_error e ->
+    Alcotest.failf "%s: parse error: %s\nTEXT:\n%s" name e text
+
+let test_fixture () =
+  let text =
+    {|module fixture
+
+internal global @state : shared[40] = zeroinit
+const global @cfg : const[8] = [7]
+internal global @buf : global[64]
+
+kernel func k(%0: i64, %1: f64)
+entry:
+  %2 = thread.id
+  %3 = icmp slt %2, 16:i64
+  br %3, a, b
+a:
+  %4 = fadd %1, 0x1.8p+1
+  store f64 %4, %0
+  br join
+b:
+  barrier.aligned
+  br join
+join:
+  %5 = phi i64 [a: 1:i64, b: 2:i64]
+  %6 = load i64, @cfg
+  %7 = add %5, %6
+  assume %3
+  call helper(%7)
+  ret
+
+internal func helper(%0: i64) [no_inline]
+entry:
+  trap "nope"
+  ret
+|}
+  in
+  match Parser.parse_module text with
+  | m ->
+    check_verifies "fixture" m;
+    Alcotest.(check int) "globals" 3 (List.length m.m_globals);
+    Alcotest.(check int) "funcs" 2 (List.length m.m_funcs);
+    let k = find_func_exn m "k" in
+    Alcotest.(check bool) "kernel flag" true k.f_is_kernel;
+    Alcotest.(check int) "blocks" 4 (List.length k.f_blocks);
+    let h = find_func_exn m "helper" in
+    Alcotest.(check bool) "no_inline attr" true (List.mem Attr_no_inline h.f_attrs);
+    (* and the fixture itself round-trips *)
+    roundtrip "fixture" m
+  | exception Parser.Parse_error e -> Alcotest.failf "fixture: %s" e
+
+let test_parse_errors () =
+  List.iter
+    (fun (name, text) ->
+      match Parser.parse_module text with
+      | _ -> Alcotest.failf "%s: expected a parse error" name
+      | exception Parser.Parse_error _ -> ())
+    [ ("no module kw", "func f()\nentry:\n  ret\n");
+      ("bad type", "module m\nfunc f(%0: i63)\nentry:\n  ret\n");
+      ("missing terminator", "module m\nfunc f()\nentry:\n  %1 = thread.id\n");
+      ("garbage", "module m\n???") ]
+
+let test_roundtrip_runtimes () =
+  roundtrip "new rt" (Ozo_runtime.Runtime.build Ozo_runtime.Config.default);
+  roundtrip "new rt + assume + debug"
+    (Ozo_runtime.Runtime.build Ozo_runtime.Config.(with_debug (with_assumptions default)));
+  roundtrip "old rt" (Ozo_runtime.Runtime.build Ozo_runtime.Config.old_rt)
+
+let test_roundtrip_proxies () =
+  (* lowered, linked and optimized modules of every proxy under an OpenMP
+     and the CUDA build *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          let c =
+            Ozo_core.Codesign.compile b (Ozo_proxies.Proxy.kernel_for p b.Ozo_core.Codesign.b_abi)
+          in
+          roundtrip
+            (p.Ozo_proxies.Proxy.p_name ^ "/" ^ b.Ozo_core.Codesign.b_label)
+            c.Ozo_core.Codesign.c_module)
+        [ Ozo_core.Codesign.new_rt_nightly; Ozo_core.Codesign.cuda ])
+    (Ozo_proxies.Registry.all_small ())
+
+let prop_roundtrip_unoptimized =
+  QCheck.Test.make ~name:"print/parse round-trip on random kernels" ~count:40
+    (QCheck.make Test_props.gen_expr ~print:(fun _ -> "<expr>"))
+    (fun e ->
+      let k = Test_props.kernel_of_expr e in
+      let app = Ozo_frontend.Lower.lower ~abi:(Ozo_frontend.Lower.Omp Ozo_frontend.Lower.New_abi) k in
+      let m =
+        Ozo_ir.Linker.link app (Ozo_runtime.Runtime.build Ozo_runtime.Config.default)
+      in
+      let text = Printer.module_to_string m in
+      match Parser.parse_module text with
+      | m' ->
+        equal_modul (normalize m) (normalize m')
+        || QCheck.Test.fail_reportf "round-trip mismatch"
+      | exception Parser.Parse_error err -> QCheck.Test.fail_reportf "parse error: %s" err)
+
+let suite =
+  [ tc "hand-written fixture parses" test_fixture;
+    tc "parse errors rejected" test_parse_errors;
+    tc "round-trip: runtime modules" test_roundtrip_runtimes;
+    tc "round-trip: compiled proxies" test_roundtrip_proxies;
+    QCheck_alcotest.to_alcotest prop_roundtrip_unoptimized ]

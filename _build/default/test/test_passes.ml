@@ -1,0 +1,496 @@
+(* Tests for the structural passes: inlining, internalization, stripping,
+   globalization elimination, SPMD-ization, aligned barrier elimination. *)
+
+open Ozo_ir.Types
+module B = Ozo_ir.Builder
+module L = Ozo_runtime.Layout
+module Inline = Ozo_opt.Inline
+module Internalize = Ozo_opt.Internalize
+module Strip = Ozo_opt.Strip
+module Globalization = Ozo_opt.Globalization
+module Spmdize = Ozo_opt.Spmdize
+module Barrier_elim = Ozo_opt.Barrier_elim
+module Local_opt = Ozo_opt.Local_opt
+module Lower = Ozo_frontend.Lower
+module Device = Ozo_vgpu.Device
+module Engine = Ozo_vgpu.Engine
+open Util
+
+(* --- inlining ---------------------------------------------------------- *)
+
+let test_inline_basic () =
+  let b = B.create "m" in
+  (match B.begin_func b ~name:"helper" ~params:[ I64; I64 ] ~ret:(Some I64) () with
+  | [ x; y ] ->
+    B.set_block b "entry";
+    let c = B.icmp b Slt x y in
+    B.cond_br b c "lt" "ge";
+    B.set_block b "lt";
+    B.ret b (Some (B.add b x (B.i64 100)));
+    B.set_block b "ge";
+    B.ret b (Some (B.add b y (B.i64 200)))
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let ps = B.begin_func b ~name:"k" ~kernel:true ~params:[ I64 ] ~ret:None () in
+  B.set_block b "entry";
+  (match ps with
+  | [ out ] ->
+    let tid = B.thread_id b in
+    let v = B.call_val b "helper" [ tid; B.i64 5 ] in
+    B.store b I64 v (B.ptradd b out (B.mul b tid (B.i64 8)));
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let m = B.finish b in
+  let m', changed = Inline.run m in
+  Alcotest.(check bool) "inlined" true changed;
+  check_verifies "inline" m';
+  let kf = find_func_exn m' "k" in
+  Alcotest.(check int) "no calls left" 0 (count_in_func is_call kf);
+  (* execution preserved: multiple returns became a phi *)
+  let dev = Device.create m' in
+  let out = Device.alloc dev (32 * 8) in
+  (match Device.launch dev ~teams:1 ~threads:32 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  let got = i64_array dev out 32 in
+  Array.iteri
+    (fun i v -> Alcotest.(check int) "result" (if i < 5 then i + 100 else 205) v)
+    got
+
+let test_inline_respects_no_inline () =
+  let b = B.create "m" in
+  (match
+     B.begin_func b ~name:"opaque" ~attrs:[ Attr_no_inline ] ~params:[] ~ret:(Some I64) ()
+   with
+  | [] ->
+    B.set_block b "entry";
+    B.ret b (Some (B.i64 1))
+  | _ -> assert false);
+  ignore (B.end_func b);
+  ignore (B.begin_func b ~name:"k" ~kernel:true ~params:[] ~ret:None ());
+  B.set_block b "entry";
+  let _ = B.call_val b "opaque" [] in
+  B.ret b None;
+  ignore (B.end_func b);
+  let m = B.finish b in
+  let m', _ = Inline.run m in
+  let kf = find_func_exn m' "k" in
+  Alcotest.(check int) "call survives" 1 (count_in_func is_call kf)
+
+let test_inline_skips_recursion () =
+  let b = B.create "m" in
+  (match B.begin_func b ~name:"recfn" ~params:[ I64 ] ~ret:(Some I64) () with
+  | [ x ] ->
+    B.set_block b "entry";
+    let c = B.icmp b Sle x (B.i64 0) in
+    B.cond_br b c "base" "rec";
+    B.set_block b "base";
+    B.ret b (Some (B.i64 0));
+    B.set_block b "rec";
+    let v = B.call_val b "recfn" [ B.sub b x (B.i64 1) ] in
+    B.ret b (Some (B.add b v x))
+  | _ -> assert false);
+  ignore (B.end_func b);
+  ignore (B.begin_func b ~name:"k" ~kernel:true ~params:[] ~ret:None ());
+  B.set_block b "entry";
+  let _ = B.call_val b "recfn" [ B.i64 3 ] in
+  B.ret b None;
+  ignore (B.end_func b);
+  let m = B.finish b in
+  let m', _ = Inline.run m in
+  let kf = find_func_exn m' "k" in
+  Alcotest.(check int) "recursive call survives" 1 (count_in_func is_call kf)
+
+let test_inline_hoists_allocas () =
+  (* callee with an alloca, called inside a loop: after inlining the
+     alloca must not grow the stack per iteration *)
+  let b = B.create "m" in
+  (match B.begin_func b ~name:"scratch" ~params:[ I64 ] ~ret:(Some I64) () with
+  | [ x ] ->
+    B.set_block b "entry";
+    let p = B.alloca b 8 in
+    B.store b I64 x p;
+    B.ret b (Some (B.load b I64 p))
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let ps = B.begin_func b ~name:"k" ~kernel:true ~params:[ I64 ] ~ret:None () in
+  B.set_block b "entry";
+  (match ps with
+  | [ out ] ->
+    ignore
+      (B.for_loop b ~lo:(B.i64 0) ~hi:(B.i64 2000) ~step:(B.i64 1) ~body:(fun iv ->
+           let v = B.call_val b "scratch" [ iv ] in
+           B.store b I64 v out));
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let m = B.finish b in
+  let m', _ = Inline.run m in
+  check_verifies "hoist" m';
+  (* 2000 iterations x 8 bytes would overflow the 16KB thread stack if the
+     alloca were not hoisted *)
+  let dev = Device.create m' in
+  let out = Device.alloc dev 8 in
+  match Device.launch dev ~teams:1 ~threads:1 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> Alcotest.(check int) "last value" 1999 (i64_array dev out 1).(0)
+  | Error e -> Alcotest.failf "%a" Device.pp_error e
+
+(* --- internalize -------------------------------------------------------- *)
+
+let test_internalize () =
+  let b = B.create "m" in
+  (match B.begin_func b ~name:"exported" ~linkage:External ~params:[] ~ret:(Some I64) () with
+  | [] ->
+    B.set_block b "entry";
+    B.ret b (Some (B.i64 9))
+  | _ -> assert false);
+  ignore (B.end_func b);
+  ignore (B.begin_func b ~name:"k" ~kernel:true ~linkage:External ~params:[] ~ret:None ());
+  B.set_block b "entry";
+  let _ = B.call_val b "exported" [] in
+  B.ret b None;
+  ignore (B.end_func b);
+  let m = B.finish b in
+  let m', changed = Internalize.run m in
+  Alcotest.(check bool) "changed" true changed;
+  Alcotest.(check bool) "clone exists" true
+    (has_func m' ("exported" ^ Internalize.clone_suffix));
+  let kf = find_func_exn m' "k" in
+  let calls_clone =
+    count_in_func
+      (function Call (_, n, _) -> n = "exported" ^ Internalize.clone_suffix | _ -> false)
+      kf
+  in
+  Alcotest.(check int) "call redirected" 1 calls_clone;
+  (* after stripping, the unused export disappears *)
+  let m'', _ = Strip.run m' in
+  Alcotest.(check bool) "export stripped" false (has_func m'' "exported")
+
+(* --- strip --------------------------------------------------------------- *)
+
+let test_strip_keeps_func_addr_refs () =
+  let b = B.create "m" in
+  (match B.begin_func b ~name:"pointee" ~params:[ I64; I64 ] ~ret:None () with
+  | [ _; _ ] ->
+    B.set_block b "entry";
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  (match B.begin_func b ~name:"dead_fn" ~params:[] ~ret:None () with
+  | [] ->
+    B.set_block b "entry";
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let ps = B.begin_func b ~name:"k" ~kernel:true ~params:[ I64 ] ~ret:None () in
+  B.set_block b "entry";
+  (match ps with
+  | [ out ] ->
+    B.store b I64 (Func_addr "pointee") out;
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let m = B.finish b in
+  let m', _ = Strip.run m in
+  Alcotest.(check bool) "pointee kept" true (has_func m' "pointee");
+  Alcotest.(check bool) "dead_fn removed" false (has_func m' "dead_fn")
+
+let test_strip_removes_dead_globals () =
+  let b = B.create "m" in
+  ignore (B.add_global b ~space:Shared ~size:64 "dead_g");
+  ignore (B.add_global b ~space:Shared ~size:8 "live_g");
+  ignore (B.begin_func b ~name:"k" ~kernel:true ~params:[] ~ret:None ());
+  B.set_block b "entry";
+  let _ = B.load b I64 (Global_addr "live_g") in
+  B.ret b None;
+  ignore (B.end_func b);
+  let m = B.finish b in
+  let m', _ = Strip.run m in
+  Alcotest.(check bool) "live kept" true (has_global m' "live_g");
+  Alcotest.(check bool) "dead removed" false (has_global m' "dead_g")
+
+(* --- globalization elimination ------------------------------------------ *)
+
+let glob_module ~escaping =
+  let rt = Ozo_runtime.Runtime.build Ozo_runtime.Config.default in
+  let b = B.create "app" in
+  (* an opaque consumer for the escaping case *)
+  (match
+     B.begin_func b ~name:"consume" ~attrs:[ Attr_no_inline ] ~params:[ I64 ] ~ret:None ()
+   with
+  | [ p ] ->
+    B.set_block b "entry";
+    B.store b I64 (B.i64 1) p;
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let ps = B.begin_func b ~name:"k" ~kernel:true ~linkage:External ~params:[ I64 ] ~ret:None () in
+  B.set_block b "entry";
+  (match ps with
+  | [ out ] ->
+    let p = B.call_val b L.alloc_shared [ B.i64 16 ] in
+    B.store b I64 (B.i64 5) p;
+    if escaping then B.call_void b "consume" [ p ];
+    let v = B.load b I64 p in
+    B.store b I64 v out;
+    B.call_void b L.free_shared [ p; B.i64 16 ];
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  Ozo_ir.Linker.link (B.finish b) rt
+
+let count_alloc_shared m fname =
+  count_in_func
+    (function Call (_, n, _) -> Globalization.is_alloc_shared n | _ -> false)
+    (find_func_exn m fname)
+
+let test_globalization_demotes_private () =
+  let m = glob_module ~escaping:false in
+  let m', changed = Globalization.run m in
+  Alcotest.(check bool) "changed" true changed;
+  Alcotest.(check int) "alloc_shared gone" 0 (count_alloc_shared m' "k");
+  let kf = find_func_exn m' "k" in
+  Alcotest.(check int) "alloca introduced" 1
+    (count_in_func (function Alloca _ -> true | _ -> false) kf);
+  (* semantics preserved *)
+  let dev = Device.create m' in
+  let out = Device.alloc dev 8 in
+  (match Device.launch dev ~teams:1 ~threads:32 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  Alcotest.(check int) "value" 5 (i64_array dev out 1).(0)
+
+let test_globalization_keeps_escaping () =
+  let m = glob_module ~escaping:true in
+  let m', _ = Globalization.run m in
+  Alcotest.(check int) "alloc_shared survives" 1 (count_alloc_shared m' "k")
+
+(* --- spmdize -------------------------------------------------------------- *)
+
+let simple_combined =
+  Ozo_frontend.Ast.
+    { k_name = "k";
+      k_params = [ ("out", TInt); ("n", TInt) ];
+      k_construct =
+        Distribute_parallel_for
+          ("i", P "n", [ Store (P "out", P "i", MI64, Mul (P "i", Int 3)) ]) }
+
+let test_spmdize_flips_safe_kernel () =
+  let app = Lower.lower ~abi:(Lower.Omp Lower.New_abi) simple_combined in
+  let m = Ozo_ir.Linker.link app (Ozo_runtime.Runtime.build Ozo_runtime.Config.default) in
+  Alcotest.(check bool) "starts generic" true
+    (Spmdize.kernel_mode m "k" = Spmdize.Generic);
+  let m, _ = Local_opt.run m in
+  let m', changed = Spmdize.run m in
+  Alcotest.(check bool) "changed" true changed;
+  Alcotest.(check bool) "now SPMD" true (Spmdize.kernel_mode m' "k" = Spmdize.Spmd);
+  (* and it runs correctly in SPMD launch configuration *)
+  let dev = Device.create m' in
+  let out = Device.alloc dev (64 * 8) in
+  (match Device.launch dev ~teams:2 ~threads:32 [ Engine.Ai (Device.ptr out); Ai 64 ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  let got = i64_array dev out 64 in
+  Array.iteri (fun i v -> Alcotest.(check int) "value" (i * 3) v) got
+
+let test_spmdize_guards_side_effects () =
+  (* a store to global memory in the sequential region is guarded for
+     single-threaded execution (paper IV-A3), not bailed on *)
+  let k =
+    Ozo_frontend.Ast.
+      { k_name = "k";
+        k_params = [ ("out", TInt) ];
+        k_construct =
+          Generic
+            [ Store (P "out", Int 0, MI64, Int 7);
+              Parallel (None, [ Store (P "out", Add (Int 1, OmpThreadNum), MI64, Int 1) ])
+            ] }
+  in
+  let app = Lower.lower ~abi:(Lower.Omp Lower.New_abi) k in
+  let m = Ozo_ir.Linker.link app (Ozo_runtime.Runtime.build Ozo_runtime.Config.default) in
+  let m, _ = Local_opt.run m in
+  Ozo_opt.Remarks.reset ();
+  let m', changed = Spmdize.run m in
+  Alcotest.(check bool) "changed" true changed;
+  check_verifies "guarded" m';
+  Alcotest.(check bool) "now SPMD" true (Spmdize.kernel_mode m' "k" = Spmdize.Spmd);
+  let guarded =
+    List.exists
+      (fun r ->
+        r.Ozo_opt.Remarks.r_kind = Ozo_opt.Remarks.Applied
+        && contains r.Ozo_opt.Remarks.r_msg "guarding")
+      (Ozo_opt.Remarks.all ())
+  in
+  Alcotest.(check bool) "guard remark emitted" true guarded;
+  (* execution: the sequential store happens exactly once, the parallel
+     stores once per thread *)
+  let dev = Device.create m' in
+  let out = Device.alloc dev (33 * 8) in
+  (match Device.launch dev ~teams:1 ~threads:32 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  let got = i64_array dev out 33 in
+  Alcotest.(check int) "sequential store" 7 got.(0);
+  for i = 1 to 32 do
+    Alcotest.(check int) "parallel store" 1 got.(i)
+  done
+
+let test_spmdize_bails_on_unknown_call () =
+  (* a call to an arbitrary function in the sequential region cannot be
+     guarded (it may produce a value / have unknown effects): stay generic *)
+  let rt = Ozo_runtime.Runtime.build Ozo_runtime.Config.default in
+  let b = B.create "app" in
+  (match
+     B.begin_func b ~name:"mystery" ~attrs:[ Attr_no_inline ] ~params:[] ~ret:None ()
+   with
+  | [] ->
+    B.set_block b "entry";
+    B.barrier b ~aligned:false;
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  ignore (B.begin_func b ~name:"k" ~kernel:true ~linkage:External ~params:[] ~ret:None ());
+  B.set_block b "entry";
+  let r = B.call_val b L.target_init [ B.i64 0 ] in
+  let proceed = B.icmp b Eq r (B.i64 1) in
+  B.if_then b proceed ~then_:(fun () ->
+      B.call_void b "mystery" [];
+      B.call_void b L.target_deinit [ B.i64 0 ]);
+  B.ret b None;
+  ignore (B.end_func b);
+  let m = Ozo_ir.Linker.link (B.finish b) rt in
+  Ozo_opt.Remarks.reset ();
+  let m', changed = Spmdize.run m in
+  Alcotest.(check bool) "not changed" false changed;
+  Alcotest.(check bool) "still generic" true
+    (Spmdize.kernel_mode m' "k" = Spmdize.Generic);
+  let missed =
+    List.exists
+      (fun r -> r.Ozo_opt.Remarks.r_kind = Ozo_opt.Remarks.Missed)
+      (Ozo_opt.Remarks.all ())
+  in
+  Alcotest.(check bool) "missed remark emitted" true missed
+
+(* --- barrier elimination --------------------------------------------------- *)
+
+let barrier_kernel ~with_store =
+  kernel_module ~params:[ I64 ] (fun b ps ->
+      match ps with
+      | [ out ] ->
+        B.barrier b ~aligned:true;
+        (* pure computation between barriers *)
+        let tid = B.thread_id b in
+        let v = B.mul b tid (B.i64 2) in
+        B.barrier b ~aligned:true;
+        if with_store then B.store b I64 v (B.ptradd b out (B.mul b tid (B.i64 8)))
+        else ignore v;
+        B.barrier b ~aligned:true
+      | _ -> assert false)
+
+let count_barriers m = count_in_func is_barrier (find_func_exn m "k")
+
+let test_barrier_elim_pure_between () =
+  let m = barrier_kernel ~with_store:false in
+  let m', changed = Barrier_elim.run m in
+  Alcotest.(check bool) "changed" true changed;
+  Alcotest.(check int) "all barriers removed" 0 (count_barriers m')
+
+let test_barrier_elim_blocked_by_store () =
+  let m = barrier_kernel ~with_store:true in
+  let m', _ = Barrier_elim.run m in
+  (* the first two barriers collapse (pure between them + entry), but the
+     barrier preceding the global store survives only if a side effect
+     separates it from entry/exit — here the store is after it, so it is
+     entry-adjacent and removable; the final barrier is exit-adjacent.
+     Everything goes. *)
+  Alcotest.(check int) "entry/exit adjacency removes all" 0 (count_barriers m')
+
+let test_barrier_elim_keeps_communication () =
+  (* store -> barrier -> load: the barrier orders cross-thread
+     communication and must stay *)
+  let b = B.create "m" in
+  ignore (B.add_global b ~space:Shared ~size:8 "sh");
+  let ps = B.begin_func b ~name:"k" ~kernel:true ~params:[ I64 ] ~ret:None () in
+  B.set_block b "entry";
+  (match ps with
+  | [ out ] ->
+    let tid = B.thread_id b in
+    let is0 = B.icmp b Eq tid (B.i64 0) in
+    let dummy = B.alloca b 8 in
+    let p = B.select b (Ptr Shared) is0 (Global_addr "sh") dummy in
+    B.store b I64 (B.i64 55) p;
+    B.barrier b ~aligned:true;
+    let v = B.load b I64 (Global_addr "sh") in
+    B.store b I64 v (B.ptradd b out (B.mul b tid (B.i64 8)));
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let m = B.finish b in
+  let m', _ = Barrier_elim.run m in
+  Alcotest.(check int) "communication barrier kept" 1 (count_barriers m');
+  let dev = Device.create m' in
+  let out = Device.alloc dev (32 * 8) in
+  (match Device.launch dev ~teams:1 ~threads:32 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  Alcotest.(check int) "broadcast ok" 55 (i64_array dev out 32).(31)
+
+let test_barrier_elim_attributed_calls () =
+  (* a call to a function carrying Attr_aligned_barrier (the paper's
+     `omp assumes ext_aligned_barrier` wrapper, Fig. 6) participates in
+     barrier elimination like a real aligned barrier *)
+  let b = B.create "m" in
+  (match
+     B.begin_func b ~name:"syncThreadsAligned"
+       ~attrs:[ Attr_aligned_barrier; Attr_no_inline ] ~params:[] ~ret:None ()
+   with
+  | [] ->
+    B.set_block b "entry";
+    B.barrier b ~aligned:true;
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  ignore (B.begin_func b ~name:"k" ~kernel:true ~params:[] ~ret:None ());
+  B.set_block b "entry";
+  B.call_void b "syncThreadsAligned" [];
+  let tid = B.thread_id b in
+  ignore (B.mul b tid (B.i64 2));
+  B.call_void b "syncThreadsAligned" [];
+  B.ret b None;
+  ignore (B.end_func b);
+  let m = B.finish b in
+  let m', changed = Barrier_elim.run m in
+  Alcotest.(check bool) "changed" true changed;
+  let kf = find_func_exn m' "k" in
+  Alcotest.(check int) "attributed barrier calls removed" 0
+    (count_in_func (function Call (_, "syncThreadsAligned", _) -> true | _ -> false) kf)
+
+let test_barrier_elim_ignores_unaligned () =
+  let m =
+    kernel_module ~params:[] (fun b _ ->
+        B.barrier b ~aligned:false;
+        B.barrier b ~aligned:false)
+  in
+  let m', changed = Barrier_elim.run m in
+  Alcotest.(check bool) "unchanged" false changed;
+  Alcotest.(check int) "unaligned barriers kept" 2 (count_barriers m')
+
+let suite =
+  [ tc "inline: basic with ret phi" test_inline_basic;
+    tc "inline: respects no_inline" test_inline_respects_no_inline;
+    tc "inline: skips recursion" test_inline_skips_recursion;
+    tc "inline: hoists allocas out of loops" test_inline_hoists_allocas;
+    tc "internalize: clone + redirect + strip" test_internalize;
+    tc "strip: keeps Func_addr references" test_strip_keeps_func_addr_refs;
+    tc "strip: removes dead globals" test_strip_removes_dead_globals;
+    tc "globalization: demotes private allocation" test_globalization_demotes_private;
+    tc "globalization: keeps escaping allocation" test_globalization_keeps_escaping;
+    tc "spmdize: flips safe combined kernel" test_spmdize_flips_safe_kernel;
+    tc "spmdize: guards sequential side effects" test_spmdize_guards_side_effects;
+    tc "spmdize: bails on unguardable calls" test_spmdize_bails_on_unknown_call;
+    tc "barrier-elim: pure region" test_barrier_elim_pure_between;
+    tc "barrier-elim: entry/exit adjacency" test_barrier_elim_blocked_by_store;
+    tc "barrier-elim: keeps communication barrier" test_barrier_elim_keeps_communication;
+    tc "barrier-elim: attributed barrier functions" test_barrier_elim_attributed_calls;
+    tc "barrier-elim: unaligned untouched" test_barrier_elim_ignores_unaligned ]

@@ -1,0 +1,281 @@
+(* Device-runtime tests: structural invariants of the built modules and
+   behavioural tests of the runtime executing unoptimized. *)
+
+open Ozo_ir.Types
+module B = Ozo_ir.Builder
+module L = Ozo_runtime.Layout
+module Config = Ozo_runtime.Config
+module Runtime = Ozo_runtime.Runtime
+module Device = Ozo_vgpu.Device
+module Engine = Ozo_vgpu.Engine
+open Util
+
+let test_modules_verify () =
+  List.iter
+    (fun (name, cfg) ->
+      match Ozo_ir.Verifier.check (Runtime.build cfg) with
+      | Ok () -> ()
+      | Error vs ->
+        Alcotest.failf "%s: %a" name
+          (Fmt.list ~sep:Fmt.semi Ozo_ir.Verifier.pp_violation)
+          vs)
+    [ ("new", Config.default);
+      ("new+assume", Config.(with_assumptions default));
+      ("new+debug", Config.(with_debug default));
+      ("old", Config.old_rt);
+      ("old+debug", Config.(with_debug old_rt)) ]
+
+let test_shared_footprints () =
+  (* the static shared-memory budgets reproduce the paper's Fig. 11
+     orders: ~11.3KB for the new runtime, ~2.3KB for the old *)
+  let new_b = Ozo_vgpu.Engine.shared_bytes (Runtime.build Config.default) in
+  let old_b = Ozo_vgpu.Engine.shared_bytes (Runtime.build Config.old_rt) in
+  Alcotest.(check bool) "new ~11.3KB" true (new_b > 11_000 && new_b < 12_000);
+  Alcotest.(check bool) "old ~2.3KB" true (old_b > 2_000 && old_b < 2_500)
+
+let test_config_globals_reflect_flags () =
+  let m = Runtime.build Config.(with_assumptions (with_debug default)) in
+  let check name expected =
+    match find_global m name with
+    | Some g -> Alcotest.(check bool) name true (g.g_init = Words_init [ expected ])
+    | None -> Alcotest.failf "missing %s" name
+  in
+  check L.cfg_debug 1L;
+  check L.cfg_assume_teams_oversub 1L;
+  check L.cfg_assume_threads_oversub 1L;
+  let m0 = Runtime.build Config.default in
+  match find_global m0 L.cfg_debug with
+  | Some g -> Alcotest.(check bool) "debug off" true (g.g_init = Words_init [ 0L ])
+  | None -> Alcotest.fail "missing debug flag"
+
+(* link a hand-written kernel against a runtime and run it *)
+let with_runtime cfg emit ~params =
+  let app = kernel_module ~params emit in
+  Ozo_ir.Linker.link app (Runtime.build cfg)
+
+let test_spmd_init_worksharing () =
+  (* SPMD kernel distributing 100 iterations via the runtime *)
+  let m =
+    with_runtime Config.default ~params:[ I64 ] (fun b ps ->
+        match ps with
+        | [ out ] ->
+          (* build an outlined body first? use a pre-made body function via
+             module-level second function: simpler — call the runtime
+             work-share with a body that writes iv*2 *)
+          let r = B.call_val b L.target_init [ B.i64 1 ] in
+          ignore r;
+          B.call_void b L.distribute_for_loop [ Func_addr "body"; out; B.i64 100 ];
+          B.call_void b L.target_deinit [ B.i64 1 ]
+        | _ -> assert false)
+  in
+  (* add the body function: (iv, args) -> store iv*2 to args[iv] *)
+  let b = B.create "body_mod" in
+  (match B.begin_func b ~name:"body" ~params:[ I64; I64 ] ~ret:None () with
+  | [ iv; args ] ->
+    B.set_block b "entry";
+    let v = B.mul b iv (B.i64 2) in
+    B.store b I64 v (B.ptradd b args (B.mul b iv (B.i64 8)));
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let m = Ozo_ir.Linker.link m (B.finish b) in
+  check_verifies "spmd ws" m;
+  let dev = Device.create m in
+  let out = Device.alloc dev (100 * 8) in
+  (match Device.launch dev ~teams:2 ~threads:32 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  let got = i64_array dev out 100 in
+  Array.iteri (fun i v -> Alcotest.(check int) "iter" (i * 2) v) got
+
+let test_generic_state_machine () =
+  (* generic kernel: main thread forks a parallel region via the worker
+     state machine; workers write their ids *)
+  let m =
+    with_runtime Config.default ~params:[ I64 ] (fun b ps ->
+        match ps with
+        | [ out ] ->
+          let r = B.call_val b L.target_init [ B.i64 0 ] in
+          let proceed = B.icmp b Eq r (B.i64 1) in
+          B.if_then b proceed ~then_:(fun () ->
+              B.call_void b L.parallel [ Func_addr "par_body"; out; B.i64 (-1) ];
+              B.call_void b L.target_deinit [ B.i64 0 ])
+        | _ -> assert false)
+  in
+  let b = B.create "body_mod" in
+  (match B.begin_func b ~name:"par_body" ~params:[ I64; I64 ] ~ret:None () with
+  | [ tid; args ] ->
+    B.set_block b "entry";
+    let v = B.add b tid (B.i64 1000) in
+    B.store b I64 v (B.ptradd b args (B.mul b tid (B.i64 8)));
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  let m = Ozo_ir.Linker.link m (B.finish b) in
+  check_verifies "generic sm" m;
+  let dev = Device.create m in
+  let out = Device.alloc dev (32 * 8) in
+  (* generic: workers = 32, main warp extra *)
+  (match Device.launch dev ~teams:1 ~threads:64 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  let got = i64_array dev out 32 in
+  Array.iteri (fun i v -> Alcotest.(check int) "worker wrote" (1000 + i) v) got
+
+let test_icv_defaults_spmd () =
+  (* omp_get_num_threads inside an SPMD region = block_dim;
+     omp_get_level outside parallel = 0 *)
+  let m =
+    with_runtime Config.default ~params:[ I64 ] (fun b ps ->
+        match ps with
+        | [ out ] ->
+          ignore (B.call_val b L.target_init [ B.i64 1 ]);
+          let nt = B.call_val b L.get_num_threads [] in
+          let lvl = B.call_val b L.get_level [] in
+          let tid = B.thread_id b in
+          let is0 = B.icmp b Eq tid (B.i64 0) in
+          B.if_then b is0 ~then_:(fun () ->
+              B.store b I64 nt out;
+              B.store b I64 lvl (B.ptradd b out (B.i64 8)));
+          B.call_void b L.target_deinit [ B.i64 1 ]
+        | _ -> assert false)
+  in
+  let dev = Device.create m in
+  let out = Device.alloc dev 16 in
+  (match Device.launch dev ~teams:1 ~threads:32 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  Alcotest.(check int) "num_threads" 32 (i64_array dev out 2).(0);
+  Alcotest.(check int) "level" 0 (i64_array dev out 2).(1)
+
+let test_alloc_shared_stack_and_fallback () =
+  (* small allocation comes from the shared stack; oversized falls back
+     to global malloc; both are usable and freeable *)
+  let m =
+    with_runtime Config.default ~params:[ I64 ] (fun b ps ->
+        match ps with
+        | [ out ] ->
+          ignore (B.call_val b L.target_init [ B.i64 1 ]);
+          let tid = B.thread_id b in
+          let is0 = B.icmp b Eq tid (B.i64 0) in
+          B.if_then b is0 ~then_:(fun () ->
+              let small = B.call_val b L.alloc_shared [ B.i64 16 ] in
+              B.store b I64 (B.i64 11) small;
+              let big = B.call_val b L.alloc_shared [ B.i64 1_000_000 ] in
+              B.store b I64 (B.i64 22) big;
+              let v1 = B.load b I64 small in
+              let v2 = B.load b I64 big in
+              B.store b I64 v1 out;
+              B.store b I64 v2 (B.ptradd b out (B.i64 8));
+              (* small must live in shared space, big in global space *)
+              let tag_small = B.binop b Lshr small (B.i64 44) in
+              let tag_big = B.binop b Lshr big (B.i64 44) in
+              B.store b I64 tag_small (B.ptradd b out (B.i64 16));
+              B.store b I64 tag_big (B.ptradd b out (B.i64 24));
+              B.call_void b L.free_shared [ big; B.i64 1_000_000 ];
+              B.call_void b L.free_shared [ small; B.i64 16 ]);
+          B.call_void b L.target_deinit [ B.i64 1 ]
+        | _ -> assert false)
+  in
+  let dev = Device.create m in
+  let out = Device.alloc dev 32 in
+  (match Device.launch dev ~teams:1 ~threads:32 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  let got = i64_array dev out 4 in
+  Alcotest.(check int) "small value" 11 got.(0);
+  Alcotest.(check int) "big value" 22 got.(1);
+  Alcotest.(check int) "small in shared" Ozo_vgpu.Memory.tag_shared got.(2);
+  Alcotest.(check int) "big in global" Ozo_vgpu.Memory.tag_global got.(3)
+
+let test_push_pop_icv_state () =
+  (* push creates a thread state (get_level reads it), pop restores *)
+  let m =
+    with_runtime Config.default ~params:[ I64 ] (fun b ps ->
+        match ps with
+        | [ out ] ->
+          ignore (B.call_val b L.target_init [ B.i64 1 ]);
+          let tid = B.thread_id b in
+          let is0 = B.icmp b Eq tid (B.i64 0) in
+          B.if_then b is0 ~then_:(fun () ->
+              let before = B.call_val b L.get_level [] in
+              let ts = B.call_val b L.push_icv_state [] in
+              (* bump levels on the private state *)
+              let lvl_addr = B.ptradd b ts (B.i64 L.icv_levels) in
+              let lvl = B.load b I64 lvl_addr in
+              B.store b I64 (B.add b lvl (B.i64 1)) lvl_addr;
+              let inside = B.call_val b L.get_level [] in
+              B.call_void b L.pop_icv_state [];
+              let after = B.call_val b L.get_level [] in
+              B.store b I64 before out;
+              B.store b I64 inside (B.ptradd b out (B.i64 8));
+              B.store b I64 after (B.ptradd b out (B.i64 16)));
+          B.call_void b L.target_deinit [ B.i64 1 ]
+        | _ -> assert false)
+  in
+  let dev = Device.create m in
+  let out = Device.alloc dev 24 in
+  (match Device.launch dev ~teams:1 ~threads:32 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  let got = i64_array dev out 3 in
+  Alcotest.(check int) "level before" 0 got.(0);
+  Alcotest.(check int) "level inside" 1 got.(1);
+  Alcotest.(check int) "level after" 0 got.(2)
+
+let test_omp_assert_release_vs_debug () =
+  let mk cfg =
+    with_runtime cfg ~params:[] (fun b _ ->
+        ignore (B.call_val b L.target_init [ B.i64 1 ]);
+        B.call_void b L.omp_assert [ B.i64 0 ];
+        B.call_void b L.target_deinit [ B.i64 1 ])
+  in
+  (* release: the failing assertion becomes an (unchecked) assumption *)
+  let dev = Device.create (mk Config.default) in
+  (match Device.launch dev ~teams:1 ~threads:32 [] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "release should pass: %a" Device.pp_error e);
+  (* debug: trap *)
+  match expect_error (mk Config.(with_debug default)) [] with
+  | Device.Trap msg -> Alcotest.(check bool) "assert msg" true (contains msg "assertion")
+  | Device.Fault m -> Alcotest.failf "expected trap, got %s" m
+
+let test_old_rt_worksharing () =
+  (* the split distribute/for_static_init path covers the space exactly *)
+  let m =
+    with_runtime Config.old_rt ~params:[ I64 ] (fun b ps ->
+        match ps with
+        | [ out ] ->
+          ignore (B.call_val b L.target_init [ B.i64 1 ]);
+          let a_lb = B.alloca b 8 and a_ub = B.alloca b 8 and a_st = B.alloca b 8 in
+          B.call_void b L.old_distribute_init [ a_lb; a_ub; B.i64 100 ];
+          let tlb = B.load b I64 a_lb and tub = B.load b I64 a_ub in
+          B.call_void b L.old_for_static_init [ a_lb; a_ub; a_st; tlb; tub ];
+          let lb = B.load b I64 a_lb and ub = B.load b I64 a_ub in
+          ignore
+            (B.for_loop b ~lo:lb ~hi:ub ~step:(B.i64 1) ~body:(fun iv ->
+                 B.atomic_add b I64 (B.ptradd b out (B.mul b iv (B.i64 8))) (B.i64 1)));
+          B.call_void b L.barrier [];
+          B.call_void b L.target_deinit [ B.i64 1 ]
+        | _ -> assert false)
+  in
+  check_verifies "old ws" m;
+  let dev = Device.create m in
+  let out = Device.alloc dev (100 * 8) in
+  (match Device.launch dev ~teams:4 ~threads:32 [ Engine.Ai (Device.ptr out) ] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%a" Device.pp_error e);
+  let got = i64_array dev out 100 in
+  Array.iteri (fun i v -> Alcotest.(check int) (Printf.sprintf "iter %d once" i) 1 v) got
+
+let suite =
+  [ tc "runtime modules verify" test_modules_verify;
+    tc "shared-memory footprints (Fig. 11)" test_shared_footprints;
+    tc "config globals reflect flags" test_config_globals_reflect_flags;
+    tc "SPMD init + combined worksharing" test_spmd_init_worksharing;
+    tc "generic-mode state machine" test_generic_state_machine;
+    tc "ICV defaults in SPMD" test_icv_defaults_spmd;
+    tc "alloc_shared: stack + malloc fallback" test_alloc_shared_stack_and_fallback;
+    tc "push/pop thread ICV state" test_push_pop_icv_state;
+    tc "__omp_assert: release vs debug" test_omp_assert_release_vs_debug;
+    tc "old RT split worksharing covers space" test_old_rt_worksharing ]
