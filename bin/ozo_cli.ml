@@ -2,10 +2,13 @@
    applications under any build configuration.
 
      ozo_cli list
-     ozo_cli run xsbench --build new-rt [--debug] [--small]
+     ozo_cli run xsbench --build new-rt [--debug] [--small] [--sanitize]
+                         [--inject corrupt-load@k:3] [--seed 7]
      ozo_cli inspect gridmini --build new-rt [--full-ir]
      ozo_cli remarks rsbench
-     ozo_cli ablate gridmini                                              *)
+     ozo_cli ablate gridmini
+     ozo_cli sanitize xsbench [--small]
+     ozo_cli campaign rsbench [--inject skip-barrier] [--seed 42]         *)
 
 module C = Ozo_core.Codesign
 module E = Ozo_harness.Experiments
@@ -38,6 +41,29 @@ let debug_arg =
   let doc = "Compile the runtime in debug mode and verify assumptions at runtime." in
   Arg.(value & flag & info [ "debug" ] ~doc)
 
+let sanitize_arg =
+  let doc = "Run under the SIMT sanitizer (bounds, init, race, barrier checks)." in
+  Arg.(value & flag & info [ "sanitize" ] ~doc)
+
+let inject_arg =
+  let doc =
+    "Inject a deterministic fault: ACTION[@FUNC][:NTH] with ACTION one of \
+     corrupt-load, drop-store, skip-barrier, trunc-shared, violate-assume. \
+     NTH (the firing occurrence) is drawn from --seed when omitted."
+  in
+  Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SPEC" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for fault-injection campaigns." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let parse_inject seed = function
+  | None -> Ok None
+  | Some s -> (
+    match Ozo_vgpu.Faultinject.parse ~seed s with
+    | Ok spec -> Ok (Some spec)
+    | Error e -> Error (`Msg e))
+
 let find_proxy small name =
   let pool = if small then Registry.all_small () else Registry.all () in
   match List.find_opt (fun p -> p.Proxy.p_name = name) pool with
@@ -67,24 +93,26 @@ let list_cmd =
 (* --- run ---------------------------------------------------------------- *)
 
 let run_cmd =
-  let run name build small debug =
+  let run name build small debug sanitize inject seed =
     handle
       (let ( let* ) = Result.bind in
        let* p = find_proxy small name in
        let* b = build_of_string p build in
+       let* inject = parse_inject seed inject in
        let b = if debug then C.with_debug b else b in
-       let m = E.measure ~check_assumes:debug p b in
+       let m = E.measure ~check_assumes:debug ~sanitize ?inject p b in
        Fmt.pr "%a%a" R.pp_fig11 (name, [ m ]) R.pp_csv_header ();
        Fmt.pr "%a" R.pp_csv m;
        match m.E.r_check with
        | Ok () ->
-         Fmt.pr "result check: ok@.";
+         Fmt.pr "result check: %s@." (R.status_str m);
          Ok ()
        | Error e -> Error (`Msg ("result check failed: " ^ e)))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and run one proxy under one build configuration")
-    Term.(const run $ proxy_arg $ build_arg $ small_arg $ debug_arg)
+    Term.(const run $ proxy_arg $ build_arg $ small_arg $ debug_arg $ sanitize_arg
+          $ inject_arg $ seed_arg)
 
 (* --- inspect ------------------------------------------------------------ *)
 
@@ -143,9 +171,64 @@ let ablate_cmd =
     (Cmd.info "ablate" ~doc:"Run the per-optimization ablation for one proxy (Fig. 13)")
     Term.(const run $ proxy_arg $ small_arg)
 
+(* --- sanitize ------------------------------------------------------------ *)
+
+let sanitize_cmd =
+  let run name small =
+    handle
+      (let ( let* ) = Result.bind in
+       let* p = find_proxy small name in
+       let ms = E.campaign ~check_assumes:true ~sanitize:true p in
+       Fmt.pr "%a" R.pp_fig11 (name ^ " [sanitized]", ms);
+       let dirty = List.filter (fun m -> m.E.r_fault <> None) ms in
+       if dirty = [] then begin
+         Fmt.pr "sanitizer: clean (%d builds)@." (List.length ms);
+         Ok ()
+       end
+       else
+         Error
+           (`Msg
+             (Fmt.str "sanitizer found %d issue(s):@.%a" (List.length dirty)
+                R.pp_faults dirty)))
+  in
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:
+         "Run one proxy under every build with the SIMT sanitizer armed; exit \
+          non-zero on any finding")
+    Term.(const run $ proxy_arg $ small_arg)
+
+(* --- campaign ------------------------------------------------------------- *)
+
+let campaign_cmd =
+  let run name small sanitize inject seed =
+    handle
+      (let ( let* ) = Result.bind in
+       let* p = find_proxy small name in
+       let* inject = parse_inject seed inject in
+       (match inject with
+       | Some spec ->
+         Fmt.pr "injecting: %s (seed %d)@." (Ozo_vgpu.Faultinject.spec_to_string spec) seed
+       | None -> ());
+       let ms = E.campaign ~sanitize ?inject p in
+       Fmt.pr "%a%a" R.pp_fig10 (name, ms) R.pp_fig11 (name, ms);
+       Fmt.pr "%a" R.pp_csv_header ();
+       List.iter (Fmt.pr "%a" R.pp_csv) ms;
+       if List.for_all (fun m -> Result.is_ok m.E.r_check) ms then Ok ()
+       else Error (`Msg "campaign finished with failing rows"))
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Measure one proxy across all standard builds, degrading gracefully on \
+          faults (optionally injected); exit 0 iff every row ends with a valid \
+          check")
+    Term.(const run $ proxy_arg $ small_arg $ sanitize_arg $ inject_arg $ seed_arg)
+
 let () =
   let doc = "reproduction of the near-zero-overhead OpenMP GPU runtime (IPDPS'22)" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "ozo_cli" ~doc)
-          [ list_cmd; run_cmd; inspect_cmd; remarks_cmd; ablate_cmd ]))
+          [ list_cmd; run_cmd; inspect_cmd; remarks_cmd; ablate_cmd; sanitize_cmd;
+            campaign_cmd ]))

@@ -127,13 +127,15 @@ type metrics = {
 }
 
 (* Create a device for a compiled kernel (callers allocate buffers on it
-   before launching). *)
-let device ?(params = Cost.default) (c : compiled) = Device.create ~params c.c_module
+   before launching). [~sanitize] arms the SIMT sanitizer's shadow state. *)
+let device ?(params = Cost.default) ?(sanitize = false) (c : compiled) =
+  Device.create ~params ~sanitize c.c_module
 
-let launch ?(check_assumes = false) ?(trace = false) (c : compiled) (dev : Device.t)
-    ~teams ~threads (args : Engine.arg list) : (metrics, Device.error) result =
+let launch ?(check_assumes = false) ?(trace = false) ?inject (c : compiled)
+    (dev : Device.t) ~teams ~threads (args : Engine.arg list) :
+    (metrics, Device.error) result =
   let hw = hw_threads c ~threads in
-  match Device.launch ~check_assumes ~trace dev ~teams ~threads:hw args with
+  match Device.launch ~check_assumes ~trace ?inject dev ~teams ~threads:hw args with
   | Error e -> Error e
   | Ok r ->
     let occ =

@@ -6,11 +6,20 @@
    Build rows follow Fig. 10/11: Old RT (Nightly), New RT (Nightly),
    New RT - w/o Assumptions, New RT, CUDA (NVCC). "New RT" uses the
    oversubscription flags the application can honestly pass
-   (Proxy.assume_profile). *)
+   (Proxy.assume_profile).
+
+   A faulting build row no longer aborts the campaign: [measure] records
+   the structured fault and walks the fallback ladder
+   (full -> nightly -> baseline -> O0), re-running the proxy at each
+   weaker pipeline — without the injection that may have felled the
+   primary — until one completes with a valid differential check. A
+   silently-corrupting build (launch succeeds, check fails) degrades the
+   same way, with a synthetic [Validation] fault. *)
 
 module C = Ozo_core.Codesign
 module Proxy = Ozo_proxies.Proxy
 module Pipeline = Ozo_opt.Pipeline
+module Fault = Ozo_vgpu.Fault
 
 type measurement = {
   r_proxy : string;
@@ -22,8 +31,12 @@ type measurement = {
   r_counters : Ozo_vgpu.Counters.t;
   r_check : (unit, string) result;
   r_flops : float;
+  r_fault : Fault.t option;    (* what felled the primary configuration *)
+  r_fallbacks : string list;   (* weaker pipelines tried, in order *)
 }
 
+(* user errors outside a measurement (e.g. an unknown proxy name); runtime
+   faults inside one are recorded in the measurement instead of raised *)
 exception Harness_error of string
 
 (* the "New RT" row honoring the proxy's honest assumption set *)
@@ -35,28 +48,74 @@ let new_rt_for (p : Proxy.t) =
 let builds_for (p : Proxy.t) : C.build list =
   [ C.old_rt_nightly; C.new_rt_nightly; C.new_rt_no_assumptions; new_rt_for p; C.cuda ]
 
-let measure ?(check_assumes = false) (p : Proxy.t) (b : C.build) : measurement =
-  let k = Proxy.kernel_for p b.C.b_abi in
-  let c = C.compile b k in
-  let dev = C.device c in
-  let inst = p.Proxy.p_setup dev in
-  match
-    C.launch ~check_assumes c dev ~teams:p.Proxy.p_teams ~threads:p.Proxy.p_threads
-      inst.Proxy.i_args
-  with
-  | Error e ->
-    raise
-      (Harness_error
-         (Fmt.str "%s under %s: %a" p.Proxy.p_name b.C.b_label Ozo_vgpu.Device.pp_error e))
-  | Ok m ->
-    { r_proxy = p.Proxy.p_name; r_build = b.C.b_label;
-      r_cycles = m.C.m_kernel_cycles; r_regs = m.C.m_regs; r_smem = m.C.m_smem;
-      r_occupancy = m.C.m_occupancy; r_counters = m.C.m_counters;
-      r_check = inst.Proxy.i_check (); r_flops = p.Proxy.p_flops }
+let measure ?(check_assumes = false) ?(sanitize = false) ?inject (p : Proxy.t)
+    (b : C.build) : measurement =
+  let teams = p.Proxy.p_teams and threads = p.Proxy.p_threads in
+  (* run one pipeline config; the build label stays that of the row *)
+  let attempt ?inject (pipe : Pipeline.config) :
+      (measurement, Fault.t * measurement option) result =
+    try
+      let b = { b with C.b_pipe = pipe } in
+      let k = Proxy.kernel_for p b.C.b_abi in
+      let c = C.compile b k in
+      let dev = C.device ~sanitize c in
+      let inst = p.Proxy.p_setup dev in
+      match C.launch ~check_assumes ?inject c dev ~teams ~threads inst.Proxy.i_args with
+      | Error f -> Error (f, None)
+      | Ok m ->
+        let check = inst.Proxy.i_check () in
+        let meas =
+          { r_proxy = p.Proxy.p_name; r_build = b.C.b_label;
+            r_cycles = m.C.m_kernel_cycles; r_regs = m.C.m_regs; r_smem = m.C.m_smem;
+            r_occupancy = m.C.m_occupancy; r_counters = m.C.m_counters;
+            r_check = check; r_flops = p.Proxy.p_flops; r_fault = None;
+            r_fallbacks = [] }
+        in
+        (match check with
+        | Ok () -> Ok meas
+        | Error e ->
+          Error (Fault.make Fault.Validation ("differential check failed: " ^ e), Some meas))
+    with
+    | Fault.Kernel_fault f | Fault.Kernel_trap f ->
+      (* host-side fault during setup (e.g. a pointer-encoding overflow) *)
+      Error (f, None)
+  in
+  (* a row where even the weakest config failed: report the fault as the
+     check result so campaign tables stay rectangular *)
+  let dead_row fault fallbacks =
+    { r_proxy = p.Proxy.p_name; r_build = b.C.b_label; r_cycles = 0.0; r_regs = 0;
+      r_smem = 0; r_occupancy = 0.0; r_counters = Ozo_vgpu.Counters.create ();
+      r_check = Error (Fault.to_line fault); r_flops = p.Proxy.p_flops;
+      r_fault = Some fault; r_fallbacks = fallbacks }
+  in
+  match attempt ?inject b.C.b_pipe with
+  | Ok m -> m
+  | Error (primary_fault, primary_meas) ->
+    let rec ladder pipe tried last_meas =
+      match Pipeline.weaken pipe with
+      | None -> (
+        match last_meas with
+        | Some m ->
+          { m with r_fault = Some primary_fault; r_fallbacks = List.rev tried }
+        | None -> dead_row primary_fault (List.rev tried))
+      | Some weaker -> (
+        let tried = weaker.Pipeline.name :: tried in
+        match attempt weaker with
+        | Ok m -> { m with r_fault = Some primary_fault; r_fallbacks = List.rev tried }
+        | Error (_, meas) ->
+          ladder weaker tried (match meas with Some _ -> meas | None -> last_meas))
+    in
+    ladder b.C.b_pipe [] primary_meas
 
 (* Figure 10 (a-d) + the TestSNAP column: relative performance of every
    build, normalized to Old RT (Nightly) — the paper's baseline. *)
 let fig10 (p : Proxy.t) : measurement list = List.map (measure p) (builds_for p)
+
+(* a full campaign over the standard build rows, with optional sanitizer
+   and fault injection; the injection perturbs only each row's primary
+   attempt, so fallbacks re-validate clean *)
+let campaign ?check_assumes ?sanitize ?inject (p : Proxy.t) : measurement list =
+  List.map (measure ?check_assumes ?sanitize ?inject p) (builds_for p)
 
 (* Figure 11: kernel time / registers / shared memory per build. Same
    measurements as fig10; kept separate for reporting. *)

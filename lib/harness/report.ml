@@ -13,6 +13,30 @@ let baseline_cycles (ms : measurement list) =
 
 let check_str = function Ok () -> "ok" | Error e -> "FAILED: " ^ e
 
+(* row status including graceful degradation: a row that faulted on its
+   primary configuration but recovered at a weaker one reads e.g.
+   "ok (fallback nightly after divergent-barrier)" *)
+let status_str (m : measurement) =
+  match (m.r_fault, m.r_fallbacks) with
+  | None, _ -> check_str m.r_check
+  | Some f, [] -> check_str m.r_check ^ " (" ^ Ozo_vgpu.Fault.kind_name f.Ozo_vgpu.Fault.f_kind ^ ")"
+  | Some f, fbs ->
+    Fmt.str "%s (fallback %s after %s)" (check_str m.r_check)
+      (List.nth fbs (List.length fbs - 1))
+      (Ozo_vgpu.Fault.kind_name f.Ozo_vgpu.Fault.f_kind)
+
+(* one detail line per degraded row, printed under the tables *)
+let pp_faults ppf (ms : measurement list) =
+  List.iter
+    (fun m ->
+      match m.r_fault with
+      | None -> ()
+      | Some f ->
+        Fmt.pf ppf "  ! %-26s %s@." m.r_build (Ozo_vgpu.Fault.to_line f);
+        if m.r_fallbacks <> [] then
+          Fmt.pf ppf "    fallback chain: %s@." (String.concat " -> " m.r_fallbacks))
+    ms
+
 let bar width frac =
   let n = int_of_float (frac *. float_of_int width) in
   String.make (max 0 (min width n)) '#'
@@ -27,8 +51,9 @@ let pp_fig10 ppf (title, ms) =
       let speedup = base /. m.r_cycles in
       Fmt.pf ppf "  %-26s %8.2fx  %-40s %s@." m.r_build speedup
         (bar 40 (speedup /. 3.0))
-        (check_str m.r_check))
-    ms
+        (status_str m))
+    ms;
+  pp_faults ppf ms
 
 (* Fig. 11-style table *)
 let pp_fig11 ppf (title, ms) =
@@ -40,7 +65,8 @@ let pp_fig11 ppf (title, ms) =
       Fmt.pf ppf "  %-26s %14.0f %7d %9d %6.2f %10d %9d@." m.r_build m.r_cycles m.r_regs
         m.r_smem m.r_occupancy m.r_counters.Ozo_vgpu.Counters.warp_instructions
         m.r_counters.Ozo_vgpu.Counters.barriers)
-    ms
+    ms;
+  pp_faults ppf ms
 
 (* Fig. 12-style: GridMini "GFlops" (useful flops per simulated cycle,
    arbitrary units — only ratios are meaningful) *)
@@ -76,10 +102,14 @@ let pp_ablation ppf (title, rows) =
 
 (* machine-readable one-line records, convenient for regression diffing *)
 let pp_csv_header ppf () =
-  Fmt.pf ppf "proxy,build,cycles,regs,smem,occupancy,warp_insts,barriers,check@."
+  Fmt.pf ppf "proxy,build,cycles,regs,smem,occupancy,warp_insts,barriers,check,fault,fallback@."
 
 let pp_csv ppf m =
-  Fmt.pf ppf "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%s@." m.r_proxy m.r_build m.r_cycles m.r_regs
-    m.r_smem m.r_occupancy m.r_counters.Ozo_vgpu.Counters.warp_instructions
+  Fmt.pf ppf "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%s,%s,%s@." m.r_proxy m.r_build m.r_cycles
+    m.r_regs m.r_smem m.r_occupancy m.r_counters.Ozo_vgpu.Counters.warp_instructions
     m.r_counters.Ozo_vgpu.Counters.barriers
     (match m.r_check with Ok () -> "ok" | Error _ -> "fail")
+    (match m.r_fault with
+    | None -> "-"
+    | Some f -> Ozo_vgpu.Fault.kind_name f.Ozo_vgpu.Fault.f_kind)
+    (match m.r_fallbacks with [] -> "-" | fbs -> String.concat ">" fbs)

@@ -42,6 +42,19 @@ let full =
     name = "full"; globalization = true; memfold = Some Memfold.all_on;
     barrier_elim = true; rounds = 6 }
 
+(* Fallback ladder for graceful degradation: when a build faults at
+   runtime, the harness retries it at the next-weaker configuration. The
+   step is classified structurally (not by name) so ablation variants and
+   custom configs degrade sensibly too: anything using the paper's
+   co-designed passes drops to [nightly], anything SPMD-izing or
+   internalizing drops to [baseline], anything still optimizing drops to
+   [o0], and [o0] has nowhere left to go. *)
+let weaken (c : config) : config option =
+  if c.globalization || c.barrier_elim || c.memfold <> None then Some nightly
+  else if c.internalize || c.spmdize then Some baseline
+  else if c.rounds > 0 then Some o0
+  else None
+
 type feature = B1 | B2 | B3 | B4 | C | D
 
 let feature_name = function

@@ -1,26 +1,4 @@
-(* Deterministic 64-bit splitmix PRNG for synthetic workload generation:
-   the same seed always produces the same problem instance, independent of
-   OCaml's global Random state. *)
+(* The PRNG moved to [Ozo_util.Prng] so the vGPU fault-injection layer can
+   share it; this alias keeps the proxy generators' [Prng.*] calls intact. *)
 
-type t = { mutable state : int64 }
-
-let create seed = { state = Int64.of_int seed }
-
-let next t =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-(* uniform float in [0, 1) *)
-let float t =
-  let bits = Int64.shift_right_logical (next t) 11 in
-  Int64.to_float bits /. 9007199254740992.0
-
-(* uniform int in [0, n) *)
-let int t n =
-  if n <= 0 then 0
-  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
-
-let float_range t lo hi = lo +. ((hi -. lo) *. float t)
+include Ozo_util.Prng

@@ -11,25 +11,29 @@ type t = {
   d_gaddr : (string, int) Hashtbl.t;
   d_shared_globals : (global * int) list;
   d_static_shared : int; (* bytes of static shared memory per team *)
+  d_san : Sanitizer.t option; (* SIMT sanitizer, when created with ~sanitize *)
   mutable d_last : Engine.result option;
 }
 
 type buffer = { buf_ptr : int; buf_bytes : int }
 
-type error =
-  | Trap of string   (* explicit trap / failed assertion / violated assumption *)
-  | Fault of string  (* engine-detected misuse: deadlock, misaligned barrier, ... *)
+(* structured fault report; [Fault.is_trap] distinguishes the historical
+   Trap (explicit trap / assertion / assumption) vs Fault classification *)
+type error = Fault.t
 
-let pp_error ppf = function
-  | Trap m -> Fmt.pf ppf "kernel trap: %s" m
-  | Fault m -> Fmt.pf ppf "kernel fault: %s" m
+let pp_error = Fault.pp
 
-let create ?(params = Cost.default) (m : modul) : t =
+let create ?(params = Cost.default) ?(sanitize = false) (m : modul) : t =
   let mem = Memory.create ~threads_per_team:params.max_threads_per_sm in
+  let san = if sanitize then Some (Sanitizer.create mem) else None in
+  (match san with Some s -> Memory.set_watcher mem (Sanitizer.watcher s) | None -> ());
   let gaddr, shared_globals, shared_size = Engine.assign_addresses mem m in
   mem.Memory.shared_size <- shared_size;
   { d_module = m; d_params = params; d_mem = mem; d_gaddr = gaddr;
-    d_shared_globals = shared_globals; d_static_shared = shared_size; d_last = None }
+    d_shared_globals = shared_globals; d_static_shared = shared_size; d_san = san;
+    d_last = None }
+
+let sanitized t = t.d_san <> None
 
 (* Allocate a device buffer in global memory. *)
 let alloc t bytes = { buf_ptr = Memory.alloc_global t.d_mem bytes; buf_bytes = bytes }
@@ -67,21 +71,32 @@ let read_f64_array t buf n = Array.init n (read_f64 t buf)
 
 let static_shared_bytes t = t.d_static_shared
 
-let launch ?(check_assumes = false) ?(trace = false) ?budget t ~teams ~threads args :
-    (Engine.result, error) Result.t =
+let launch ?(check_assumes = false) ?(trace = false) ?budget ?inject t ~teams ~threads
+    args : (Engine.result, error) Result.t =
   let l =
     { Engine.l_teams = teams; l_threads = threads; l_args = args;
       l_check_assumes = check_assumes; l_trace = trace }
   in
+  let inj = Option.map Faultinject.start inject in
+  (match t.d_san with Some s -> Sanitizer.enter_kernel s | None -> ());
+  let finish () =
+    (match t.d_san with Some s -> Sanitizer.exit_kernel s | None -> ());
+    Fault.clear_ctx ()
+  in
   match
-    Engine.run ?budget ~params:t.d_params t.d_module ~mem:t.d_mem ~gaddr:t.d_gaddr
-      ~shared_globals:t.d_shared_globals l
+    Engine.run ?budget ~params:t.d_params ?san:t.d_san ?inject:inj t.d_module
+      ~mem:t.d_mem ~gaddr:t.d_gaddr ~shared_globals:t.d_shared_globals l
   with
   | r ->
+    finish ();
     t.d_last <- Some r;
     Ok r
-  | exception Engine.Kernel_trap m -> Error (Trap m)
-  | exception Engine.Kernel_fault m -> Error (Fault m)
+  | exception Fault.Kernel_trap f ->
+    finish ();
+    Error f
+  | exception Fault.Kernel_fault f ->
+    finish ();
+    Error f
 
 let last_result t = t.d_last
 

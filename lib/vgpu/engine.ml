@@ -20,10 +20,12 @@ open Ozo_ir.Types
 module Dominance = Ozo_ir.Dominance
 module Cfg = Ozo_ir.Cfg
 
-exception Kernel_trap of string
-exception Kernel_fault of string
+(* faults carry structured [Fault.t] reports; the exception aliases keep
+   the engine's historical names working for external catchers *)
+exception Kernel_trap = Fault.Kernel_trap
+exception Kernel_fault = Fault.Kernel_fault
 
-let fault fmt = Format.kasprintf (fun s -> raise (Kernel_fault s)) fmt
+let fault fmt = Fault.fail Fault.Invalid fmt
 
 type arg = Ai of int | Af of float
 
@@ -138,6 +140,8 @@ type engine = {
   e_ftable : func array;                   (* function pointer table *)
   e_fidx : (string, int) Hashtbl.t;        (* function name -> index+1 (0 = null) *)
   e_shared_globals : (global * int) list;  (* shared-space globals and offsets *)
+  e_san : Sanitizer.t option;              (* opt-in SIMT sanitizer *)
+  e_inject : Faultinject.t option;         (* opt-in fault injection *)
   mutable e_budget : int;                  (* remaining instruction issues *)
 }
 
@@ -526,8 +530,11 @@ let rec exec_inst e tc (st : strand) (slot : slot) (inst : inst) :
   let n = Array.length mask in
   tc.tc_counters.warp_instructions <- tc.tc_counters.warp_instructions + 1;
   tc.tc_counters.lane_instructions <- tc.tc_counters.lane_instructions + popcount mask;
+  Fault.set_site ~fn:fr.fr_info.fi_func.f_name ~blk:slot.sl_blk ~idx:slot.sl_idx;
+  Fault.set_strand ~team:tc.tc_team ~warp:st.st_warp ~mask;
   e.e_budget <- e.e_budget - 1;
-  if e.e_budget <= 0 then fault "instruction budget exceeded (runaway kernel?)";
+  if e.e_budget <= 0 then
+    Fault.fail Fault.Budget_exhausted "instruction budget exceeded (runaway kernel?)";
   let each f =
     for lane = 0 to n - 1 do
       if mask.(lane) then f lane
@@ -624,20 +631,39 @@ let rec exec_inst e tc (st : strand) (slot : slot) (inst : inst) :
       each (fun l ->
           fr.fr_regs.(l).ints.(r) <-
             Memory.load_int e.e_mem ~thread:(lane_tid st l) (eval_i e fr l addr) ty);
+    (match e.e_inject with
+    | Some inj
+      when Faultinject.fire inj Faultinject.Corrupt_load ~fn:fr.fr_info.fi_func.f_name
+      ->
+      (* perturb the value the first active lane just loaded *)
+      let l = ref (-1) in
+      each (fun lane -> if !l < 0 then l := lane);
+      if !l >= 0 then
+        if is_float_typ ty then
+          fr.fr_regs.(!l).floats.(r) <-
+            Faultinject.corrupt_float inj fr.fr_regs.(!l).floats.(r)
+        else
+          fr.fr_regs.(!l).ints.(r) <- Faultinject.corrupt_int inj fr.fr_regs.(!l).ints.(r)
+    | _ -> ());
     `Continue
-  | Store (ty, v, addr) ->
-    let addrs = ref [] in
-    each (fun l -> addrs := eval_i e fr l addr :: !addrs);
-    charge_mem e tc !addrs;
-    if is_float_typ ty then
-      each (fun l ->
-          Memory.store_float e.e_mem ~thread:(lane_tid st l) (eval_i e fr l addr)
-            (eval_f e fr l v))
-    else
-      each (fun l ->
-          Memory.store_int e.e_mem ~thread:(lane_tid st l) (eval_i e fr l addr) ty
-            (eval_i e fr l v));
-    `Continue
+  | Store (ty, v, addr) -> (
+    match e.e_inject with
+    | Some inj
+      when Faultinject.fire inj Faultinject.Drop_store ~fn:fr.fr_info.fi_func.f_name ->
+      `Continue (* the store silently never happens *)
+    | _ ->
+      let addrs = ref [] in
+      each (fun l -> addrs := eval_i e fr l addr :: !addrs);
+      charge_mem e tc !addrs;
+      if is_float_typ ty then
+        each (fun l ->
+            Memory.store_float e.e_mem ~thread:(lane_tid st l) (eval_i e fr l addr)
+              (eval_f e fr l v))
+      else
+        each (fun l ->
+            Memory.store_int e.e_mem ~thread:(lane_tid st l) (eval_i e fr l addr) ty
+              (eval_i e fr l v));
+      `Continue)
   | Alloca (r, size) ->
     charge tc p.c_alloca;
     each (fun l ->
@@ -665,15 +691,21 @@ let rec exec_inst e tc (st : strand) (slot : slot) (inst : inst) :
     charge tc p.c_alu;
     `Continue
   | Assume o ->
+    let forced =
+      match e.e_inject with
+      | Some inj ->
+        Faultinject.fire inj Faultinject.Violate_assume ~fn:fr.fr_info.fi_func.f_name
+      | None -> false
+    in
     if e.e_launch.l_check_assumes then
       each (fun l ->
-          if eval_i e fr l o = 0 then
-            raise
-              (Kernel_trap
-                 (Printf.sprintf "assumption violated in %s at %s:%d (thread %d)"
-                    fr.fr_info.fi_func.f_name slot.sl_blk slot.sl_idx (lane_tid st l))));
+          if forced || eval_i e fr l o = 0 then
+            Fault.trap Fault.Assume_violation
+              "assumption violated in %s at %s:%d (thread %d)%s"
+              fr.fr_info.fi_func.f_name slot.sl_blk slot.sl_idx (lane_tid st l)
+              (if forced then " [injected]" else ""));
     `Continue
-  | Trap msg -> raise (Kernel_trap msg)
+  | Trap msg -> Fault.trap Fault.Trap "%s" msg
   | Debug_print (msg, ops) ->
     if e.e_launch.l_trace then begin
       let l = ref (-1) in
@@ -694,6 +726,9 @@ let rec exec_inst e tc (st : strand) (slot : slot) (inst : inst) :
     in
     charge tc (if global then p.c_atomic_global else p.c_atomic_shared);
     tc.tc_counters.atomics <- tc.tc_counters.atomics + 1;
+    (* the RMW below is a plain load/store pair; tell the sanitizer these
+       accesses are one indivisible atomic operation *)
+    (match e.e_san with Some s -> Sanitizer.set_atomic s true | None -> ());
     (* lanes perform the RMW sequentially in lane order *)
     each (fun l ->
         let tid = lane_tid st l in
@@ -730,18 +765,27 @@ let rec exec_inst e tc (st : strand) (slot : slot) (inst : inst) :
           in
           Memory.store_int e.e_mem ~thread:tid a ty nv
         end);
+    (match e.e_san with Some s -> Sanitizer.set_atomic s false | None -> ());
     `Continue
   | Barrier { aligned } ->
     charge tc p.c_barrier;
     tc.tc_counters.barriers <- tc.tc_counters.barriers + 1;
     if aligned then
       tc.tc_counters.aligned_barriers <- tc.tc_counters.aligned_barriers + 1;
-    slot.sl_idx <- slot.sl_idx + 1;
-    st.st_status <-
-      At_barrier
-        { bs_fn = fr.fr_info.fi_func.f_name; bs_blk = slot.sl_blk;
-          bs_idx = slot.sl_idx - 1; bs_aligned = aligned };
-    `Suspend
+    (match e.e_inject with
+    | Some inj
+      when Faultinject.fire inj Faultinject.Skip_barrier ~fn:fr.fr_info.fi_func.f_name
+      ->
+      (* the strand sails past the barrier without waiting (the main loop
+         advances past the barrier instruction on `Continue) *)
+      `Continue
+    | _ ->
+      slot.sl_idx <- slot.sl_idx + 1;
+      st.st_status <-
+        At_barrier
+          { bs_fn = fr.fr_info.fi_func.f_name; bs_blk = slot.sl_blk;
+            bs_idx = slot.sl_idx - 1; bs_aligned = aligned };
+      `Suspend)
   | Call (dst, callee, args) -> do_call e tc st slot ~dst ~callee ~args
   | Call_indirect (dst, _, callee_op, args) ->
     (* indirect targets must be uniform across the strand *)
@@ -809,12 +853,15 @@ let exec_term e tc st slot term =
   let mask = st.st_mask in
   let n = Array.length mask in
   charge tc e.e_params.c_branch;
+  Fault.set_site ~fn:fr.fr_info.fi_func.f_name ~blk:slot.sl_blk ~idx:slot.sl_idx;
+  Fault.set_strand ~team:tc.tc_team ~warp:st.st_warp ~mask;
   e.e_budget <- e.e_budget - 1;
-  if e.e_budget <= 0 then fault "instruction budget exceeded (runaway kernel?)";
+  if e.e_budget <= 0 then
+    Fault.fail Fault.Budget_exhausted "instruction budget exceeded (runaway kernel?)";
   match term with
   | Ret o -> do_ret e tc st slot o
   | Br l -> transfer e tc st slot ~to_blk:l
-  | Unreachable -> raise (Kernel_trap "reached unreachable")
+  | Unreachable -> Fault.trap Fault.Unreachable "reached unreachable"
   | Cond_br (c, lt, lf) ->
     let mt = Array.make n false and mf = Array.make n false in
     let any_t = ref false and any_f = ref false in
@@ -886,7 +933,7 @@ let run_strand e tc st =
       end)
   done
 
-let release_barriers tc =
+let release_barriers e tc =
   (* aligned-barrier discipline: if any waiting strand is at an aligned
      barrier, every waiting strand must be at the same site *)
   let sites =
@@ -901,10 +948,13 @@ let release_barriers tc =
       (fun b ->
         if b.bs_fn <> first.bs_fn || b.bs_blk <> first.bs_blk || b.bs_idx <> first.bs_idx
         then
-          fault "aligned barrier divergence: %s:%s:%d vs %s:%s:%d" first.bs_fn
-            first.bs_blk first.bs_idx b.bs_fn b.bs_blk b.bs_idx)
+          Fault.fail Fault.Divergent_barrier
+            "aligned barrier divergence: %s:%s:%d vs %s:%s:%d" first.bs_fn first.bs_blk
+            first.bs_idx b.bs_fn b.bs_blk b.bs_idx)
       rest
   | _ -> ());
+  (* a team-wide release is a synchronization point: advance the epoch *)
+  (match e.e_san with Some s -> Sanitizer.barrier_release s | None -> ());
   List.iter
     (fun s -> match s.st_status with At_barrier _ -> s.st_status <- Run | _ -> ())
     tc.tc_strands
@@ -931,8 +981,10 @@ let check_aligned_mask tc st site =
             tc.tc_strands
         in
         if not covered then
-          fault "aligned barrier at %s:%s:%d reached divergently by warp %d" site.bs_fn
-            site.bs_blk site.bs_idx st.st_warp
+          Fault.fail Fault.Divergent_barrier ~threads:[ tid ]
+            "aligned barrier at %s:%s:%d reached divergently by warp %d (thread %d \
+             alive but absent)"
+            site.bs_fn site.bs_blk site.bs_idx st.st_warp tid
       end
     done
   end
@@ -998,6 +1050,30 @@ let run_team e ~team =
       tc_done = Array.make threads false; tc_strands = []; tc_next_seq = 0;
       tc_next_frame = 0; tc_next_join = 0; tc_counters = Counters.create () }
   in
+  (* announce the team's shared allocations to the sanitizer before the
+     shared globals are (re-)initialized; the trunc-shared injection shaves
+     bytes off the allocation it targets so in-bounds accesses of the real
+     global become OOB in the shadow state *)
+  (match e.e_san with
+  | Some san ->
+    Sanitizer.team_start san;
+    List.iter
+      (fun ((g : global), off) ->
+        let size =
+          match e.e_inject with
+          | Some inj when Faultinject.fire inj Faultinject.Trunc_shared ~fn:g.g_name ->
+            max 0 (g.g_size - 8)
+          | _ -> g.g_size
+        in
+        (* runtime-internal shared state (team ICVs, the exclusive-execution
+           dummy sink) uses benign last-writer-wins idioms; exempt it from
+           race checks, not from bounds checks *)
+        let internal =
+          String.length g.g_name >= 6 && String.sub g.g_name 0 6 = "__omp_"
+        in
+        Sanitizer.register_shared san ~race_checked:(not internal) ~offset:off ~size ())
+      e.e_shared_globals
+  | None -> ());
   Memory.reset_team e.e_mem ~shared_globals:e.e_shared_globals;
   (* spawn one strand per warp *)
   let kernel =
@@ -1043,28 +1119,56 @@ let run_team e ~team =
       Array.iter (fun d -> if not d then incr alive) tc.tc_done;
       if !alive = 0 then finished := true
       else begin
-        (* count lanes waiting at barriers *)
+        (* count lanes waiting at barriers, remembering who waits where *)
         let waiting = ref 0 in
+        let waiting_tids = Hashtbl.create 16 in
+        let sites = ref [] in
         List.iter
           (fun s ->
             match s.st_status with
             | At_barrier site ->
               check_aligned_mask tc s site;
-              let m = ref 0 in
+              if not
+                   (List.exists
+                      (fun b ->
+                        b.bs_fn = site.bs_fn && b.bs_blk = site.bs_blk
+                        && b.bs_idx = site.bs_idx)
+                      !sites)
+              then sites := site :: !sites;
               Array.iteri
                 (fun lane b ->
-                  if b && lane_tid s lane < threads && not tc.tc_done.(lane_tid s lane)
-                  then incr m)
-                s.st_mask;
-              waiting := !waiting + !m
+                  let tid = lane_tid s lane in
+                  if b && tid < threads && not tc.tc_done.(tid) then begin
+                    incr waiting;
+                    Hashtbl.replace waiting_tids tid ()
+                  end)
+                s.st_mask
             | _ -> ())
           tc.tc_strands;
-        if !waiting = !alive then release_barriers tc
-        else if not (force_partial_reconvergence tc) then
-          fault
-            "barrier deadlock in team %d: %d threads waiting, %d alive (a barrier was \
-             not reached by all threads)"
-            team !waiting !alive
+        if !waiting = !alive then release_barriers e tc
+        else if not (force_partial_reconvergence tc) then begin
+          (* divergent-barrier watchdog: the hang becomes a structured
+             fault naming the threads that never arrived *)
+          let stuck = ref [] in
+          for tid = threads - 1 downto 0 do
+            if (not tc.tc_done.(tid)) && not (Hashtbl.mem waiting_tids tid) then
+              stuck := tid :: !stuck
+          done;
+          let site_str =
+            match !sites with
+            | [] -> "?"
+            | ss ->
+              String.concat ", "
+                (List.rev_map
+                   (fun b -> Printf.sprintf "%s:%s:%d" b.bs_fn b.bs_blk b.bs_idx)
+                   ss)
+          in
+          Fault.fail Fault.Divergent_barrier ~threads:!stuck
+            "barrier deadlock in team %d: %d threads waiting at %s, %d alive; threads \
+             [%s] never arrived"
+            team !waiting site_str !alive
+            (String.concat ";" (List.map string_of_int !stuck))
+        end
       end
   done;
   tc.tc_counters
@@ -1104,7 +1208,7 @@ let shared_bytes (m : modul) =
     (fun acc g -> match g.g_space with Shared -> acc + g.g_size | _ -> acc)
     0 m.m_globals
 
-let run ?(params = Cost.default) ?(budget = 400_000_000) (m : modul)
+let run ?(params = Cost.default) ?(budget = 400_000_000) ?san ?inject (m : modul)
     ~(mem : Memory.t) ~(gaddr : (string, int) Hashtbl.t)
     ~(shared_globals : (global * int) list) (launch : launch) : result =
   cur_warp_size := params.warp_size;
@@ -1114,7 +1218,8 @@ let run ?(params = Cost.default) ?(budget = 400_000_000) (m : modul)
   let e =
     { e_module = m; e_params = params; e_mem = mem; e_launch = launch;
       e_fn_infos = Hashtbl.create 16; e_gaddr = gaddr; e_ftable = ftable;
-      e_fidx = fidx; e_shared_globals = shared_globals; e_budget = budget }
+      e_fidx = fidx; e_shared_globals = shared_globals; e_san = san;
+      e_inject = inject; e_budget = budget }
   in
   let counters = List.init launch.l_teams (fun team -> run_team e ~team) in
   let total = List.fold_left Counters.add (Counters.create ()) counters in

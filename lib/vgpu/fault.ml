@@ -1,0 +1,184 @@
+(* Structured fault reports for the virtual GPU.
+
+   Every abnormal termination of a kernel — an explicit trap, an engine-
+   detected misuse (deadlock, bad pointer, budget blow-up) or a sanitizer
+   finding — is described by a [t]: the fault class plus everything the
+   engine knows about the faulting site (function, block, instruction
+   index, team/warp/lane mask) and, for memory faults, a decode of the
+   offending address. [Device.launch] returns [Error of t]; the harness
+   records it and degrades gracefully instead of aborting a campaign.
+
+   The execution context is a single mutable record updated by the engine
+   as it issues instructions (the engine is single-threaded, like
+   [Engine.cur_warp_size]): layers below the engine — [Memory], the
+   sanitizer — can raise fully-annotated faults without every accessor
+   threading site information through its arguments. *)
+
+type kind =
+  | Oob                (* access outside any live allocation / bad pointer *)
+  | Misaligned         (* natural alignment violated *)
+  | Uninit_read        (* read of never-written memory *)
+  | Race               (* conflicting access, no barrier in between *)
+  | Divergent_barrier  (* barrier not reached by all live threads *)
+  | Assume_violation   (* a declared assumption did not hold *)
+  | Unreachable        (* control flow reached `unreachable` *)
+  | Trap               (* explicit trap / failed runtime assertion *)
+  | Budget_exhausted   (* instruction budget blown (runaway kernel) *)
+  | Invalid            (* other engine-detected misuse of the machine *)
+  | Validation         (* differential check against the host reference failed *)
+
+let kind_name = function
+  | Oob -> "out-of-bounds"
+  | Misaligned -> "misaligned"
+  | Uninit_read -> "uninit-read"
+  | Race -> "race"
+  | Divergent_barrier -> "divergent-barrier"
+  | Assume_violation -> "assume-violation"
+  | Unreachable -> "unreachable"
+  | Trap -> "trap"
+  | Budget_exhausted -> "budget-exhausted"
+  | Invalid -> "invalid"
+  | Validation -> "validation"
+
+(* decode of the pointer an access faulted on *)
+type access = {
+  a_ptr : int;       (* the raw encoded pointer *)
+  a_space : string;  (* address-space name, or "?" when the tag is bad *)
+  a_offset : int;    (* offset within the space *)
+  a_bytes : int;     (* access width; 0 when not an access *)
+}
+
+type t = {
+  f_kind : kind;
+  f_msg : string;
+  f_fn : string option;      (* function executing at the fault *)
+  f_blk : string option;     (* basic block *)
+  f_idx : int option;        (* instruction index within the block *)
+  f_team : int option;
+  f_warp : int option;
+  f_lanes : int64;           (* active-lane mask of the faulting strand *)
+  f_access : access option;
+  f_threads : int list;      (* implicated threads: racing pair, stuck ids *)
+}
+
+type report = t
+
+(* --- execution context ------------------------------------------------- *)
+
+type ctx = {
+  mutable c_site : bool;     (* site fields valid *)
+  mutable c_strand : bool;   (* strand fields valid *)
+  mutable c_fn : string;
+  mutable c_blk : string;
+  mutable c_idx : int;
+  mutable c_team : int;
+  mutable c_warp : int;
+  mutable c_mask : bool array;
+}
+
+let ctx =
+  { c_site = false; c_strand = false; c_fn = ""; c_blk = ""; c_idx = 0;
+    c_team = 0; c_warp = 0; c_mask = [||] }
+
+let set_site ~fn ~blk ~idx =
+  ctx.c_site <- true;
+  ctx.c_fn <- fn;
+  ctx.c_blk <- blk;
+  ctx.c_idx <- idx
+
+let set_strand ~team ~warp ~mask =
+  ctx.c_strand <- true;
+  ctx.c_team <- team;
+  ctx.c_warp <- warp;
+  ctx.c_mask <- mask
+
+let clear_ctx () =
+  ctx.c_site <- false;
+  ctx.c_strand <- false;
+  ctx.c_mask <- [||]
+
+let mask_bits (m : bool array) : int64 =
+  let v = ref 0L in
+  Array.iteri (fun i b -> if b && i < 64 then v := Int64.logor !v (Int64.shift_left 1L i)) m;
+  !v
+
+let make ?access ?(threads = []) kind msg : t =
+  { f_kind = kind;
+    f_msg = msg;
+    f_fn = (if ctx.c_site then Some ctx.c_fn else None);
+    f_blk = (if ctx.c_site then Some ctx.c_blk else None);
+    f_idx = (if ctx.c_site then Some ctx.c_idx else None);
+    f_team = (if ctx.c_strand then Some ctx.c_team else None);
+    f_warp = (if ctx.c_strand then Some ctx.c_warp else None);
+    f_lanes = mask_bits ctx.c_mask;
+    f_access = access;
+    f_threads = threads }
+
+exception Kernel_trap of t
+exception Kernel_fault of t
+
+(* [fail] raises an engine/sanitizer-detected fault; [trap] raises the
+   trap flavor (explicit traps, failed assertions, violated assumptions).
+   The distinction mirrors the seed's two exceptions and is preserved in
+   [is_trap] for callers that told them apart. *)
+let fail ?access ?threads kind fmt =
+  Format.kasprintf (fun s -> raise (Kernel_fault (make ?access ?threads kind s))) fmt
+
+let trap ?access ?threads kind fmt =
+  Format.kasprintf (fun s -> raise (Kernel_trap (make ?access ?threads kind s))) fmt
+
+let is_trap t =
+  match t.f_kind with Trap | Assume_violation | Unreachable -> true | _ -> false
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let pp_access ppf a =
+  if a.a_bytes > 0 then
+    Fmt.pf ppf "%s+0x%x (%dB, ptr 0x%x)" a.a_space a.a_offset a.a_bytes a.a_ptr
+  else Fmt.pf ppf "%s+0x%x (ptr 0x%x)" a.a_space a.a_offset a.a_ptr
+
+(* stable one-line rendering, suitable for CSV cells and test matching *)
+let to_line t =
+  let b = Buffer.create 96 in
+  Buffer.add_string b ("[" ^ kind_name t.f_kind ^ "] " ^ t.f_msg);
+  (match (t.f_fn, t.f_blk, t.f_idx) with
+  | Some fn, Some blk, Some idx ->
+    Buffer.add_string b (Printf.sprintf " @ %s:%s:%d" fn blk idx)
+  | Some fn, _, _ -> Buffer.add_string b (" @ " ^ fn)
+  | _ -> ());
+  (match (t.f_team, t.f_warp) with
+  | Some team, Some warp ->
+    Buffer.add_string b (Printf.sprintf " [team %d warp %d lanes 0x%Lx]" team warp t.f_lanes)
+  | _ -> ());
+  (match t.f_access with
+  | Some a -> Buffer.add_string b (Fmt.str " addr=%a" pp_access a)
+  | None -> ());
+  (match t.f_threads with
+  | [] -> ()
+  | ts ->
+    Buffer.add_string b
+      (" threads=" ^ String.concat "," (List.map string_of_int ts)));
+  Buffer.contents b
+
+(* multi-line pretty report *)
+let pp_report ppf t =
+  Fmt.pf ppf "kernel fault: %s@.  %s@." (kind_name t.f_kind) t.f_msg;
+  (match (t.f_fn, t.f_blk, t.f_idx) with
+  | Some fn, Some blk, Some idx ->
+    Fmt.pf ppf "  at: function %s, block %s, instruction %d@." fn blk idx
+  | Some fn, _, _ -> Fmt.pf ppf "  at: function %s@." fn
+  | _ -> ());
+  (match (t.f_team, t.f_warp) with
+  | Some team, Some warp ->
+    Fmt.pf ppf "  strand: team %d, warp %d, lane mask 0x%Lx@." team warp t.f_lanes
+  | _ -> ());
+  (match t.f_access with
+  | Some a -> Fmt.pf ppf "  address: %a@." pp_access a
+  | None -> ());
+  match t.f_threads with
+  | [] -> ()
+  | ts ->
+    Fmt.pf ppf "  threads: %a@." Fmt.(list ~sep:(Fmt.any ", ") int) ts
+
+(* default printer: the one-line form (printf call sites expect one line) *)
+let pp ppf t = Fmt.string ppf (to_line t)

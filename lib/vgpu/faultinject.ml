@@ -1,0 +1,115 @@
+(* Deterministic fault injection: seeded campaigns that perturb execution
+   at a chosen site, used to prove the sanitizer catches each hazard class
+   and to exercise the harness fallback ladder.
+
+   An injection spec selects one action, an optional site filter and a
+   dynamic occurrence:
+
+     corrupt-load[@fn][:nth]    flip the value a load produced
+     drop-store[@fn][:nth]      silently skip a store
+     skip-barrier[@fn][:nth]    a strand sails past a barrier
+     trunc-shared[@name][:nth]  shave 8 bytes off a shared allocation
+     violate-assume[@fn][:nth]  force a declared assume to read false
+
+   [@fn] restricts to a function (for trunc-shared: a shared global) by
+   name; [:nth] picks the nth matching dynamic occurrence (1-based). When
+   [:nth] is omitted it is drawn from the seeded PRNG, so a campaign over
+   seeds explores different sites deterministically. Exactly one injection
+   fires per launch. *)
+
+module Prng = Ozo_util.Prng
+
+type action = Corrupt_load | Drop_store | Skip_barrier | Trunc_shared | Violate_assume
+
+let action_name = function
+  | Corrupt_load -> "corrupt-load"
+  | Drop_store -> "drop-store"
+  | Skip_barrier -> "skip-barrier"
+  | Trunc_shared -> "trunc-shared"
+  | Violate_assume -> "violate-assume"
+
+let action_of_string = function
+  | "corrupt-load" -> Some Corrupt_load
+  | "drop-store" -> Some Drop_store
+  | "skip-barrier" -> Some Skip_barrier
+  | "trunc-shared" -> Some Trunc_shared
+  | "violate-assume" -> Some Violate_assume
+  | _ -> None
+
+type spec = {
+  s_action : action;
+  s_fn : string option; (* restrict to this function / shared-global name *)
+  s_nth : int option;   (* 1-based dynamic occurrence; seeded when absent *)
+  s_seed : int;
+}
+
+let spec_to_string s =
+  action_name s.s_action
+  ^ (match s.s_fn with Some f -> "@" ^ f | None -> "")
+  ^ (match s.s_nth with Some n -> ":" ^ string_of_int n | None -> "")
+
+(* "action[@fn][:nth]" *)
+let parse ~seed str : (spec, string) result =
+  let str = String.trim str in
+  let body, nth =
+    match String.rindex_opt str ':' with
+    | Some i -> (
+      let tail = String.sub str (i + 1) (String.length str - i - 1) in
+      match int_of_string_opt tail with
+      | Some n when n >= 1 -> (String.sub str 0 i, Some n)
+      | _ -> (str, None))
+    | None -> (str, None)
+  in
+  let action_s, fn =
+    match String.index_opt body '@' with
+    | Some i ->
+      ( String.sub body 0 i,
+        Some (String.sub body (i + 1) (String.length body - i - 1)) )
+    | None -> (body, None)
+  in
+  match action_of_string action_s with
+  | Some a -> Ok { s_action = a; s_fn = fn; s_nth = nth; s_seed = seed }
+  | None ->
+    Error
+      (Printf.sprintf
+         "bad injection spec %S (expected \
+          corrupt-load|drop-store|skip-barrier|trunc-shared|violate-assume[@fn][:nth])"
+         str)
+
+(* per-launch state: a one-shot countdown over matching dynamic sites *)
+type t = {
+  t_spec : spec;
+  t_prng : Prng.t;
+  mutable t_countdown : int;
+  mutable t_fired : bool;
+}
+
+let start (s : spec) : t =
+  let prng = Prng.create s.s_seed in
+  let nth = match s.s_nth with Some n -> n | None -> 1 + Prng.int prng 8 in
+  { t_spec = s; t_prng = prng; t_countdown = nth; t_fired = false }
+
+let fired t = t.t_fired
+
+(* called at each candidate site; true when the perturbation triggers *)
+let fire t action ~fn =
+  (not t.t_fired)
+  && t.t_spec.s_action = action
+  && (match t.t_spec.s_fn with None -> true | Some f -> f = fn)
+  &&
+  (t.t_countdown <- t.t_countdown - 1;
+   if t.t_countdown = 0 then begin
+     t.t_fired <- true;
+     true
+   end
+   else false)
+
+let corrupt_int t v =
+  let r = Int64.to_int (Prng.next t.t_prng) land max_int in
+  v lxor (if r = 0 then 1 else r)
+
+let corrupt_float t v = (v *. 1e6) +. (1e6 *. (1.0 +. Prng.float t.t_prng))
+
+let describe t =
+  Printf.sprintf "%s (seed %d)%s" (spec_to_string t.t_spec) t.t_spec.s_seed
+    (if t.t_fired then "" else " [did not fire]")

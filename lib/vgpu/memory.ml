@@ -4,7 +4,13 @@
    bits: [tag << tag_shift | offset]. Global and constant memories are
    device-wide; shared memory is one instance per team (teams execute
    sequentially, so a single buffer is re-initialized per team); local
-   memory is a per-thread stack. *)
+   memory is a per-thread stack.
+
+   All accesses funnel through [read_bytes]/[write_bytes]; an optional
+   [watcher] observes allocations, initializations and accesses so the
+   SIMT sanitizer can maintain shadow state without this module knowing
+   anything about it. Invalid pointers raise structured [Fault.t] reports
+   instead of untyped errors. *)
 
 open Ozo_ir.Types
 
@@ -20,7 +26,23 @@ let tag_of_space = function
   | Local -> tag_local
   | Constant -> tag_const
 
-let encode space offset = (tag_of_space space lsl tag_shift) lor offset
+let space_name = function
+  | Global -> "global"
+  | Shared -> "shared"
+  | Local -> "local"
+  | Constant -> "constant"
+
+let encode space offset =
+  (* an offset that spills into the tag bits would silently change the
+     address space of the pointer; fault structurally instead *)
+  if offset < 0 || offset lsr tag_shift <> 0 then
+    Fault.fail Fault.Oob
+      ~access:{ Fault.a_ptr = offset; a_space = space_name space;
+                a_offset = offset; a_bytes = 0 }
+      "offset 0x%x overflows the %s address space (max 0x%x)" offset
+      (space_name space)
+      ((1 lsl tag_shift) - 1)
+  else (tag_of_space space lsl tag_shift) lor offset
 
 let decode ptr =
   let tag = ptr lsr tag_shift in
@@ -30,7 +52,10 @@ let decode ptr =
     else if tag = tag_shared then Shared
     else if tag = tag_local then Local
     else if tag = tag_const then Constant
-    else ir_error "invalid pointer 0x%x (bad tag %d)" ptr tag
+    else
+      Fault.fail Fault.Oob
+        ~access:{ Fault.a_ptr = ptr; a_space = "?"; a_offset = offset; a_bytes = 0 }
+        "invalid pointer 0x%x (bad address-space tag %d)" ptr tag
   in
   (space, offset)
 
@@ -40,9 +65,17 @@ type buf = { mutable data : Bytes.t; mutable used : int }
 
 let create_buf initial = { data = Bytes.make initial '\000'; used = 0 }
 
+(* Hard ceiling on any one device buffer: a corrupted pointer may carry an
+   offset up to 2^44, which must fault instead of asking the host OS for
+   terabytes. Well above every proxy's working set. *)
+let max_buf_bytes = 1 lsl 28
+
 let ensure buf size =
+  if size > max_buf_bytes then
+    Fault.fail Fault.Oob "access at 0x%x exceeds the device memory limit (0x%x bytes)"
+      size max_buf_bytes;
   if size > Bytes.length buf.data then begin
-    let cap = max size (2 * Bytes.length buf.data) in
+    let cap = min max_buf_bytes (max size (2 * Bytes.length buf.data)) in
     let data = Bytes.make cap '\000' in
     Bytes.blit buf.data 0 data 0 (Bytes.length buf.data);
     buf.data <- data
@@ -56,6 +89,20 @@ let bump buf size =
   buf.used <- aligned + size;
   aligned
 
+(* Observer interface for the sanitizer's shadow state. [w_read]/[w_write]
+   run before the access is performed (so a write observer still sees the
+   old contents); [w_write] additionally receives the bytes about to be
+   written. [w_alloc] announces a new live allocation, [w_init] a
+   host/loader-side initialization of a byte range, [w_sp_reset] a
+   thread-local stack-pointer rewind (allocas above it die). *)
+type watcher = {
+  w_alloc : addrspace -> thread:int -> offset:int -> size:int -> unit;
+  w_init : addrspace -> offset:int -> size:int -> unit;
+  w_read : thread:int -> space:addrspace -> offset:int -> ptr:int -> bytes:int -> unit;
+  w_write : thread:int -> space:addrspace -> offset:int -> ptr:int -> src:Bytes.t -> unit;
+  w_sp_reset : thread:int -> sp:int -> unit;
+}
+
 type t = {
   global : buf;
   constant : buf;
@@ -63,6 +110,7 @@ type t = {
   mutable shared_size : int; (* static shared allocation per team *)
   locals : Bytes.t array; (* per thread in the current team *)
   local_sp : int array;   (* per-thread stack pointer *)
+  mutable watch : watcher option;
 }
 
 let local_stack_bytes = 16 * 1024
@@ -73,20 +121,48 @@ let create ~threads_per_team =
     shared = create_buf (1 lsl 12);
     shared_size = 0;
     locals = Array.init threads_per_team (fun _ -> Bytes.make local_stack_bytes '\000');
-    local_sp = Array.make threads_per_team 0 }
+    local_sp = Array.make threads_per_team 0;
+    watch = None }
+
+let set_watcher t w = t.watch <- Some w
+let threads_per_team t = Array.length t.locals
 
 let buf_of t = function
   | Global -> t.global
   | Constant -> t.constant
   | Shared -> t.shared
-  | Local -> ir_error "local memory access requires a thread index"
+  | Local -> Fault.fail Fault.Invalid "local memory access requires a thread index"
+
+let oob_access ptr space off n =
+  { Fault.a_ptr = ptr; a_space = space_name space; a_offset = off; a_bytes = n }
+
+let check_local_bounds ptr off n =
+  if off + n > local_stack_bytes then
+    Fault.fail Fault.Oob
+      ~access:(oob_access ptr Local off n)
+      "local access at 0x%x (%dB) beyond the %dB thread stack" off n local_stack_bytes
+
+(* sanitizer support: current content of one byte, without growing the
+   buffer ([ensure] has not necessarily run for this offset yet) *)
+let peek_byte t ~thread space off =
+  match space with
+  | Local ->
+    if off < local_stack_bytes then Bytes.get t.locals.(thread) off else '\000'
+  | _ ->
+    let b = buf_of t space in
+    if off < Bytes.length b.data then Bytes.get b.data off else '\000'
 
 (* Raw accessors. Local space needs the in-team thread index. *)
 
 let read_bytes t ~thread ptr n =
   let space, off = decode ptr in
+  (match t.watch with
+  | Some w -> w.w_read ~thread ~space ~offset:off ~ptr ~bytes:n
+  | None -> ());
   match space with
-  | Local -> Bytes.sub t.locals.(thread) off n
+  | Local ->
+    check_local_bounds ptr off n;
+    Bytes.sub t.locals.(thread) off n
   | _ ->
     let b = buf_of t space in
     ensure b (off + n);
@@ -95,9 +171,17 @@ let read_bytes t ~thread ptr n =
 let write_bytes t ~thread ptr src =
   let space, off = decode ptr in
   let n = Bytes.length src in
+  (match t.watch with
+  | Some w -> w.w_write ~thread ~space ~offset:off ~ptr ~src
+  | None -> ());
   match space with
-  | Local -> Bytes.blit src 0 t.locals.(thread) off n
-  | Constant -> ir_error "store to constant memory at 0x%x" ptr
+  | Local ->
+    check_local_bounds ptr off n;
+    Bytes.blit src 0 t.locals.(thread) off n
+  | Constant ->
+    Fault.fail Fault.Invalid
+      ~access:(oob_access ptr Constant off n)
+      "store to read-only constant memory at 0x%x" ptr
   | _ ->
     let b = buf_of t space in
     ensure b (off + n);
@@ -107,7 +191,7 @@ let load_int t ~thread ptr = function
   | I1 -> Char.code (Bytes.get (read_bytes t ~thread ptr 1) 0) land 1
   | I32 -> Int32.to_int (Bytes.get_int32_le (read_bytes t ~thread ptr 4) 0)
   | I64 | Ptr _ -> Int64.to_int (Bytes.get_int64_le (read_bytes t ~thread ptr 8) 0)
-  | F64 -> ir_error "integer load of f64"
+  | F64 -> Fault.fail Fault.Invalid "integer load of f64"
 
 let store_int t ~thread ptr typ v =
   let b =
@@ -121,7 +205,7 @@ let store_int t ~thread ptr typ v =
       let b = Bytes.create 8 in
       Bytes.set_int64_le b 0 (Int64.of_int v);
       b
-    | F64 -> ir_error "integer store of f64"
+    | F64 -> Fault.fail Fault.Invalid "integer store of f64"
   in
   write_bytes t ~thread ptr b
 
@@ -143,14 +227,17 @@ let init_global t g offset =
       ws
   in
   match g.g_space with
-  | Local -> ir_error "global %s in local address space" g.g_name
+  | Local -> Fault.fail Fault.Invalid "global %s in local address space" g.g_name
   | space -> (
     let buf = buf_of t space in
     ensure buf (offset + g.g_size);
-    match g.g_init with
+    (match g.g_init with
     | No_init -> ()
     | Zero_init -> Bytes.fill buf.data offset g.g_size '\000'
-    | Words_init ws -> write_words buf ws)
+    | Words_init ws -> write_words buf ws);
+    match (t.watch, g.g_init) with
+    | Some w, (Zero_init | Words_init _) -> w.w_init space ~offset ~size:g.g_size
+    | _ -> ())
 
 (* Reset per-team state before a team starts executing. *)
 let reset_team t ~shared_globals =
@@ -161,13 +248,30 @@ let reset_team t ~shared_globals =
 let alloca t ~thread size =
   let sp = t.local_sp.(thread) in
   let aligned = (sp + 7) land lnot 7 in
-  if aligned + size > local_stack_bytes then ir_error "thread-local stack overflow";
+  if aligned + size > local_stack_bytes then
+    Fault.fail Fault.Oob
+      ~access:(oob_access (encode Local aligned) Local aligned size)
+      "thread-local stack overflow (alloca of %dB at sp 0x%x, stack is %dB)" size sp
+      local_stack_bytes;
   t.local_sp.(thread) <- aligned + size;
+  (match t.watch with
+  | Some w -> w.w_alloc Local ~thread ~offset:aligned ~size
+  | None -> ());
   encode Local aligned
 
 let local_sp t ~thread = t.local_sp.(thread)
-let set_local_sp t ~thread sp = t.local_sp.(thread) <- sp
 
-let malloc t size = encode Global (bump t.global size)
-let alloc_const t size = encode Constant (bump t.constant size)
-let alloc_global t size = encode Global (bump t.global size)
+let set_local_sp t ~thread sp =
+  t.local_sp.(thread) <- sp;
+  match t.watch with Some w -> w.w_sp_reset ~thread ~sp | None -> ()
+
+let alloc_in t space buf size =
+  let off = bump buf size in
+  (match t.watch with
+  | Some w -> w.w_alloc space ~thread:0 ~offset:off ~size
+  | None -> ());
+  encode space off
+
+let malloc t size = alloc_in t Global t.global size
+let alloc_const t size = alloc_in t Constant t.constant size
+let alloc_global t size = alloc_in t Global t.global size

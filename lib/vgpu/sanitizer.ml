@@ -1,0 +1,268 @@
+(* SIMT sanitizer: opt-in shadow state layered on [Memory] via its watcher
+   hook. Tracks, per address space:
+
+   - live allocations (bump-ordered interval list) — accesses outside any
+     allocation fault as out-of-bounds;
+   - per-byte initialized bits — reads of never-written bytes fault as
+     uninit-read;
+   - per-byte last writer (thread id + barrier epoch + atomic flag) —
+     conflicting accesses by different threads with no barrier in between
+     fault as a data race.
+
+   The barrier epoch increments at every team-wide barrier release and at
+   every team start, so cross-team and cross-phase accesses never alias as
+   races. Writes of identical bytes are exempt from the write-write race
+   check: the runtime's exclusive-execution forwarding makes inactive
+   lanes broadcast-write the same value into a dummy slot, which is benign
+   by construction (cf. paper §IV-C).
+
+   Host-phase (pre-launch) accesses are never checked; host-phase global
+   and constant allocations count as initialized, matching the vGPU's
+   zero-filled buffers the proxies' accumulators rely on. Kernel-phase
+   allocations (alloca, malloc, per-team shared memory) start out
+   uninitialized.
+
+   Faults raised here pick up function/block/instruction/strand context
+   from [Fault.ctx], which the engine refreshes at every issue. *)
+
+open Ozo_ir.Types
+module F = Fault
+
+(* per-byte shadow metadata, packed into one int:
+   bit 0        initialized
+   bit 1        last write was atomic
+   bits 2..21   writer + 2 (0 = never written, 1 = host)
+   bits 22..62  barrier epoch of the last write *)
+let init_bit = 1
+let atomic_bit = 2
+let writer_shift = 2
+let writer_mask = 0xFFFFF
+let epoch_shift = 22
+let host_writer = 1
+
+type shadow = {
+  mutable meta : int array;
+  mutable a_off : int array;  (* allocation offsets, ascending *)
+  mutable a_size : int array;
+  mutable a_n : int;
+}
+
+let new_shadow () = { meta = [||]; a_off = [||]; a_size = [||]; a_n = 0 }
+
+let ensure_meta sh n =
+  if n > Array.length sh.meta then begin
+    let cap = max n (max 64 (2 * Array.length sh.meta)) in
+    let m = Array.make cap 0 in
+    Array.blit sh.meta 0 m 0 (Array.length sh.meta);
+    sh.meta <- m
+  end
+
+let clear_shadow sh =
+  Array.fill sh.meta 0 (Array.length sh.meta) 0;
+  sh.a_n <- 0
+
+let register sh ~offset ~size =
+  if sh.a_n = Array.length sh.a_off then begin
+    let cap = max 16 (2 * sh.a_n) in
+    let o = Array.make cap 0 and s = Array.make cap 0 in
+    Array.blit sh.a_off 0 o 0 sh.a_n;
+    Array.blit sh.a_size 0 s 0 sh.a_n;
+    sh.a_off <- o;
+    sh.a_size <- s
+  end;
+  (* bump allocation delivers ascending offsets; insert from the back to
+     stay sorted if it ever does not *)
+  let i = ref sh.a_n in
+  while !i > 0 && sh.a_off.(!i - 1) > offset do
+    sh.a_off.(!i) <- sh.a_off.(!i - 1);
+    sh.a_size.(!i) <- sh.a_size.(!i - 1);
+    decr i
+  done;
+  sh.a_off.(!i) <- offset;
+  sh.a_size.(!i) <- size;
+  sh.a_n <- sh.a_n + 1;
+  ensure_meta sh (offset + size);
+  Array.fill sh.meta offset size 0
+
+let drop_above sh sp =
+  while sh.a_n > 0 && sh.a_off.(sh.a_n - 1) >= sp do
+    sh.a_n <- sh.a_n - 1
+  done
+
+(* does some live allocation cover [off, off+n)? *)
+let covered sh off n =
+  let lo = ref 0 and hi = ref sh.a_n in
+  while !hi - !lo > 0 do
+    let mid = (!lo + !hi) / 2 in
+    if sh.a_off.(mid) <= off then lo := mid + 1 else hi := mid
+  done;
+  let i = !lo - 1 in
+  i >= 0 && off + n <= sh.a_off.(i) + sh.a_size.(i)
+
+type t = {
+  mem : Memory.t;
+  global : shadow;
+  constant : shadow;
+  shared : shadow;
+  local : shadow array; (* per thread in the current team *)
+  (* shared-space ranges exempt from race checks: runtime-internal state
+     (team ICVs, the exclusive-execution dummy sink) uses benign
+     last-writer-wins idioms the runtime is co-designed around *)
+  mutable no_race : (int * int) list;
+  mutable epoch : int;
+  mutable in_kernel : bool;
+  mutable in_atomic : bool;
+}
+
+let create (mem : Memory.t) : t =
+  { mem;
+    global = new_shadow ();
+    constant = new_shadow ();
+    shared = new_shadow ();
+    local = Array.init (Memory.threads_per_team mem) (fun _ -> new_shadow ());
+    no_race = [];
+    epoch = 0;
+    in_kernel = false;
+    in_atomic = false }
+
+let shadow_for t space ~thread =
+  match space with
+  | Global -> t.global
+  | Constant -> t.constant
+  | Shared -> t.shared
+  | Local -> t.local.(thread)
+
+let set_atomic t b = t.in_atomic <- b
+
+let enter_kernel t =
+  t.in_kernel <- true;
+  t.in_atomic <- false
+
+let exit_kernel t = t.in_kernel <- false
+
+let barrier_release t = t.epoch <- t.epoch + 1
+
+(* teams execute sequentially: a team boundary is a full synchronization
+   point, and shared/local memory is re-initialized per team *)
+let team_start t =
+  t.epoch <- t.epoch + 1;
+  clear_shadow t.shared;
+  Array.iter clear_shadow t.local;
+  t.no_race <- [];
+  t.in_atomic <- false
+
+let register_shared t ?(race_checked = true) ~offset ~size () =
+  register t.shared ~offset ~size;
+  if not race_checked then t.no_race <- (offset, size) :: t.no_race
+
+let race_exempt t space i =
+  space = Shared && List.exists (fun (o, s) -> i >= o && i < o + s) t.no_race
+
+let access ptr space off n =
+  { F.a_ptr = ptr; a_space = Memory.space_name space; a_offset = off; a_bytes = n }
+
+let mark_init sh ~offset ~size ~writer ~epoch ~atomic =
+  ensure_meta sh (offset + size);
+  let v =
+    init_bit
+    lor (if atomic then atomic_bit else 0)
+    lor (writer lsl writer_shift)
+    lor (epoch lsl epoch_shift)
+  in
+  Array.fill sh.meta offset size v
+
+let on_alloc t space ~thread ~offset ~size =
+  let sh = shadow_for t space ~thread in
+  register sh ~offset ~size;
+  if not t.in_kernel then
+    mark_init sh ~offset ~size ~writer:host_writer ~epoch:t.epoch ~atomic:false
+
+let on_init t space ~offset ~size =
+  mark_init (shadow_for t space ~thread:0) ~offset ~size ~writer:host_writer
+    ~epoch:t.epoch ~atomic:false
+
+let on_sp_reset t ~thread ~sp = drop_above t.local.(thread) sp
+
+let check_bounds sh space ~thread ~offset ~ptr ~bytes =
+  if not (covered sh offset bytes) then
+    F.fail F.Oob
+      ~access:(access ptr space offset bytes)
+      "%s access of %dB at offset 0x%x outside any live allocation%s"
+      (Memory.space_name space) bytes offset
+      (match space with Local -> Printf.sprintf " (thread %d)" thread | _ -> "")
+
+let check_aligned space ~offset ~ptr ~bytes =
+  if (bytes = 4 || bytes = 8) && offset mod bytes <> 0 then
+    F.fail F.Misaligned
+      ~access:(access ptr space offset bytes)
+      "misaligned %d-byte %s access at offset 0x%x" bytes (Memory.space_name space)
+      offset
+
+let on_read t ~thread ~space ~offset ~ptr ~bytes =
+  if t.in_kernel then begin
+    let sh = shadow_for t space ~thread in
+    check_bounds sh space ~thread ~offset ~ptr ~bytes;
+    check_aligned space ~offset ~ptr ~bytes;
+    for i = offset to offset + bytes - 1 do
+      let m = if i < Array.length sh.meta then sh.meta.(i) else 0 in
+      if m land init_bit = 0 then
+        F.fail F.Uninit_read
+          ~access:(access ptr space offset bytes)
+          "read of uninitialized %s memory at offset 0x%x (byte %d of %d)"
+          (Memory.space_name space) offset (i - offset) bytes;
+      if space <> Local then begin
+        let w = (m lsr writer_shift) land writer_mask in
+        (* reads of atomically-written locations are treated as
+           synchronized; a plain cross-thread write in the same epoch is a
+           race *)
+        if w >= 2 && w - 2 <> thread && m lsr epoch_shift = t.epoch
+           && m land atomic_bit = 0
+           && not (race_exempt t space i)
+        then
+          F.fail F.Race
+            ~access:(access ptr space offset bytes)
+            ~threads:[ w - 2; thread ]
+            "data race: thread %d reads %s byte 0x%x written by thread %d with no \
+             intervening barrier"
+            thread (Memory.space_name space) i (w - 2)
+      end
+    done
+  end
+
+let on_write t ~thread ~space ~offset ~ptr ~src =
+  let bytes = Bytes.length src in
+  let sh = shadow_for t space ~thread in
+  if t.in_kernel then begin
+    check_bounds sh space ~thread ~offset ~ptr ~bytes;
+    check_aligned space ~offset ~ptr ~bytes;
+    if space <> Local then
+      for i = offset to offset + bytes - 1 do
+        let m = if i < Array.length sh.meta then sh.meta.(i) else 0 in
+        let w = (m lsr writer_shift) land writer_mask in
+        if w >= 2 && w - 2 <> thread && m lsr epoch_shift = t.epoch
+           && not (m land atomic_bit <> 0 && t.in_atomic)
+           && (not (race_exempt t space i))
+           && Memory.peek_byte t.mem ~thread space i <> Bytes.get src (i - offset)
+        then
+          F.fail F.Race
+            ~access:(access ptr space offset bytes)
+            ~threads:[ w - 2; thread ]
+            "data race: threads %d and %d write different values to %s byte 0x%x with \
+             no intervening barrier"
+            (w - 2) thread (Memory.space_name space) i
+      done;
+    mark_init sh ~offset ~size:bytes ~writer:(thread + 2) ~epoch:t.epoch
+      ~atomic:t.in_atomic
+  end
+  else mark_init sh ~offset ~size:bytes ~writer:host_writer ~epoch:t.epoch ~atomic:false
+
+let watcher (t : t) : Memory.watcher =
+  { Memory.w_alloc =
+      (fun space ~thread ~offset ~size -> on_alloc t space ~thread ~offset ~size);
+    w_init = (fun space ~offset ~size -> on_init t space ~offset ~size);
+    w_read =
+      (fun ~thread ~space ~offset ~ptr ~bytes ->
+        on_read t ~thread ~space ~offset ~ptr ~bytes);
+    w_write =
+      (fun ~thread ~space ~offset ~ptr ~src -> on_write t ~thread ~space ~offset ~ptr ~src);
+    w_sp_reset = (fun ~thread ~sp -> on_sp_reset t ~thread ~sp) }

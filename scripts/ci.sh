@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 CI: build, full test suite, then two smoke runs of the hardened
+# execution path — a clean sanitized campaign (must report zero findings)
+# and a seeded fault-injection campaign (must complete end-to-end via the
+# fallback ladder with every row validating).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+CLI=_build/default/bin/ozo_cli.exe
+
+echo "== sanitizer: clean proxy =="
+"$CLI" sanitize xsbench --small
+
+echo "== injection smoke campaign =="
+"$CLI" campaign xsbench --small --inject corrupt-load --seed 5
+"$CLI" campaign rsbench --small --inject skip-barrier --seed 11
+
+echo "CI OK"

@@ -66,7 +66,9 @@ let test_store_to_constant_rejected () =
   let m = Memory.create ~threads_per_team:1 in
   let p = Memory.alloc_const m 8 in
   match Memory.store_int m ~thread:0 p I64 1 with
-  | exception Ir_error _ -> ()
+  | exception Ozo_vgpu.Fault.Kernel_fault f ->
+    Alcotest.(check string) "fault kind" "invalid"
+      (Ozo_vgpu.Fault.kind_name f.Ozo_vgpu.Fault.f_kind)
   | () -> Alcotest.fail "store to constant memory must fail"
 
 (* --- cost / occupancy ----------------------------------------------------- *)
@@ -323,7 +325,7 @@ let test_report_formats () =
   List.iteri
     (fun i l ->
       if i > 0 then
-        Alcotest.(check int) "csv fields" 9
+        Alcotest.(check int) "csv fields" 11
           (List.length (String.split_on_char ',' l)))
     rows
 

@@ -276,9 +276,9 @@ let test_assert_stmt () =
      let dev = Device.create m in
      Device.launch dev ~teams:1 ~threads:32 []
    with
-  | Error (Device.Trap _) -> ()
+  | Error f when Fault.is_trap f -> ()
   | Ok _ -> Alcotest.fail "cuda assert should trap"
-  | Error (Device.Fault m) -> Alcotest.failf "fault: %s" m);
+  | Error f -> Alcotest.failf "fault: %s" f.Fault.f_msg);
   (* OpenMP debug build traps, release converts to assumption *)
   let m_dbg =
     compile_unopt (Lower.Omp Lower.New_abi) (Some Config.(with_debug default)) (k false)
@@ -287,9 +287,9 @@ let test_assert_stmt () =
      let dev = Device.create m_dbg in
      Device.launch dev ~teams:1 ~threads:32 []
    with
-  | Error (Device.Trap _) -> ()
+  | Error f when Fault.is_trap f -> ()
   | Ok _ -> Alcotest.fail "debug assert should trap"
-  | Error (Device.Fault m) -> Alcotest.failf "fault: %s" m);
+  | Error f -> Alcotest.failf "fault: %s" f.Fault.f_msg);
   let m_rel = compile_unopt (Lower.Omp Lower.New_abi) (Some Config.default) (k false) in
   let dev = Device.create m_rel in
   match Device.launch dev ~teams:1 ~threads:32 [] with

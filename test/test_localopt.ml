@@ -61,9 +61,9 @@ let test_div_by_zero_not_folded () =
         | _ -> assert false)
   in
   let m', _ = Local_opt.run m in
-  match expect_error ~threads:1 m' [ Engine.Ai 0 ] with
-  | Device.Fault msg -> Alcotest.(check bool) "div fault" true (contains msg "division")
-  | Device.Trap _ -> Alcotest.fail "expected fault"
+  let f = expect_error ~threads:1 m' [ Engine.Ai 0 ] in
+  if Fault.is_trap f then Alcotest.fail "expected fault"
+  else Alcotest.(check bool) "div fault" true (contains f.Fault.f_msg "division")
 
 let test_identities () =
   fold_case "x+0" ~expect_insts:2

@@ -12,4 +12,5 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("parser", Test_parser.suite);
       ("components", Test_components.suite);
+      ("faults", Test_faults.suite);
       ("properties", Test_props.suite) ]

@@ -74,9 +74,9 @@ let test_violated_oversubscription_traps_in_debug () =
     C.launch ~check_assumes:true c dev ~teams:1 ~threads:32
       [ Ozo_vgpu.Engine.Ai (Ozo_vgpu.Device.ptr out); Ai 100 ]
   with
-  | Error (Ozo_vgpu.Device.Trap _) -> ()
+  | Error f when Fault.is_trap f -> ()
   | Ok _ -> Alcotest.fail "expected the violated assumption to trap"
-  | Error (Ozo_vgpu.Device.Fault m) -> Alcotest.failf "fault: %s" m
+  | Error f -> Alcotest.failf "fault: %s" f.Fault.f_msg
 
 (* --- the paper's structural near-zero-overhead claims ------------------- *)
 

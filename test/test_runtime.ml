@@ -236,9 +236,10 @@ let test_omp_assert_release_vs_debug () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "release should pass: %a" Device.pp_error e);
   (* debug: trap *)
-  match expect_error (mk Config.(with_debug default)) [] with
-  | Device.Trap msg -> Alcotest.(check bool) "assert msg" true (contains msg "assertion")
-  | Device.Fault m -> Alcotest.failf "expected trap, got %s" m
+  let f = expect_error (mk Config.(with_debug default)) [] in
+  if Fault.is_trap f then
+    Alcotest.(check bool) "assert msg" true (contains f.Fault.f_msg "assertion")
+  else Alcotest.failf "expected trap, got %s" f.Fault.f_msg
 
 let test_old_rt_worksharing () =
   (* the split distribute/for_static_init path covers the space exactly *)

@@ -195,9 +195,9 @@ let test_aligned_barrier_divergence_fault () =
         B.if_then b c ~then_:(fun () -> B.barrier b ~aligned:true);
         B.barrier b ~aligned:true)
   in
-  match expect_error ~threads:32 m [] with
-  | Device.Fault _ -> ()
-  | Device.Trap m -> Alcotest.failf "expected fault, got trap %s" m
+  let f = expect_error ~threads:32 m [] in
+  if Fault.is_trap f then Alcotest.failf "expected fault, got trap %s" f.Fault.f_msg;
+  Alcotest.(check string) "fault kind" "divergent-barrier" (Fault.kind_name f.Fault.f_kind)
 
 let test_partial_barrier_its_semantics () =
   (* half the warp hits a barrier inside a divergent region. Post-Volta
@@ -233,8 +233,9 @@ let test_runaway_divergent_spin () =
   let dev = Device.create m in
   match Device.launch ~budget:20_000 dev ~teams:1 ~threads:32 [] with
   | Ok _ -> Alcotest.fail "expected a fault"
-  | Error (Device.Fault _) -> ()
-  | Error (Device.Trap m) -> Alcotest.failf "expected fault, got trap %s" m
+  | Error f when Fault.is_trap f ->
+    Alcotest.failf "expected fault, got trap %s" f.Fault.f_msg
+  | Error _ -> ()
 
 let test_exited_threads_dont_block_barrier () =
   (* half the threads return immediately; the rest synchronize fine *)
@@ -349,9 +350,9 @@ let test_alloca_isolation () =
 
 let test_trap () =
   let m = kernel_module ~params:[] (fun b _ -> B.trap b "boom") in
-  match expect_error m [] with
-  | Device.Trap msg -> Alcotest.(check string) "message" "boom" msg
-  | Device.Fault m -> Alcotest.failf "expected trap, got fault %s" m
+  let f = expect_error m [] in
+  if Fault.is_trap f then Alcotest.(check string) "message" "boom" f.Fault.f_msg
+  else Alcotest.failf "expected trap, got fault %s" f.Fault.f_msg
 
 let test_assume_checking () =
   let mk value =
@@ -363,9 +364,10 @@ let test_assume_checking () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "release should ignore: %a" Device.pp_error e);
   (* trapped with checking on *)
-  (match expect_error ~check_assumes:true (mk 0) [] with
-  | Device.Trap msg -> Alcotest.(check bool) "msg" true (contains msg "assumption")
-  | Device.Fault m -> Alcotest.failf "expected trap, got fault %s" m);
+  (let f = expect_error ~check_assumes:true (mk 0) [] in
+   if Fault.is_trap f then
+     Alcotest.(check bool) "msg" true (contains f.Fault.f_msg "assumption")
+   else Alcotest.failf "expected trap, got fault %s" f.Fault.f_msg);
   (* holding assumption passes either way *)
   let dev = Device.create (mk 1) in
   match Device.launch ~check_assumes:true dev ~teams:1 ~threads:32 [] with
@@ -382,8 +384,9 @@ let test_budget_exceeded () =
   let dev = Device.create m in
   match Device.launch ~budget:10_000 dev ~teams:1 ~threads:32 [] with
   | Ok _ -> Alcotest.fail "expected budget fault"
-  | Error (Device.Fault msg) -> Alcotest.(check bool) "budget" true (contains msg "budget")
-  | Error (Device.Trap m) -> Alcotest.failf "expected fault, got trap %s" m
+  | Error f when Fault.is_trap f ->
+    Alcotest.failf "expected fault, got trap %s" f.Fault.f_msg
+  | Error f -> Alcotest.(check bool) "budget" true (contains f.Fault.f_msg "budget")
 
 let test_switch_divergent () =
   let m =

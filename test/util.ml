@@ -4,6 +4,7 @@ open Ozo_ir.Types
 module B = Ozo_ir.Builder
 module Device = Ozo_vgpu.Device
 module Engine = Ozo_vgpu.Engine
+module Fault = Ozo_vgpu.Fault
 
 let check_verifies name m =
   match Ozo_ir.Verifier.check m with
