@@ -56,6 +56,20 @@ let default =
     c_alloca = 2;
     segment_bytes = 128 }
 
+(* Issue cost of a unary op, and whether it runs on the special-function
+   unit (those are the profitable targets for uniform-strand
+   scalarization in the engine). *)
+let unop_cost p (op : Ozo_ir.Types.unop) =
+  match op with
+  | Not | Sitofp | Fptosi | Zext32to64 | Trunc64to32 -> p.c_alu
+  | Fneg | Fabs -> p.c_falu
+  | Fsqrt | Fexp | Flog | Fsin | Fcos -> p.c_special
+
+let is_special_unop (op : Ozo_ir.Types.unop) =
+  match op with
+  | Fsqrt | Fexp | Flog | Fsin | Fcos -> true
+  | Not | Sitofp | Fptosi | Zext32to64 | Trunc64to32 | Fneg | Fabs -> false
+
 (* Number of team instances that fit on one SM given the kernel's resource
    demands. Mirrors the CUDA occupancy calculation: the binding constraint
    is whichever of threads, registers or shared memory runs out first. *)

@@ -1,14 +1,40 @@
 (* Execution statistics collected by the SIMT engine, the reproduction's
-   stand-in for Nsight Compute counters. *)
+   stand-in for Nsight Compute counters.
+
+   Counting granularity — per-lane vs per-transaction. The memory
+   counters deliberately use two different units, mirroring the hardware
+   counters they stand in for:
+
+   - [shared_accesses] is *per active lane*: a warp-wide shared-memory
+     load with 32 active lanes bumps it by 32. Shared memory on real
+     hardware is banked per lane, so lane count is the natural unit
+     (and what `smsp__inst_executed_op_shared_*` reports).
+
+   - [global_transactions] is *per 128-byte segment per warp access*:
+     the engine coalesces the active lanes' addresses and counts the
+     number of distinct segments touched — 1 for a fully-coalesced
+     access, up to one per lane for a scattered one. This is the DRAM
+     transaction count (`l1tex__t_sectors`-style), which is what the
+     paper's coalescing-sensitive optimizations actually move.
+
+   [atomics] counts per *warp access* that reaches global memory,
+   regardless of active-lane count; [barriers] per warp arrival;
+   [warp_instructions] per strand issue; [lane_instructions] per active
+   lane. As a consequence, [memory_cycles] below weights shared traffic
+   by lanes but global traffic by segments — so a shared-heavy kernel's
+   memory share is overweighted relative to a coalesced global-heavy
+   one. That skew is intentional and baked into the golden snapshots:
+   changing any counting unit changes simulated results and requires a
+   deliberate golden-counters regeneration (see test/test_golden.ml). *)
 
 type t = {
   mutable warp_instructions : int;  (* instruction issues (per strand) *)
   mutable lane_instructions : int;  (* instruction executions (per active lane) *)
-  mutable barriers : int;
-  mutable aligned_barriers : int;
-  mutable global_transactions : int;
-  mutable shared_accesses : int;
-  mutable atomics : int;
+  mutable barriers : int;           (* per warp arrival *)
+  mutable aligned_barriers : int;   (* subset of [barriers]: aligned form *)
+  mutable global_transactions : int;(* per 128B segment per warp access *)
+  mutable shared_accesses : int;    (* per active lane *)
+  mutable atomics : int;            (* per warp access to global memory *)
   mutable mallocs : int;
   mutable calls : int;
   mutable divergent_branches : int;
@@ -20,6 +46,22 @@ let create () =
   { warp_instructions = 0; lane_instructions = 0; barriers = 0; aligned_barriers = 0;
     global_transactions = 0; shared_accesses = 0; atomics = 0; mallocs = 0; calls = 0;
     divergent_branches = 0; cycles = 0; traps = 0 }
+
+(* structural equality over every field; used by the golden-counters
+   determinism tests to pin that perf work never changes simulated results *)
+let equal a b =
+  a.warp_instructions = b.warp_instructions
+  && a.lane_instructions = b.lane_instructions
+  && a.barriers = b.barriers
+  && a.aligned_barriers = b.aligned_barriers
+  && a.global_transactions = b.global_transactions
+  && a.shared_accesses = b.shared_accesses
+  && a.atomics = b.atomics
+  && a.mallocs = b.mallocs
+  && a.calls = b.calls
+  && a.divergent_branches = b.divergent_branches
+  && a.cycles = b.cycles
+  && a.traps = b.traps
 
 let add a b =
   { warp_instructions = a.warp_instructions + b.warp_instructions;

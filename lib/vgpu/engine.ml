@@ -14,7 +14,21 @@
    runnable strands are scheduled in creation order, each running until it
    blocks at a barrier, dies, or splits. Costs are charged per strand
    instruction issue (so divergence costs extra issues) plus per-access
-   memory costs with global-memory coalescing. *)
+   memory costs with global-memory coalescing.
+
+   Interpretation strategy: functions are decoded once per engine into a
+   flat pre-resolved form ([dinst]/[dterm]) — operands become direct
+   register indices or constants, binops become closures, globals and
+   function addresses are resolved up front. Operands that cannot be
+   resolved statically (unknown global, float immediate in an integer
+   slot) decode to [IBad]/[FBad] carrying the exact fault message, raised
+   only if the instruction actually executes, so malformed-but-dead code
+   behaves as before. On top of that the interpreter scalarizes
+   uniform-strand work: a load/store whose address is identical across
+   all active lanes becomes one memory operation, and a transcendental
+   whose operand is uniform is evaluated once and broadcast. Scalarization
+   changes *how* a result is computed, never the result, the charged
+   cycles, or the counters — the golden-counters tests pin this. *)
 
 open Ozo_ir.Types
 module Dominance = Ozo_ir.Dominance
@@ -37,12 +51,142 @@ type launch = {
   l_trace : bool;
 }
 
-(* --- per-function static caches ------------------------------------- *)
+(* --- growable strand vector ------------------------------------------- *)
+
+(* Strand bookkeeping used to be a [strand list] with quadratic
+   [xs @ [x]] appends and a full list rebuild per scheduler step; this is
+   the minimal growable array the scheduler actually needs. *)
+module Svec = struct
+  type 'a t = { mutable arr : 'a array; mutable len : int }
+
+  let create () = { arr = [||]; len = 0 }
+  let length t = t.len
+  let get t i = t.arr.(i)
+
+  let push t x =
+    if t.len = Array.length t.arr then begin
+      let a = Array.make (max 8 (2 * t.len)) x in
+      Array.blit t.arr 0 a 0 t.len;
+      t.arr <- a
+    end;
+    t.arr.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let iter f t =
+    for i = 0 to t.len - 1 do
+      f t.arr.(i)
+    done
+
+  let exists f t =
+    let rec go i = i < t.len && (f t.arr.(i) || go (i + 1)) in
+    go 0
+
+  let find_opt f t =
+    let rec go i =
+      if i >= t.len then None
+      else if f t.arr.(i) then Some t.arr.(i)
+      else go (i + 1)
+    in
+    go 0
+
+  (* stable in-place filter, preserving creation order *)
+  let compact t keep =
+    let j = ref 0 in
+    for i = 0 to t.len - 1 do
+      let x = t.arr.(i) in
+      if keep x then begin
+        t.arr.(!j) <- x;
+        incr j
+      end
+    done;
+    t.len <- !j
+end
+
+(* --- pre-decoded instruction form ------------------------------------- *)
+
+(* A decoded operand: a register index into the frame's flat register
+   file, a pre-resolved constant (immediates, global/function addresses,
+   undef), or a deferred decode failure carrying the exact message the
+   AST interpreter would have raised at execution time. *)
+type iop = IReg of reg | IConst of int | IBad of string
+type fop = FReg of reg | FConst of float | FBad of string
+
+(* one phi of a parallel-copy edge *)
+type dphi = PE_i of reg * iop | PE_f of reg * fop | PE_bad of string
+
+(* a call argument bound to the callee's parameter register *)
+type darg = DA_i of reg * iop | DA_f of reg * fop
+
+type dcall =
+  | DC_ok of {
+      dc_callee : string;
+      dc_entry : label;
+      dc_ret : (reg * bool) option; (* destination in the caller, is_float *)
+      dc_args : darg array;
+    }
+  (* statically malformed call (unknown callee, arity or void/value
+     mismatch): charged like a call, then the thunk raises the fault the
+     dynamic path would have raised *)
+  | DC_fail of (unit -> unit)
+
+(* Float operations dispatch on small tags matched *inside* the per-lane
+   loops rather than through closures: a call through a
+   [float -> float -> float] closure boxes both arguments and the result
+   on every lane, while a monomorphic match compiles to straight unboxed
+   float code. Integer ops keep closures — ints never box. *)
+type fbink = KFadd | KFsub | KFmul | KFdiv | KFmin | KFmax
+type funk = KFneg | KFabs | KFsqrt | KFexp | KFlog | KFsin | KFcos
+
+type dinst =
+  | D_ibin of reg * (int -> int -> int) * iop * iop
+  | D_fbin of reg * fbink * fop * fop
+  | D_icmp of reg * (int -> int -> bool) * iop * iop
+  | D_fcmp of reg * fcmp * fop * fop
+  | D_un_i of reg * (int -> int) * iop
+  (* float unop: is-SFU flag (scalarizable when uniform), issue cost *)
+  | D_un_f of reg * bool * int * funk * fop
+  | D_i2f of reg * iop
+  | D_f2i of reg * fop
+  | D_sel_i of reg * iop * iop * iop
+  | D_sel_f of reg * iop * fop * fop
+  | D_load_i of reg * typ * iop
+  | D_load_f of reg * iop
+  | D_store_i of typ * iop * iop (* type, value, address *)
+  | D_store_f of fop * iop
+  | D_alloca of reg * int
+  | D_intr of reg * intrinsic
+  | D_malloc of reg * iop
+  | D_free
+  | D_assume of iop
+  | D_trap of string
+  | D_debug of string * iop list
+  | D_atomic_i of reg option * atomic_op * typ * iop * iop array
+  | D_atomic_f of reg option * atomic_op * iop * fop array
+  | D_barrier of bool
+  | D_call of dcall
+  (* indirect call: target must be resolved per execution, so arguments
+     stay as AST operands and bind through the dynamic path *)
+  | D_icall of reg option * iop * operand list
+
+type dterm =
+  | T_ret_none
+  | T_ret_i of iop
+  | T_ret_f of fop
+  | T_br of label
+  | T_cond of iop * label * label
+  | T_switch of iop * (int * label) array * label
+  | T_unreach
+
+(* --- per-function static caches --------------------------------------- *)
 
 type cblock = {
-  cb_phis : phi list;
-  cb_insts : inst array;
-  cb_term : terminator;
+  cb_insts : dinst array;
+  cb_term : dterm;
+  cb_nphis : int;
+  cb_first_phi : reg; (* first phi's register, for fault messages *)
+  cb_edges : (label, dphi array) Hashtbl.t; (* from-label -> parallel copy *)
+  cb_ti : int array; (* phi parallel-copy staging, one slot per phi *)
+  cb_tf : float array;
 }
 
 type fn_info = {
@@ -51,30 +195,17 @@ type fn_info = {
   fi_reconv : (label, label option) Hashtbl.t; (* immediate post-dominator *)
 }
 
-let make_fn_info f =
-  let blocks = Hashtbl.create 16 in
-  List.iter
-    (fun b ->
-      Hashtbl.replace blocks b.b_label
-        { cb_phis = b.b_phis; cb_insts = Array.of_list b.b_insts; cb_term = b.b_term })
-    f.f_blocks;
-  let cfg = Cfg.of_func f in
-  let pdom = Dominance.post_dominators cfg in
-  let reconv = Hashtbl.create 16 in
-  List.iter
-    (fun b ->
-      Hashtbl.replace reconv b.b_label (Dominance.reconvergence_point pdom b.b_label))
-    f.f_blocks;
-  { fi_func = f; fi_blocks = blocks; fi_reconv = reconv }
+(* --- dynamic structures ------------------------------------------------ *)
 
-(* --- dynamic structures ---------------------------------------------- *)
-
-type lane_regs = { ints : int array; floats : float array }
-
+(* Per-frame registers live in two flat register-major arrays indexed
+   [(reg * warp_size) + lane]: one bounds-checked load instead of two
+   dereferences per access, and a broadcast write is a contiguous run. *)
 type frame = {
   fr_info : fn_info;
-  fr_regs : lane_regs array; (* indexed by lane *)
-  fr_sp_save : int array;    (* per-lane local stack pointer at entry *)
+  fr_ws : int; (* warp width = lane stride *)
+  fr_ints : int array;
+  fr_floats : float array;
+  fr_sp_save : int array; (* per-lane local stack pointer at entry *)
   fr_id : int;
 }
 
@@ -112,6 +243,7 @@ type status = Run | At_barrier of barrier_site | Dead
 type strand = {
   st_seq : int;
   st_warp : int;
+  st_active : int; (* popcount of st_mask; masks are fixed at creation *)
   mutable st_mask : bool array;
   mutable st_stack : slot list;
   mutable st_joins : join list; (* innermost first *)
@@ -122,8 +254,8 @@ type team_ctx = {
   tc_team : int;
   tc_threads : int;
   tc_warp_size : int;
-  tc_done : bool array;         (* per thread in team *)
-  mutable tc_strands : strand list; (* in creation order *)
+  tc_done : bool array; (* per thread in team *)
+  tc_strands : strand Svec.t; (* in creation order *)
   mutable tc_next_seq : int;
   mutable tc_next_frame : int;
   mutable tc_next_join : int;
@@ -136,27 +268,289 @@ type engine = {
   e_mem : Memory.t;
   e_launch : launch;
   e_fn_infos : (string, fn_info) Hashtbl.t;
-  e_gaddr : (string, int) Hashtbl.t;       (* global name -> encoded address *)
-  e_ftable : func array;                   (* function pointer table *)
-  e_fidx : (string, int) Hashtbl.t;        (* function name -> index+1 (0 = null) *)
-  e_shared_globals : (global * int) list;  (* shared-space globals and offsets *)
-  e_san : Sanitizer.t option;              (* opt-in SIMT sanitizer *)
-  e_inject : Faultinject.t option;         (* opt-in fault injection *)
-  mutable e_budget : int;                  (* remaining instruction issues *)
+  e_gaddr : (string, int) Hashtbl.t;      (* global name -> encoded address *)
+  e_ftable : func array;                  (* function pointer table *)
+  e_fidx : (string, int) Hashtbl.t;       (* function name -> index+1 (0 = null) *)
+  e_shared_globals : (global * int) list; (* shared-space globals and offsets *)
+  e_san : Sanitizer.t option;             (* opt-in SIMT sanitizer *)
+  e_inject : Faultinject.t option;        (* opt-in fault injection *)
+  e_fastmem : bool; (* no memory watcher: direct-access fast path is legal *)
+  (* warp-sized scratch, reused across every memory instruction so the
+     hot path allocates nothing: per-lane addresses and their cached
+     [Memory.decode] results, the coalescing segment set, and per-lane
+     branch conditions *)
+  e_addr : int array;
+  e_space : addrspace array;
+  e_off : int array;
+  e_segs : int array;
+  e_cond : bool array;
+  e_fscr : float array; (* single-slot staging for constant float stores *)
+  mutable e_budget : int; (* remaining instruction issues *)
 }
+
+let is_float_typ = function F64 -> true | I1 | I32 | I64 | Ptr _ -> false
+
+(* --- decoding ---------------------------------------------------------- *)
+
+let decode_iop e = function
+  | Reg r -> IReg r
+  | Imm_int (v, _) -> IConst (Int64.to_int v)
+  | Imm_float _ -> IBad "float immediate in integer context"
+  | Global_addr g -> (
+    match Hashtbl.find_opt e.e_gaddr g with
+    | Some a -> IConst a
+    | None -> IBad (Printf.sprintf "unknown global @%s" g))
+  | Func_addr f -> (
+    match Hashtbl.find_opt e.e_fidx f with
+    | Some i -> IConst i
+    | None -> IBad (Printf.sprintf "unknown function &%s" f))
+  | Undef _ -> IConst 0
+
+let decode_fop _e = function
+  | Reg r -> FReg r
+  | Imm_float x -> FConst x
+  | Imm_int (v, _) -> FConst (Int64.to_float v)
+  | Undef _ -> FConst 0.0
+  | Global_addr _ | Func_addr _ -> FBad "address in float context"
+
+let ibinop_fn : binop -> int -> int -> int = function
+  | Add -> ( + )
+  | Sub -> ( - )
+  | Mul -> ( * )
+  | Sdiv -> fun a b -> if b = 0 then fault "division by zero" else a / b
+  | Srem -> fun a b -> if b = 0 then fault "remainder by zero" else a mod b
+  | Udiv -> fun a b -> if b = 0 then fault "division by zero" else abs a / abs b
+  | Urem -> fun a b -> if b = 0 then fault "remainder by zero" else abs a mod abs b
+  | And -> ( land )
+  | Or -> ( lor )
+  | Xor -> ( lxor )
+  | Shl -> fun a b -> a lsl (b land 62)
+  | Ashr -> fun a b -> a asr (b land 62)
+  | Lshr -> fun a b -> (a lsr (b land 62)) land max_int
+  | Smin -> min
+  | Smax -> max
+  | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax -> fun _ _ -> fault "float binop in int context"
+
+let fbink_of : binop -> fbink = function
+  | Fadd -> KFadd
+  | Fsub -> KFsub
+  | Fmul -> KFmul
+  | Fdiv -> KFdiv
+  | Fmin -> KFmin
+  | Fmax -> KFmax
+  | _ -> assert false
+
+let is_float_binop = function
+  | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax -> true
+  | _ -> false
+
+(* out-of-loop applications (constant folding, scalarized broadcast);
+   Fmin/Fmax spell out stdlib [min]/[max] so NaN and signed-zero handling
+   is bit-identical to the polymorphic compare they replace *)
+let fbin_apply k x y =
+  match k with
+  | KFadd -> x +. y
+  | KFsub -> x -. y
+  | KFmul -> x *. y
+  | KFdiv -> x /. y
+  | KFmin -> if x <= y then x else y
+  | KFmax -> if x >= y then x else y
+
+let fun_apply k x =
+  match k with
+  | KFneg -> -.x
+  | KFabs -> Float.abs x
+  | KFsqrt -> sqrt x
+  | KFexp -> exp x
+  | KFlog -> log x
+  | KFsin -> sin x
+  | KFcos -> cos x
+
+(* 63-bit unsigned comparisons: negative = huge *)
+let icmp_ult a b =
+  (a >= 0 && b >= 0 && a < b) || (a >= 0 && b < 0) || (a < 0 && b < 0 && a < b)
+
+let icmp_to_fn : icmp -> int -> int -> bool = function
+  | Eq -> ( = )
+  | Ne -> ( <> )
+  | Slt -> ( < )
+  | Sle -> ( <= )
+  | Sgt -> ( > )
+  | Sge -> ( >= )
+  | Ult -> icmp_ult
+  | Ule -> fun a b -> a = b || icmp_ult a b
+  | Ugt -> fun a b -> icmp_ult b a
+  | Uge -> fun a b -> a = b || icmp_ult b a
+
+let funk_of : unop -> funk = function
+  | Fneg -> KFneg
+  | Fabs -> KFabs
+  | Fsqrt -> KFsqrt
+  | Fexp -> KFexp
+  | Flog -> KFlog
+  | Fsin -> KFsin
+  | Fcos -> KFcos
+  | Not | Sitofp | Fptosi | Zext32to64 | Trunc64to32 -> assert false
+
+(* Statically validate a direct call. A failure must surface exactly when
+   (and only when) the call executes, with the message the dynamic lookup
+   would have produced — hence the deferred [DC_fail] thunks. *)
+let decode_call e dst callee args =
+  match find_func e.e_module callee with
+  | None -> DC_fail (fun () -> ignore (find_func_exn e.e_module callee))
+  | Some cf ->
+    let nparams = List.length cf.f_params and nargs = List.length args in
+    if nparams <> nargs then
+      DC_fail
+        (fun () ->
+          fault "call to %s with %d args (expects %d)" callee nargs nparams)
+    else if dst <> None && cf.f_ret = None then
+      DC_fail (fun () -> fault "call to void function %s expects a value" callee)
+    else if cf.f_blocks = [] then
+      DC_fail (fun () -> ignore (entry_block cf))
+    else
+      let dc_ret =
+        match (dst, cf.f_ret) with
+        | Some r, Some t -> Some (r, is_float_typ t)
+        | _ -> None
+      in
+      let dc_args =
+        List.map2
+          (fun (preg, pty) op ->
+            if is_float_typ pty then DA_f (preg, decode_fop e op)
+            else DA_i (preg, decode_iop e op))
+          cf.f_params args
+        |> Array.of_list
+      in
+      DC_ok { dc_callee = callee; dc_entry = (entry_block cf).b_label; dc_ret; dc_args }
+
+let decode_inst e (i : inst) : dinst =
+  let p = e.e_params in
+  match i with
+  | Binop (r, op, a, b) ->
+    if is_float_binop op then D_fbin (r, fbink_of op, decode_fop e a, decode_fop e b)
+    else D_ibin (r, ibinop_fn op, decode_iop e a, decode_iop e b)
+  | Unop (r, op, a) -> (
+    match op with
+    | Not -> D_un_i (r, lnot, decode_iop e a)
+    | Sitofp -> D_i2f (r, decode_iop e a)
+    | Fptosi -> D_f2i (r, decode_fop e a)
+    | Zext32to64 | Trunc64to32 ->
+      D_un_i (r, (fun x -> x land 0xFFFFFFFF), decode_iop e a)
+    | Fneg | Fabs | Fsqrt | Fexp | Flog | Fsin | Fcos ->
+      D_un_f
+        (r, Cost.is_special_unop op, Cost.unop_cost p op, funk_of op, decode_fop e a))
+  | Icmp (r, op, a, b) -> D_icmp (r, icmp_to_fn op, decode_iop e a, decode_iop e b)
+  | Fcmp (r, op, a, b) -> D_fcmp (r, op, decode_fop e a, decode_fop e b)
+  | Select (r, ty, c, x, y) ->
+    if is_float_typ ty then D_sel_f (r, decode_iop e c, decode_fop e x, decode_fop e y)
+    else D_sel_i (r, decode_iop e c, decode_iop e x, decode_iop e y)
+  | Ptradd (r, base, off) -> D_ibin (r, ( + ), decode_iop e base, decode_iop e off)
+  | Load (r, ty, addr) ->
+    if is_float_typ ty then D_load_f (r, decode_iop e addr)
+    else D_load_i (r, ty, decode_iop e addr)
+  | Store (ty, v, addr) ->
+    if is_float_typ ty then D_store_f (decode_fop e v, decode_iop e addr)
+    else D_store_i (ty, decode_iop e v, decode_iop e addr)
+  | Alloca (r, size) -> D_alloca (r, size)
+  | Intrinsic (r, i) -> D_intr (r, i)
+  | Malloc (r, size) -> D_malloc (r, decode_iop e size)
+  | Free _ -> D_free
+  | Assume o -> D_assume (decode_iop e o)
+  | Trap msg -> D_trap msg
+  | Debug_print (msg, ops) -> D_debug (msg, List.map (decode_iop e) ops)
+  | Atomic (dst, op, ty, addr, ops) ->
+    if is_float_typ ty then
+      D_atomic_f (dst, op, decode_iop e addr, Array.of_list (List.map (decode_fop e) ops))
+    else
+      D_atomic_i
+        (dst, op, ty, decode_iop e addr, Array.of_list (List.map (decode_iop e) ops))
+  | Barrier { aligned } -> D_barrier aligned
+  | Call (dst, callee, args) -> D_call (decode_call e dst callee args)
+  | Call_indirect (dst, _, callee_op, args) ->
+    D_icall (dst, decode_iop e callee_op, args)
+
+let decode_term e f : terminator -> dterm = function
+  | Ret o -> (
+    match f.f_ret with
+    | None -> T_ret_none
+    | Some t -> (
+      match o with
+      | None -> T_ret_none (* faults at execution if the caller expects a value *)
+      | Some op -> if is_float_typ t then T_ret_f (decode_fop e op) else T_ret_i (decode_iop e op)))
+  | Br l -> T_br l
+  | Cond_br (c, lt, lf) -> T_cond (decode_iop e c, lt, lf)
+  | Switch (o, cases, default) ->
+    T_switch
+      ( decode_iop e o,
+        Array.of_list (List.map (fun (cv, l) -> (Int64.to_int cv, l)) cases),
+        default )
+  | Unreachable -> T_unreach
+
+let decode_phis e b =
+  let phis = b.b_phis in
+  let edges = Hashtbl.create (max 4 (List.length phis)) in
+  (* union of incoming labels across all phis of the block *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (lbl, _) ->
+          if not (Hashtbl.mem edges lbl) then Hashtbl.replace edges lbl [||])
+        p.phi_incoming)
+    phis;
+  Hashtbl.iter
+    (fun lbl _ ->
+      let copy =
+        Array.of_list
+          (List.map
+             (fun p ->
+               match List.assoc_opt lbl p.phi_incoming with
+               | None ->
+                 PE_bad
+                   (Printf.sprintf "phi %%%d in %s lacks incoming for %s" p.phi_reg
+                      b.b_label lbl)
+               | Some op ->
+                 if is_float_typ p.phi_typ then PE_f (p.phi_reg, decode_fop e op)
+                 else PE_i (p.phi_reg, decode_iop e op))
+             phis)
+      in
+      Hashtbl.replace edges lbl copy)
+    (Hashtbl.copy edges);
+  edges
+
+let make_fn_info e f =
+  let blocks = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      let nphis = List.length b.b_phis in
+      Hashtbl.replace blocks b.b_label
+        { cb_insts = Array.of_list (List.map (decode_inst e) b.b_insts);
+          cb_term = decode_term e f b.b_term;
+          cb_nphis = nphis;
+          cb_first_phi = (match b.b_phis with p :: _ -> p.phi_reg | [] -> 0);
+          cb_edges = decode_phis e b;
+          cb_ti = Array.make nphis 0;
+          cb_tf = Array.make nphis 0.0 })
+    f.f_blocks;
+  let cfg = Cfg.of_func f in
+  let pdom = Dominance.post_dominators cfg in
+  let reconv = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      Hashtbl.replace reconv b.b_label (Dominance.reconvergence_point pdom b.b_label))
+    f.f_blocks;
+  { fi_func = f; fi_blocks = blocks; fi_reconv = reconv }
 
 let fn_info e name =
   match Hashtbl.find_opt e.e_fn_infos name with
   | Some fi -> fi
   | None ->
     let f = find_func_exn e.e_module name in
-    let fi = make_fn_info f in
+    let fi = make_fn_info e f in
     Hashtbl.replace e.e_fn_infos name fi;
     fi
 
-let popcount mask = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask
-
-(* --- operand evaluation ---------------------------------------------- *)
+(* --- operand evaluation ------------------------------------------------ *)
 
 let gaddr e g =
   match Hashtbl.find_opt e.e_gaddr g with
@@ -168,8 +562,9 @@ let fidx e f =
   | Some i -> i
   | None -> fault "unknown function &%s" f
 
+(* AST-operand evaluation, kept for the dynamic (indirect-call) path *)
 let eval_i e (fr : frame) lane = function
-  | Reg r -> fr.fr_regs.(lane).ints.(r)
+  | Reg r -> fr.fr_ints.((r * fr.fr_ws) + lane)
   | Imm_int (v, _) -> Int64.to_int v
   | Imm_float _ -> fault "float immediate in integer context"
   | Global_addr g -> gaddr e g
@@ -177,41 +572,121 @@ let eval_i e (fr : frame) lane = function
   | Undef _ -> 0
 
 let eval_f _e (fr : frame) lane = function
-  | Reg r -> fr.fr_regs.(lane).floats.(r)
+  | Reg r -> fr.fr_floats.((r * fr.fr_ws) + lane)
   | Imm_float x -> x
   | Imm_int (v, _) -> Int64.to_float v
   | Undef _ -> 0.0
   | Global_addr _ | Func_addr _ -> fault "address in float context"
 
-let is_float_typ = function F64 -> true | I1 | I32 | I64 | Ptr _ -> false
+(* decoded-operand evaluation: the hot path *)
+let[@inline] ieval (fr : frame) lane = function
+  | IReg r -> fr.fr_ints.((r * fr.fr_ws) + lane)
+  | IConst v -> v
+  | IBad msg -> fault "%s" msg
 
-(* --- cost helpers ----------------------------------------------------- *)
+let[@inline] feval (fr : frame) lane = function
+  | FReg r -> fr.fr_floats.((r * fr.fr_ws) + lane)
+  | FConst v -> v
+  | FBad msg -> fault "%s" msg
+
+(* NOTE: this compiler is non-flambda, so [feval] is a real call whose
+   float result is boxed on every lane. The per-lane loops below therefore
+   spell the operand match out inline — keep them in sync with [feval]. *)
+
+let[@inline] um (m : bool array) i = Array.unsafe_get m i
+
+let rec first_active (mask : bool array) n i =
+  if i >= n then -1 else if um mask i then i else first_active mask n (i + 1)
+
+let rec last_active (mask : bool array) i =
+  if i < 0 then -1 else if um mask i then i else last_active mask (i - 1)
+
+(* Bit-identical float equality without boxing: IEEE equality plus a
+   signed-zero check (sqrt(-0.) is -0., not 0., so a -0./+0. mix must not
+   scalarize). NaN compares unequal to itself and therefore falls back to
+   the always-correct per-lane path. *)
+let[@inline] fsame a b = a = b && (a <> 0.0 || 1.0 /. a = 1.0 /. b)
+
+(* --- cost helpers ------------------------------------------------------ *)
 
 let charge tc n = tc.tc_counters.cycles <- tc.tc_counters.cycles + n
 
-(* Global-memory coalescing: cost per distinct segment touched. *)
-let charge_mem e tc addrs =
+let rec seg_seen (segs : int array) nsegs seg i =
+  i < nsegs && (Array.unsafe_get segs i = seg || seg_seen segs nsegs seg (i + 1))
+
+(* Global-memory coalescing over the per-lane addresses staged in
+   [e.e_addr], decoding each pointer once into [e.e_space]/[e.e_off] for
+   the access loop to reuse. Lanes are visited in DESCENDING order: the
+   list-based implementation this replaces consed addresses up in lane
+   order and then charged over the reversed list, so the fault order for
+   multiple bad pointers (and the counter updates) ran high-lane-first
+   and must stay that way. *)
+let charge_mem_lanes e tc (mask : bool array) n =
   let p = e.e_params in
-  let segs = Hashtbl.create 8 in
-  let shared = ref false in
-  List.iter
-    (fun a ->
-      let space, off = Memory.decode a in
+  let sa0 = tc.tc_counters.shared_accesses in
+  let rec go lane nsegs =
+    if lane < 0 then nsegs
+    else if um mask lane then begin
+      let a = e.e_addr.(lane) in
+      let space = Memory.decode_space a in
+      e.e_space.(lane) <- space;
+      e.e_off.(lane) <- Memory.decode_off a;
       match space with
       | Global | Constant ->
-        Hashtbl.replace segs (off / p.segment_bytes) ()
+        let seg = e.e_off.(lane) / p.segment_bytes in
+        if seg_seen e.e_segs nsegs seg 0 then go (lane - 1) nsegs
+        else begin
+          e.e_segs.(nsegs) <- seg;
+          go (lane - 1) (nsegs + 1)
+        end
       | Shared ->
-        shared := true;
-        tc.tc_counters.shared_accesses <- tc.tc_counters.shared_accesses + 1
-      | Local -> ())
-    addrs;
-  let nsegs = Hashtbl.length segs in
+        tc.tc_counters.shared_accesses <- tc.tc_counters.shared_accesses + 1;
+        go (lane - 1) nsegs
+      | Local -> go (lane - 1) nsegs
+    end
+    else go (lane - 1) nsegs
+  in
+  let nsegs = go (n - 1) 0 in
   tc.tc_counters.global_transactions <- tc.tc_counters.global_transactions + nsegs;
   charge tc (nsegs * p.c_global_segment);
-  if !shared then charge tc p.c_shared_access;
-  if nsegs = 0 && not !shared then charge tc p.c_local_access (* stack / L1 *)
+  let shared = tc.tc_counters.shared_accesses > sa0 in
+  if shared then charge tc p.c_shared_access;
+  if nsegs = 0 && not shared then charge tc p.c_local_access (* stack / L1 *)
 
-(* --- strand management ------------------------------------------------ *)
+(* Charge a scalarized uniform-address access exactly as [charge_mem_lanes]
+   would have charged [active] identical per-lane accesses: one global
+   segment, or [active] shared accesses. (Local space never scalarizes.) *)
+let charge_mem_uniform e tc ~space ~active =
+  let p = e.e_params in
+  match space with
+  | Global | Constant ->
+    tc.tc_counters.global_transactions <- tc.tc_counters.global_transactions + 1;
+    charge tc p.c_global_segment
+  | Shared ->
+    tc.tc_counters.shared_accesses <- tc.tc_counters.shared_accesses + active;
+    charge tc p.c_shared_access
+  | Local -> assert false
+
+(* Evaluate [addr] for every active lane into [e.e_addr]; returns true
+   when all active lanes agree. Precondition: [l0] is the first active
+   lane. *)
+let fill_addrs e fr (mask : bool array) n addr l0 =
+  let a0 = ieval fr l0 addr in
+  e.e_addr.(l0) <- a0;
+  let rec go lane uni =
+    if lane >= n then uni
+    else if um mask lane then begin
+      let a = ieval fr lane addr in
+      e.e_addr.(lane) <- a;
+      go (lane + 1) (uni && a = a0)
+    end
+    else go (lane + 1) uni
+  in
+  go (l0 + 1) true
+
+(* --- strand management ------------------------------------------------- *)
+
+let popcount mask = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask
 
 (* Create a strand. If the strand materializes exactly at the
    reconvergence point of its innermost pending join (a merged strand can
@@ -220,11 +695,11 @@ let charge_mem e tc addrs =
    instead of executing past the join. *)
 let rec new_strand tc ~warp ~mask ~stack ~joins =
   let s =
-    { st_seq = tc.tc_next_seq; st_warp = warp; st_mask = mask; st_stack = stack;
-      st_joins = joins; st_status = Run }
+    { st_seq = tc.tc_next_seq; st_warp = warp; st_active = popcount mask;
+      st_mask = mask; st_stack = stack; st_joins = joins; st_status = Run }
   in
   tc.tc_next_seq <- tc.tc_next_seq + 1;
-  tc.tc_strands <- tc.tc_strands @ [ s ];
+  Svec.push tc.tc_strands s;
   (match (stack, joins) with
   | slot :: _, j :: _
     when j.j_frame = slot.sl_frame.fr_id && j.j_rpc = slot.sl_blk && slot.sl_idx = 0 ->
@@ -248,66 +723,66 @@ and arrive_join tc st (j : join) =
 
 let make_frame tc e fname ~warp_size =
   let fi = fn_info e fname in
-  let n = fi.fi_func.f_next_reg in
-  let regs =
-    Array.init warp_size (fun _ ->
-        { ints = Array.make (max n 1) 0; floats = Array.make (max n 1) 0.0 })
-  in
+  let n = max fi.fi_func.f_next_reg 1 in
   let fr =
-    { fr_info = fi; fr_regs = regs; fr_sp_save = Array.make warp_size 0;
+    { fr_info = fi; fr_ws = warp_size;
+      fr_ints = Array.make (n * warp_size) 0;
+      fr_floats = Array.make (n * warp_size) 0.0;
+      fr_sp_save = Array.make warp_size 0;
       fr_id = tc.tc_next_frame }
   in
   tc.tc_next_frame <- tc.tc_next_frame + 1;
   fr
 
-(* Warp width of the engine currently running (set once per [run]; the
-   engine is single-threaded). Needed to map (warp, lane) to thread ids in
-   contexts that only see a strand. *)
-let cur_warp_size = ref 32
-
 (* global thread id of a lane in this warp within the team *)
-let lane_tid st lane = (st.st_warp * !cur_warp_size) + lane
+let lane_tid tc st lane = (st.st_warp * tc.tc_warp_size) + lane
 
 (* Evaluate the phi nodes of [to_blk] for the lanes in [mask], coming from
-   [from_blk]; parallel-copy semantics. *)
-let eval_phis e (fr : frame) ~mask ~from_blk ~to_blk =
+   [from_blk]; parallel-copy semantics via the per-block staging scratch
+   (all reads of a lane happen before any write of that lane; decoded
+   operands only read registers, so per-lane staging is equivalent to the
+   per-phi staging it replaces, without the per-edge array allocations). *)
+let eval_phis (fr : frame) ~mask ~from_blk ~to_blk =
   match Hashtbl.find_opt fr.fr_info.fi_blocks to_blk with
   | None -> fault "edge to unknown block %s" to_blk
-  | Some b ->
-    if b.cb_phis <> [] then begin
-      let n = Array.length mask in
-      let staged =
-        List.map
-          (fun p ->
-            let incoming =
-              match List.assoc_opt from_blk p.phi_incoming with
-              | Some o -> o
-              | None -> fault "phi %%%d in %s lacks incoming for %s" p.phi_reg to_blk from_blk
-            in
-            let fl = is_float_typ p.phi_typ in
-            let vals_i = Array.make n 0 and vals_f = Array.make n 0.0 in
-            for lane = 0 to n - 1 do
-              if mask.(lane) then
-                if fl then vals_f.(lane) <- eval_f e fr lane incoming
-                else vals_i.(lane) <- eval_i e fr lane incoming
-            done;
-            (p.phi_reg, fl, vals_i, vals_f))
-          b.cb_phis
+  | Some cb ->
+    if cb.cb_nphis > 0 then begin
+      let copy =
+        match Hashtbl.find_opt cb.cb_edges from_blk with
+        | Some c -> c
+        | None ->
+          fault "phi %%%d in %s lacks incoming for %s" cb.cb_first_phi to_blk from_blk
       in
-      List.iter
-        (fun (r, fl, vals_i, vals_f) ->
-          for lane = 0 to n - 1 do
-            if mask.(lane) then
-              if fl then fr.fr_regs.(lane).floats.(r) <- vals_f.(lane)
-              else fr.fr_regs.(lane).ints.(r) <- vals_i.(lane)
-          done)
-        staged
+      let np = Array.length copy in
+      let n = Array.length mask in
+      let ws = fr.fr_ws in
+      for lane = 0 to n - 1 do
+        if um mask lane then begin
+          for i = 0 to np - 1 do
+            match Array.unsafe_get copy i with
+            | PE_i (_, op) -> cb.cb_ti.(i) <- ieval fr lane op
+            | PE_f (_, op) ->
+              cb.cb_tf.(i) <-
+                (match op with
+                | FReg r -> fr.fr_floats.((r * ws) + lane)
+                | FConst v -> v
+                | FBad msg -> fault "%s" msg)
+            | PE_bad msg -> fault "%s" msg
+          done;
+          for i = 0 to np - 1 do
+            match Array.unsafe_get copy i with
+            | PE_i (r, _) -> fr.fr_ints.((r * ws) + lane) <- cb.cb_ti.(i)
+            | PE_f (r, _) -> fr.fr_floats.((r * ws) + lane) <- cb.cb_tf.(i)
+            | PE_bad _ -> ()
+          done
+        end
+      done
     end
 
 (* Transfer the strand's top slot to [to_blk] (uniform within the strand),
    handling phis and join arrival. *)
-let transfer e tc st slot ~to_blk =
-  eval_phis e slot.sl_frame ~mask:st.st_mask ~from_blk:slot.sl_blk ~to_blk;
+let transfer tc st slot ~to_blk =
+  eval_phis slot.sl_frame ~mask:st.st_mask ~from_blk:slot.sl_blk ~to_blk;
   match st.st_joins with
   | j :: _ when j.j_frame = slot.sl_frame.fr_id && j.j_rpc = to_blk ->
     arrive_join tc st j
@@ -316,7 +791,7 @@ let transfer e tc st slot ~to_blk =
     slot.sl_idx <- 0
 
 (* Split a strand into groups (label, mask) diverging at [slot.sl_blk]. *)
-let diverge e tc st slot groups =
+let diverge tc st slot groups =
   tc.tc_counters.divergent_branches <- tc.tc_counters.divergent_branches + 1;
   let from_blk = slot.sl_blk in
   let reconv =
@@ -326,7 +801,7 @@ let diverge e tc st slot groups =
   in
   (* evaluate the phis of every target for that edge's lanes first *)
   List.iter
-    (fun (lbl, mask) -> eval_phis e slot.sl_frame ~mask ~from_blk ~to_blk:lbl)
+    (fun (lbl, mask) -> eval_phis slot.sl_frame ~mask ~from_blk ~to_blk:lbl)
     groups;
   (match reconv with
   | Some rpc ->
@@ -396,12 +871,15 @@ let diverge e tc st slot groups =
         groups));
   st.st_status <- Dead
 
-(* --- ret handling ------------------------------------------------------ *)
+(* --- ret handling ------------------------------------------------------- *)
 
-let do_ret e tc st slot ret_op =
+type rval = R_none | R_i of iop | R_f of fop
+
+let do_ret e tc st slot rv =
   charge tc e.e_params.c_ret;
   let fr = slot.sl_frame in
-  let n = Array.length st.st_mask in
+  let mask = st.st_mask in
+  let n = Array.length mask in
   (* a pending return-reconvergence join for this frame? *)
   let ret_join =
     match st.st_joins with
@@ -414,283 +892,490 @@ let do_ret e tc st slot ret_op =
   | _ -> ());
   (* restore the per-lane local stack pointers *)
   for lane = 0 to n - 1 do
-    if st.st_mask.(lane) then
-      Memory.set_local_sp e.e_mem ~thread:(lane_tid st lane) fr.fr_sp_save.(lane)
+    if um mask lane then
+      Memory.set_local_sp e.e_mem ~thread:(lane_tid tc st lane) fr.fr_sp_save.(lane)
   done;
-  match ret_join with
-  | Some j ->
-    (* deposit this strand's return values in the caller frame recorded in
-       the join continuation, then arrive *)
-    (match (slot.sl_ret_dst, ret_op, j.j_cont) with
-    | Some (dst, fl), Some o, caller :: _ ->
+  (* deposit the return value into the caller's frame *)
+  let deposit (caller : slot) =
+    match (slot.sl_ret_dst, rv) with
+    | Some (dst, false), R_i op ->
+      let cfr = caller.sl_frame in
+      let base = dst * cfr.fr_ws in
       for lane = 0 to n - 1 do
-        if st.st_mask.(lane) then
-          if fl then caller.sl_frame.fr_regs.(lane).floats.(dst) <- eval_f e fr lane o
-          else caller.sl_frame.fr_regs.(lane).ints.(dst) <- eval_i e fr lane o
+        if um mask lane then cfr.fr_ints.(base + lane) <- ieval fr lane op
       done
-    | Some _, None, _ ->
+    | Some (dst, true), R_f op ->
+      let cfr = caller.sl_frame in
+      let base = dst * cfr.fr_ws in
+      let ws = fr.fr_ws in
+      for lane = 0 to n - 1 do
+        if um mask lane then
+          cfr.fr_floats.(base + lane) <-
+            (match op with
+            | FReg r -> fr.fr_floats.((r * ws) + lane)
+            | FConst v -> v
+            | FBad msg -> fault "%s" msg)
+      done
+    | Some _, R_none ->
       fault "function %s returns no value but caller expects one"
         fr.fr_info.fi_func.f_name
-    | _, _, _ -> ());
+    | None, _ -> ()
+    | Some _, _ ->
+      (* decode derives both sides from the callee's f_ret; they can't
+         disagree *)
+      assert false
+  in
+  match ret_join with
+  | Some j ->
+    (match j.j_cont with caller :: _ -> deposit caller | [] -> ());
     arrive_join tc st j
   | None -> (
     match st.st_stack with
-  | [] -> assert false
-  | [ _ ] ->
-    (* kernel-level return: these lanes are done *)
-    for lane = 0 to n - 1 do
-      if st.st_mask.(lane) then tc.tc_done.(lane_tid st lane) <- true
-    done;
-    st.st_status <- Dead
-  | _ :: (caller :: _ as rest) ->
-    (match (slot.sl_ret_dst, ret_op) with
-    | Some (dst, fl), Some o ->
+    | [] -> assert false
+    | [ _ ] ->
+      (* kernel-level return: these lanes are done *)
       for lane = 0 to n - 1 do
-        if st.st_mask.(lane) then
-          if fl then caller.sl_frame.fr_regs.(lane).floats.(dst) <- eval_f e fr lane o
-          else caller.sl_frame.fr_regs.(lane).ints.(dst) <- eval_i e fr lane o
-      done
-    | Some (dst, fl), None ->
-      ignore dst;
-      ignore fl;
-      fault "function %s returns no value but caller expects one"
-        fr.fr_info.fi_func.f_name
-    | None, _ -> ());
-    st.st_stack <- rest)
+        if um mask lane then tc.tc_done.(lane_tid tc st lane) <- true
+      done;
+      st.st_status <- Dead
+    | _ :: (caller :: _ as rest) ->
+      deposit caller;
+      st.st_stack <- rest)
 
-(* --- instruction execution -------------------------------------------- *)
-
-let exec_binop op a b =
-  match op with
-  | Add -> a + b
-  | Sub -> a - b
-  | Mul -> a * b
-  | Sdiv -> if b = 0 then fault "division by zero" else a / b
-  | Srem -> if b = 0 then fault "remainder by zero" else a mod b
-  | Udiv -> if b = 0 then fault "division by zero" else abs a / abs b
-  | Urem -> if b = 0 then fault "remainder by zero" else abs a mod abs b
-  | And -> a land b
-  | Or -> a lor b
-  | Xor -> a lxor b
-  | Shl -> a lsl (b land 62)
-  | Ashr -> a asr (b land 62)
-  | Lshr -> (a lsr (b land 62)) land max_int
-  | Smin -> min a b
-  | Smax -> max a b
-  | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax -> fault "float binop in int context"
-
-let exec_fbinop op a b =
-  match op with
-  | Fadd -> a +. b
-  | Fsub -> a -. b
-  | Fmul -> a *. b
-  | Fdiv -> a /. b
-  | Fmin -> min a b
-  | Fmax -> max a b
-  | _ -> fault "int binop in float context"
-
-let is_float_binop = function
-  | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax -> true
-  | _ -> false
-
-(* 63-bit unsigned comparisons: negative = huge *)
-let icmp_ult a b =
-  (a >= 0 && b >= 0 && a < b) || (a >= 0 && b < 0) || (a < 0 && b < 0 && a < b)
-
-let icmp_fn op a b =
-  match op with
-  | Eq -> a = b
-  | Ne -> a <> b
-  | Slt -> a < b
-  | Sle -> a <= b
-  | Sgt -> a > b
-  | Sge -> a >= b
-  | Ult -> icmp_ult a b
-  | Ule -> a = b || icmp_ult a b
-  | Ugt -> icmp_ult b a
-  | Uge -> a = b || icmp_ult b a
-
-let fcmp_fn op a b =
-  match op with
-  | Feq -> a = b
-  | Fne -> a <> b
-  | Flt -> a < b
-  | Fle -> a <= b
-  | Fgt -> a > b
-  | Fge -> a >= b
+(* --- instruction execution --------------------------------------------- *)
 
 (* Execute one instruction for a strand. Returns [`Continue] to proceed to
-   the next instruction, [`Blocked] when the strand suspended (barrier) or
+   the next instruction, [`Suspend] when the strand suspended (barrier) or
    changed shape (call/death). *)
-let rec exec_inst e tc (st : strand) (slot : slot) (inst : inst) :
+let rec exec_dinst e tc (st : strand) (slot : slot) (di : dinst) :
     [ `Continue | `Suspend ] =
   let p = e.e_params in
   let fr = slot.sl_frame in
   let mask = st.st_mask in
   let n = Array.length mask in
+  let ws = fr.fr_ws in
   tc.tc_counters.warp_instructions <- tc.tc_counters.warp_instructions + 1;
-  tc.tc_counters.lane_instructions <- tc.tc_counters.lane_instructions + popcount mask;
+  tc.tc_counters.lane_instructions <- tc.tc_counters.lane_instructions + st.st_active;
   Fault.set_site ~fn:fr.fr_info.fi_func.f_name ~blk:slot.sl_blk ~idx:slot.sl_idx;
   Fault.set_strand ~team:tc.tc_team ~warp:st.st_warp ~mask;
   e.e_budget <- e.e_budget - 1;
   if e.e_budget <= 0 then
     Fault.fail Fault.Budget_exhausted "instruction budget exceeded (runaway kernel?)";
-  let each f =
-    for lane = 0 to n - 1 do
-      if mask.(lane) then f lane
-    done
-  in
-  match inst with
-  | Binop (r, op, a, b) ->
-    if is_float_binop op then begin
-      charge tc p.c_falu;
-      each (fun l ->
-          fr.fr_regs.(l).floats.(r) <- exec_fbinop op (eval_f e fr l a) (eval_f e fr l b))
-    end
-    else begin
-      charge tc p.c_alu;
-      each (fun l ->
-          fr.fr_regs.(l).ints.(r) <- exec_binop op (eval_i e fr l a) (eval_i e fr l b))
-    end;
-    `Continue
-  | Unop (r, op, a) ->
-    (match op with
-    | Not ->
-      charge tc p.c_alu;
-      each (fun l -> fr.fr_regs.(l).ints.(r) <- lnot (eval_i e fr l a))
-    | Fneg ->
-      charge tc p.c_falu;
-      each (fun l -> fr.fr_regs.(l).floats.(r) <- -.eval_f e fr l a)
-    | Fabs ->
-      charge tc p.c_falu;
-      each (fun l -> fr.fr_regs.(l).floats.(r) <- Float.abs (eval_f e fr l a))
-    | Fsqrt ->
-      charge tc p.c_special;
-      each (fun l -> fr.fr_regs.(l).floats.(r) <- sqrt (eval_f e fr l a))
-    | Fexp ->
-      charge tc p.c_special;
-      each (fun l -> fr.fr_regs.(l).floats.(r) <- exp (eval_f e fr l a))
-    | Flog ->
-      charge tc p.c_special;
-      each (fun l -> fr.fr_regs.(l).floats.(r) <- log (eval_f e fr l a))
-    | Fsin ->
-      charge tc p.c_special;
-      each (fun l -> fr.fr_regs.(l).floats.(r) <- sin (eval_f e fr l a))
-    | Fcos ->
-      charge tc p.c_special;
-      each (fun l -> fr.fr_regs.(l).floats.(r) <- cos (eval_f e fr l a))
-    | Sitofp ->
-      charge tc p.c_alu;
-      each (fun l -> fr.fr_regs.(l).floats.(r) <- float_of_int (eval_i e fr l a))
-    | Fptosi ->
-      charge tc p.c_alu;
-      each (fun l -> fr.fr_regs.(l).ints.(r) <- int_of_float (eval_f e fr l a))
-    | Zext32to64 ->
-      charge tc p.c_alu;
-      each (fun l -> fr.fr_regs.(l).ints.(r) <- eval_i e fr l a land 0xFFFFFFFF)
-    | Trunc64to32 ->
-      charge tc p.c_alu;
-      each (fun l -> fr.fr_regs.(l).ints.(r) <- eval_i e fr l a land 0xFFFFFFFF));
-    `Continue
-  | Icmp (r, op, a, b) ->
+  match di with
+  | D_ibin (r, f, a, b) ->
     charge tc p.c_alu;
-    each (fun l ->
-        fr.fr_regs.(l).ints.(r) <-
-          (if icmp_fn op (eval_i e fr l a) (eval_i e fr l b) then 1 else 0));
+    let base = r * ws in
+    (match (a, b) with
+    | IConst x, IConst y when st.st_active > 0 ->
+      (* constant-constant: evaluate once, broadcast (division by zero
+         still faults here, exactly as the first active lane would) *)
+      let v = f x y in
+      for lane = 0 to n - 1 do
+        if um mask lane then fr.fr_ints.(base + lane) <- v
+      done
+    | _ ->
+      for lane = 0 to n - 1 do
+        if um mask lane then
+          fr.fr_ints.(base + lane) <- f (ieval fr lane a) (ieval fr lane b)
+      done);
     `Continue
-  | Fcmp (r, op, a, b) ->
+  | D_fbin (r, k, a, b) ->
     charge tc p.c_falu;
-    each (fun l ->
-        fr.fr_regs.(l).ints.(r) <-
-          (if fcmp_fn op (eval_f e fr l a) (eval_f e fr l b) then 1 else 0));
+    let base = r * ws in
+    (match (a, b) with
+    | FConst x, FConst y when st.st_active > 0 ->
+      let v = fbin_apply k x y in
+      for lane = 0 to n - 1 do
+        if um mask lane then fr.fr_floats.(base + lane) <- v
+      done
+    | _ ->
+      for lane = 0 to n - 1 do
+        if um mask lane then begin
+          let x =
+            match a with
+            | FReg r -> fr.fr_floats.((r * ws) + lane)
+            | FConst v -> v
+            | FBad msg -> fault "%s" msg
+          and y =
+            match b with
+            | FReg r -> fr.fr_floats.((r * ws) + lane)
+            | FConst v -> v
+            | FBad msg -> fault "%s" msg
+          in
+          fr.fr_floats.(base + lane) <-
+            (match k with
+            | KFadd -> x +. y
+            | KFsub -> x -. y
+            | KFmul -> x *. y
+            | KFdiv -> x /. y
+            | KFmin -> if x <= y then x else y
+            | KFmax -> if x >= y then x else y)
+        end
+      done);
     `Continue
-  | Select (r, ty, c, x, y) ->
+  | D_icmp (r, f, a, b) ->
     charge tc p.c_alu;
-    if is_float_typ ty then
-      each (fun l ->
-          fr.fr_regs.(l).floats.(r) <-
-            (if eval_i e fr l c <> 0 then eval_f e fr l x else eval_f e fr l y))
-    else
-      each (fun l ->
-          fr.fr_regs.(l).ints.(r) <-
-            (if eval_i e fr l c <> 0 then eval_i e fr l x else eval_i e fr l y));
+    let base = r * ws in
+    for lane = 0 to n - 1 do
+      if um mask lane then
+        fr.fr_ints.(base + lane) <- (if f (ieval fr lane a) (ieval fr lane b) then 1 else 0)
+    done;
     `Continue
-  | Ptradd (r, base, off) ->
+  | D_fcmp (r, k, a, b) ->
+    charge tc p.c_falu;
+    let base = r * ws in
+    for lane = 0 to n - 1 do
+      if um mask lane then begin
+        let x =
+          match a with
+          | FReg r -> fr.fr_floats.((r * ws) + lane)
+          | FConst v -> v
+          | FBad msg -> fault "%s" msg
+        and y =
+          match b with
+          | FReg r -> fr.fr_floats.((r * ws) + lane)
+          | FConst v -> v
+          | FBad msg -> fault "%s" msg
+        in
+        fr.fr_ints.(base + lane) <-
+          (if
+             match k with
+             | Feq -> x = y
+             | Fne -> x <> y
+             | Flt -> x < y
+             | Fle -> x <= y
+             | Fgt -> x > y
+             | Fge -> x >= y
+           then 1
+           else 0)
+      end
+    done;
+    `Continue
+  | D_un_i (r, f, a) ->
     charge tc p.c_alu;
-    each (fun l -> fr.fr_regs.(l).ints.(r) <- eval_i e fr l base + eval_i e fr l off);
+    let base = r * ws in
+    for lane = 0 to n - 1 do
+      if um mask lane then fr.fr_ints.(base + lane) <- f (ieval fr lane a)
+    done;
     `Continue
-  | Load (r, ty, addr) ->
-    let addrs = ref [] in
-    each (fun l -> addrs := eval_i e fr l addr :: !addrs);
-    charge_mem e tc !addrs;
-    if is_float_typ ty then
-      each (fun l ->
-          fr.fr_regs.(l).floats.(r) <-
-            Memory.load_float e.e_mem ~thread:(lane_tid st l) (eval_i e fr l addr))
-    else
-      each (fun l ->
-          fr.fr_regs.(l).ints.(r) <-
-            Memory.load_int e.e_mem ~thread:(lane_tid st l) (eval_i e fr l addr) ty);
+  | D_un_f (r, special, cost, k, a) ->
+    charge tc cost;
+    let base = r * ws in
+    let broadcast v =
+      for lane = 0 to n - 1 do
+        if um mask lane then fr.fr_floats.(base + lane) <- v
+      done
+    in
+    let per_lane () =
+      for lane = 0 to n - 1 do
+        if um mask lane then begin
+          let x =
+            match a with
+            | FReg r -> fr.fr_floats.((r * ws) + lane)
+            | FConst v -> v
+            | FBad msg -> fault "%s" msg
+          in
+          fr.fr_floats.(base + lane) <-
+            (match k with
+            | KFneg -> -.x
+            | KFabs -> Float.abs x
+            | KFsqrt -> sqrt x
+            | KFexp -> exp x
+            | KFlog -> log x
+            | KFsin -> sin x
+            | KFcos -> cos x)
+        end
+      done
+    in
+    (* uniform-strand scalarization of SFU ops: one evaluation instead of
+       [active] when the operand is bit-identical across active lanes *)
+    if special && st.st_active > 0 then begin
+      match a with
+      | FConst v -> broadcast (fun_apply k v)
+      | FReg reg ->
+        let sbase = reg * ws in
+        let l0 = first_active mask n 0 in
+        let v0 = fr.fr_floats.(sbase + l0) in
+        let rec uni lane =
+          lane >= n
+          || ((not (um mask lane)) || fsame fr.fr_floats.(sbase + lane) v0)
+             && uni (lane + 1)
+        in
+        if uni (l0 + 1) then broadcast (fun_apply k v0) else per_lane ()
+      | FBad msg -> fault "%s" msg
+    end
+    else per_lane ();
+    `Continue
+  | D_i2f (r, a) ->
+    charge tc p.c_alu;
+    let base = r * ws in
+    for lane = 0 to n - 1 do
+      if um mask lane then fr.fr_floats.(base + lane) <- float_of_int (ieval fr lane a)
+    done;
+    `Continue
+  | D_f2i (r, a) ->
+    charge tc p.c_alu;
+    let base = r * ws in
+    for lane = 0 to n - 1 do
+      if um mask lane then
+        fr.fr_ints.(base + lane) <-
+          int_of_float
+            (match a with
+            | FReg r -> fr.fr_floats.((r * ws) + lane)
+            | FConst v -> v
+            | FBad msg -> fault "%s" msg)
+    done;
+    `Continue
+  | D_sel_i (r, c, x, y) ->
+    charge tc p.c_alu;
+    let base = r * ws in
+    for lane = 0 to n - 1 do
+      if um mask lane then
+        fr.fr_ints.(base + lane) <-
+          (if ieval fr lane c <> 0 then ieval fr lane x else ieval fr lane y)
+    done;
+    `Continue
+  | D_sel_f (r, c, x, y) ->
+    charge tc p.c_alu;
+    let base = r * ws in
+    for lane = 0 to n - 1 do
+      if um mask lane then begin
+        let sel = if ieval fr lane c <> 0 then x else y in
+        fr.fr_floats.(base + lane) <-
+          (match sel with
+          | FReg r -> fr.fr_floats.((r * ws) + lane)
+          | FConst v -> v
+          | FBad msg -> fault "%s" msg)
+      end
+    done;
+    `Continue
+  | D_load_i (r, ty, addr) ->
+    let base = r * ws in
+    let l0 = first_active mask n 0 in
+    if l0 < 0 then charge tc p.c_local_access (* empty access set *)
+    else begin
+      let uni = fill_addrs e fr mask n addr l0 in
+      let a0 = e.e_addr.(l0) in
+      let space0 = Memory.decode_space a0 in
+      if uni && e.e_fastmem && space0 <> Local then begin
+        (* scalarized: one memory operation feeds every active lane *)
+        charge_mem_uniform e tc ~space:space0 ~active:st.st_active;
+        let v =
+          Memory.fast_load_int e.e_mem ~thread:(lane_tid tc st l0) ~space:space0
+            ~off:(Memory.decode_off a0) ~ptr:a0 ty
+        in
+        for lane = 0 to n - 1 do
+          if um mask lane then fr.fr_ints.(base + lane) <- v
+        done
+      end
+      else begin
+        charge_mem_lanes e tc mask n;
+        if e.e_fastmem then
+          for lane = 0 to n - 1 do
+            if um mask lane then
+              fr.fr_ints.(base + lane) <-
+                Memory.fast_load_int e.e_mem ~thread:(lane_tid tc st lane)
+                  ~space:e.e_space.(lane) ~off:e.e_off.(lane) ~ptr:e.e_addr.(lane) ty
+          done
+        else
+          for lane = 0 to n - 1 do
+            if um mask lane then
+              fr.fr_ints.(base + lane) <-
+                Memory.load_int e.e_mem ~thread:(lane_tid tc st lane) e.e_addr.(lane) ty
+          done
+      end
+    end;
     (match e.e_inject with
     | Some inj
       when Faultinject.fire inj Faultinject.Corrupt_load ~fn:fr.fr_info.fi_func.f_name
       ->
       (* perturb the value the first active lane just loaded *)
-      let l = ref (-1) in
-      each (fun lane -> if !l < 0 then l := lane);
-      if !l >= 0 then
-        if is_float_typ ty then
-          fr.fr_regs.(!l).floats.(r) <-
-            Faultinject.corrupt_float inj fr.fr_regs.(!l).floats.(r)
-        else
-          fr.fr_regs.(!l).ints.(r) <- Faultinject.corrupt_int inj fr.fr_regs.(!l).ints.(r)
+      if l0 >= 0 then
+        fr.fr_ints.(base + l0) <- Faultinject.corrupt_int inj fr.fr_ints.(base + l0)
     | _ -> ());
     `Continue
-  | Store (ty, v, addr) -> (
+  | D_load_f (r, addr) ->
+    let base = r * ws in
+    let l0 = first_active mask n 0 in
+    if l0 < 0 then charge tc p.c_local_access
+    else begin
+      let uni = fill_addrs e fr mask n addr l0 in
+      let a0 = e.e_addr.(l0) in
+      let space0 = Memory.decode_space a0 in
+      if uni && e.e_fastmem && space0 <> Local then begin
+        charge_mem_uniform e tc ~space:space0 ~active:st.st_active;
+        Memory.fast_load_float_at e.e_mem ~thread:(lane_tid tc st l0) ~space:space0
+          ~off:(Memory.decode_off a0) ~ptr:a0 fr.fr_floats (base + l0);
+        let v = fr.fr_floats.(base + l0) in
+        for lane = 0 to n - 1 do
+          if um mask lane then fr.fr_floats.(base + lane) <- v
+        done
+      end
+      else begin
+        charge_mem_lanes e tc mask n;
+        if e.e_fastmem then
+          for lane = 0 to n - 1 do
+            if um mask lane then
+              Memory.fast_load_float_at e.e_mem ~thread:(lane_tid tc st lane)
+                ~space:e.e_space.(lane) ~off:e.e_off.(lane) ~ptr:e.e_addr.(lane)
+                fr.fr_floats (base + lane)
+          done
+        else
+          for lane = 0 to n - 1 do
+            if um mask lane then
+              fr.fr_floats.(base + lane) <-
+                Memory.load_float e.e_mem ~thread:(lane_tid tc st lane) e.e_addr.(lane)
+          done
+      end
+    end;
+    (match e.e_inject with
+    | Some inj
+      when Faultinject.fire inj Faultinject.Corrupt_load ~fn:fr.fr_info.fi_func.f_name
+      ->
+      if l0 >= 0 then
+        fr.fr_floats.(base + l0) <-
+          Faultinject.corrupt_float inj fr.fr_floats.(base + l0)
+    | _ -> ());
+    `Continue
+  | D_store_i (ty, v, addr) -> (
     match e.e_inject with
     | Some inj
       when Faultinject.fire inj Faultinject.Drop_store ~fn:fr.fr_info.fi_func.f_name ->
       `Continue (* the store silently never happens *)
     | _ ->
-      let addrs = ref [] in
-      each (fun l -> addrs := eval_i e fr l addr :: !addrs);
-      charge_mem e tc !addrs;
-      if is_float_typ ty then
-        each (fun l ->
-            Memory.store_float e.e_mem ~thread:(lane_tid st l) (eval_i e fr l addr)
-              (eval_f e fr l v))
-      else
-        each (fun l ->
-            Memory.store_int e.e_mem ~thread:(lane_tid st l) (eval_i e fr l addr) ty
-              (eval_i e fr l v));
+      let l0 = first_active mask n 0 in
+      if l0 < 0 then charge tc p.c_local_access
+      else begin
+        let uni = fill_addrs e fr mask n addr l0 in
+        let a0 = e.e_addr.(l0) in
+        let space0 = Memory.decode_space a0 in
+        if uni && e.e_fastmem && space0 <> Local then begin
+          (* all lanes write the same cell in lane order; only the last
+             active lane's value survives, so store exactly that once *)
+          charge_mem_uniform e tc ~space:space0 ~active:st.st_active;
+          let ll = last_active mask (n - 1) in
+          Memory.fast_store_int e.e_mem ~thread:(lane_tid tc st ll) ~space:space0
+            ~off:(Memory.decode_off a0) ~ptr:a0 ty (ieval fr ll v)
+        end
+        else begin
+          charge_mem_lanes e tc mask n;
+          if e.e_fastmem then
+            for lane = 0 to n - 1 do
+              if um mask lane then
+                Memory.fast_store_int e.e_mem ~thread:(lane_tid tc st lane)
+                  ~space:e.e_space.(lane) ~off:e.e_off.(lane) ~ptr:e.e_addr.(lane) ty
+                  (ieval fr lane v)
+            done
+          else
+            for lane = 0 to n - 1 do
+              if um mask lane then
+                Memory.store_int e.e_mem ~thread:(lane_tid tc st lane) e.e_addr.(lane)
+                  ty (ieval fr lane v)
+            done
+        end
+      end;
       `Continue)
-  | Alloca (r, size) ->
+  | D_store_f (v, addr) -> (
+    match e.e_inject with
+    | Some inj
+      when Faultinject.fire inj Faultinject.Drop_store ~fn:fr.fr_info.fi_func.f_name ->
+      `Continue
+    | _ ->
+      let l0 = first_active mask n 0 in
+      if l0 < 0 then charge tc p.c_local_access
+      else begin
+        let uni = fill_addrs e fr mask n addr l0 in
+        let a0 = e.e_addr.(l0) in
+        let space0 = Memory.decode_space a0 in
+        (if uni && e.e_fastmem && space0 <> Local then begin
+           charge_mem_uniform e tc ~space:space0 ~active:st.st_active;
+           let ll = last_active mask (n - 1) in
+           let off0 = Memory.decode_off a0 in
+           match v with
+           | FReg rv ->
+             Memory.fast_store_float_from e.e_mem ~thread:(lane_tid tc st ll)
+               ~space:space0 ~off:off0 ~ptr:a0 fr.fr_floats ((rv * ws) + ll)
+           | FConst c ->
+             e.e_fscr.(0) <- c;
+             Memory.fast_store_float_from e.e_mem ~thread:(lane_tid tc st ll)
+               ~space:space0 ~off:off0 ~ptr:a0 e.e_fscr 0
+           | FBad msg -> fault "%s" msg
+         end
+         else begin
+           charge_mem_lanes e tc mask n;
+           if e.e_fastmem then (
+             match v with
+             | FReg rv ->
+               for lane = 0 to n - 1 do
+                 if um mask lane then
+                   Memory.fast_store_float_from e.e_mem ~thread:(lane_tid tc st lane)
+                     ~space:e.e_space.(lane) ~off:e.e_off.(lane) ~ptr:e.e_addr.(lane)
+                     fr.fr_floats ((rv * ws) + lane)
+               done
+             | FConst c ->
+               e.e_fscr.(0) <- c;
+               for lane = 0 to n - 1 do
+                 if um mask lane then
+                   Memory.fast_store_float_from e.e_mem ~thread:(lane_tid tc st lane)
+                     ~space:e.e_space.(lane) ~off:e.e_off.(lane) ~ptr:e.e_addr.(lane)
+                     e.e_fscr 0
+               done
+             | FBad msg -> fault "%s" msg)
+           else
+             for lane = 0 to n - 1 do
+               if um mask lane then
+                 Memory.store_float e.e_mem ~thread:(lane_tid tc st lane)
+                   e.e_addr.(lane) (feval fr lane v)
+             done
+         end)
+      end;
+      `Continue)
+  | D_alloca (r, size) ->
     charge tc p.c_alloca;
-    each (fun l ->
-        fr.fr_regs.(l).ints.(r) <- Memory.alloca e.e_mem ~thread:(lane_tid st l) size);
+    let base = r * ws in
+    for lane = 0 to n - 1 do
+      if um mask lane then
+        fr.fr_ints.(base + lane) <-
+          Memory.alloca e.e_mem ~thread:(lane_tid tc st lane) size
+    done;
     `Continue
-  | Intrinsic (r, i) ->
+  | D_intr (r, i) ->
     charge tc p.c_alu;
-    each (fun l ->
-        fr.fr_regs.(l).ints.(r) <-
-          (match i with
-          | Thread_id -> lane_tid st l
-          | Block_id -> tc.tc_team
-          | Block_dim -> tc.tc_threads
-          | Grid_dim -> e.e_launch.l_teams
-          | Warp_size -> p.warp_size
-          | Lane_id -> lane_tid st l mod p.warp_size));
+    let base = r * ws in
+    let broadcast v =
+      for lane = 0 to n - 1 do
+        if um mask lane then fr.fr_ints.(base + lane) <- v
+      done
+    in
+    (match i with
+    | Thread_id ->
+      for lane = 0 to n - 1 do
+        if um mask lane then fr.fr_ints.(base + lane) <- lane_tid tc st lane
+      done
+    | Lane_id ->
+      for lane = 0 to n - 1 do
+        if um mask lane then
+          fr.fr_ints.(base + lane) <- lane_tid tc st lane mod p.warp_size
+      done
+    (* launch-geometry intrinsics are lane-invariant: broadcast *)
+    | Block_id -> broadcast tc.tc_team
+    | Block_dim -> broadcast tc.tc_threads
+    | Grid_dim -> broadcast e.e_launch.l_teams
+    | Warp_size -> broadcast p.warp_size);
     `Continue
-  | Malloc (r, size) ->
+  | D_malloc (r, size) ->
     charge tc p.c_malloc;
     tc.tc_counters.mallocs <- tc.tc_counters.mallocs + 1;
-    each (fun l ->
-        fr.fr_regs.(l).ints.(r) <- Memory.malloc e.e_mem (eval_i e fr l size));
+    let base = r * ws in
+    for lane = 0 to n - 1 do
+      if um mask lane then
+        fr.fr_ints.(base + lane) <- Memory.malloc e.e_mem (ieval fr lane size)
+    done;
     `Continue
-  | Free _ ->
+  | D_free ->
     charge tc p.c_alu;
     `Continue
-  | Assume o ->
+  | D_assume o ->
     let forced =
       match e.e_inject with
       | Some inj ->
@@ -698,81 +1383,105 @@ let rec exec_inst e tc (st : strand) (slot : slot) (inst : inst) :
       | None -> false
     in
     if e.e_launch.l_check_assumes then
-      each (fun l ->
-          if forced || eval_i e fr l o = 0 then
-            Fault.trap Fault.Assume_violation
-              "assumption violated in %s at %s:%d (thread %d)%s"
-              fr.fr_info.fi_func.f_name slot.sl_blk slot.sl_idx (lane_tid st l)
-              (if forced then " [injected]" else ""));
+      for lane = 0 to n - 1 do
+        if um mask lane && (forced || ieval fr lane o = 0) then
+          Fault.trap Fault.Assume_violation
+            "assumption violated in %s at %s:%d (thread %d)%s"
+            fr.fr_info.fi_func.f_name slot.sl_blk slot.sl_idx (lane_tid tc st lane)
+            (if forced then " [injected]" else "")
+      done;
     `Continue
-  | Trap msg -> Fault.trap Fault.Trap "%s" msg
-  | Debug_print (msg, ops) ->
+  | D_trap msg -> Fault.trap Fault.Trap "%s" msg
+  | D_debug (msg, ops) ->
     if e.e_launch.l_trace then begin
-      let l = ref (-1) in
-      each (fun lane -> if !l < 0 then l := lane);
-      if !l >= 0 then
-        Fmt.epr "[vgpu team %d thread %d] %s %a@." tc.tc_team (lane_tid st !l) msg
+      let l = first_active mask n 0 in
+      if l >= 0 then
+        Fmt.epr "[vgpu team %d thread %d] %s %a@." tc.tc_team (lane_tid tc st l) msg
           (Fmt.list ~sep:Fmt.sp Fmt.int)
-          (List.map (eval_i e fr !l) ops)
+          (List.map (ieval fr l) ops)
     end;
     `Continue
-  | Atomic (dst, op, ty, addr, ops) ->
-    let global =
-      let any = ref false in
-      each (fun l ->
-          let space, _ = Memory.decode (eval_i e fr l addr) in
-          if space = Global then any := true);
-      !any
+  | D_atomic_i (dst, op, ty, addr, ops) ->
+    let rec scan lane any =
+      if lane >= n then any
+      else if um mask lane then begin
+        let a = ieval fr lane addr in
+        e.e_addr.(lane) <- a;
+        scan (lane + 1) (any || Memory.decode_space a = Global)
+      end
+      else scan (lane + 1) any
     in
+    let global = scan 0 false in
     charge tc (if global then p.c_atomic_global else p.c_atomic_shared);
     tc.tc_counters.atomics <- tc.tc_counters.atomics + 1;
     (* the RMW below is a plain load/store pair; tell the sanitizer these
        accesses are one indivisible atomic operation *)
     (match e.e_san with Some s -> Sanitizer.set_atomic s true | None -> ());
     (* lanes perform the RMW sequentially in lane order *)
-    each (fun l ->
-        let tid = lane_tid st l in
-        let a = eval_i e fr l addr in
-        if is_float_typ ty then begin
-          let old = Memory.load_float e.e_mem ~thread:tid a in
-          (match dst with
-          | Some r -> fr.fr_regs.(l).floats.(r) <- old
-          | None -> ());
-          let nv =
-            match (op, ops) with
-            | Atomic_add, [ v ] -> old +. eval_f e fr l v
-            | Atomic_exch, [ v ] -> eval_f e fr l v
-            | Atomic_max, [ v ] -> Float.max old (eval_f e fr l v)
-            | Atomic_cas, [ exp; des ] ->
-              if old = eval_f e fr l exp then eval_f e fr l des else old
-            | _ -> fault "malformed atomic"
-          in
-          Memory.store_float e.e_mem ~thread:tid a nv
-        end
-        else begin
-          let old = Memory.load_int e.e_mem ~thread:tid a ty in
-          (match dst with
-          | Some r -> fr.fr_regs.(l).ints.(r) <- old
-          | None -> ());
-          let nv =
-            match (op, ops) with
-            | Atomic_add, [ v ] -> old + eval_i e fr l v
-            | Atomic_exch, [ v ] -> eval_i e fr l v
-            | Atomic_max, [ v ] -> max old (eval_i e fr l v)
-            | Atomic_cas, [ exp; des ] ->
-              if old = eval_i e fr l exp then eval_i e fr l des else old
-            | _ -> fault "malformed atomic"
-          in
-          Memory.store_int e.e_mem ~thread:tid a ty nv
-        end);
+    for lane = 0 to n - 1 do
+      if um mask lane then begin
+        let tid = lane_tid tc st lane in
+        let a = e.e_addr.(lane) in
+        let old = Memory.load_int e.e_mem ~thread:tid a ty in
+        (match dst with
+        | Some r -> fr.fr_ints.((r * ws) + lane) <- old
+        | None -> ());
+        let nv =
+          match op with
+          | Atomic_add when Array.length ops = 1 -> old + ieval fr lane ops.(0)
+          | Atomic_exch when Array.length ops = 1 -> ieval fr lane ops.(0)
+          | Atomic_max when Array.length ops = 1 -> max old (ieval fr lane ops.(0))
+          | Atomic_cas when Array.length ops = 2 ->
+            if old = ieval fr lane ops.(0) then ieval fr lane ops.(1) else old
+          | _ -> fault "malformed atomic"
+        in
+        Memory.store_int e.e_mem ~thread:tid a ty nv
+      end
+    done;
     (match e.e_san with Some s -> Sanitizer.set_atomic s false | None -> ());
     `Continue
-  | Barrier { aligned } ->
+  | D_atomic_f (dst, op, addr, ops) ->
+    let rec scan lane any =
+      if lane >= n then any
+      else if um mask lane then begin
+        let a = ieval fr lane addr in
+        e.e_addr.(lane) <- a;
+        scan (lane + 1) (any || Memory.decode_space a = Global)
+      end
+      else scan (lane + 1) any
+    in
+    let global = scan 0 false in
+    charge tc (if global then p.c_atomic_global else p.c_atomic_shared);
+    tc.tc_counters.atomics <- tc.tc_counters.atomics + 1;
+    (match e.e_san with Some s -> Sanitizer.set_atomic s true | None -> ());
+    for lane = 0 to n - 1 do
+      if um mask lane then begin
+        let tid = lane_tid tc st lane in
+        let a = e.e_addr.(lane) in
+        let old = Memory.load_float e.e_mem ~thread:tid a in
+        (match dst with
+        | Some r -> fr.fr_floats.((r * ws) + lane) <- old
+        | None -> ());
+        let nv =
+          match op with
+          | Atomic_add when Array.length ops = 1 -> old +. feval fr lane ops.(0)
+          | Atomic_exch when Array.length ops = 1 -> feval fr lane ops.(0)
+          | Atomic_max when Array.length ops = 1 -> Float.max old (feval fr lane ops.(0))
+          | Atomic_cas when Array.length ops = 2 ->
+            if old = feval fr lane ops.(0) then feval fr lane ops.(1) else old
+          | _ -> fault "malformed atomic"
+        in
+        Memory.store_float e.e_mem ~thread:tid a nv
+      end
+    done;
+    (match e.e_san with Some s -> Sanitizer.set_atomic s false | None -> ());
+    `Continue
+  | D_barrier aligned -> (
     charge tc p.c_barrier;
     tc.tc_counters.barriers <- tc.tc_counters.barriers + 1;
     if aligned then
       tc.tc_counters.aligned_barriers <- tc.tc_counters.aligned_barriers + 1;
-    (match e.e_inject with
+    match e.e_inject with
     | Some inj
       when Faultinject.fire inj Faultinject.Skip_barrier ~fn:fr.fr_info.fi_func.f_name
       ->
@@ -786,26 +1495,70 @@ let rec exec_inst e tc (st : strand) (slot : slot) (inst : inst) :
           { bs_fn = fr.fr_info.fi_func.f_name; bs_blk = slot.sl_blk;
             bs_idx = slot.sl_idx - 1; bs_aligned = aligned };
       `Suspend)
-  | Call (dst, callee, args) -> do_call e tc st slot ~dst ~callee ~args
-  | Call_indirect (dst, _, callee_op, args) ->
+  | D_call dc -> do_call_fast e tc st slot dc
+  | D_icall (dst, cop, args) ->
     (* indirect targets must be uniform across the strand *)
-    let target = ref 0 and got = ref false in
-    each (fun l ->
-        let v = eval_i e fr l callee_op in
-        if not !got then begin
-          target := v;
-          got := true
-        end
-        else if v <> !target then fault "divergent indirect call target");
-    if !target = 0 then fault "indirect call through null function pointer";
-    let callee =
-      if !target >= 1 && !target <= Array.length e.e_ftable then
-        e.e_ftable.(!target - 1).f_name
-      else fault "indirect call to invalid function pointer %d" !target
+    let rec scan lane target got =
+      if lane >= n then target
+      else if um mask lane then begin
+        let v = ieval fr lane cop in
+        if not got then scan (lane + 1) v true
+        else if v <> target then fault "divergent indirect call target"
+        else scan (lane + 1) target got
+      end
+      else scan (lane + 1) target got
     in
-    do_call e tc st slot ~dst ~callee ~args
+    let target = scan 0 0 false in
+    if target = 0 then fault "indirect call through null function pointer";
+    let callee =
+      if target >= 1 && target <= Array.length e.e_ftable then
+        e.e_ftable.(target - 1).f_name
+      else fault "indirect call to invalid function pointer %d" target
+    in
+    do_call_dyn e tc st slot ~dst ~callee ~args
 
-and do_call e tc st slot ~dst ~callee ~args =
+(* Direct call through the pre-decoded descriptor: validity was checked at
+   decode time, so this only binds arguments and pushes the frame. *)
+and do_call_fast e tc st slot dc =
+  charge tc e.e_params.c_call;
+  tc.tc_counters.calls <- tc.tc_counters.calls + 1;
+  match dc with
+  | DC_fail raise_it ->
+    raise_it ();
+    assert false
+  | DC_ok { dc_callee; dc_entry; dc_ret; dc_args } ->
+    let fr = slot.sl_frame in
+    let mask = st.st_mask in
+    let n = Array.length mask in
+    (* advance the caller past the call before pushing *)
+    slot.sl_idx <- slot.sl_idx + 1;
+    let frame = make_frame tc e dc_callee ~warp_size:n in
+    for lane = 0 to n - 1 do
+      if um mask lane then
+        frame.fr_sp_save.(lane) <- Memory.local_sp e.e_mem ~thread:(lane_tid tc st lane)
+    done;
+    Array.iter
+      (function
+        | DA_i (preg, op) ->
+          let base = preg * frame.fr_ws in
+          for lane = 0 to n - 1 do
+            if um mask lane then frame.fr_ints.(base + lane) <- ieval fr lane op
+          done
+        | DA_f (preg, op) ->
+          let base = preg * frame.fr_ws in
+          for lane = 0 to n - 1 do
+            if um mask lane then frame.fr_floats.(base + lane) <- feval fr lane op
+          done)
+      dc_args;
+    st.st_stack <-
+      { sl_frame = frame; sl_blk = dc_entry; sl_idx = 0; sl_ret_dst = dc_ret }
+      :: st.st_stack;
+    `Suspend (* re-enter the main loop so the new top slot is picked up *)
+
+(* Dynamic call path for indirect calls: the callee is only known at
+   execution time, so lookup, arity check and argument binding all happen
+   here, against the AST operands. *)
+and do_call_dyn e tc st slot ~dst ~callee ~args =
   charge tc e.e_params.c_call;
   tc.tc_counters.calls <- tc.tc_counters.calls + 1;
   let fr = slot.sl_frame in
@@ -820,19 +1573,21 @@ and do_call e tc st slot ~dst ~callee ~args =
   slot.sl_idx <- slot.sl_idx + 1;
   let frame = make_frame tc e callee ~warp_size:n in
   for lane = 0 to n - 1 do
-    if mask.(lane) then
-      frame.fr_sp_save.(lane) <- Memory.local_sp e.e_mem ~thread:(lane_tid st lane)
+    if um mask lane then
+      frame.fr_sp_save.(lane) <- Memory.local_sp e.e_mem ~thread:(lane_tid tc st lane)
   done;
-  List.iteri
-    (fun i ((preg, pty), argop) ->
-      ignore i;
-      let fl = is_float_typ pty in
-      for lane = 0 to n - 1 do
-        if mask.(lane) then
-          if fl then frame.fr_regs.(lane).floats.(preg) <- eval_f e fr lane argop
-          else frame.fr_regs.(lane).ints.(preg) <- eval_i e fr lane argop
-      done)
-    (List.combine cf.f_params args);
+  List.iter2
+    (fun (preg, pty) argop ->
+      let base = preg * frame.fr_ws in
+      if is_float_typ pty then
+        for lane = 0 to n - 1 do
+          if um mask lane then frame.fr_floats.(base + lane) <- eval_f e fr lane argop
+        done
+      else
+        for lane = 0 to n - 1 do
+          if um mask lane then frame.fr_ints.(base + lane) <- eval_i e fr lane argop
+        done)
+    cf.f_params args;
   let ret_dst =
     match (dst, cf.f_ret) with
     | Some r, Some t -> Some (r, is_float_typ t)
@@ -844,11 +1599,11 @@ and do_call e tc st slot ~dst ~callee ~args =
     { sl_frame = frame; sl_blk = entry; sl_idx = 0; sl_ret_dst = ret_dst }
   in
   st.st_stack <- callee_slot :: st.st_stack;
-  `Suspend (* re-enter the main loop so the new top slot is picked up *)
+  `Suspend
 
 (* --- terminators -------------------------------------------------------- *)
 
-let exec_term e tc st slot term =
+let exec_dterm e tc st slot (dt : dterm) =
   let fr = slot.sl_frame in
   let mask = st.st_mask in
   let n = Array.length mask in
@@ -858,54 +1613,65 @@ let exec_term e tc st slot term =
   e.e_budget <- e.e_budget - 1;
   if e.e_budget <= 0 then
     Fault.fail Fault.Budget_exhausted "instruction budget exceeded (runaway kernel?)";
-  match term with
-  | Ret o -> do_ret e tc st slot o
-  | Br l -> transfer e tc st slot ~to_blk:l
-  | Unreachable -> Fault.trap Fault.Unreachable "reached unreachable"
-  | Cond_br (c, lt, lf) ->
-    let mt = Array.make n false and mf = Array.make n false in
-    let any_t = ref false and any_f = ref false in
+  match dt with
+  | T_ret_none -> do_ret e tc st slot R_none
+  | T_ret_i op -> do_ret e tc st slot (R_i op)
+  | T_ret_f op -> do_ret e tc st slot (R_f op)
+  | T_br l -> transfer tc st slot ~to_blk:l
+  | T_unreach -> Fault.trap Fault.Unreachable "reached unreachable"
+  | T_cond (c, lt, lf) -> (
+    (* stage per-lane conditions in scratch; allocate the split masks only
+       on actual divergence *)
+    let rec scan lane acc =
+      if lane >= n then acc
+      else if um mask lane then begin
+        let t = ieval fr lane c <> 0 in
+        Array.unsafe_set e.e_cond lane t;
+        scan (lane + 1) (acc lor if t then 1 else 2)
+      end
+      else scan (lane + 1) acc
+    in
+    match scan 0 0 with
+    | 1 -> transfer tc st slot ~to_blk:lt
+    | 2 -> transfer tc st slot ~to_blk:lf
+    | _ ->
+      let mt = Array.make n false and mf = Array.make n false in
+      for lane = 0 to n - 1 do
+        if um mask lane then
+          if e.e_cond.(lane) then mt.(lane) <- true else mf.(lane) <- true
+      done;
+      diverge tc st slot [ (lt, mt); (lf, mf) ])
+  | T_switch (op, cases, default) ->
+    let ncases = Array.length cases in
+    let rec find_case v i =
+      if i >= ncases then default
+      else
+        let cv, l = cases.(i) in
+        if cv = v then l else find_case v (i + 1)
+    in
+    (* groups in first-seen order, as the divergence order is scheduling
+       order *)
+    let groups = ref [] in
     for lane = 0 to n - 1 do
-      if mask.(lane) then
-        if eval_i e fr lane c <> 0 then begin
-          mt.(lane) <- true;
-          any_t := true
-        end
-        else begin
-          mf.(lane) <- true;
-          any_f := true
-        end
-    done;
-    if !any_t && not !any_f then transfer e tc st slot ~to_blk:lt
-    else if !any_f && not !any_t then transfer e tc st slot ~to_blk:lf
-    else diverge e tc st slot [ (lt, mt); (lf, mf) ]
-  | Switch (o, cases, default) ->
-    let groups : (label, bool array) Hashtbl.t = Hashtbl.create 4 in
-    let order = ref [] in
-    for lane = 0 to n - 1 do
-      if mask.(lane) then begin
-        let v = eval_i e fr lane o in
-        let lbl =
-          match List.find_opt (fun (cv, _) -> Int64.to_int cv = v) cases with
-          | Some (_, l) -> l
-          | None -> default
-        in
-        (match Hashtbl.find_opt groups lbl with
+      if um mask lane then begin
+        let lbl = find_case (ieval fr lane op) 0 in
+        match List.assoc_opt lbl !groups with
         | Some m -> m.(lane) <- true
         | None ->
           let m = Array.make n false in
           m.(lane) <- true;
-          Hashtbl.replace groups lbl m;
-          order := lbl :: !order)
+          groups := !groups @ [ (lbl, m) ]
       end
     done;
-    (match !order with
-    | [ lbl ] -> transfer e tc st slot ~to_blk:lbl
-    | lbls -> diverge e tc st slot (List.rev_map (fun l -> (l, Hashtbl.find groups l)) lbls))
+    (match !groups with
+    | [ (lbl, _) ] -> transfer tc st slot ~to_blk:lbl
+    | gs -> diverge tc st slot gs)
 
-(* --- strand / team scheduling ------------------------------------------ *)
+(* --- strand / team scheduling ------------------------------------------- *)
 
-(* Run one strand until it suspends, dies or splits. *)
+(* Run one strand until it suspends, dies or splits. The block lookup is
+   hoisted out of the instruction loop: one hash probe per block entry
+   instead of one per instruction. *)
 let run_strand e tc st =
   let continue_ = ref true in
   while !continue_ && st.st_status = Run do
@@ -913,34 +1679,39 @@ let run_strand e tc st =
     | [] ->
       st.st_status <- Dead;
       continue_ := false
-    | slot :: _ -> (
+    | slot :: _ ->
       let b =
         match Hashtbl.find_opt slot.sl_frame.fr_info.fi_blocks slot.sl_blk with
         | Some b -> b
         | None -> fault "missing block %s" slot.sl_blk
       in
       let ninsts = Array.length b.cb_insts in
-      if slot.sl_idx < ninsts then begin
-        let inst = b.cb_insts.(slot.sl_idx) in
-        match exec_inst e tc st slot inst with
-        | `Continue -> slot.sl_idx <- slot.sl_idx + 1
-        | `Suspend -> continue_ := false
-      end
-      else begin
-        exec_term e tc st slot b.cb_term;
-        (* after a terminator the loop re-examines status/stack *)
-        match st.st_status with Run -> () | _ -> continue_ := false
-      end)
+      let inner = ref true in
+      while !inner do
+        if slot.sl_idx < ninsts then begin
+          match exec_dinst e tc st slot (Array.unsafe_get b.cb_insts slot.sl_idx) with
+          | `Continue -> slot.sl_idx <- slot.sl_idx + 1
+          | `Suspend ->
+            inner := false;
+            continue_ := false
+        end
+        else begin
+          exec_dterm e tc st slot b.cb_term;
+          inner := false;
+          (* after a terminator the outer loop re-examines status/stack *)
+          match st.st_status with Run -> () | _ -> continue_ := false
+        end
+      done
   done
 
 let release_barriers e tc =
   (* aligned-barrier discipline: if any waiting strand is at an aligned
      barrier, every waiting strand must be at the same site *)
-  let sites =
-    List.filter_map
-      (fun s -> match s.st_status with At_barrier b -> Some b | _ -> None)
-      tc.tc_strands
-  in
+  let sites = ref [] in
+  Svec.iter
+    (fun s -> match s.st_status with At_barrier b -> sites := b :: !sites | _ -> ())
+    tc.tc_strands;
+  let sites = List.rev !sites in
   let aligned = List.exists (fun b -> b.bs_aligned) sites in
   (match sites with
   | first :: rest when aligned ->
@@ -955,7 +1726,7 @@ let release_barriers e tc =
   | _ -> ());
   (* a team-wide release is a synchronization point: advance the epoch *)
   (match e.e_san with Some s -> Sanitizer.barrier_release s | None -> ());
-  List.iter
+  Svec.iter
     (fun s -> match s.st_status with At_barrier _ -> s.st_status <- Run | _ -> ())
     tc.tc_strands
 
@@ -965,12 +1736,12 @@ let check_aligned_mask tc st site =
   if site.bs_aligned then begin
     let n = Array.length st.st_mask in
     for lane = 0 to n - 1 do
-      let tid = lane_tid st lane in
+      let tid = lane_tid tc st lane in
       if tid < tc.tc_threads && not tc.tc_done.(tid) && not st.st_mask.(lane) then begin
         (* the lane is alive but not in this strand: only legal if another
            strand of the same warp is waiting at the same site *)
         let covered =
-          List.exists
+          Svec.exists
             (fun s' ->
               s' != st && s'.st_warp = st.st_warp && s'.st_mask.(lane)
               &&
@@ -1001,7 +1772,7 @@ let force_partial_reconvergence tc : bool =
   (* collect pending joins reachable from live strands, innermost first *)
   let candidates = ref [] in
   let seen = Hashtbl.create 8 in
-  List.iter
+  Svec.iter
     (fun s ->
       if s.st_status <> Dead then
         List.iter
@@ -1024,14 +1795,12 @@ let force_partial_reconvergence tc : bool =
     let warp =
       (* recover the warp index from any set lane (mask lanes are within
          one warp by construction) *)
-      match tc.tc_strands with
-      | s :: _ -> s.st_warp
-      | [] -> 0
+      if Svec.length tc.tc_strands > 0 then (Svec.get tc.tc_strands 0).st_warp else 0
     in
     (* find the true warp: the strand still holding this join *)
     let warp =
       match
-        List.find_opt
+        Svec.find_opt
           (fun s -> s.st_status <> Dead && List.memq j s.st_joins)
           tc.tc_strands
       with
@@ -1047,8 +1816,9 @@ let run_team e ~team =
   let threads = e.e_launch.l_threads in
   let tc =
     { tc_team = team; tc_threads = threads; tc_warp_size = p.warp_size;
-      tc_done = Array.make threads false; tc_strands = []; tc_next_seq = 0;
-      tc_next_frame = 0; tc_next_join = 0; tc_counters = Counters.create () }
+      tc_done = Array.make threads false; tc_strands = Svec.create ();
+      tc_next_seq = 0; tc_next_frame = 0; tc_next_join = 0;
+      tc_counters = Counters.create () }
   in
   (* announce the team's shared allocations to the sanitizer before the
      shared globals are (re-)initialized; the trunc-shared injection shaves
@@ -1090,11 +1860,12 @@ let run_team e ~team =
     List.iteri
       (fun i ((preg, pty), arg) ->
         ignore i;
+        let base = preg * p.warp_size in
         for lane = 0 to p.warp_size - 1 do
           match (arg, is_float_typ pty) with
-          | Ai v, false -> frame.fr_regs.(lane).ints.(preg) <- v
-          | Af v, true -> frame.fr_regs.(lane).floats.(preg) <- v
-          | Ai v, true -> frame.fr_regs.(lane).floats.(preg) <- float_of_int v
+          | Ai v, false -> frame.fr_ints.(base + lane) <- v
+          | Af v, true -> frame.fr_floats.(base + lane) <- v
+          | Ai v, true -> frame.fr_floats.(base + lane) <- float_of_int v
           | Af _, false -> fault "float argument for integer kernel parameter"
         done)
       (try List.combine kernel.f_params e.e_launch.l_args
@@ -1111,8 +1882,8 @@ let run_team e ~team =
   (* scheduler loop *)
   let finished = ref false in
   while not !finished do
-    tc.tc_strands <- List.filter (fun s -> s.st_status <> Dead) tc.tc_strands;
-    match List.find_opt (fun s -> s.st_status = Run) tc.tc_strands with
+    Svec.compact tc.tc_strands (fun s -> s.st_status <> Dead);
+    match Svec.find_opt (fun s -> s.st_status = Run) tc.tc_strands with
     | Some s -> run_strand e tc s
     | None ->
       let alive = ref 0 in
@@ -1123,7 +1894,7 @@ let run_team e ~team =
         let waiting = ref 0 in
         let waiting_tids = Hashtbl.create 16 in
         let sites = ref [] in
-        List.iter
+        Svec.iter
           (fun s ->
             match s.st_status with
             | At_barrier site ->
@@ -1137,7 +1908,7 @@ let run_team e ~team =
               then sites := site :: !sites;
               Array.iteri
                 (fun lane b ->
-                  let tid = lane_tid s lane in
+                  let tid = lane_tid tc s lane in
                   if b && tid < threads && not tc.tc_done.(tid) then begin
                     incr waiting;
                     Hashtbl.replace waiting_tids tid ()
@@ -1211,15 +1982,20 @@ let shared_bytes (m : modul) =
 let run ?(params = Cost.default) ?(budget = 400_000_000) ?san ?inject (m : modul)
     ~(mem : Memory.t) ~(gaddr : (string, int) Hashtbl.t)
     ~(shared_globals : (global * int) list) (launch : launch) : result =
-  cur_warp_size := params.warp_size;
+  Memory.check_host ();
   let ftable = Array.of_list m.m_funcs in
   let fidx = Hashtbl.create 16 in
   Array.iteri (fun i f -> Hashtbl.replace fidx f.f_name (i + 1)) ftable;
+  let ws = params.warp_size in
   let e =
     { e_module = m; e_params = params; e_mem = mem; e_launch = launch;
       e_fn_infos = Hashtbl.create 16; e_gaddr = gaddr; e_ftable = ftable;
       e_fidx = fidx; e_shared_globals = shared_globals; e_san = san;
-      e_inject = inject; e_budget = budget }
+      e_inject = inject; e_fastmem = not (Memory.has_watcher mem);
+      e_addr = Array.make ws 0; e_space = Array.make ws Global;
+      e_off = Array.make ws 0; e_segs = Array.make ws 0;
+      e_cond = Array.make ws false; e_fscr = Array.make 1 0.0;
+      e_budget = budget }
   in
   let counters = List.init launch.l_teams (fun team -> run_team e ~team) in
   let total = List.fold_left Counters.add (Counters.create ()) counters in

@@ -9,10 +9,10 @@
    records it and degrades gracefully instead of aborting a campaign.
 
    The execution context is a single mutable record updated by the engine
-   as it issues instructions (the engine is single-threaded, like
-   [Engine.cur_warp_size]): layers below the engine — [Memory], the
-   sanitizer — can raise fully-annotated faults without every accessor
-   threading site information through its arguments. *)
+   as it issues instructions (the engine is single-threaded): layers below
+   the engine — [Memory], the sanitizer — can raise fully-annotated faults
+   without every accessor threading site information through its
+   arguments. *)
 
 type kind =
   | Oob                (* access outside any live allocation / bad pointer *)

@@ -59,6 +59,22 @@ let decode ptr =
   in
   (space, offset)
 
+(* Split decode for callers that cache the two halves separately (the
+   engine's coalescing scratch); same faulting behaviour as [decode]. *)
+let decode_off ptr = ptr land ((1 lsl tag_shift) - 1)
+
+let decode_space ptr =
+  let tag = ptr lsr tag_shift in
+  if tag = tag_global then Global
+  else if tag = tag_shared then Shared
+  else if tag = tag_local then Local
+  else if tag = tag_const then Constant
+  else
+    Fault.fail Fault.Oob
+      ~access:{ Fault.a_ptr = ptr; a_space = "?"; a_offset = decode_off ptr;
+                a_bytes = 0 }
+      "invalid pointer 0x%x (bad address-space tag %d)" ptr tag
+
 let null = 0
 
 type buf = { mutable data : Bytes.t; mutable used : int }
@@ -115,16 +131,31 @@ type t = {
 
 let local_stack_bytes = 16 * 1024
 
+(* Thread-local stacks materialize on first touch: a device sized for
+   2048 resident threads would otherwise pay 32MB of zeroed buffers at
+   creation even though a typical launch touches at most a block's worth.
+   An untouched stack reads as zeros either way, so laziness is
+   unobservable. *)
 let create ~threads_per_team =
   { global = create_buf (1 lsl 16);
     constant = create_buf (1 lsl 12);
     shared = create_buf (1 lsl 12);
     shared_size = 0;
-    locals = Array.init threads_per_team (fun _ -> Bytes.make local_stack_bytes '\000');
+    locals = Array.make threads_per_team Bytes.empty;
     local_sp = Array.make threads_per_team 0;
     watch = None }
 
+let local_buf t thread =
+  let b = t.locals.(thread) in
+  if Bytes.length b <> 0 then b
+  else begin
+    let nb = Bytes.make local_stack_bytes '\000' in
+    t.locals.(thread) <- nb;
+    nb
+  end
+
 let set_watcher t w = t.watch <- Some w
+let has_watcher t = t.watch <> None
 let threads_per_team t = Array.length t.locals
 
 let buf_of t = function
@@ -147,7 +178,8 @@ let check_local_bounds ptr off n =
 let peek_byte t ~thread space off =
   match space with
   | Local ->
-    if off < local_stack_bytes then Bytes.get t.locals.(thread) off else '\000'
+    let b = t.locals.(thread) in
+    if off < Bytes.length b then Bytes.get b off else '\000'
   | _ ->
     let b = buf_of t space in
     if off < Bytes.length b.data then Bytes.get b.data off else '\000'
@@ -162,7 +194,7 @@ let read_bytes t ~thread ptr n =
   match space with
   | Local ->
     check_local_bounds ptr off n;
-    Bytes.sub t.locals.(thread) off n
+    Bytes.sub (local_buf t thread) off n
   | _ ->
     let b = buf_of t space in
     ensure b (off + n);
@@ -177,7 +209,7 @@ let write_bytes t ~thread ptr src =
   match space with
   | Local ->
     check_local_bounds ptr off n;
-    Bytes.blit src 0 t.locals.(thread) off n
+    Bytes.blit src 0 (local_buf t thread) off n
   | Constant ->
     Fault.fail Fault.Invalid
       ~access:(oob_access ptr Constant off n)
@@ -216,6 +248,123 @@ let store_float t ~thread ptr v =
   let b = Bytes.create 8 in
   Bytes.set_int64_le b 0 (Int64.bits_of_float v);
   write_bytes t ~thread ptr b
+
+(* Allocation-free accessors for the engine's hot path. Callers pass the
+   pre-decoded [space]/[off] (the engine caches [decode] results in its
+   coalescing scratch) plus the original [ptr] for fault messages.
+
+   LEGAL ONLY when no watcher is installed — they skip the watcher hooks
+   that [read_bytes]/[write_bytes] run, so a sanitized run must use the
+   byte-string accessors above. Fault behaviour is otherwise identical:
+   local bounds checks, the constant-store fault and buffer growth all
+   mirror the slow path.
+
+   The 64/32-bit raw accessors are compiler primitives rather than the
+   [Bytes.get_int64_le] wrappers: on a non-flambda compiler the wrappers
+   are real calls that box their int64 on every access, which is most of
+   the interpreter's allocation. The unaligned primitives are
+   native-endian; bounds are guaranteed by [ensure]/[check_local_bounds]
+   at every call site, and the little-endian assumption (matching the
+   seed's _le accessors) is asserted at engine start via [check_host]. *)
+external get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+external get32 : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external set32 : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32u"
+
+let check_host () =
+  if Sys.big_endian then
+    Fault.fail Fault.Invalid "the fast-path memory accessors require a little-endian host"
+
+let fast_load_int t ~thread ~space ~off ~ptr typ =
+  match space with
+  | Local -> (
+    let data = local_buf t thread in
+    match typ with
+    | I1 ->
+      check_local_bounds ptr off 1;
+      Char.code (Bytes.get data off) land 1
+    | I32 ->
+      check_local_bounds ptr off 4;
+      Int32.to_int (get32 data off)
+    | I64 | Ptr _ ->
+      check_local_bounds ptr off 8;
+      Int64.to_int (get64 data off)
+    | F64 -> Fault.fail Fault.Invalid "integer load of f64")
+  | _ -> (
+    let b = buf_of t space in
+    match typ with
+    | I1 ->
+      ensure b (off + 1);
+      Char.code (Bytes.get b.data off) land 1
+    | I32 ->
+      ensure b (off + 4);
+      Int32.to_int (get32 b.data off)
+    | I64 | Ptr _ ->
+      ensure b (off + 8);
+      Int64.to_int (get64 b.data off)
+    | F64 -> Fault.fail Fault.Invalid "integer load of f64")
+
+(* The float variants read into / write from a caller-provided float
+   array slot instead of returning the value: a float returned (or
+   passed) across a module boundary is boxed on every call, while an
+   unboxed-array element write is free. *)
+let fast_load_float_at t ~thread ~space ~off ~ptr (dst : float array) i =
+  match space with
+  | Local ->
+    check_local_bounds ptr off 8;
+    dst.(i) <- Int64.float_of_bits (get64 (local_buf t thread) off)
+  | _ ->
+    let b = buf_of t space in
+    ensure b (off + 8);
+    dst.(i) <- Int64.float_of_bits (get64 b.data off)
+
+let fast_store_int t ~thread ~space ~off ~ptr typ v =
+  match space with
+  | Local -> (
+    let data = local_buf t thread in
+    match typ with
+    | I1 ->
+      check_local_bounds ptr off 1;
+      Bytes.set data off (Char.chr (v land 1))
+    | I32 ->
+      check_local_bounds ptr off 4;
+      set32 data off (Int32.of_int v)
+    | I64 | Ptr _ ->
+      check_local_bounds ptr off 8;
+      set64 data off (Int64.of_int v)
+    | F64 -> Fault.fail Fault.Invalid "integer store of f64")
+  | Constant ->
+    let n = match typ with I1 -> 1 | I32 -> 4 | _ -> 8 in
+    Fault.fail Fault.Invalid
+      ~access:(oob_access ptr Constant off n)
+      "store to read-only constant memory at 0x%x" ptr
+  | _ -> (
+    let b = buf_of t space in
+    match typ with
+    | I1 ->
+      ensure b (off + 1);
+      Bytes.set b.data off (Char.chr (v land 1))
+    | I32 ->
+      ensure b (off + 4);
+      set32 b.data off (Int32.of_int v)
+    | I64 | Ptr _ ->
+      ensure b (off + 8);
+      set64 b.data off (Int64.of_int v)
+    | F64 -> Fault.fail Fault.Invalid "integer store of f64")
+
+let fast_store_float_from t ~thread ~space ~off ~ptr (src : float array) i =
+  match space with
+  | Local ->
+    check_local_bounds ptr off 8;
+    set64 (local_buf t thread) off (Int64.bits_of_float src.(i))
+  | Constant ->
+    Fault.fail Fault.Invalid
+      ~access:(oob_access ptr Constant off 8)
+      "store to read-only constant memory at 0x%x" ptr
+  | _ ->
+    let b = buf_of t space in
+    ensure b (off + 8);
+    set64 b.data off (Int64.bits_of_float src.(i))
 
 (* Initialize a global variable's storage at [offset] in its space. *)
 let init_global t g offset =

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Engine performance trajectory: build, run the perf micro-suite + the
+# end-to-end figure-regeneration benchmark, and leave machine-readable
+# results in bench/out/BENCH_engine.json (scratch output, not tracked;
+# the curated before/after trajectory lives in /BENCH_engine.json).
+#
+#   scripts/bench.sh            full run (stable numbers, ~1 min)
+#   scripts/bench.sh --smoke    1 iteration of everything (CI bit-rot guard)
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build bench/perfbench.exe
+mkdir -p bench/out
+_build/default/bench/perfbench.exe "$@" -o bench/out/BENCH_engine.json

@@ -21,4 +21,7 @@ echo "== injection smoke campaign =="
 "$CLI" campaign xsbench --small --inject corrupt-load --seed 5
 "$CLI" campaign rsbench --small --inject skip-barrier --seed 11
 
+echo "== perf micro-suite (smoke) =="
+scripts/bench.sh --smoke
+
 echo "CI OK"

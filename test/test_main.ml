@@ -13,4 +13,5 @@ let () =
       ("parser", Test_parser.suite);
       ("components", Test_components.suite);
       ("faults", Test_faults.suite);
+      ("golden", Test_golden.suite);
       ("properties", Test_props.suite) ]
