@@ -30,6 +30,7 @@ module Device = Ozo_vgpu.Device
 module Engine = Ozo_vgpu.Engine
 module E = Ozo_harness.Experiments
 module Registry = Ozo_proxies.Registry
+module Trace = Ozo_obs.Trace
 
 (* --- micro-suite kernels ---------------------------------------------- *)
 
@@ -167,10 +168,10 @@ let time_run ~iters ~name (f : unit -> int) : sample =
 (* Launch a micro kernel once and return its issue count. A fresh device
    per call keeps runs independent; module decode caches are per-launch,
    which is exactly what the figure harness pays too. *)
-let micro ~teams ~threads ~setup m args =
+let micro ?(opts = Device.Launch_opts.default) ~teams ~threads ~setup m args =
   let dev = Device.create m in
   let args = setup dev @ args in
-  match Device.launch dev ~teams ~threads args with
+  match Device.launch ~opts dev ~teams ~threads args with
   | Error e -> fail_launch e
   | Ok r -> r.Engine.r_total.Ozo_vgpu.Counters.warp_instructions
 
@@ -211,7 +212,21 @@ let micro_suite ~iters =
     time_run ~iters ~name:"micro/divergence-churn" (fun () ->
         micro ~teams:2 ~threads ~setup:(out_buf (threads * 8)) m [])
   in
-  [ alu; mem; bcast; dv ]
+  (* Same ALU workload with phase spans + per-block hot-spot profiling on
+     (fresh ctx per launch). Against "micro/alu-loop" this bounds the
+     tracing-on cost; the untraced samples above ARE the tracing-off
+     check — they go through the instrumented launch path with
+     [Launch_opts.default] and are tracked in BENCH_engine.json. *)
+  let alu_traced =
+    let m = alu_kernel 2000 in
+    time_run ~iters ~name:"micro/alu-loop-traced" (fun () ->
+        let opts =
+          { Device.Launch_opts.default with
+            Device.Launch_opts.trace = Trace.make (); profile = true }
+        in
+        micro ~opts ~teams:2 ~threads ~setup:(out_buf (threads * 8)) m [])
+  in
+  [ alu; mem; bcast; dv; alu_traced ]
 
 (* End-to-end: the `bench/main.exe csv` workload (all figures' raw rows). *)
 let e2e_csv ~small () =
@@ -291,5 +306,14 @@ let () =
          else 0.0)
         s.s_alloc_bytes)
     samples;
+  (* tracing overhead summary: traced vs untraced ALU loop *)
+  (let find n = List.find_opt (fun s -> s.s_name = n) samples in
+   match (find "micro/alu-loop", find "micro/alu-loop-traced") with
+   | Some off, Some on_ ->
+     let per s = s.s_wall_s /. float_of_int s.s_iters in
+     if per off > 0.0 then
+       Fmt.pr "  tracing+profiling on: %+.1f%% vs untraced alu-loop@."
+         (100.0 *. (per on_ -. per off) /. per off)
+   | _ -> ());
   emit_json ~mode ~path:!out samples;
   Fmt.pr "wrote %s@." !out

@@ -3,18 +3,22 @@
 
      ozo_cli list
      ozo_cli run xsbench --build new-rt [--debug] [--small] [--sanitize]
-                         [--inject corrupt-load@k:3] [--seed 7]
+                         [--inject corrupt-load@k:3] [--seed 7] [--profile]
      ozo_cli inspect gridmini --build new-rt [--full-ir]
      ozo_cli remarks rsbench
+     ozo_cli trace testsnap [--out testsnap.trace.json] [--check]
      ozo_cli ablate gridmini
      ozo_cli sanitize xsbench [--small]
-     ozo_cli campaign rsbench [--inject skip-barrier] [--seed 42]         *)
+     ozo_cli campaign rsbench [--inject skip-barrier] [--seed 42] [--profile]  *)
 
 module C = Ozo_core.Codesign
 module E = Ozo_harness.Experiments
 module R = Ozo_harness.Report
 module Proxy = Ozo_proxies.Proxy
 module Registry = Ozo_proxies.Registry
+module Trace = Ozo_obs.Trace
+module Chrome = Ozo_obs.Chrome_trace
+module Json = Ozo_obs.Json
 open Cmdliner
 
 let build_of_string p = function
@@ -57,6 +61,10 @@ let seed_arg =
   let doc = "PRNG seed for fault-injection campaigns." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
 
+let profile_arg =
+  let doc = "Record a trace with the per-block hot-spot profile and print it." in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let parse_inject seed = function
   | None -> Ok None
   | Some s -> (
@@ -93,16 +101,21 @@ let list_cmd =
 (* --- run ---------------------------------------------------------------- *)
 
 let run_cmd =
-  let run name build small debug sanitize inject seed =
+  let run name build small debug sanitize inject seed profile =
     handle
       (let ( let* ) = Result.bind in
        let* p = find_proxy small name in
        let* b = build_of_string p build in
        let* inject = parse_inject seed inject in
        let b = if debug then C.with_debug b else b in
-       let m = E.measure ~check_assumes:debug ~sanitize ?inject p b in
+       let trace = if profile then Trace.make () else Trace.null in
+       let m = E.measure ~check_assumes:debug ~sanitize ?inject ~trace ~profile p b in
        Fmt.pr "%a%a" R.pp_fig11 (name, [ m ]) R.pp_csv_header ();
        Fmt.pr "%a" R.pp_csv m;
+       if profile then begin
+         Fmt.pr "%a" R.pp_phases (name, [ m ]);
+         Fmt.pr "%a" R.pp_hotspots m
+       end;
        match m.E.r_check with
        | Ok () ->
          Fmt.pr "result check: %s@." (R.status_str m);
@@ -112,7 +125,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and run one proxy under one build configuration")
     Term.(const run $ proxy_arg $ build_arg $ small_arg $ debug_arg $ sanitize_arg
-          $ inject_arg $ seed_arg)
+          $ inject_arg $ seed_arg $ profile_arg)
 
 (* --- inspect ------------------------------------------------------------ *)
 
@@ -147,15 +160,99 @@ let remarks_cmd =
       (let ( let* ) = Result.bind in
        let* p = find_proxy small name in
        let* b = build_of_string p build in
-       Ozo_opt.Remarks.reset ();
-       ignore (C.compile b (Proxy.kernel_for p b.C.b_abi));
-       List.iter (fun r -> Fmt.pr "%a@." Ozo_opt.Remarks.pp r) (Ozo_opt.Remarks.all ());
+       let c = C.compile b (Proxy.kernel_for p b.C.b_abi) in
+       List.iter (fun r -> Fmt.pr "%a@." Ozo_opt.Remarks.pp r) c.C.c_remarks;
        Ok ())
   in
   Cmd.v
     (Cmd.info "remarks"
        ~doc:"Show optimization remarks (-Rpass=openmp-opt analog) for a proxy build")
     Term.(const run $ proxy_arg $ build_arg $ small_arg)
+
+(* --- trace --------------------------------------------------------------- *)
+
+let trace_cmd =
+  let out_arg =
+    let doc = "Output file for the Chrome trace JSON (default PROXY.trace.json)." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Validate the emitted JSON: schema, pass spans nested under the compile \
+       span, phase spans under the launch span, hot-spot events present."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  (* structural containment checks over the flat event list; nesting in
+     the Chrome format is conveyed by time ranges on one tid *)
+  let check_trace s =
+    let ( let* ) = Result.bind in
+    let* events = Chrome.validate s in
+    let require name =
+      match Chrome.spans_by_name events name with
+      | [] -> Error ("trace has no \"" ^ name ^ "\" span")
+      | sp :: _ -> Ok sp
+    in
+    let* compile = require "compile" in
+    let* launch = require "launch" in
+    let* _ = require "decode" in
+    let* _ = require "execute" in
+    let* _ = require "readback" in
+    let prefixed pre ev =
+      match Chrome.ev_name ev with
+      | Some n -> String.length n >= String.length pre && String.sub n 0 (String.length pre) = pre
+      | None -> false
+    in
+    let passes = List.filter (fun ev -> prefixed "pass:" ev && Chrome.ev_ph ev = Some "X") events in
+    let* () = if passes = [] then Error "trace has no pass spans" else Ok () in
+    let* () =
+      if List.for_all (Chrome.contains compile) passes then Ok ()
+      else Error "pass spans are not nested under the compile span"
+    in
+    let* () =
+      let phases = List.concat_map (Chrome.spans_by_name events) [ "decode"; "execute"; "readback" ] in
+      if List.for_all (Chrome.contains launch) phases then Ok ()
+      else Error "phase spans are not nested under the launch span"
+    in
+    let hots = List.filter (prefixed "hot:") events in
+    if hots = [] then Error "trace has no hot-spot events"
+    else Ok (List.length events, List.length passes, List.length hots)
+  in
+  let run name build small out check =
+    handle
+      (let ( let* ) = Result.bind in
+       let* p = find_proxy small name in
+       let* b = build_of_string p build in
+       let trace = Trace.make () in
+       let m = E.measure ~trace ~profile:true p b in
+       let path = match out with Some f -> f | None -> name ^ ".trace.json" in
+       Chrome.write trace path;
+       Fmt.pr "%a@." Ozo_obs.Profile.pp_report trace;
+       Fmt.pr "wrote %s (%d spans)@." path (Trace.count_spans trace);
+       let* () =
+         match m.E.r_check with
+         | Ok () -> Ok ()
+         | Error e -> Error (`Msg ("result check failed: " ^ e))
+       in
+       if not check then Ok ()
+       else
+         let ic = open_in path in
+         let len = in_channel_length ic in
+         let s = really_input_string ic len in
+         close_in ic;
+         match check_trace s with
+         | Ok (nev, npass, nhot) ->
+           Fmt.pr "trace check: ok (%d events, %d pass spans, %d hot spots)@." nev
+             npass nhot;
+           Ok ()
+         | Error e -> Error (`Msg ("trace check failed: " ^ e)))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one proxy with tracing and hot-spot profiling, write a Chrome \
+          trace-event JSON (chrome://tracing / Perfetto) and print the profile")
+    Term.(const run $ proxy_arg $ build_arg $ small_arg $ out_arg $ check_arg)
 
 (* --- ablate -------------------------------------------------------------- *)
 
@@ -201,7 +298,7 @@ let sanitize_cmd =
 (* --- campaign ------------------------------------------------------------- *)
 
 let campaign_cmd =
-  let run name small sanitize inject seed =
+  let run name small sanitize inject seed profile =
     handle
       (let ( let* ) = Result.bind in
        let* p = find_proxy small name in
@@ -210,8 +307,10 @@ let campaign_cmd =
        | Some spec ->
          Fmt.pr "injecting: %s (seed %d)@." (Ozo_vgpu.Faultinject.spec_to_string spec) seed
        | None -> ());
-       let ms = E.campaign ~sanitize ?inject p in
+       let trace = if profile then Trace.make () else Trace.null in
+       let ms = E.campaign ~sanitize ?inject ~trace ~profile p in
        Fmt.pr "%a%a" R.pp_fig10 (name, ms) R.pp_fig11 (name, ms);
+       if profile then Fmt.pr "%a" R.pp_phases (name, ms);
        Fmt.pr "%a" R.pp_csv_header ();
        List.iter (Fmt.pr "%a" R.pp_csv) ms;
        if List.for_all (fun m -> Result.is_ok m.E.r_check) ms then Ok ()
@@ -223,12 +322,13 @@ let campaign_cmd =
          "Measure one proxy across all standard builds, degrading gracefully on \
           faults (optionally injected); exit 0 iff every row ends with a valid \
           check")
-    Term.(const run $ proxy_arg $ small_arg $ sanitize_arg $ inject_arg $ seed_arg)
+    Term.(const run $ proxy_arg $ small_arg $ sanitize_arg $ inject_arg $ seed_arg
+          $ profile_arg)
 
 let () =
   let doc = "reproduction of the near-zero-overhead OpenMP GPU runtime (IPDPS'22)" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "ozo_cli" ~doc)
-          [ list_cmd; run_cmd; inspect_cmd; remarks_cmd; ablate_cmd; sanitize_cmd;
-            campaign_cmd ]))
+          [ list_cmd; run_cmd; inspect_cmd; remarks_cmd; trace_cmd; ablate_cmd;
+            sanitize_cmd; campaign_cmd ]))

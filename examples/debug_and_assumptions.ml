@@ -29,7 +29,8 @@ let try_run label build k ~teams ~threads ~n ~check_assumes =
   let c = C.compile build k in
   let dev = C.device c in
   let out = Device.alloc dev (n * 8) in
-  match C.launch ~check_assumes c dev ~teams ~threads [ Engine.Ai (Device.ptr out); Ai n ] with
+  let opts = { Device.Launch_opts.default with Device.Launch_opts.check_assumes } in
+  match C.launch ~opts c dev ~teams ~threads [ Engine.Ai (Device.ptr out); Ai n ] with
   | Ok m ->
     Fmt.pr "  %-44s completed (%.0f cycles)@." label m.C.m_kernel_cycles
   | Error e -> Fmt.pr "  %-44s %a@." label Device.pp_error e

@@ -45,19 +45,19 @@ let () =
   stats "O0" linked;
   Fmt.pr "%a@." Ozo_ir.Printer.pp_func (Ozo_ir.Types.find_func_exn linked "scale");
 
-  Remarks.reset ();
   let nightly = Pipeline.run Pipeline.nightly linked in
   Fmt.pr "==================== nightly (pre-paper openmp-opt) ====================@.";
   stats "nightly" nightly;
 
-  Remarks.reset ();
-  let full = Pipeline.run Pipeline.full linked in
+  (* a per-compilation sink collects the remarks of exactly this run *)
+  let sink = Remarks.make () in
+  let full = Pipeline.run ~sink Pipeline.full linked in
   Fmt.pr "@.==================== full co-designed pipeline ====================@.";
   stats "full" full;
   Fmt.pr "%a@." Ozo_ir.Printer.pp_func (Ozo_ir.Types.find_func_exn full "scale");
 
   Fmt.pr "==================== optimization remarks (last run) ====================@.";
-  let all = Remarks.all () in
+  let all = Remarks.items sink in
   let shown = List.filteri (fun i _ -> i < 25) all in
   List.iter (fun r -> Fmt.pr "  %a@." Remarks.pp r) shown;
   if List.length all > 25 then Fmt.pr "  ... and %d more@." (List.length all - 25)

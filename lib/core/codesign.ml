@@ -16,6 +16,8 @@ module Device = Ozo_vgpu.Device
 module Engine = Ozo_vgpu.Engine
 module Counters = Ozo_vgpu.Counters
 module Cost = Ozo_vgpu.Cost
+module Trace = Ozo_obs.Trace
+module Remarks = Ozo_opt.Remarks
 
 type build = {
   b_label : string;
@@ -76,40 +78,47 @@ type compiled = {
   c_mode : Spmdize.exec_mode;
   c_regs : int;  (* per-thread register estimate (liveness-based) *)
   c_smem : int;  (* static shared memory bytes per team *)
+  c_remarks : Remarks.t list; (* optimization remarks from this compile *)
 }
 
 exception Compile_error of string
 
-let compile (b : build) (k : Ast.kernel) : compiled =
-  let app = Lower.lower ~abi:b.b_abi k in
-  let linked =
-    match b.b_rt with
-    | None -> app
-    | Some rt_cfg -> Ozo_ir.Linker.link app (Ozo_runtime.Runtime.build rt_cfg)
-  in
-  (match Ozo_ir.Verifier.check linked with
-  | Ok () -> ()
-  | Error vs ->
-    raise
-      (Compile_error
-         (Fmt.str "%a" (Fmt.list ~sep:Fmt.semi Ozo_ir.Verifier.pp_violation) vs)));
-  let optimized = Pipeline.run b.b_pipe linked in
-  (match Ozo_ir.Verifier.check optimized with
-  | Ok () -> ()
-  | Error vs ->
-    raise
-      (Compile_error
-         (Fmt.str "post-opt: %a" (Fmt.list ~sep:Fmt.semi Ozo_ir.Verifier.pp_violation) vs)));
-  let mode =
-    match b.b_abi with
-    | Lower.Cuda -> Spmdize.Spmd
-    | Lower.Omp _ -> Spmdize.kernel_mode optimized k.Ast.k_name
-  in
-  let kf = find_func_exn optimized k.Ast.k_name in
-  { c_build = b; c_module = optimized; c_kernel = k.Ast.k_name;
-    c_mode = mode;
-    c_regs = Ozo_ir.Liveness.kernel_register_estimate optimized kf;
-    c_smem = Engine.shared_bytes optimized }
+let compile ?(trace = Trace.null) (b : build) (k : Ast.kernel) : compiled =
+  Trace.with_span trace ~cat:"compile"
+    ~args:[ ("build", Trace.Str b.b_label) ]
+    "compile"
+    (fun () ->
+      let sink = Remarks.make ~trace () in
+      let app = Lower.lower ~abi:b.b_abi k in
+      let linked =
+        match b.b_rt with
+        | None -> app
+        | Some rt_cfg -> Ozo_ir.Linker.link app (Ozo_runtime.Runtime.build rt_cfg)
+      in
+      (match Ozo_ir.Verifier.check linked with
+      | Ok () -> ()
+      | Error vs ->
+        raise
+          (Compile_error
+             (Fmt.str "%a" (Fmt.list ~sep:Fmt.semi Ozo_ir.Verifier.pp_violation) vs)));
+      let optimized = Pipeline.run ~trace ~sink b.b_pipe linked in
+      (match Ozo_ir.Verifier.check optimized with
+      | Ok () -> ()
+      | Error vs ->
+        raise
+          (Compile_error
+             (Fmt.str "post-opt: %a" (Fmt.list ~sep:Fmt.semi Ozo_ir.Verifier.pp_violation) vs)));
+      let mode =
+        match b.b_abi with
+        | Lower.Cuda -> Spmdize.Spmd
+        | Lower.Omp _ -> Spmdize.kernel_mode optimized k.Ast.k_name
+      in
+      let kf = find_func_exn optimized k.Ast.k_name in
+      { c_build = b; c_module = optimized; c_kernel = k.Ast.k_name;
+        c_mode = mode;
+        c_regs = Ozo_ir.Liveness.kernel_register_estimate optimized kf;
+        c_smem = Engine.shared_bytes optimized;
+        c_remarks = Remarks.items sink })
 
 (* hardware threads per team for a user-visible thread count: generic mode
    hosts the main thread in one extra warp *)
@@ -124,6 +133,7 @@ type metrics = {
   m_regs : int;
   m_smem : int;
   m_occupancy : float;
+  m_hotspots : Engine.hotspot list;  (* [] unless profiling was requested *)
 }
 
 (* Create a device for a compiled kernel (callers allocate buffers on it
@@ -131,11 +141,10 @@ type metrics = {
 let device ?(params = Cost.default) ?(sanitize = false) (c : compiled) =
   Device.create ~params ~sanitize c.c_module
 
-let launch ?(check_assumes = false) ?(trace = false) ?inject (c : compiled)
-    (dev : Device.t) ~teams ~threads (args : Engine.arg list) :
-    (metrics, Device.error) result =
+let launch ?(opts = Device.Launch_opts.default) (c : compiled) (dev : Device.t)
+    ~teams ~threads (args : Engine.arg list) : (metrics, Device.error) result =
   let hw = hw_threads c ~threads in
-  match Device.launch ~check_assumes ~trace ?inject dev ~teams ~threads:hw args with
+  match Device.launch ~opts dev ~teams ~threads:hw args with
   | Error e -> Error e
   | Ok r ->
     let occ =
@@ -149,4 +158,5 @@ let launch ?(check_assumes = false) ?(trace = false) ?inject (c : compiled)
     in
     Ok
       { m_counters = r.Engine.r_total; m_kernel_cycles = cycles; m_regs = c.c_regs;
-        m_smem = c.c_smem; m_occupancy = occ.Cost.o_occupancy }
+        m_smem = c.c_smem; m_occupancy = occ.Cost.o_occupancy;
+        m_hotspots = r.Engine.r_hotspots }

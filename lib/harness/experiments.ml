@@ -20,6 +20,8 @@ module C = Ozo_core.Codesign
 module Proxy = Ozo_proxies.Proxy
 module Pipeline = Ozo_opt.Pipeline
 module Fault = Ozo_vgpu.Fault
+module Trace = Ozo_obs.Trace
+module Device = Ozo_vgpu.Device
 
 type measurement = {
   r_proxy : string;
@@ -33,6 +35,8 @@ type measurement = {
   r_flops : float;
   r_fault : Fault.t option;    (* what felled the primary configuration *)
   r_fallbacks : string list;   (* weaker pipelines tried, in order *)
+  r_phase_us : (string * float) list; (* compile/decode/execute/readback; [] untraced *)
+  r_hotspots : Ozo_vgpu.Engine.hotspot list; (* [] unless profiling *)
 }
 
 (* user errors outside a measurement (e.g. an unknown proxy name); runtime
@@ -48,8 +52,18 @@ let new_rt_for (p : Proxy.t) =
 let builds_for (p : Proxy.t) : C.build list =
   [ C.old_rt_nightly; C.new_rt_nightly; C.new_rt_no_assumptions; new_rt_for p; C.cuda ]
 
-let measure ?(check_assumes = false) ?(sanitize = false) ?inject (p : Proxy.t)
-    (b : C.build) : measurement =
+(* the harness's per-phase columns: compile time plus the engine's three
+   launch phases, read back from the trace after a clean attempt *)
+let phase_names = [ "compile"; "decode"; "execute"; "readback" ]
+
+let phases_of trace =
+  if Trace.enabled trace then
+    List.map (fun n -> (n, Trace.last_dur trace n)) phase_names
+  else []
+
+let measure ?(check_assumes = false) ?(sanitize = false) ?inject
+    ?(trace = Trace.null) ?(profile = false) (p : Proxy.t) (b : C.build) :
+    measurement =
   let teams = p.Proxy.p_teams and threads = p.Proxy.p_threads in
   (* run one pipeline config; the build label stays that of the row *)
   let attempt ?inject (pipe : Pipeline.config) :
@@ -57,10 +71,14 @@ let measure ?(check_assumes = false) ?(sanitize = false) ?inject (p : Proxy.t)
     try
       let b = { b with C.b_pipe = pipe } in
       let k = Proxy.kernel_for p b.C.b_abi in
-      let c = C.compile b k in
+      let c = C.compile ~trace b k in
       let dev = C.device ~sanitize c in
       let inst = p.Proxy.p_setup dev in
-      match C.launch ~check_assumes ?inject c dev ~teams ~threads inst.Proxy.i_args with
+      let opts =
+        { Device.Launch_opts.default with
+          Device.Launch_opts.check_assumes; inject; trace; profile }
+      in
+      match C.launch ~opts c dev ~teams ~threads inst.Proxy.i_args with
       | Error f -> Error (f, None)
       | Ok m ->
         let check = inst.Proxy.i_check () in
@@ -69,7 +87,8 @@ let measure ?(check_assumes = false) ?(sanitize = false) ?inject (p : Proxy.t)
             r_cycles = m.C.m_kernel_cycles; r_regs = m.C.m_regs; r_smem = m.C.m_smem;
             r_occupancy = m.C.m_occupancy; r_counters = m.C.m_counters;
             r_check = check; r_flops = p.Proxy.p_flops; r_fault = None;
-            r_fallbacks = [] }
+            r_fallbacks = []; r_phase_us = phases_of trace;
+            r_hotspots = m.C.m_hotspots }
         in
         (match check with
         | Ok () -> Ok meas
@@ -86,7 +105,8 @@ let measure ?(check_assumes = false) ?(sanitize = false) ?inject (p : Proxy.t)
     { r_proxy = p.Proxy.p_name; r_build = b.C.b_label; r_cycles = 0.0; r_regs = 0;
       r_smem = 0; r_occupancy = 0.0; r_counters = Ozo_vgpu.Counters.create ();
       r_check = Error (Fault.to_line fault); r_flops = p.Proxy.p_flops;
-      r_fault = Some fault; r_fallbacks = fallbacks }
+      r_fault = Some fault; r_fallbacks = fallbacks; r_phase_us = [];
+      r_hotspots = [] }
   in
   match attempt ?inject b.C.b_pipe with
   | Ok m -> m
@@ -114,8 +134,9 @@ let fig10 (p : Proxy.t) : measurement list = List.map (measure p) (builds_for p)
 (* a full campaign over the standard build rows, with optional sanitizer
    and fault injection; the injection perturbs only each row's primary
    attempt, so fallbacks re-validate clean *)
-let campaign ?check_assumes ?sanitize ?inject (p : Proxy.t) : measurement list =
-  List.map (measure ?check_assumes ?sanitize ?inject p) (builds_for p)
+let campaign ?check_assumes ?sanitize ?inject ?trace ?profile (p : Proxy.t) :
+    measurement list =
+  List.map (measure ?check_assumes ?sanitize ?inject ?trace ?profile p) (builds_for p)
 
 (* Figure 11: kernel time / registers / shared memory per build. Same
    measurements as fig10; kept separate for reporting. *)

@@ -100,16 +100,54 @@ let pp_ablation ppf (title, rows) =
           (check_str m.r_check))
       rows
 
+(* per-phase wall-clock columns (host microseconds from the trace), one
+   row per build; printed only when the campaign ran with tracing *)
+let phase_us m name =
+  match List.assoc_opt name m.r_phase_us with Some v -> v | None -> 0.0
+
+let pp_phases ppf (title, ms) =
+  if List.exists (fun m -> m.r_phase_us <> []) ms then begin
+    Fmt.pf ppf "@.%s — host-side phase times (us, from trace)@." title;
+    Fmt.pf ppf "  %-26s %10s %10s %10s %10s@." "build" "compile" "decode" "execute"
+      "readback";
+    List.iter
+      (fun m ->
+        if m.r_phase_us <> [] then
+          Fmt.pf ppf "  %-26s %10.1f %10.1f %10.1f %10.1f@." m.r_build
+            (phase_us m "compile") (phase_us m "decode") (phase_us m "execute")
+            (phase_us m "readback"))
+      ms
+  end
+
+(* per-block hot spots from the opt-in profile, hottest first *)
+let pp_hotspots ppf (m : measurement) =
+  if m.r_hotspots <> [] then begin
+    Fmt.pf ppf "@.%s / %s — hottest blocks@." m.r_proxy m.r_build;
+    Fmt.pf ppf "  %-24s %-12s %8s %10s %10s@." "function" "block" "hits" "winsts"
+      "cycles";
+    List.iter
+      (fun h ->
+        Fmt.pf ppf "  %-24s %-12s %8d %10d %10d@." h.Ozo_vgpu.Engine.h_fn
+          h.Ozo_vgpu.Engine.h_blk h.Ozo_vgpu.Engine.h_hits
+          h.Ozo_vgpu.Engine.h_winsts h.Ozo_vgpu.Engine.h_cycles)
+      m.r_hotspots
+  end
+
 (* machine-readable one-line records, convenient for regression diffing *)
 let pp_csv_header ppf () =
-  Fmt.pf ppf "proxy,build,cycles,regs,smem,occupancy,warp_insts,barriers,check,fault,fallback@."
+  Fmt.pf ppf
+    "proxy,build,cycles,regs,smem,occupancy,warp_insts,barriers,check,fault,fallback,\
+     compile_us,decode_us,execute_us,readback_us@."
 
 let pp_csv ppf m =
-  Fmt.pf ppf "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%s,%s,%s@." m.r_proxy m.r_build m.r_cycles
-    m.r_regs m.r_smem m.r_occupancy m.r_counters.Ozo_vgpu.Counters.warp_instructions
+  Fmt.pf ppf "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%s,%s,%s,%.1f,%.1f,%.1f,%.1f@." m.r_proxy
+    m.r_build m.r_cycles m.r_regs m.r_smem m.r_occupancy
+    m.r_counters.Ozo_vgpu.Counters.warp_instructions
     m.r_counters.Ozo_vgpu.Counters.barriers
     (match m.r_check with Ok () -> "ok" | Error _ -> "fail")
     (match m.r_fault with
     | None -> "-"
     | Some f -> Ozo_vgpu.Fault.kind_name f.Ozo_vgpu.Fault.f_kind)
     (match m.r_fallbacks with [] -> "-" | fbs -> String.concat ">" fbs)
+    (phase_us m "compile") (phase_us m "decode") (phase_us m "execute")
+    (phase_us m "readback")

@@ -1,0 +1,167 @@
+(* Chrome trace-event exporter: serialises a Trace.ctx as the JSON array
+   format chrome://tracing and Perfetto load directly. Spans become "X"
+   (complete) events with ts/dur, instants become "i" events; nesting is
+   conveyed by time containment on a single pid/tid, which both viewers
+   reconstruct. All timestamps are microseconds, matching the format. *)
+
+let buf_add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let buf_add_float b f =
+  (* %.3f keeps sub-microsecond precision from the float clock while
+     staying valid JSON (no "inf"/"nan" can reach here: durations are
+     clamped and timestamps are finite differences). *)
+  Buffer.add_string b (Printf.sprintf "%.3f" f)
+
+let buf_add_value b = function
+  | Trace.Int i -> Buffer.add_string b (string_of_int i)
+  | Trace.Float f -> buf_add_float b f
+  | Trace.Str s ->
+    Buffer.add_char b '"';
+    buf_add_escaped b s;
+    Buffer.add_char b '"'
+
+let buf_add_args b args =
+  Buffer.add_string b "\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      buf_add_escaped b k;
+      Buffer.add_string b "\":";
+      buf_add_value b v)
+    args;
+  Buffer.add_char b '}'
+
+let buf_add_common b ~name ~cat ~ts =
+  Buffer.add_string b "\"name\":\"";
+  buf_add_escaped b name;
+  Buffer.add_string b "\",\"cat\":\"";
+  buf_add_escaped b (if cat = "" then "ozo" else cat);
+  Buffer.add_string b "\",\"pid\":1,\"tid\":1,\"ts\":";
+  buf_add_float b ts
+
+let to_string cx =
+  Trace.close_all cx;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let emit_sep () =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_char b '{'
+  in
+  Trace.iter cx (function
+    | Trace.Span s ->
+      emit_sep ();
+      Buffer.add_string b "\"ph\":\"X\",";
+      buf_add_common b ~name:s.Trace.sp_name ~cat:s.Trace.sp_cat
+        ~ts:s.Trace.sp_start;
+      Buffer.add_string b ",\"dur\":";
+      buf_add_float b (Trace.dur s);
+      if s.Trace.sp_args <> [] then begin
+        Buffer.add_char b ',';
+        buf_add_args b s.Trace.sp_args
+      end;
+      Buffer.add_char b '}'
+    | Trace.Instant i ->
+      emit_sep ();
+      Buffer.add_string b "\"ph\":\"i\",\"s\":\"t\",";
+      buf_add_common b ~name:i.Trace.i_name ~cat:i.Trace.i_cat
+        ~ts:i.Trace.i_ts;
+      if i.Trace.i_args <> [] then begin
+        Buffer.add_char b ',';
+        buf_add_args b i.Trace.i_args
+      end;
+      Buffer.add_char b '}');
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let write cx path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string cx))
+
+(* --- validation --------------------------------------------------------- *)
+
+(* Structural check used by the schema test and `ozo trace --check`:
+   the string parses as JSON, has a traceEvents array, and every event
+   carries the required fields with sane types. Returns the event list
+   so callers can layer domain checks (span names, containment). *)
+let validate (s : string) : (Json.t list, string) result =
+  match Json.parse s with
+  | Error e -> Error ("not valid JSON: " ^ e)
+  | Ok root -> (
+    match Json.member "traceEvents" root with
+    | None -> Error "missing traceEvents"
+    | Some evs -> (
+      match Json.to_list evs with
+      | None -> Error "traceEvents is not an array"
+      | Some events ->
+        let check i ev =
+          let str_field k =
+            match Option.bind (Json.member k ev) Json.to_string with
+            | Some v -> Ok v
+            | None -> Error (Printf.sprintf "event %d: missing string %S" i k)
+          in
+          let num_field k =
+            match Option.bind (Json.member k ev) Json.to_number with
+            | Some v -> Ok v
+            | None -> Error (Printf.sprintf "event %d: missing number %S" i k)
+          in
+          let ( let* ) = Result.bind in
+          let* ph = str_field "ph" in
+          let* _ = str_field "name" in
+          let* _ = str_field "cat" in
+          let* _ = num_field "ts" in
+          let* _ = num_field "pid" in
+          let* _ = num_field "tid" in
+          match ph with
+          | "X" ->
+            let* d = num_field "dur" in
+            if d < 0.0 then Error (Printf.sprintf "event %d: negative dur" i)
+            else Ok ()
+          | "i" -> Ok ()
+          | _ -> Error (Printf.sprintf "event %d: unexpected ph %S" i ph)
+        in
+        let rec go i = function
+          | [] -> Ok events
+          | ev :: rest -> (
+            match check i ev with Ok () -> go (i + 1) rest | Error e -> Error e)
+        in
+        go 0 events))
+
+(* Helpers over validated event lists, shared by the CLI check and tests. *)
+
+let ev_name ev = Option.bind (Json.member "name" ev) Json.to_string
+let ev_ph ev = Option.bind (Json.member "ph" ev) Json.to_string
+let ev_ts ev = Option.bind (Json.member "ts" ev) Json.to_number
+let ev_dur ev = Option.bind (Json.member "dur" ev) Json.to_number
+
+let spans_by_name events name =
+  List.filter
+    (fun ev -> ev_ph ev = Some "X" && ev_name ev = Some name)
+    events
+
+(* [contains outer inner]: inner's time range lies within outer's. *)
+let contains outer inner =
+  match (ev_ts outer, ev_dur outer, ev_ts inner) with
+  | Some ots, Some odur, Some its ->
+    let iend =
+      match (ev_dur inner, ev_ph inner) with
+      | Some d, _ -> its +. d
+      | None, _ -> its
+    in
+    its >= ots -. 1e-6 && iend <= ots +. odur +. 1e-6
+  | _ -> false

@@ -104,7 +104,7 @@ let process_function (m : modul) (f : func) : func * int =
   in
   ({ f with f_blocks = blocks }, !removed)
 
-let run (m : modul) : modul * bool =
+let run ?(sink = Remarks.drop) (m : modul) : modul * bool =
   let changed = ref false in
   let funcs =
     List.map
@@ -113,7 +113,7 @@ let run (m : modul) : modul * bool =
           let f', n = process_function m f in
           if n > 0 then begin
             changed := true;
-            Remarks.applied ~pass ~func:f.f_name "removed %d redundant aligned barriers" n
+            Remarks.applied sink ~pass ~func:f.f_name "removed %d redundant aligned barriers" n
           end;
           f'
         end

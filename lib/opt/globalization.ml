@@ -90,7 +90,7 @@ let private_uses (f : func) (r : reg) : (label * int) list option =
     f.f_blocks;
   if !ok then Some !frees else None
 
-let run (m : modul) : modul * bool =
+let run ?(sink = Remarks.drop) (m : modul) : modul * bool =
   let changed = ref false in
   let process f =
     (* find candidate allocations *)
@@ -112,7 +112,7 @@ let run (m : modul) : modul * bool =
           match private_uses f r with
           | Some frees -> Some (r, size, frees)
           | None ->
-            Remarks.missed ~pass ~func:f.f_name
+            Remarks.missed sink ~pass ~func:f.f_name
               "allocation %%%d stays globalized: pointer may be shared with other threads"
               r;
             None)
@@ -138,7 +138,7 @@ let run (m : modul) : modul * bool =
                   | Call (Some r, callee, _)
                     when is_alloc_shared callee && Hashtbl.mem demote r ->
                     hoisted := Alloca (r, Hashtbl.find demote r) :: !hoisted;
-                    Remarks.applied ~pass ~func:f.f_name
+                    Remarks.applied sink ~pass ~func:f.f_name
                       "demoted globalized allocation %%%d (%d bytes) to private stack"
                       r (Hashtbl.find demote r);
                     false

@@ -190,7 +190,7 @@ let site = ref 0
 
 (* One inlining sweep over the module: each function inlines its eligible
    call sites (one nesting level per sweep; the pipeline iterates). *)
-let run (m : modul) : modul * bool =
+let run ?(sink = Remarks.drop) (m : modul) : modul * bool =
   let cg = Callgraph.build m in
   let changed = ref false in
   let process f =
@@ -220,7 +220,7 @@ let run (m : modul) : modul * bool =
         | Some (block, idx, dst, callee, args) ->
           incr site;
           f := inline_call !f callee ~block ~idx ~dst ~args ~site:!site;
-          Remarks.applied ~pass ~func:!f.f_name "inlined %s" callee.f_name;
+          Remarks.applied sink ~pass ~func:!f.f_name "inlined %s" callee.f_name;
           changed := true;
           continue_ := true
         | None -> ()

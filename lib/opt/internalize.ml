@@ -11,7 +11,7 @@ let pass = "openmp-opt:internalize"
 
 let clone_suffix = ".internalized"
 
-let run (m : modul) : modul * bool =
+let run ?(sink = Remarks.drop) (m : modul) : modul * bool =
   let to_clone =
     List.filter (fun f -> f.f_linkage = External && not f.f_is_kernel) m.m_funcs
   in
@@ -23,7 +23,7 @@ let run (m : modul) : modul * bool =
     let clones =
       List.map
         (fun f ->
-          Remarks.applied ~pass ~func:f.f_name "internalized as %s" (rename f.f_name);
+          Remarks.applied sink ~pass ~func:f.f_name "internalized as %s" (rename f.f_name);
           { f with f_name = rename f.f_name; f_linkage = Internal })
         to_clone
     in

@@ -328,7 +328,7 @@ let value_is_const = function
 
 (* ---------- the transform ---------------------------------------------- *)
 
-let run ?(opts = all_on) (m : modul) : modul * bool =
+let run ?(sink = Remarks.drop) ?(opts = all_on) (m : modul) : modul * bool =
   if not opts.b1 then (m, false)
   else begin
     let gagg = aggregate m in
@@ -475,7 +475,7 @@ let run ?(opts = all_on) (m : modul) : modul * bool =
                     | Some v ->
                       Hashtbl.replace subst dst v;
                       changed := true;
-                      Remarks.applied ~pass ~func:f.f_name
+                      Remarks.applied sink ~pass ~func:f.f_name
                         "folded load %%%d (%s) to %s" dst
                         (match resolve ctx.fc_defs addr with
                         | Known [ { t_obj = Glob g; t_off = Some o } ] ->

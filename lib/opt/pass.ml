@@ -1,0 +1,16 @@
+(* First-class optimization passes. Lifting each pass into a [t] lets
+   the pipeline drive a plain list: tracing spans, per-step IR
+   verification, and the changed-flag fixpoint logic all attach in one
+   place instead of via hand-rolled step calls per pass. *)
+
+open Ozo_ir.Types
+
+type t = {
+  name : string;
+  run : Remarks.sink -> modul -> modul * bool;
+}
+
+let v name run = { name; run }
+
+(* lift a pass that takes no remarks sink *)
+let pure name run = { name; run = (fun _sink m -> run m) }

@@ -13,9 +13,16 @@
                   barrier elimination (IV-D). Models "New RT".
 
    [disable] switches off one sub-optimization for the Fig. 13-style
-   ablation; disabling B1 disables all of IV-B, as in the paper. *)
+   ablation; disabling B1 disables all of IV-B, as in the paper.
+
+   The pipeline drives lists of first-class [Pass.t] values, so tracing
+   spans, per-step IR verification, and the changed-flag fixpoint logic
+   attach uniformly in [apply_pass] instead of per call site. With a
+   trace ctx each pass invocation becomes a "pass:<name>" span annotated
+   with the IR delta it achieved (functions/blocks/insts removed). *)
 
 open Ozo_ir.Types
+module Trace = Ozo_obs.Trace
 
 type config = {
   name : string;
@@ -84,81 +91,139 @@ let disable (feat : feature) (c : config) : config =
         match c.memfold with Some o -> Some { o with Memfold.c = false } | None -> None })
   | D -> { c with name = c.name ^ "-no-IV-D"; barrier_elim = false }
 
+(* ---------- pass lists -------------------------------------------------- *)
+
+let p_inline = Pass.v "inline" (fun sink m -> Inline.run ~sink m)
+let p_local_opt name = Pass.pure name Local_opt.run
+let p_cse = Pass.pure "cse" Cse.run
+let p_strip name = Pass.v name (fun sink m -> Strip.run ~sink m)
+let p_internalize = Pass.v "internalize" (fun sink m -> Internalize.run ~sink m)
+let p_spmdize = Pass.v "spmdize" (fun sink m -> Spmdize.run ~sink m)
+let p_globalization = Pass.v "globalization" (fun sink m -> Globalization.run ~sink m)
+let p_memfold opts = Pass.v "memfold" (fun sink m -> Memfold.run ~sink ~opts m)
+let p_drop_assumes = Pass.pure "drop_assumes" Memfold.drop_assumes
+let p_barrier_elim = Pass.v "barrier_elim" (fun sink m -> Barrier_elim.run ~sink m)
+
+let opt_pass cond p = if cond then [ p ] else []
+
+(* run once before the fixpoint rounds *)
+let prelude_passes cfg =
+  opt_pass cfg.internalize p_internalize
+  (* clean up first so the kernel structure is canonical *)
+  @ (if cfg.spmdize then [ p_local_opt "local_opt"; p_spmdize ] else [])
+
+(* one fixpoint round *)
+let round_passes cfg =
+  [ p_inline; p_local_opt "local_opt"; p_cse; p_strip "strip" ]
+  @ (match cfg.memfold with Some opts -> [ p_memfold opts ] | None -> [])
+  @ opt_pass cfg.globalization p_globalization
+  @ [ p_local_opt "local_opt2"; p_strip "strip2" ]
+
+(* tail: consume assumptions, final DSE, barrier elimination *)
+let tail_passes cfg =
+  [ p_drop_assumes; p_local_opt "local_opt"; p_cse; p_local_opt "local_opt" ]
+  @ (match cfg.memfold with
+    | Some opts -> [ p_memfold opts; p_local_opt "local_opt" ]
+    | None -> [])
+  @ [ p_strip "strip" ]
+
+let barrier_tail_passes cfg =
+  if not cfg.barrier_elim then []
+  else
+    [ p_barrier_elim; p_local_opt "local_opt" ]
+    @ (match cfg.memfold with Some opts -> [ p_memfold opts ] | None -> [])
+    @ [ p_local_opt "local_opt"; p_strip "strip" ]
+
+(* ---------- the driver -------------------------------------------------- *)
+
 (* When set, the IR is verified after every pass — used by the test suite
    and while debugging pass bugs; off by default for speed. *)
 let verify_each_step = ref false
 
-(* run one pass, tracking whether anything changed *)
-let step ?(name = "pass") changed (f : modul -> modul * bool) m =
+let module_stats (m : modul) =
+  let nblocks = ref 0 and ninsts = ref 0 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          incr nblocks;
+          ninsts := !ninsts + List.length b.b_insts + List.length b.b_phis + 1)
+        f.f_blocks)
+    m.m_funcs;
+  (List.length m.m_funcs, !nblocks, !ninsts)
+
+let verify_after (p : Pass.t) before m =
+  match Ozo_ir.Verifier.check m with
+  | Ok () -> ()
+  | Error vs ->
+    Fmt.epr "pipeline: IR invalid after %s:@." p.Pass.name;
+    List.iter (fun v -> Fmt.epr "  %a@." Ozo_ir.Verifier.pp_violation v) vs;
+    (match vs with
+    | { Ozo_ir.Verifier.v_func; _ } :: _ -> (
+      (match Ozo_ir.Types.find_func before v_func with
+      | Some f -> Fmt.epr "BEFORE %s:@.%a@." p.Pass.name Ozo_ir.Printer.pp_func f
+      | None -> ());
+      match Ozo_ir.Types.find_func m v_func with
+      | Some f -> Fmt.epr "AFTER:@.%a@." Ozo_ir.Printer.pp_func f
+      | None -> ())
+    | [] -> ());
+    failwith ("pipeline: IR invalid after " ^ p.Pass.name)
+
+(* Run one pass: span + IR-delta annotation when traced, optional IR
+   verification, changed-flag accumulation. *)
+let apply_pass trace sink changed (p : Pass.t) (m : modul) : modul =
+  let traced = Trace.enabled trace in
+  let before_stats = if traced then module_stats m else (0, 0, 0) in
+  Trace.begin_span trace ~cat:"pass" ("pass:" ^ p.Pass.name);
   let before = m in
-  let m, ch = f m in
+  let m, ch =
+    match p.Pass.run sink m with
+    | r -> r
+    | exception e ->
+      Trace.end_span trace ();
+      raise e
+  in
   if ch then changed := true;
-  ignore before;
-  if !verify_each_step then begin
-    match Ozo_ir.Verifier.check m with
-    | Ok () -> ()
-    | Error vs ->
-      Fmt.epr "pipeline: IR invalid after %s:@." name;
-      List.iter (fun v -> Fmt.epr "  %a@." Ozo_ir.Verifier.pp_violation v) vs;
-      (match vs with
-      | { Ozo_ir.Verifier.v_func; _ } :: _ -> (
-        (match Ozo_ir.Types.find_func before v_func with
-        | Some f -> Fmt.epr "BEFORE %s:@.%a@." name Ozo_ir.Printer.pp_func f
-        | None -> ());
-        match Ozo_ir.Types.find_func m v_func with
-        | Some f -> Fmt.epr "AFTER:@.%a@." Ozo_ir.Printer.pp_func f
-        | None -> ())
-      | [] -> ());
-      failwith ("pipeline: IR invalid after " ^ name)
-  end;
+  if traced then begin
+    let f0, b0, i0 = before_stats in
+    let f1, b1, i1 = module_stats m in
+    Trace.end_span trace
+      ~args:
+        [ ("changed", Trace.Int (if ch then 1 else 0));
+          ("funcs_removed", Trace.Int (f0 - f1));
+          ("blocks_removed", Trace.Int (b0 - b1));
+          ("insts_removed", Trace.Int (i0 - i1)) ]
+      ()
+  end
+  else Trace.end_span trace ();
+  if !verify_each_step then verify_after p before m;
   m
 
-let run (cfg : config) (m : modul) : modul =
+let run_list trace sink changed passes m =
+  List.fold_left (fun m p -> apply_pass trace sink changed p m) m passes
+
+let run ?(trace = Trace.null) ?(sink = Remarks.drop) (cfg : config) (m : modul) :
+    modul =
   if cfg.rounds = 0 then m
-  else begin
-    let m = ref m in
-    if cfg.internalize then m := fst (Internalize.run !m);
-    if cfg.spmdize then begin
-      (* clean up first so the kernel structure is canonical *)
-      m := fst (Local_opt.run !m);
-      m := fst (Spmdize.run !m)
-    end;
-    let round = ref 0 in
-    let any = ref true in
-    while !any && !round < cfg.rounds do
-      incr round;
-      let changed = ref false in
-      m := step ~name:"inline" changed Inline.run !m;
-      m := step ~name:"local_opt" changed Local_opt.run !m;
-      m := step ~name:"cse" changed Cse.run !m;
-      m := step ~name:"strip" changed Strip.run !m;
-      (match cfg.memfold with
-      | Some opts -> m := step ~name:"memfold" changed (Memfold.run ~opts) !m
-      | None -> ());
-      if cfg.globalization then m := step ~name:"globalization" changed Globalization.run !m;
-      m := step ~name:"local_opt2" changed Local_opt.run !m;
-      m := step ~name:"strip2" changed Strip.run !m;
-      any := !changed
-    done;
-    (* tail: consume assumptions, final DSE, barrier elimination *)
-    m := fst (Memfold.drop_assumes !m);
-    m := fst (Local_opt.run !m);
-    m := fst (Cse.run !m);
-    m := fst (Local_opt.run !m);
-    (match cfg.memfold with
-    | Some opts ->
-      m := fst (Memfold.run ~opts !m);
-      m := fst (Local_opt.run !m)
-    | None -> ());
-    m := fst (Strip.run !m);
-    if cfg.barrier_elim then begin
-      m := fst (Barrier_elim.run !m);
-      m := fst (Local_opt.run !m);
-      (match cfg.memfold with
-      | Some opts -> m := fst (Memfold.run ~opts !m)
-      | None -> ());
-      m := fst (Local_opt.run !m);
-      m := fst (Strip.run !m)
-    end;
-    !m
-  end
+  else
+    Trace.with_span trace ~cat:"pipeline"
+      ~args:[ ("config", Trace.Str cfg.name) ]
+      ("pipeline:" ^ cfg.name)
+      (fun () ->
+        let ignored = ref false in
+        let m = ref (run_list trace sink ignored (prelude_passes cfg) m) in
+        let rounds = round_passes cfg in
+        let round = ref 0 in
+        let any = ref true in
+        while !any && !round < cfg.rounds do
+          incr round;
+          let changed = ref false in
+          m :=
+            Trace.with_span trace ~cat:"round"
+              ("round:" ^ string_of_int !round)
+              (fun () -> run_list trace sink changed rounds !m);
+          any := !changed
+        done;
+        m := run_list trace sink ignored (tail_passes cfg) !m;
+        m := run_list trace sink ignored (barrier_tail_passes cfg) !m;
+        !m)

@@ -164,7 +164,7 @@ let insert_guards (f : func) : func =
   in
   { f with f_blocks = blocks; f_next_reg = !next_reg }
 
-let run (m : modul) : modul * bool =
+let run ?(sink = Remarks.drop) (m : modul) : modul * bool =
   let changed = ref false in
   let process f =
     if not f.f_is_kernel then f
@@ -184,16 +184,16 @@ let run (m : modul) : modul * bool =
       else
         match region_analysis f with
         | Error why ->
-          Remarks.missed ~pass ~func:f.f_name
+          Remarks.missed sink ~pass ~func:f.f_name
             "kernel stays in generic mode: %s" why;
           f
         | Ok guards ->
           changed := true;
           if guards = 0 then
-            Remarks.applied ~pass ~func:f.f_name
+            Remarks.applied sink ~pass ~func:f.f_name
               "transformed generic-mode kernel to SPMD mode"
           else
-            Remarks.applied ~pass ~func:f.f_name
+            Remarks.applied sink ~pass ~func:f.f_name
               "transformed generic-mode kernel to SPMD mode, guarding %d side-effecting \
                instructions for single-threaded execution"
               guards;

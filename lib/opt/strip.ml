@@ -59,7 +59,7 @@ let live_functions (m : modul) : SSet.t =
   List.iter (fun f -> if f.f_is_kernel then visit f.f_name) m.m_funcs;
   !live
 
-let run (m : modul) : modul * bool =
+let run ?(sink = Remarks.drop) (m : modul) : modul * bool =
   let live = live_functions m in
   let changed = ref false in
   let funcs =
@@ -68,7 +68,7 @@ let run (m : modul) : modul * bool =
         if f.f_is_kernel || SSet.mem f.f_name live then true
         else begin
           changed := true;
-          Remarks.applied ~pass ~func:f.f_name "removed dead function";
+          Remarks.applied sink ~pass ~func:f.f_name "removed dead function";
           false
         end)
       m.m_funcs
@@ -81,7 +81,7 @@ let run (m : modul) : modul * bool =
         if SSet.mem g.g_name refs then true
         else begin
           changed := true;
-          Remarks.applied ~pass ~func:"<module>" "removed dead global @%s (%d bytes %s)"
+          Remarks.applied sink ~pass ~func:"<module>" "removed dead global @%s (%d bytes %s)"
             g.g_name g.g_size
             (match g.g_space with
             | Shared -> "shared"

@@ -71,30 +71,67 @@ let read_f64_array t buf n = Array.init n (read_f64 t buf)
 
 let static_shared_bytes t = t.d_static_shared
 
-let launch ?(check_assumes = false) ?(trace = false) ?budget ?inject t ~teams ~threads
-    args : (Engine.result, error) Result.t =
+(* Launch-time options, replacing the old optional-flag soup
+   (?check_assumes ?trace ?budget ?inject). Build one with record update
+   on [default]:
+     Device.launch ~opts:{ Device.Launch_opts.default with check_assumes = true } ...
+   Note [sanitize] stays on [create]: the sanitizer's shadow state must
+   watch allocations made while the host sets up buffers, before any
+   launch exists. *)
+module Launch_opts = struct
+  type t = {
+    check_assumes : bool; (* validate __omp_assume facts at runtime *)
+    debug_print : bool; (* print Debug_print instructions as they execute *)
+    budget : int; (* instruction-issue budget (runaway-kernel guard) *)
+    inject : Faultinject.spec option; (* seeded fault injection *)
+    trace : Ozo_obs.Trace.ctx; (* span/event destination; Trace.null = off *)
+    profile : bool; (* collect the per-block hot-spot profile *)
+  }
+
+  let default =
+    { check_assumes = false; debug_print = false; budget = 400_000_000;
+      inject = None; trace = Ozo_obs.Trace.null; profile = false }
+end
+
+let launch ?(opts = Launch_opts.default) t ~teams ~threads args :
+    (Engine.result, error) Result.t =
   let l =
     { Engine.l_teams = teams; l_threads = threads; l_args = args;
-      l_check_assumes = check_assumes; l_trace = trace }
+      l_check_assumes = opts.Launch_opts.check_assumes;
+      l_debug = opts.Launch_opts.debug_print }
   in
-  let inj = Option.map Faultinject.start inject in
+  let trace = opts.Launch_opts.trace in
+  let inj = Option.map Faultinject.start opts.Launch_opts.inject in
   (match t.d_san with Some s -> Sanitizer.enter_kernel s | None -> ());
+  Ozo_obs.Trace.begin_span trace ~cat:"launch"
+    ~args:
+      [ ("teams", Ozo_obs.Trace.Int teams);
+        ("threads", Ozo_obs.Trace.Int threads) ]
+    "launch";
   let finish () =
     (match t.d_san with Some s -> Sanitizer.exit_kernel s | None -> ());
     Fault.clear_ctx ()
   in
   match
-    Engine.run ?budget ~params:t.d_params ?san:t.d_san ?inject:inj t.d_module
-      ~mem:t.d_mem ~gaddr:t.d_gaddr ~shared_globals:t.d_shared_globals l
+    Engine.run ~budget:opts.Launch_opts.budget ~params:t.d_params ?san:t.d_san
+      ?inject:inj ~trace ~profile:opts.Launch_opts.profile t.d_module ~mem:t.d_mem
+      ~gaddr:t.d_gaddr ~shared_globals:t.d_shared_globals l
   with
   | r ->
+    Ozo_obs.Trace.end_span trace ();
     finish ();
     t.d_last <- Some r;
     Ok r
   | exception Fault.Kernel_trap f ->
+    Ozo_obs.Trace.end_span trace
+      ~args:[ ("fault", Ozo_obs.Trace.Str (Fault.kind_name f.Fault.f_kind)) ]
+      ();
     finish ();
     Error f
   | exception Fault.Kernel_fault f ->
+    Ozo_obs.Trace.end_span trace
+      ~args:[ ("fault", Ozo_obs.Trace.Str (Fault.kind_name f.Fault.f_kind)) ]
+      ();
     finish ();
     Error f
 

@@ -48,7 +48,7 @@ type launch = {
   l_threads : int;
   l_args : arg list;
   l_check_assumes : bool;
-  l_trace : bool;
+  l_debug : bool; (* print Debug_print instructions as they execute *)
 }
 
 (* --- growable strand vector ------------------------------------------- *)
@@ -187,6 +187,13 @@ type cblock = {
   cb_edges : (label, dphi array) Hashtbl.t; (* from-label -> parallel copy *)
   cb_ti : int array; (* phi parallel-copy staging, one slot per phi *)
   cb_tf : float array;
+  (* opt-in hot-spot profile, accumulated only when the engine runs with
+     [profile]: entries into this block across all strands (a strand that
+     suspends at a barrier and resumes counts again), and the
+     warp-instruction / cost-model-cycle deltas attributed to it *)
+  mutable cb_hits : int;
+  mutable cb_wi : int;
+  mutable cb_cyc : int;
 }
 
 type fn_info = {
@@ -275,6 +282,8 @@ type engine = {
   e_san : Sanitizer.t option;             (* opt-in SIMT sanitizer *)
   e_inject : Faultinject.t option;        (* opt-in fault injection *)
   e_fastmem : bool; (* no memory watcher: direct-access fast path is legal *)
+  e_trace : Ozo_obs.Trace.ctx; (* phase spans + hot-spot instants *)
+  e_prof : bool; (* accumulate per-block hot-spot counters *)
   (* warp-sized scratch, reused across every memory instruction so the
      hot path allocates nothing: per-lane addresses and their cached
      [Memory.decode] results, the coalescing segment set, and per-lane
@@ -530,7 +539,8 @@ let make_fn_info e f =
           cb_first_phi = (match b.b_phis with p :: _ -> p.phi_reg | [] -> 0);
           cb_edges = decode_phis e b;
           cb_ti = Array.make nphis 0;
-          cb_tf = Array.make nphis 0.0 })
+          cb_tf = Array.make nphis 0.0;
+          cb_hits = 0; cb_wi = 0; cb_cyc = 0 })
     f.f_blocks;
   let cfg = Cfg.of_func f in
   let pdom = Dominance.post_dominators cfg in
@@ -1393,7 +1403,7 @@ let rec exec_dinst e tc (st : strand) (slot : slot) (di : dinst) :
     `Continue
   | D_trap msg -> Fault.trap Fault.Trap "%s" msg
   | D_debug (msg, ops) ->
-    if e.e_launch.l_trace then begin
+    if e.e_launch.l_debug then begin
       let l = first_active mask n 0 in
       if l >= 0 then
         Fmt.epr "[vgpu team %d thread %d] %s %a@." tc.tc_team (lane_tid tc st l) msg
@@ -1686,6 +1696,12 @@ let run_strand e tc st =
         | None -> fault "missing block %s" slot.sl_blk
       in
       let ninsts = Array.length b.cb_insts in
+      (* hot-spot accounting sits at block granularity, outside the
+         per-instruction loop, so the disabled-path cost is this one
+         branch per block visit and golden counters cannot change *)
+      let prof = e.e_prof in
+      let wi0 = if prof then tc.tc_counters.Counters.warp_instructions else 0 in
+      let cyc0 = if prof then tc.tc_counters.Counters.cycles else 0 in
       let inner = ref true in
       while !inner do
         if slot.sl_idx < ninsts then begin
@@ -1701,7 +1717,12 @@ let run_strand e tc st =
           (* after a terminator the outer loop re-examines status/stack *)
           match st.st_status with Run -> () | _ -> continue_ := false
         end
-      done
+      done;
+      if prof then begin
+        b.cb_hits <- b.cb_hits + 1;
+        b.cb_wi <- b.cb_wi + (tc.tc_counters.Counters.warp_instructions - wi0);
+        b.cb_cyc <- b.cb_cyc + (tc.tc_counters.Counters.cycles - cyc0)
+      end
   done
 
 let release_barriers e tc =
@@ -1944,9 +1965,20 @@ let run_team e ~team =
   done;
   tc.tc_counters
 
+(* Per-block hot-spot row from the opt-in profile: where warp
+   instructions and cost-model cycles were spent, block by block. *)
+type hotspot = {
+  h_fn : string;
+  h_blk : label;
+  h_hits : int; (* block entries across all strands *)
+  h_winsts : int;
+  h_cycles : int;
+}
+
 type result = {
   r_counters : Counters.t list; (* per team *)
   r_total : Counters.t;
+  r_hotspots : hotspot list; (* hottest first; [] unless profiling *)
 }
 
 let assign_addresses mem (m : modul) =
@@ -1979,9 +2011,32 @@ let shared_bytes (m : modul) =
     (fun acc g -> match g.g_space with Shared -> acc + g.g_size | _ -> acc)
     0 m.m_globals
 
-let run ?(params = Cost.default) ?(budget = 400_000_000) ?san ?inject (m : modul)
-    ~(mem : Memory.t) ~(gaddr : (string, int) Hashtbl.t)
-    ~(shared_globals : (global * int) list) (launch : launch) : result =
+(* Gather the per-block profile accumulated in the decoded blocks,
+   hottest (most cycles) first with a deterministic tie-break. *)
+let collect_hotspots e : hotspot list =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun fn fi ->
+      Hashtbl.iter
+        (fun blk cb ->
+          if cb.cb_hits > 0 then
+            acc :=
+              { h_fn = fn; h_blk = blk; h_hits = cb.cb_hits; h_winsts = cb.cb_wi;
+                h_cycles = cb.cb_cyc }
+              :: !acc)
+        fi.fi_blocks)
+    e.e_fn_infos;
+  List.sort
+    (fun a b ->
+      match compare b.h_cycles a.h_cycles with
+      | 0 -> compare (a.h_fn, a.h_blk) (b.h_fn, b.h_blk)
+      | c -> c)
+    !acc
+
+let run ?(params = Cost.default) ?(budget = 400_000_000) ?san ?inject
+    ?(trace = Ozo_obs.Trace.null) ?(profile = false) (m : modul) ~(mem : Memory.t)
+    ~(gaddr : (string, int) Hashtbl.t) ~(shared_globals : (global * int) list)
+    (launch : launch) : result =
   Memory.check_host ();
   let ftable = Array.of_list m.m_funcs in
   let fidx = Hashtbl.create 16 in
@@ -1992,11 +2047,34 @@ let run ?(params = Cost.default) ?(budget = 400_000_000) ?san ?inject (m : modul
       e_fn_infos = Hashtbl.create 16; e_gaddr = gaddr; e_ftable = ftable;
       e_fidx = fidx; e_shared_globals = shared_globals; e_san = san;
       e_inject = inject; e_fastmem = not (Memory.has_watcher mem);
+      e_trace = trace; e_prof = profile;
       e_addr = Array.make ws 0; e_space = Array.make ws Global;
       e_off = Array.make ws 0; e_segs = Array.make ws 0;
       e_cond = Array.make ws false; e_fscr = Array.make 1 0.0;
       e_budget = budget }
   in
-  let counters = List.init launch.l_teams (fun team -> run_team e ~team) in
-  let total = List.fold_left Counters.add (Counters.create ()) counters in
-  { r_counters = counters; r_total = total }
+  let module T = Ozo_obs.Trace in
+  (* decode: pre-decode the kernel up front so instruction decoding is
+     visible as its own phase (callees still decode lazily on first call
+     and land inside "execute") *)
+  T.with_span trace ~cat:"phase" "decode" (fun () ->
+      match List.find_opt (fun f -> f.f_is_kernel) m.m_funcs with
+      | Some k -> ignore (fn_info e k.f_name)
+      | None -> ());
+  let counters =
+    T.with_span trace ~cat:"phase" "execute" (fun () ->
+        List.init launch.l_teams (fun team -> run_team e ~team))
+  in
+  T.with_span trace ~cat:"phase" "readback" (fun () ->
+      let total = List.fold_left Counters.add (Counters.create ()) counters in
+      let hotspots = if profile then collect_hotspots e else [] in
+      List.iter
+        (fun h ->
+          T.instant trace ~cat:"hotspot"
+            ~args:
+              [ ("fn", T.Str h.h_fn); ("blk", T.Str h.h_blk);
+                ("hits", T.Int h.h_hits); ("winsts", T.Int h.h_winsts);
+                ("cycles", T.Int h.h_cycles) ]
+            ("hot:" ^ h.h_fn ^ ":" ^ h.h_blk))
+        hotspots;
+      { r_counters = counters; r_total = total; r_hotspots = hotspots })

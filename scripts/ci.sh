@@ -21,6 +21,11 @@ echo "== injection smoke campaign =="
 "$CLI" campaign xsbench --small --inject corrupt-load --seed 5
 "$CLI" campaign rsbench --small --inject skip-barrier --seed 11
 
+echo "== trace smoke =="
+# emit a Chrome trace and re-validate it: schema, pass-span nesting under
+# the compile span, phase spans under the launch span, hot-spot events
+"$CLI" trace testsnap --small --out _build/trace_smoke.json --check
+
 echo "== perf micro-suite (smoke) =="
 scripts/bench.sh --smoke
 

@@ -20,7 +20,14 @@ let spec s = Result.get_ok (Faultinject.parse ~seed:7 s)
 (* launch under the sanitizer, with optional injection *)
 let launch_san ?(teams = 1) ?(threads = 32) ?(check_assumes = false) ?inject m args =
   let dev = Device.create ~sanitize:true m in
-  (dev, Device.launch ~check_assumes ?inject dev ~teams ~threads args)
+  let opts =
+    { Device.Launch_opts.default with Device.Launch_opts.check_assumes; inject }
+  in
+  (dev, Device.launch ~opts dev ~teams ~threads args)
+
+(* shorthand for flag-bearing launches in these tests *)
+let inject_opts spec =
+  { Device.Launch_opts.default with Device.Launch_opts.inject = Some spec }
 
 let expect_fault name kind (res : ('a, Device.error) result) : Fault.t =
   match res with
@@ -129,7 +136,7 @@ let test_skip_barrier_read_race () =
   let dev = Device.create ~sanitize:true m in
   let buf = Device.alloc dev (32 * 8) in
   let res =
-    Device.launch ~inject:(spec "skip-barrier:1") dev ~teams:1 ~threads:32
+    Device.launch ~opts:(inject_opts (spec "skip-barrier:1")) dev ~teams:1 ~threads:32
       [ Engine.Ai (Device.ptr buf) ]
   in
   let f = expect_fault "read race" "race" res in
@@ -188,7 +195,7 @@ let test_drop_store_uninit () =
   let dev = Device.create ~sanitize:true m in
   let buf = Device.alloc dev (32 * 8) in
   let res =
-    Device.launch ~inject:(spec "drop-store:1") dev ~teams:1 ~threads:32
+    Device.launch ~opts:(inject_opts (spec "drop-store:1")) dev ~teams:1 ~threads:32
       [ Engine.Ai (Device.ptr buf) ]
   in
   let f = expect_fault "dropped store" "uninit-read" res in
@@ -234,7 +241,7 @@ let test_corrupt_load_fault () =
   Device.write_i64_array dev tbl (Array.init 32 (fun i -> i));
   let out = Device.alloc dev (32 * 8) in
   let res =
-    Device.launch ~inject:(spec "corrupt-load:1") dev ~teams:1 ~threads:32
+    Device.launch ~opts:(inject_opts (spec "corrupt-load:1")) dev ~teams:1 ~threads:32
       [ Engine.Ai (Device.ptr tbl); Engine.Ai (Device.ptr out) ]
   in
   let f = expect_fault "corrupt load" "out-of-bounds" res in

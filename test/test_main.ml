@@ -13,5 +13,6 @@ let () =
       ("parser", Test_parser.suite);
       ("components", Test_components.suite);
       ("faults", Test_faults.suite);
+      ("obs", Test_obs.suite);
       ("golden", Test_golden.suite);
       ("properties", Test_props.suite) ]

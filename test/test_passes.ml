@@ -310,8 +310,8 @@ let test_spmdize_guards_side_effects () =
   let app = Lower.lower ~abi:(Lower.Omp Lower.New_abi) k in
   let m = Ozo_ir.Linker.link app (Ozo_runtime.Runtime.build Ozo_runtime.Config.default) in
   let m, _ = Local_opt.run m in
-  Ozo_opt.Remarks.reset ();
-  let m', changed = Spmdize.run m in
+  let sink = Ozo_opt.Remarks.make () in
+  let m', changed = Spmdize.run ~sink m in
   Alcotest.(check bool) "changed" true changed;
   check_verifies "guarded" m';
   Alcotest.(check bool) "now SPMD" true (Spmdize.kernel_mode m' "k" = Spmdize.Spmd);
@@ -320,7 +320,7 @@ let test_spmdize_guards_side_effects () =
       (fun r ->
         r.Ozo_opt.Remarks.r_kind = Ozo_opt.Remarks.Applied
         && contains r.Ozo_opt.Remarks.r_msg "guarding")
-      (Ozo_opt.Remarks.all ())
+      (Ozo_opt.Remarks.items sink)
   in
   Alcotest.(check bool) "guard remark emitted" true guarded;
   (* execution: the sequential store happens exactly once, the parallel
@@ -360,15 +360,15 @@ let test_spmdize_bails_on_unknown_call () =
   B.ret b None;
   ignore (B.end_func b);
   let m = Ozo_ir.Linker.link (B.finish b) rt in
-  Ozo_opt.Remarks.reset ();
-  let m', changed = Spmdize.run m in
+  let sink = Ozo_opt.Remarks.make () in
+  let m', changed = Spmdize.run ~sink m in
   Alcotest.(check bool) "not changed" false changed;
   Alcotest.(check bool) "still generic" true
     (Spmdize.kernel_mode m' "k" = Spmdize.Generic);
   let missed =
     List.exists
       (fun r -> r.Ozo_opt.Remarks.r_kind = Ozo_opt.Remarks.Missed)
-      (Ozo_opt.Remarks.all ())
+      (Ozo_opt.Remarks.items sink)
   in
   Alcotest.(check bool) "missed remark emitted" true missed
 

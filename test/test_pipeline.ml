@@ -14,8 +14,12 @@ let run_proxy ?(check_assumes = false) (p : Proxy.t) (b : C.build) :
   let c = C.compile b k in
   let dev = C.device c in
   let inst = p.Proxy.p_setup dev in
+  let opts =
+    { Ozo_vgpu.Device.Launch_opts.default with
+      Ozo_vgpu.Device.Launch_opts.check_assumes }
+  in
   match
-    C.launch ~check_assumes c dev ~teams:p.Proxy.p_teams ~threads:p.Proxy.p_threads
+    C.launch ~opts c dev ~teams:p.Proxy.p_teams ~threads:p.Proxy.p_threads
       inst.Proxy.i_args
   with
   | Ok m -> (m, inst.Proxy.i_check ())
@@ -71,7 +75,11 @@ let test_violated_oversubscription_traps_in_debug () =
   let out = Ozo_vgpu.Device.alloc dev (100 * 8) in
   (* 100 iterations on 1 team x 32 threads: not oversubscribed *)
   match
-    C.launch ~check_assumes:true c dev ~teams:1 ~threads:32
+    C.launch
+      ~opts:
+        { Ozo_vgpu.Device.Launch_opts.default with
+          Ozo_vgpu.Device.Launch_opts.check_assumes = true }
+      c dev ~teams:1 ~threads:32
       [ Ozo_vgpu.Engine.Ai (Ozo_vgpu.Device.ptr out); Ai 100 ]
   with
   | Error f when Fault.is_trap f -> ()
@@ -121,12 +129,12 @@ let test_assumptions_reduce_registers () =
     (proxies ())
 
 let test_remarks_emitted () =
-  Ozo_opt.Remarks.reset ();
   let p = List.hd (proxies ()) in
-  ignore (compile_proxy p C.new_rt);
-  let remarks = Ozo_opt.Remarks.all () in
+  let c = compile_proxy p C.new_rt in
   Alcotest.(check bool) "some applied remarks" true
-    (List.exists (fun r -> r.Ozo_opt.Remarks.r_kind = Ozo_opt.Remarks.Applied) remarks)
+    (List.exists
+       (fun r -> r.Ozo_opt.Remarks.r_kind = Ozo_opt.Remarks.Applied)
+       c.C.c_remarks)
 
 let suite =
   [ tc "all proxies x all builds correct" test_all_builds;

@@ -231,7 +231,11 @@ let test_runaway_divergent_spin () =
         B.br b "spin")
   in
   let dev = Device.create m in
-  match Device.launch ~budget:20_000 dev ~teams:1 ~threads:32 [] with
+  match
+    Device.launch
+      ~opts:{ Device.Launch_opts.default with Device.Launch_opts.budget = 20_000 }
+      dev ~teams:1 ~threads:32 []
+  with
   | Ok _ -> Alcotest.fail "expected a fault"
   | Error f when Fault.is_trap f ->
     Alcotest.failf "expected fault, got trap %s" f.Fault.f_msg
@@ -370,7 +374,12 @@ let test_assume_checking () =
    else Alcotest.failf "expected trap, got fault %s" f.Fault.f_msg);
   (* holding assumption passes either way *)
   let dev = Device.create (mk 1) in
-  match Device.launch ~check_assumes:true dev ~teams:1 ~threads:32 [] with
+  match
+    Device.launch
+      ~opts:
+        { Device.Launch_opts.default with Device.Launch_opts.check_assumes = true }
+      dev ~teams:1 ~threads:32 []
+  with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "holding assume: %a" Device.pp_error e
 
@@ -382,7 +391,11 @@ let test_budget_exceeded () =
         B.br b "spin")
   in
   let dev = Device.create m in
-  match Device.launch ~budget:10_000 dev ~teams:1 ~threads:32 [] with
+  match
+    Device.launch
+      ~opts:{ Device.Launch_opts.default with Device.Launch_opts.budget = 10_000 }
+      dev ~teams:1 ~threads:32 []
+  with
   | Ok _ -> Alcotest.fail "expected budget fault"
   | Error f when Fault.is_trap f ->
     Alcotest.failf "expected fault, got trap %s" f.Fault.f_msg

@@ -17,13 +17,15 @@ let check_verifies name m =
 (* Run a single-kernel module and return the result or fail the test. *)
 let run_ok ?(check_assumes = false) ?(teams = 1) ?(threads = 32) m args =
   let dev = Device.create m in
-  match Device.launch ~check_assumes dev ~teams ~threads args with
+  let opts = { Device.Launch_opts.default with Device.Launch_opts.check_assumes } in
+  match Device.launch ~opts dev ~teams ~threads args with
   | Ok r -> (dev, r)
   | Error e -> Alcotest.failf "launch failed: %a" Device.pp_error e
 
 let expect_error ?(teams = 1) ?(threads = 32) ?(check_assumes = false) m args =
   let dev = Device.create m in
-  match Device.launch ~check_assumes dev ~teams ~threads args with
+  let opts = { Device.Launch_opts.default with Device.Launch_opts.check_assumes } in
+  match Device.launch ~opts dev ~teams ~threads args with
   | Ok _ -> Alcotest.fail "expected a launch error"
   | Error e -> e
 
