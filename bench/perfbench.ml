@@ -228,6 +228,39 @@ let micro_suite ~iters =
   in
   [ alu; mem; bcast; dv; alu_traced ]
 
+(* Compile-time suite: the full optimization pipeline over every small
+   proxy with the analysis cache on vs off. The linked (pre-pipeline)
+   modules are built once outside the timer, so the two samples isolate
+   [Pipeline.run] itself — the delta is what the analysis manager saves.
+   [s_issues] reports analysis queries (hits + misses) per iteration. *)
+let pipeline_suite ~iters =
+  let module Pipeline = Ozo_opt.Pipeline in
+  let module Analysis = Ozo_opt.Analysis in
+  let module C = Ozo_core.Codesign in
+  let module Proxy = Ozo_proxies.Proxy in
+  let linked =
+    List.map
+      (fun p ->
+        let b = E.new_rt_for p in
+        let k = Proxy.kernel_for p b.C.b_abi in
+        let app = Ozo_frontend.Lower.lower ~abi:b.C.b_abi k in
+        match b.C.b_rt with
+        | None -> app
+        | Some rt -> Ozo_ir.Linker.link app (Ozo_runtime.Runtime.build rt))
+      (Registry.all_small ())
+  in
+  let run_all ~caching () =
+    List.fold_left
+      (fun acc m ->
+        let am = Analysis.create ~caching () in
+        ignore (Pipeline.run ~am Pipeline.full m);
+        let st = Analysis.stats am in
+        acc + st.Analysis.st_hits + st.Analysis.st_misses)
+      0 linked
+  in
+  [ time_run ~iters ~name:"pipeline/full-cached" (run_all ~caching:true);
+    time_run ~iters ~name:"pipeline/full-uncached" (run_all ~caching:false) ]
+
 (* End-to-end: the `bench/main.exe csv` workload (all figures' raw rows). *)
 let e2e_csv ~small () =
   let pool = if small then Registry.all_small () else Registry.all () in
@@ -288,6 +321,9 @@ let () =
   let micro_iters = if !smoke then 1 else 8 in
   Fmt.pr "perfbench (%s mode)@." mode;
   let samples = micro_suite ~iters:micro_iters in
+  let samples =
+    samples @ pipeline_suite ~iters:(if !smoke then 1 else 10)
+  in
   let e2e =
     if !smoke then
       [ time_run ~iters:1 ~name:"e2e/csv-small" (e2e_csv ~small:true) ]
@@ -314,6 +350,15 @@ let () =
      if per off > 0.0 then
        Fmt.pr "  tracing+profiling on: %+.1f%% vs untraced alu-loop@."
          (100.0 *. (per on_ -. per off) /. per off)
+   | _ -> ());
+  (* analysis-cache summary: cached vs uncached full pipeline *)
+  (let find n = List.find_opt (fun s -> s.s_name = n) samples in
+   match (find "pipeline/full-cached", find "pipeline/full-uncached") with
+   | Some on_, Some off ->
+     let per s = s.s_wall_s /. float_of_int s.s_iters in
+     if per on_ > 0.0 then
+       Fmt.pr "  analysis caching on: %.2fx compile-time vs uncached full pipeline@."
+         (per off /. per on_)
    | _ -> ());
   emit_json ~mode ~path:!out samples;
   Fmt.pr "wrote %s@." !out

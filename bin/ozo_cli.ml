@@ -114,6 +114,14 @@ let run_cmd =
        Fmt.pr "%a" R.pp_csv m;
        if profile then begin
          Fmt.pr "%a" R.pp_phases (name, [ m ]);
+         (match m.E.r_cache with
+         | Some (h, mi, inv) ->
+           let total = h + mi in
+           Fmt.pr "analysis cache: %d hits, %d misses, %d invalidations (%.0f%% hit rate)@."
+             h mi inv
+             (if total = 0 then 0.0
+              else 100.0 *. float_of_int h /. float_of_int total)
+         | None -> ());
          Fmt.pr "%a" R.pp_hotspots m
        end;
        match m.E.r_check with
@@ -215,8 +223,27 @@ let trace_cmd =
       else Error "phase spans are not nested under the launch span"
     in
     let hots = List.filter (prefixed "hot:") events in
-    if hots = [] then Error "trace has no hot-spot events"
-    else Ok (List.length events, List.length passes, List.length hots)
+    let* () = if hots = [] then Error "trace has no hot-spot events" else Ok () in
+    (* the pipeline must have reported its analysis-cache counters, and a
+       traced compile of a real proxy must have produced cache hits *)
+    let* cache_hits =
+      match
+        List.find_opt
+          (fun ev ->
+            Chrome.ev_ph ev = Some "i" && Chrome.ev_name ev = Some "analysis-cache")
+          events
+      with
+      | None -> Error "trace has no analysis-cache event"
+      | Some ev -> (
+        match
+          Option.bind (Json.member "args" ev) (Json.member "hits")
+          |> Fun.flip Option.bind Json.to_number
+        with
+        | None -> Error "analysis-cache event lacks a numeric hits arg"
+        | Some h when h <= 0.0 -> Error "analysis-cache event reports zero hits"
+        | Some h -> Ok (int_of_float h))
+    in
+    Ok (List.length events, List.length passes, List.length hots, cache_hits)
   in
   let run name build small out check =
     handle
@@ -241,9 +268,11 @@ let trace_cmd =
          let s = really_input_string ic len in
          close_in ic;
          match check_trace s with
-         | Ok (nev, npass, nhot) ->
-           Fmt.pr "trace check: ok (%d events, %d pass spans, %d hot spots)@." nev
-             npass nhot;
+         | Ok (nev, npass, nhot, nhits) ->
+           Fmt.pr
+             "trace check: ok (%d events, %d pass spans, %d hot spots, %d analysis \
+              cache hits)@."
+             nev npass nhot nhits;
            Ok ()
          | Error e -> Error (`Msg ("trace check failed: " ^ e)))
   in

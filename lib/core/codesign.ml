@@ -101,7 +101,10 @@ let compile ?(trace = Trace.null) (b : build) (k : Ast.kernel) : compiled =
         raise
           (Compile_error
              (Fmt.str "%a" (Fmt.list ~sep:Fmt.semi Ozo_ir.Verifier.pp_violation) vs)));
-      let optimized = Pipeline.run ~trace ~sink b.b_pipe linked in
+      (* one analysis manager for the whole compile: the pipeline fills it,
+         and the register estimate below reuses its cached liveness *)
+      let am = Ozo_opt.Analysis.create () in
+      let optimized = Pipeline.run ~am ~trace ~sink b.b_pipe linked in
       (match Ozo_ir.Verifier.check optimized with
       | Ok () -> ()
       | Error vs ->
@@ -116,7 +119,9 @@ let compile ?(trace = Trace.null) (b : build) (k : Ast.kernel) : compiled =
       let kf = find_func_exn optimized k.Ast.k_name in
       { c_build = b; c_module = optimized; c_kernel = k.Ast.k_name;
         c_mode = mode;
-        c_regs = Ozo_ir.Liveness.kernel_register_estimate optimized kf;
+        c_regs =
+          Ozo_ir.Liveness.kernel_register_estimate
+            ~pressure_of:(Ozo_opt.Analysis.pressure am) optimized kf;
         c_smem = Engine.shared_bytes optimized;
         c_remarks = Remarks.items sink })
 

@@ -37,6 +37,9 @@ type measurement = {
   r_fallbacks : string list;   (* weaker pipelines tried, in order *)
   r_phase_us : (string * float) list; (* compile/decode/execute/readback; [] untraced *)
   r_hotspots : Ozo_vgpu.Engine.hotspot list; (* [] unless profiling *)
+  r_cache : (int * int * int) option;
+  (* analysis-cache (hits, misses, invalidations) from the last pipeline
+     run of the attempt; None untraced *)
 }
 
 (* user errors outside a measurement (e.g. an unknown proxy name); runtime
@@ -60,6 +63,20 @@ let phases_of trace =
   if Trace.enabled trace then
     List.map (fun n -> (n, Trace.last_dur trace n)) phase_names
   else []
+
+(* analysis-cache counters from the most recent pipeline run in the trace *)
+let cache_of trace =
+  if not (Trace.enabled trace) then None
+  else
+    match List.rev (Trace.instants_named trace "analysis-cache") with
+    | [] -> None
+    | i :: _ ->
+      let arg n =
+        match List.assoc_opt n i.Trace.i_args with
+        | Some (Trace.Int v) -> v
+        | _ -> 0
+      in
+      Some (arg "hits", arg "misses", arg "invalidations")
 
 let measure ?(check_assumes = false) ?(sanitize = false) ?inject
     ?(trace = Trace.null) ?(profile = false) (p : Proxy.t) (b : C.build) :
@@ -88,7 +105,7 @@ let measure ?(check_assumes = false) ?(sanitize = false) ?inject
             r_occupancy = m.C.m_occupancy; r_counters = m.C.m_counters;
             r_check = check; r_flops = p.Proxy.p_flops; r_fault = None;
             r_fallbacks = []; r_phase_us = phases_of trace;
-            r_hotspots = m.C.m_hotspots }
+            r_hotspots = m.C.m_hotspots; r_cache = cache_of trace }
         in
         (match check with
         | Ok () -> Ok meas
@@ -106,7 +123,7 @@ let measure ?(check_assumes = false) ?(sanitize = false) ?inject
       r_smem = 0; r_occupancy = 0.0; r_counters = Ozo_vgpu.Counters.create ();
       r_check = Error (Fault.to_line fault); r_flops = p.Proxy.p_flops;
       r_fault = Some fault; r_fallbacks = fallbacks; r_phase_us = [];
-      r_hotspots = [] }
+      r_hotspots = []; r_cache = None }
   in
   match attempt ?inject b.C.b_pipe with
   | Ok m -> m

@@ -105,17 +105,25 @@ let pp_ablation ppf (title, rows) =
 let phase_us m name =
   match List.assoc_opt name m.r_phase_us with Some v -> v | None -> 0.0
 
+let cache_str m =
+  match m.r_cache with
+  | None -> "-"
+  | Some (h, ms_, _) ->
+    let total = h + ms_ in
+    if total = 0 then "0/0"
+    else Fmt.str "%d/%d (%.0f%%)" h ms_ (100.0 *. float_of_int h /. float_of_int total)
+
 let pp_phases ppf (title, ms) =
   if List.exists (fun m -> m.r_phase_us <> []) ms then begin
     Fmt.pf ppf "@.%s — host-side phase times (us, from trace)@." title;
-    Fmt.pf ppf "  %-26s %10s %10s %10s %10s@." "build" "compile" "decode" "execute"
-      "readback";
+    Fmt.pf ppf "  %-26s %10s %10s %10s %10s %18s@." "build" "compile" "decode"
+      "execute" "readback" "an.cache hit/miss";
     List.iter
       (fun m ->
         if m.r_phase_us <> [] then
-          Fmt.pf ppf "  %-26s %10.1f %10.1f %10.1f %10.1f@." m.r_build
+          Fmt.pf ppf "  %-26s %10.1f %10.1f %10.1f %10.1f %18s@." m.r_build
             (phase_us m "compile") (phase_us m "decode") (phase_us m "execute")
-            (phase_us m "readback"))
+            (phase_us m "readback") (cache_str m))
       ms
   end
 
@@ -137,10 +145,10 @@ let pp_hotspots ppf (m : measurement) =
 let pp_csv_header ppf () =
   Fmt.pf ppf
     "proxy,build,cycles,regs,smem,occupancy,warp_insts,barriers,check,fault,fallback,\
-     compile_us,decode_us,execute_us,readback_us@."
+     compile_us,decode_us,execute_us,readback_us,cache_hits,cache_misses@."
 
 let pp_csv ppf m =
-  Fmt.pf ppf "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%s,%s,%s,%.1f,%.1f,%.1f,%.1f@." m.r_proxy
+  Fmt.pf ppf "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%d,%d@." m.r_proxy
     m.r_build m.r_cycles m.r_regs m.r_smem m.r_occupancy
     m.r_counters.Ozo_vgpu.Counters.warp_instructions
     m.r_counters.Ozo_vgpu.Counters.barriers
@@ -151,3 +159,5 @@ let pp_csv ppf m =
     (match m.r_fallbacks with [] -> "-" | fbs -> String.concat ">" fbs)
     (phase_us m "compile") (phase_us m "decode") (phase_us m "execute")
     (phase_us m "readback")
+    (match m.r_cache with Some (h, _, _) -> h | None -> 0)
+    (match m.r_cache with Some (_, mi, _) -> mi | None -> 0)

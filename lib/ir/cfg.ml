@@ -88,9 +88,10 @@ let exits t =
     t.blocks []
 
 (* Remove unreachable blocks from a function, dropping phi incomings from
-   removed predecessors. *)
-let prune_unreachable (f : func) : func * bool =
-  let t = of_func f in
+   removed predecessors. [?cfg] accepts a (cached) CFG of [f] so callers
+   holding one — the analysis manager's clients — skip the rebuild. *)
+let prune_unreachable ?cfg (f : func) : func * bool =
+  let t = match cfg with Some t -> t | None -> of_func f in
   let visited = ref SSet.empty in
   let rec dfs l =
     if not (SSet.mem l !visited) then begin

@@ -121,9 +121,10 @@ let analyse (f : func) : t =
   { live_in = !live_in; live_out = !live_out }
 
 (* Maximum register pressure: walk each block backwards from live-out,
-   recording the largest live set seen at any program point. *)
-let max_pressure (f : func) : int =
-  let lv = analyse f in
+   recording the largest live set seen at any program point. The liveness
+   result is a parameter so a caller holding a cached analysis (the
+   analysis manager) does not recompute it. *)
+let max_pressure_with (lv : t) (f : func) : int =
   let best = ref 0 in
   List.iter
     (fun b ->
@@ -143,21 +144,30 @@ let max_pressure (f : func) : int =
     f.f_blocks;
   !best
 
+let max_pressure (f : func) : int = max_pressure_with (analyse f) f
+
 (* Register estimate for a kernel: pressure of the kernel function plus
    the worst-case transitive callee pressure. A GPU ABI without spilling
    keeps the caller's live registers reserved across calls, so chains of
    surviving runtime calls (the opaque old runtime) add up — this is why
    the paper's Fig. 11 shows the old runtime at very high register counts
-   while fully inlined code pays only its own liveness. *)
-let kernel_register_estimate (m : modul) (kernel : func) : int =
-  let pressure_cache = Hashtbl.create 16 in
-  let pressure_of f =
-    match Hashtbl.find_opt pressure_cache f.f_name with
-    | Some p -> p
+   while fully inlined code pays only its own liveness.
+
+   [?pressure_of] lets a caller supply cached per-function pressure (the
+   analysis manager); the default memoizes locally for this one call. *)
+let kernel_register_estimate ?pressure_of (m : modul) (kernel : func) : int =
+  let pressure_of =
+    match pressure_of with
+    | Some fn -> fn
     | None ->
-      let p = max_pressure f in
-      Hashtbl.replace pressure_cache f.f_name p;
-      p
+      let pressure_cache = Hashtbl.create 16 in
+      fun f ->
+        (match Hashtbl.find_opt pressure_cache f.f_name with
+        | Some p -> p
+        | None ->
+          let p = max_pressure f in
+          Hashtbl.replace pressure_cache f.f_name p;
+          p)
   in
   let rec total seen f =
     if List.mem f.f_name seen then pressure_of f (* recursion: cut off *)

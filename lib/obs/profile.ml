@@ -85,10 +85,34 @@ let pp_hotspots ppf cx =
       rows;
     Fmt.pf ppf "@]"
 
+(* analysis-cache counters from the pipeline's "analysis-cache" instant
+   (args: hits, misses, invalidations, hit_rate_pct); last one wins when
+   several pipelines ran under this ctx *)
+let cache_counters cx =
+  match List.rev (Trace.instants_named cx "analysis-cache") with
+  | [] -> None
+  | i :: _ ->
+    let get k =
+      match List.assoc_opt k i.Trace.i_args with Some (Trace.Int v) -> v | _ -> 0
+    in
+    let rate =
+      match List.assoc_opt "hit_rate_pct" i.Trace.i_args with
+      | Some (Trace.Float f) -> f
+      | _ -> 0.0
+    in
+    Some (get "hits", get "misses", get "invalidations", rate)
+
+let pp_cache ppf cx =
+  match cache_counters cx with
+  | None -> Fmt.pf ppf "(no analysis-cache data; the compile was not traced)"
+  | Some (h, m, inv, rate) ->
+    Fmt.pf ppf "%d hits, %d misses, %d invalidations (%.0f%% hit rate)" h m inv rate
+
 let pp_report ppf cx =
   Trace.close_all cx;
   Fmt.pf ppf "@[<v>== span tree ==@,%a@,== totals by span ==@,%a@," pp_tree cx
     pp_aggregates cx;
+  Fmt.pf ppf "== analysis cache ==@,%a@," pp_cache cx;
   Fmt.pf ppf "== hot spots ==@,%a@]" pp_hotspots cx
 
 let report_to_string cx = Fmt.str "%a" pp_report cx

@@ -141,6 +141,14 @@ let spans_named cx name =
     | _ -> ());
   List.rev !acc
 
+(* all instants named [name], in recording order *)
+let instants_named cx name =
+  let acc = ref [] in
+  iter cx (function
+    | Instant i when i.i_name = name -> acc := i :: !acc
+    | _ -> ());
+  List.rev !acc
+
 (* duration of the most recent completed span named [name] (0 if none) *)
 let last_dur cx name =
   match List.rev (spans_named cx name) with

@@ -113,11 +113,13 @@ let run ?(sink = Remarks.drop) (m : modul) : modul * bool =
           let f', n = process_function m f in
           if n > 0 then begin
             changed := true;
-            Remarks.applied sink ~pass ~func:f.f_name "removed %d redundant aligned barriers" n
-          end;
-          f'
+            Remarks.applied sink ~pass ~func:f.f_name "removed %d redundant aligned barriers" n;
+            f'
+          end
+          else f (* process_function rebuilds records even when it removes
+                    nothing; keep the original for physical identity *)
         end
         else f)
       m.m_funcs
   in
-  ({ m with m_funcs = funcs }, !changed)
+  if !changed then ({ m with m_funcs = funcs }, true) else (m, false)

@@ -40,9 +40,9 @@ let key_of = function
   | Intrinsic (_, i) -> Some (KIntr i)
   | _ -> None
 
-let run_function (f : func) : func * bool =
-  let cfg = Cfg.of_func f in
-  let dom = Dominance.dominators cfg in
+let run_function (am : Analysis.t) (f : func) : func * bool =
+  let cfg = Analysis.cfg am f in
+  let dom = Analysis.dominators am f in
   let changed = ref false in
   let subst : (reg, operand) Hashtbl.t = Hashtbl.create 32 in
   let chase o =
@@ -118,14 +118,15 @@ let run_function (f : func) : func * bool =
     ({ f with f_blocks = blocks }, true)
   end
 
-let run (m : modul) : modul * bool =
+let run ?am (m : modul) : modul * bool =
+  let am = match am with Some a -> a | None -> Analysis.create () in
   let changed = ref false in
   let funcs =
     List.map
       (fun f ->
-        let f', ch = run_function f in
+        let f', ch = run_function am f in
         if ch then changed := true;
         f')
       m.m_funcs
   in
-  ({ m with m_funcs = funcs }, !changed)
+  if !changed then ({ m with m_funcs = funcs }, true) else (m, false)

@@ -157,4 +157,4 @@ let run ?(sink = Remarks.drop) (m : modul) : modul * bool =
     end
   in
   let funcs = List.map process m.m_funcs in
-  ({ m with m_funcs = funcs }, !changed)
+  if !changed then ({ m with m_funcs = funcs }, true) else (m, false)

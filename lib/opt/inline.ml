@@ -190,8 +190,9 @@ let site = ref 0
 
 (* One inlining sweep over the module: each function inlines its eligible
    call sites (one nesting level per sweep; the pipeline iterates). *)
-let run ?(sink = Remarks.drop) (m : modul) : modul * bool =
-  let cg = Callgraph.build m in
+let run ?am ?(sink = Remarks.drop) (m : modul) : modul * bool =
+  let am = match am with Some a -> a | None -> Analysis.create () in
+  let cg = Analysis.callgraph am m in
   let changed = ref false in
   let process f =
     if List.mem Attr_no_inline f.f_attrs then f
@@ -229,4 +230,4 @@ let run ?(sink = Remarks.drop) (m : modul) : modul * bool =
     end
   in
   let funcs = List.map process m.m_funcs in
-  ({ m with m_funcs = funcs }, !changed)
+  if !changed then ({ m with m_funcs = funcs }, true) else (m, false)

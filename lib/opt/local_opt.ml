@@ -222,8 +222,10 @@ let rec chase subst o =
     | _ -> o)
   | _ -> o
 
-let simplify_function (m : modul) (pure : SSet.t) (f : func) : func * bool =
+let simplify_function (am : Analysis.t) (m : modul) (pure : SSet.t) (f : func) :
+    func * bool =
   ignore m;
+  let orig = f in
   let changed = ref false in
   let subst : (reg, operand) Hashtbl.t = Hashtbl.create 32 in
   let f = ref f in
@@ -306,8 +308,8 @@ let simplify_function (m : modul) (pure : SSet.t) (f : func) : func * bool =
       { b with b_insts = insts; b_phis = phis; b_term = term }
     in
     f := { !f with f_blocks = List.map fold_block !f.f_blocks };
-    (* 2. prune unreachable blocks *)
-    let f2, ch = Cfg.prune_unreachable !f in
+    (* 2. prune unreachable blocks (reusing the manager's CFG) *)
+    let f2, ch = Cfg.prune_unreachable ~cfg:(Analysis.cfg am !f) !f in
     if ch then begin
       changed := true;
       continue_ := true
@@ -318,7 +320,7 @@ let simplify_function (m : modul) (pure : SSet.t) (f : func) : func * bool =
        table so a block that already absorbed others is merged with its
        current (not stale) body; predecessor *counts* are invariant under
        merging, so the initial CFG's counts stay valid. *)
-    let cfg = Cfg.of_func !f in
+    let cfg = Analysis.cfg am !f in
     let current : (label, block) Hashtbl.t = Hashtbl.create 16 in
     List.iter (fun b -> Hashtbl.replace current b.b_label b) !f.f_blocks;
     let merged = ref SSet.empty in
@@ -440,15 +442,18 @@ let simplify_function (m : modul) (pure : SSet.t) (f : func) : func * bool =
     in
     f := { !f with f_blocks = blocks }
   done;
-  (!f, !changed)
+  (* the rewrite loop rebuilds records even on no-op iterations; return the
+     original so the analysis manager sees physical identity *)
+  if !changed then (!f, true) else (orig, false)
 
-let run (m : modul) : modul * bool =
+let run ?am (m : modul) : modul * bool =
+  let am = match am with Some a -> a | None -> Analysis.create () in
   let pure = pure_functions m in
   let changed = ref false in
   let funcs =
     List.map
       (fun f ->
-        let f', ch = try simplify_function m pure f with Failure msg ->
+        let f', ch = try simplify_function am m pure f with Failure msg ->
           Fmt.epr "INPUT WAS:@.%a@." Ozo_ir.Printer.pp_func f;
           failwith msg
         in
@@ -456,4 +461,4 @@ let run (m : modul) : modul * bool =
         f')
       m.m_funcs
   in
-  ({ m with m_funcs = funcs }, !changed)
+  if !changed then ({ m with m_funcs = funcs }, true) else (m, false)

@@ -171,21 +171,6 @@ type fctx = {
   fc_alloca_escaped : (reg, unit) Hashtbl.t;
 }
 
-let block_reach_map (cfg : Cfg.t) : SSet.t SMap.t =
-  List.fold_left
-    (fun acc l ->
-      (* DFS from l's successors *)
-      let seen = ref SSet.empty in
-      let rec dfs x =
-        if not (SSet.mem x !seen) then begin
-          seen := SSet.add x !seen;
-          List.iter dfs (Cfg.succs cfg x)
-        end
-      in
-      List.iter dfs (Cfg.succs cfg l);
-      SMap.add l !seen acc)
-    SMap.empty (Cfg.labels cfg)
-
 (* does execution at [a] possibly reach [b] later? *)
 let reaches ctx a b =
   let block_reaches x y =
@@ -208,11 +193,10 @@ let overlap off1 size1 = function
 (* store sizes are 1/4/8; treating them as ≤8 keeps this simple and
    conservative *)
 
-let analyze_function (f : func) : fctx =
+let analyze_function (am : Analysis.t) (f : func) : fctx =
   let defs = Ptrres.build_defs f in
-  let cfg = Cfg.of_func f in
-  let dom = Dominance.dominators cfg in
-  let breach = block_reach_map cfg in
+  let dom = Analysis.dominators am f in
+  let breach = Analysis.reachability am f in
   let accesses = ref [] in
   let alloca_escaped = Hashtbl.create 8 in
   let mark_alloca_escape o =
@@ -328,15 +312,17 @@ let value_is_const = function
 
 (* ---------- the transform ---------------------------------------------- *)
 
-let run ?(sink = Remarks.drop) ?(opts = all_on) (m : modul) : modul * bool =
+let run ?am ?(sink = Remarks.drop) ?(opts = all_on) (m : modul) : modul * bool =
   if not opts.b1 then (m, false)
   else begin
+    let am = match am with Some a -> a | None -> Analysis.create () in
     let gagg = aggregate m in
     let ga g = Hashtbl.find_opt gagg g in
     let find_global g = Ozo_ir.Types.find_global m g in
     let changed = ref false in
     let rewrite_function (f : func) : func =
-      let ctx = analyze_function f in
+      let ctx = analyze_function am f in
+      let fchanged = ref false in
       let subst : (reg, operand) Hashtbl.t = Hashtbl.create 16 in
       (* ---- load folding ---- *)
       let try_fold_load ~loc ~dst ~typ ~addr =
@@ -474,7 +460,7 @@ let run ?(sink = Remarks.drop) ?(opts = all_on) (m : modul) : modul * bool =
                     match try_fold_load ~loc ~dst ~typ ~addr with
                     | Some v ->
                       Hashtbl.replace subst dst v;
-                      changed := true;
+                      fchanged := true;
                       Remarks.applied sink ~pass ~func:f.f_name
                         "folded load %%%d (%s) to %s" dst
                         (match resolve ctx.fc_defs addr with
@@ -490,7 +476,7 @@ let run ?(sink = Remarks.drop) ?(opts = all_on) (m : modul) : modul * bool =
                   | Store (_, _, addr) ->
                     ignore loc;
                     if store_is_dead ~res:(resolve ctx.fc_defs addr) then begin
-                      changed := true;
+                      fchanged := true;
                       false
                     end
                     else true
@@ -500,21 +486,25 @@ let run ?(sink = Remarks.drop) ?(opts = all_on) (m : modul) : modul * bool =
             { b with b_insts = insts })
           f.f_blocks
       in
-      (* apply substitutions *)
-      let chase o = match o with Reg r -> Option.value ~default:o (Hashtbl.find_opt subst r) | _ -> o in
-      let blocks =
-        List.map
-          (fun b ->
-            { b with
-              b_phis = List.map (map_phi_operands chase) b.b_phis;
-              b_insts = List.map (map_inst_operands chase) b.b_insts;
-              b_term = map_term_operands chase b.b_term })
-          blocks
-      in
-      { f with f_blocks = blocks }
+      if not !fchanged then f (* physical identity for the analysis cache *)
+      else begin
+        changed := true;
+        (* apply substitutions *)
+        let chase o = match o with Reg r -> Option.value ~default:o (Hashtbl.find_opt subst r) | _ -> o in
+        let blocks =
+          List.map
+            (fun b ->
+              { b with
+                b_phis = List.map (map_phi_operands chase) b.b_phis;
+                b_insts = List.map (map_inst_operands chase) b.b_insts;
+                b_term = map_term_operands chase b.b_term })
+            blocks
+        in
+        { f with f_blocks = blocks }
+      end
     in
     let funcs = List.map rewrite_function m.m_funcs in
-    ({ m with m_funcs = funcs }, !changed)
+    if !changed then ({ m with m_funcs = funcs }, true) else (m, false)
   end
 
 (* Remove all assume instructions: run once facts have been consumed, so
@@ -524,21 +514,27 @@ let drop_assumes (m : modul) : modul * bool =
   let funcs =
     List.map
       (fun f ->
-        { f with
-          f_blocks =
-            List.map
-              (fun b ->
-                let insts =
-                  List.filter
-                    (function
-                      | Assume _ ->
-                        changed := true;
-                        false
-                      | _ -> true)
-                    b.b_insts
-                in
-                { b with b_insts = insts })
-              f.f_blocks })
+        let fchanged = ref false in
+        let blocks =
+          List.map
+            (fun b ->
+              let insts =
+                List.filter
+                  (function
+                    | Assume _ ->
+                      fchanged := true;
+                      false
+                    | _ -> true)
+                  b.b_insts
+              in
+              if !fchanged then { b with b_insts = insts } else b)
+            f.f_blocks
+        in
+        if !fchanged then begin
+          changed := true;
+          { f with f_blocks = blocks }
+        end
+        else f)
       m.m_funcs
   in
-  ({ m with m_funcs = funcs }, !changed)
+  if !changed then ({ m with m_funcs = funcs }, true) else (m, false)

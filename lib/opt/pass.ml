@@ -1,16 +1,25 @@
 (* First-class optimization passes. Lifting each pass into a [t] lets
    the pipeline drive a plain list: tracing spans, per-step IR
-   verification, and the changed-flag fixpoint logic all attach in one
-   place instead of via hand-rolled step calls per pass. *)
+   verification, analysis-cache invalidation and the changed-flag
+   fixpoint logic all attach in one place instead of via hand-rolled step
+   calls per pass.
+
+   Every pass receives the analysis manager and declares which analyses
+   it preserves when it changes the module; [Pipeline.apply_pass] uses
+   the declaration (together with the changed flag and physical identity
+   of the function records) to invalidate only what was clobbered. *)
 
 open Ozo_ir.Types
 
 type t = {
   name : string;
-  run : Remarks.sink -> modul -> modul * bool;
+  (* what stays valid when this pass reports [changed = true]; a pass
+     returning [changed = false] invalidates nothing regardless *)
+  preserves : Analysis.preserved;
+  run : Analysis.t -> Remarks.sink -> modul -> modul * bool;
 }
 
-let v name run = { name; run }
+let v name ~preserves run = { name; preserves; run }
 
 (* lift a pass that takes no remarks sink *)
-let pure name run = { name; run = (fun _sink m -> run m) }
+let pure name ~preserves run = { name; preserves; run = (fun am _sink m -> run am m) }

@@ -93,16 +93,70 @@ let disable (feat : feature) (c : config) : config =
 
 (* ---------- pass lists -------------------------------------------------- *)
 
-let p_inline = Pass.v "inline" (fun sink m -> Inline.run ~sink m)
-let p_local_opt name = Pass.pure name Local_opt.run
-let p_cse = Pass.pure "cse" Cse.run
-let p_strip name = Pass.v name (fun sink m -> Strip.run ~sink m)
-let p_internalize = Pass.v "internalize" (fun sink m -> Internalize.run ~sink m)
-let p_spmdize = Pass.v "spmdize" (fun sink m -> Spmdize.run ~sink m)
-let p_globalization = Pass.v "globalization" (fun sink m -> Globalization.run ~sink m)
-let p_memfold opts = Pass.v "memfold" (fun sink m -> Memfold.run ~sink ~opts m)
-let p_drop_assumes = Pass.pure "drop_assumes" Memfold.drop_assumes
-let p_barrier_elim = Pass.v "barrier_elim" (fun sink m -> Barrier_elim.run ~sink m)
+(* Preserved-analyses declarations (consulted only when a pass reports a
+   change; see [Analysis.preserved]):
+   - inline and local_opt restructure CFGs and calls: preserve nothing;
+   - cse deletes pure non-call instructions within blocks: CFG shape and
+     calls survive, liveness does not;
+   - strip only removes whole functions/globals — surviving bodies are
+     untouched, so per-function analyses hold; the call graph does not;
+   - internalize rewrites call targets in every function (registers and
+     shapes intact) and adds clones: call graph invalidated;
+   - spmdize splits blocks around guards and flips init-mode constants:
+     function-local analyses gone, the call-edge set survives;
+   - globalization swaps alloc_shared/free_shared calls for allocas
+     within blocks: shape intact, calls not;
+   - memfold and drop_assumes delete loads/stores/assumes within blocks:
+     shape and calls intact;
+   - barrier_elim removes barrier instructions and aligned-barrier calls
+     within blocks: shape intact, calls not. *)
+
+let p_inline =
+  Pass.v "inline" ~preserves:Analysis.preserve_none (fun am sink m ->
+      Inline.run ~am ~sink m)
+
+let p_local_opt name =
+  Pass.pure name ~preserves:Analysis.preserve_none (fun am m -> Local_opt.run ~am m)
+
+let p_cse =
+  Pass.pure "cse"
+    ~preserves:{ Analysis.pr_cfg = true; pr_live = false; pr_calls = true }
+    (fun am m -> Cse.run ~am m)
+
+let p_strip name =
+  Pass.v name
+    ~preserves:{ Analysis.pr_cfg = true; pr_live = true; pr_calls = false }
+    (fun _am sink m -> Strip.run ~sink m)
+
+let p_internalize =
+  Pass.v "internalize"
+    ~preserves:{ Analysis.pr_cfg = true; pr_live = true; pr_calls = false }
+    (fun _am sink m -> Internalize.run ~sink m)
+
+let p_spmdize =
+  Pass.v "spmdize"
+    ~preserves:{ Analysis.pr_cfg = false; pr_live = false; pr_calls = true }
+    (fun _am sink m -> Spmdize.run ~sink m)
+
+let p_globalization =
+  Pass.v "globalization"
+    ~preserves:{ Analysis.pr_cfg = true; pr_live = false; pr_calls = false }
+    (fun _am sink m -> Globalization.run ~sink m)
+
+let p_memfold opts =
+  Pass.v "memfold"
+    ~preserves:{ Analysis.pr_cfg = true; pr_live = false; pr_calls = true }
+    (fun am sink m -> Memfold.run ~am ~sink ~opts m)
+
+let p_drop_assumes =
+  Pass.pure "drop_assumes"
+    ~preserves:{ Analysis.pr_cfg = true; pr_live = false; pr_calls = true }
+    (fun _am m -> Memfold.drop_assumes m)
+
+let p_barrier_elim =
+  Pass.v "barrier_elim"
+    ~preserves:{ Analysis.pr_cfg = true; pr_live = false; pr_calls = false }
+    (fun _am sink m -> Barrier_elim.run ~sink m)
 
 let opt_pass cond p = if cond then [ p ] else []
 
@@ -136,9 +190,23 @@ let barrier_tail_passes cfg =
 
 (* ---------- the driver -------------------------------------------------- *)
 
-(* When set, the IR is verified after every pass — used by the test suite
-   and while debugging pass bugs; off by default for speed. *)
-let verify_each_step = ref false
+(* Per-run options (no module-level mutable state):
+   - [verify_each_step]: IR verification after every pass — test suite /
+     pass debugging; off by default for speed.
+   - [check_invalidation]: assert after every pass that every cached
+     analysis equals a fresh recomputation ([Analysis.check_coherent]) —
+     the differential stale-cache check; off by default.
+   - [caching]: analysis caching on/off (off gives the pre-manager
+     recompute-everything behaviour, used for A/B compile-time
+     measurements). *)
+type opts = {
+  verify_each_step : bool;
+  check_invalidation : bool;
+  caching : bool;
+}
+
+let default_opts =
+  { verify_each_step = false; check_invalidation = false; caching = true }
 
 let module_stats (m : modul) =
   let nblocks = ref 0 and ninsts = ref 0 in
@@ -169,41 +237,80 @@ let verify_after (p : Pass.t) before m =
     | [] -> ());
     failwith ("pipeline: IR invalid after " ^ p.Pass.name)
 
-(* Run one pass: span + IR-delta annotation when traced, optional IR
-   verification, changed-flag accumulation. *)
-let apply_pass trace sink changed (p : Pass.t) (m : modul) : modul =
+(* Run one pass: span + IR-delta + analysis-cache annotation when traced,
+   declaration-driven cache invalidation, optional IR verification and
+   cache-coherence checking, changed-flag accumulation. [before_stats]
+   carries the previous pass's after-stats within a pass list so traced
+   runs compute [module_stats] once per pass, not twice. *)
+let apply_pass opts am trace sink changed (p : Pass.t) (m : modul) before_stats :
+    modul * (int * int * int) option =
   let traced = Trace.enabled trace in
-  let before_stats = if traced then module_stats m else (0, 0, 0) in
+  let before_stats =
+    if traced then
+      match before_stats with Some s -> s | None -> module_stats m
+    else (0, 0, 0)
+  in
+  let st = Analysis.stats am in
+  let h0 = st.Analysis.st_hits and ms0 = st.Analysis.st_misses in
   Trace.begin_span trace ~cat:"pass" ("pass:" ^ p.Pass.name);
   let before = m in
   let m, ch =
-    match p.Pass.run sink m with
+    match p.Pass.run am sink m with
     | r -> r
     | exception e ->
       Trace.end_span trace ();
       raise e
   in
-  if ch then changed := true;
-  if traced then begin
-    let f0, b0, i0 = before_stats in
-    let f1, b1, i1 = module_stats m in
-    Trace.end_span trace
-      ~args:
-        [ ("changed", Trace.Int (if ch then 1 else 0));
-          ("funcs_removed", Trace.Int (f0 - f1));
-          ("blocks_removed", Trace.Int (b0 - b1));
-          ("insts_removed", Trace.Int (i0 - i1)) ]
-      ()
-  end
-  else Trace.end_span trace ();
-  if !verify_each_step then verify_after p before m;
-  m
+  if ch then begin
+    changed := true;
+    (* a pass reporting no change invalidates nothing; one that changed
+       the module invalidates per its declaration, and only for the
+       functions it actually touched (physical identity diff) *)
+    Analysis.invalidate am ~preserved:p.Pass.preserves ~before ~after:m
+  end;
+  let after_stats =
+    if traced then begin
+      let (f1, b1, i1) as s = module_stats m in
+      let f0, b0, i0 = before_stats in
+      Trace.end_span trace
+        ~args:
+          [ ("changed", Trace.Int (if ch then 1 else 0));
+            ("funcs_removed", Trace.Int (f0 - f1));
+            ("blocks_removed", Trace.Int (b0 - b1));
+            ("insts_removed", Trace.Int (i0 - i1));
+            ("analysis_hits", Trace.Int (st.Analysis.st_hits - h0));
+            ("analysis_misses", Trace.Int (st.Analysis.st_misses - ms0)) ]
+        ();
+      Some s
+    end
+    else begin
+      Trace.end_span trace ();
+      None
+    end
+  in
+  if opts.verify_each_step then verify_after p before m;
+  if opts.check_invalidation then begin
+    match Analysis.check_coherent am m with
+    | Ok () -> ()
+    | Error e -> failwith ("analysis cache incoherent after " ^ p.Pass.name ^ ": " ^ e)
+  end;
+  (m, after_stats)
 
-let run_list trace sink changed passes m =
-  List.fold_left (fun m p -> apply_pass trace sink changed p m) m passes
+(* The after-stats of pass N feed pass N+1 as its before-stats; the chain
+   resets between lists (module identity across lists is unchanged, so
+   correctness is unaffected — only the first traced pass of a list pays
+   the extra stats walk). *)
+let run_list opts am trace sink changed passes m =
+  fst
+    (List.fold_left
+       (fun (m, stats) p -> apply_pass opts am trace sink changed p m stats)
+       (m, None) passes)
 
-let run ?(trace = Trace.null) ?(sink = Remarks.drop) (cfg : config) (m : modul) :
-    modul =
+let run ?(opts = default_opts) ?am ?(trace = Trace.null) ?(sink = Remarks.drop)
+    (cfg : config) (m : modul) : modul =
+  let am =
+    match am with Some a -> a | None -> Analysis.create ~caching:opts.caching ()
+  in
   if cfg.rounds = 0 then m
   else
     Trace.with_span trace ~cat:"pipeline"
@@ -211,7 +318,7 @@ let run ?(trace = Trace.null) ?(sink = Remarks.drop) (cfg : config) (m : modul) 
       ("pipeline:" ^ cfg.name)
       (fun () ->
         let ignored = ref false in
-        let m = ref (run_list trace sink ignored (prelude_passes cfg) m) in
+        let m = ref (run_list opts am trace sink ignored (prelude_passes cfg) m) in
         let rounds = round_passes cfg in
         let round = ref 0 in
         let any = ref true in
@@ -221,9 +328,17 @@ let run ?(trace = Trace.null) ?(sink = Remarks.drop) (cfg : config) (m : modul) 
           m :=
             Trace.with_span trace ~cat:"round"
               ("round:" ^ string_of_int !round)
-              (fun () -> run_list trace sink changed rounds !m);
+              (fun () -> run_list opts am trace sink changed rounds !m);
           any := !changed
         done;
-        m := run_list trace sink ignored (tail_passes cfg) !m;
-        m := run_list trace sink ignored (barrier_tail_passes cfg) !m;
+        m := run_list opts am trace sink ignored (tail_passes cfg) !m;
+        m := run_list opts am trace sink ignored (barrier_tail_passes cfg) !m;
+        let st = Analysis.stats am in
+        Trace.instant trace ~cat:"analysis"
+          ~args:
+            [ ("hits", Trace.Int st.Analysis.st_hits);
+              ("misses", Trace.Int st.Analysis.st_misses);
+              ("invalidations", Trace.Int st.Analysis.st_invalidations);
+              ("hit_rate_pct", Trace.Float (Analysis.hit_rate st)) ]
+          "analysis-cache";
         !m)

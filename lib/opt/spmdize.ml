@@ -213,7 +213,7 @@ let run ?(sink = Remarks.drop) (m : modul) : modul * bool =
     end
   in
   let funcs = List.map process m.m_funcs in
-  ({ m with m_funcs = funcs }, !changed)
+  if !changed then ({ m with m_funcs = funcs }, true) else (m, false)
 
 (* Execution mode of a kernel, read back from the IR (the launch side
    needs it to size the team: generic mode hosts the main thread in an

@@ -60,6 +60,7 @@ let live_functions (m : modul) : SSet.t =
   !live
 
 let run ?(sink = Remarks.drop) (m : modul) : modul * bool =
+  let orig = m in
   let live = live_functions m in
   let changed = ref false in
   let funcs =
@@ -92,4 +93,4 @@ let run ?(sink = Remarks.drop) (m : modul) : modul * bool =
         end)
       m.m_globals
   in
-  ({ m with m_globals = globals }, !changed)
+  if !changed then ({ m with m_globals = globals }, true) else (orig, false)

@@ -21,6 +21,19 @@ echo "== injection smoke campaign =="
 "$CLI" campaign xsbench --small --inject corrupt-load --seed 5
 "$CLI" campaign rsbench --small --inject skip-barrier --seed 11
 
+echo "== analysis manager: differential invalidation =="
+# every pass x config x proxy with after-each-pass coherence checking,
+# plus the cached-vs-uncached bit-identical IR pin
+dune exec test/test_main.exe -- test analysis
+
+echo "== analysis cache smoke =="
+# --profile prints "analysis cache: N hits, ..."; require a nonzero hit
+# count so a silently-disabled cache fails CI
+hits=$("$CLI" run xsbench --small --profile | sed -n 's/^analysis cache: \([0-9]*\) hits.*/\1/p')
+[ -n "$hits" ] && [ "$hits" -gt 0 ] || {
+  echo "FAIL: analysis cache reported no hits (got '${hits:-}')"; exit 1; }
+echo "analysis cache hits: $hits"
+
 echo "== trace smoke =="
 # emit a Chrome trace and re-validate it: schema, pass-span nesting under
 # the compile span, phase spans under the launch span, hot-spot events

@@ -9,6 +9,7 @@ let () =
       ("local-opt", Test_localopt.suite);
       ("memfold", Test_memfold.suite);
       ("passes", Test_passes.suite);
+      ("analysis", Test_analysis.suite);
       ("pipeline", Test_pipeline.suite);
       ("parser", Test_parser.suite);
       ("components", Test_components.suite);
