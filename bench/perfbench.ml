@@ -261,6 +261,51 @@ let pipeline_suite ~iters =
   [ time_run ~iters ~name:"pipeline/full-cached" (run_all ~caching:true);
     time_run ~iters ~name:"pipeline/full-uncached" (run_all ~caching:false) ]
 
+(* Backend suite: the late lowering stage (register allocation, SSA
+   destruction to VM form, SMem layout, occupancy) over every small
+   proxy's optimized module — once at the default budget (the cost every
+   compile now pays) and once at a spill-forcing budget (adds the IR
+   spill rewrite + re-verification-sized work). Modules are optimized
+   outside the timer, so the samples isolate [Backend.run].
+   [s_issues] reports VM instructions emitted per iteration. *)
+let backend_suite ~iters =
+  let module Pipeline = Ozo_opt.Pipeline in
+  let module C = Ozo_core.Codesign in
+  let module Proxy = Ozo_proxies.Proxy in
+  let module Backend = Ozo_backend.Lower in
+  let module Machine = Ozo_backend.Machine in
+  let module Vm = Ozo_backend.Vm in
+  let optimized =
+    List.map
+      (fun p ->
+        let b = E.new_rt_for p in
+        let k = Proxy.kernel_for p b.C.b_abi in
+        let app = Ozo_frontend.Lower.lower ~abi:b.C.b_abi k in
+        let linked =
+          match b.C.b_rt with
+          | None -> app
+          | Some rt -> Ozo_ir.Linker.link app (Ozo_runtime.Runtime.build rt)
+        in
+        (k.Ozo_frontend.Ast.k_name, Pipeline.run Pipeline.full linked))
+      (Registry.all_small ())
+  in
+  let vm_insts (s : Backend.summary) =
+    List.fold_left
+      (fun acc vf ->
+        List.fold_left
+          (fun acc vb -> acc + List.length vb.Vm.vb_insts)
+          acc vf.Vm.vf_blocks)
+      0 s.Backend.lw_program.Vm.pr_funcs
+  in
+  let lower_all machine () =
+    List.fold_left
+      (fun acc (kernel, m) -> acc + vm_insts (Backend.run ~machine m ~kernel))
+      0 optimized
+  in
+  [ time_run ~iters ~name:"backend/lower" (lower_all Machine.vgpu);
+    time_run ~iters ~name:"backend/lower-spill"
+      (lower_all (Machine.with_reg_budget 8 Machine.vgpu)) ]
+
 (* End-to-end: the `bench/main.exe csv` workload (all figures' raw rows). *)
 let e2e_csv ~small () =
   let pool = if small then Registry.all_small () else Registry.all () in
@@ -324,6 +369,7 @@ let () =
   let samples =
     samples @ pipeline_suite ~iters:(if !smoke then 1 else 10)
   in
+  let samples = samples @ backend_suite ~iters:(if !smoke then 1 else 10) in
   let e2e =
     if !smoke then
       [ time_run ~iters:1 ~name:"e2e/csv-small" (e2e_csv ~small:true) ]

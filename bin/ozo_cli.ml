@@ -283,6 +283,98 @@ let trace_cmd =
           trace-event JSON (chrome://tracing / Perfetto) and print the profile")
     Term.(const run $ proxy_arg $ build_arg $ small_arg $ out_arg $ check_arg)
 
+(* --- regs ---------------------------------------------------------------- *)
+
+let regs_cmd =
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV rows.")
+  in
+  let machine_arg =
+    let doc = "Machine descriptor for the occupancy model: vgpu or a100." in
+    Arg.(value & opt string "vgpu" & info [ "machine"; "m" ] ~docv:"MACHINE" ~doc)
+  in
+  let max_regs_arg =
+    let doc =
+      "Override the per-thread register budget (forces spilling below the \
+       kernel's natural pressure)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-regs" ] ~docv:"N" ~doc)
+  in
+  let run name small csv machine max_regs =
+    handle
+      (let ( let* ) = Result.bind in
+       let* p = find_proxy small name in
+       let* machine =
+         match Ozo_backend.Machine.find machine with
+         | Some m -> Ok m
+         | None -> Error (`Msg ("unknown machine " ^ machine ^ " (vgpu|a100)"))
+       in
+       let machine =
+         match max_regs with
+         | Some n -> Ozo_backend.Machine.with_reg_budget n machine
+         | None -> machine
+       in
+       let builds = E.builds_for p in
+       let rows =
+         List.map
+           (fun b ->
+             let c = C.compile ~machine b (Proxy.kernel_for p b.C.b_abi) in
+             let hw = C.hw_threads c ~threads:p.Proxy.p_threads in
+             let occ =
+               Ozo_backend.Machine.occupancy machine ~threads_per_team:hw
+                 ~regs_per_thread:c.C.c_regs ~shared_per_team:c.C.c_smem
+             in
+             (b, c, occ))
+           builds
+       in
+       if csv then begin
+         Fmt.pr
+           "proxy,build,machine,regs,smem,smem_runtime,smem_globalized,occupancy,\
+            limiter,teams_per_sm,spilled,spill_loads,spill_stores,frame_bytes@.";
+         List.iter
+           (fun (b, c, occ) ->
+             let l = c.C.c_lower in
+             let module M = Ozo_backend.Machine in
+             let module L = Ozo_backend.Lower in
+             let module S = Ozo_backend.Smem in
+             Fmt.pr "%s,%s,%s,%d,%d,%d,%d,%.3f,%s,%d,%d,%d,%d,%d@." p.Proxy.p_name
+               b.C.b_label machine.M.mc_name c.C.c_regs c.C.c_smem
+               l.L.lw_layout.S.ly_runtime l.L.lw_layout.S.ly_globalized
+               occ.M.occ_fraction
+               (M.limiter_name occ.M.occ_limiter)
+               occ.M.occ_teams_per_sm l.L.lw_spilled_regs l.L.lw_spill_loads
+               l.L.lw_spill_stores l.L.lw_frame_bytes)
+           rows
+       end
+       else begin
+         Fmt.pr "%s — per-kernel resources on %s (budget %d regs/thread)@."
+           p.Proxy.p_name machine.Ozo_backend.Machine.mc_name
+           machine.Ozo_backend.Machine.mc_max_regs_per_thread;
+         Fmt.pr "  %-26s %6s %9s %18s %7s %7s %8s %8s@." "build" "#regs" "smem(B)"
+           "smem(rt/glob)" "occup" "spilled" "ld/st" "frame(B)";
+         List.iter
+           (fun (b, c, occ) ->
+             let l = c.C.c_lower in
+             let module M = Ozo_backend.Machine in
+             let module L = Ozo_backend.Lower in
+             let module S = Ozo_backend.Smem in
+             Fmt.pr "  %-26s %6d %9d %12d/%-5d %6.2f* %7d %4d/%-4d %8d@."
+               b.C.b_label c.C.c_regs c.C.c_smem l.L.lw_layout.S.ly_runtime
+               l.L.lw_layout.S.ly_globalized occ.M.occ_fraction
+               l.L.lw_spilled_regs l.L.lw_spill_loads l.L.lw_spill_stores
+               l.L.lw_frame_bytes;
+             Fmt.pr "    %a@." M.pp_occupancy occ)
+           rows
+       end;
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "regs"
+       ~doc:
+         "Show the backend's per-kernel resource table (registers, shared \
+          memory, occupancy, spills) for every build configuration")
+    Term.(const run $ proxy_arg $ small_arg $ csv_arg $ machine_arg $ max_regs_arg)
+
 (* --- ablate -------------------------------------------------------------- *)
 
 let ablate_cmd =
@@ -359,5 +451,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "ozo_cli" ~doc)
-          [ list_cmd; run_cmd; inspect_cmd; remarks_cmd; trace_cmd; ablate_cmd;
-            sanitize_cmd; campaign_cmd ]))
+          [ list_cmd; run_cmd; inspect_cmd; remarks_cmd; trace_cmd; regs_cmd;
+            ablate_cmd; sanitize_cmd; campaign_cmd ]))

@@ -1,0 +1,156 @@
+(* Machine descriptors and the occupancy calculator.
+
+   A [t] captures the per-SM resource limits the late lowering stage
+   allocates against: the register file and its allocation granularity,
+   the shared-memory scratchpad and its granularity, and the residency
+   ceilings (threads, warps, thread blocks). Two descriptors are
+   provided:
+
+   - [vgpu] mirrors [Ozo_vgpu.Cost.default] exactly (it is *derived*
+     from it, so the two cannot drift): granularity 1, no warp rounding.
+     Under [vgpu] the occupancy numbers below are bit-identical to the
+     cost model's original [Cost.occupancy], which keeps every default
+     simulation unchanged while routing the calculation through the
+     backend.
+
+   - [a100] models an NVIDIA A100 (GA100) SM: 64K 32-bit registers
+     allocated per warp in units of 256, at most 255 registers per
+     thread before the compiler must spill, 164 KB of configurable
+     shared memory, 2048 resident threads / 64 warps / 32 blocks. These
+     are the limits the paper's Nsight-reported register and SMem
+     figures are judged against.
+
+   [max_regs_per_thread] doubles as the register allocator's budget:
+   virtual registers beyond it spill to local memory (Regalloc). *)
+
+type t = {
+  mc_name : string;
+  mc_warp_size : int;
+  mc_n_sm : int;
+  mc_max_threads_per_sm : int;
+  mc_max_warps_per_sm : int;
+  mc_max_teams_per_sm : int;
+  mc_regfile_per_sm : int;       (* registers *)
+  mc_max_regs_per_thread : int;  (* allocator budget; spill beyond *)
+  mc_reg_alloc_unit : int;       (* per-warp register allocation rounding *)
+  mc_shared_per_sm : int;        (* bytes *)
+  mc_shared_alloc_unit : int;    (* per-block SMem allocation rounding *)
+}
+
+(* Derive the descriptor the virtual GPU itself implements. Granularity
+   1 everywhere: the cost model allocates registers per thread and SMem
+   per byte, so the calculator below reduces to exactly its formulas. *)
+let of_cost_params ?(name = "vgpu") (p : Ozo_vgpu.Cost.params) : t =
+  { mc_name = name;
+    mc_warp_size = p.Ozo_vgpu.Cost.warp_size;
+    mc_n_sm = p.Ozo_vgpu.Cost.n_sm;
+    mc_max_threads_per_sm = p.Ozo_vgpu.Cost.max_threads_per_sm;
+    mc_max_warps_per_sm = p.Ozo_vgpu.Cost.max_threads_per_sm / p.Ozo_vgpu.Cost.warp_size;
+    mc_max_teams_per_sm = p.Ozo_vgpu.Cost.max_teams_per_sm;
+    mc_regfile_per_sm = p.Ozo_vgpu.Cost.regfile_per_sm;
+    mc_max_regs_per_thread = 255;
+    mc_reg_alloc_unit = 1;
+    mc_shared_per_sm = p.Ozo_vgpu.Cost.shared_per_sm;
+    mc_shared_alloc_unit = 1 }
+
+let vgpu = of_cost_params Ozo_vgpu.Cost.default
+
+let a100 =
+  { mc_name = "a100";
+    mc_warp_size = 32;
+    mc_n_sm = 108;
+    mc_max_threads_per_sm = 2048;
+    mc_max_warps_per_sm = 64;
+    mc_max_teams_per_sm = 32;
+    mc_regfile_per_sm = 65536;
+    mc_max_regs_per_thread = 255;
+    mc_reg_alloc_unit = 256;
+    mc_shared_per_sm = 164 * 1024;
+    mc_shared_alloc_unit = 1024 }
+
+let find = function
+  | "vgpu" -> Some vgpu
+  | "a100" -> Some a100
+  | _ -> None
+
+(* Override the spill budget (CLI --max-regs, differential spill tests). *)
+let with_reg_budget budget m = { m with mc_max_regs_per_thread = max 1 budget }
+
+(* ---------- occupancy ------------------------------------------------- *)
+
+type limiter = Threads | Warps | Registers | Smem | Teams
+
+let limiter_name = function
+  | Threads -> "threads"
+  | Warps -> "warps"
+  | Registers -> "regs"
+  | Smem -> "smem"
+  | Teams -> "teams"
+
+type occupancy = {
+  occ_teams_per_sm : int;    (* resident thread blocks per SM *)
+  occ_warps_per_sm : int;    (* resident warps per SM *)
+  occ_fraction : float;      (* resident threads / max threads *)
+  occ_limiter : limiter;     (* the resource that ran out first *)
+}
+
+let round_up v unit_ = if unit_ <= 1 then v else (v + unit_ - 1) / unit_ * unit_
+
+(* Registers consumed by one team: per-thread exact when the allocation
+   unit is 1 (the vGPU), per-warp rounded otherwise (real hardware
+   allocates regs_per_thread x warp_size rounded up to the unit, for
+   every resident warp, whether or not its last warp is full). *)
+let team_registers m ~threads_per_team ~regs_per_thread =
+  if m.mc_reg_alloc_unit <= 1 then regs_per_thread * threads_per_team
+  else
+    let warps = (threads_per_team + m.mc_warp_size - 1) / m.mc_warp_size in
+    warps * round_up (regs_per_thread * m.mc_warp_size) m.mc_reg_alloc_unit
+
+let team_smem m ~shared_per_team = round_up shared_per_team m.mc_shared_alloc_unit
+
+(* Resident teams per SM: the binding constraint is whichever of
+   threads, warps, registers, shared memory or the block ceiling runs
+   out first. Mirrors the CUDA occupancy calculator; under [vgpu]
+   (granularity 1, warp bound implied by the thread bound for
+   warp-multiple team sizes) the result equals
+   [Ozo_vgpu.Cost.teams_per_sm]. *)
+let occupancy m ~threads_per_team ~regs_per_thread ~shared_per_team : occupancy =
+  let warps_per_team = (threads_per_team + m.mc_warp_size - 1) / m.mc_warp_size in
+  let by_threads = m.mc_max_threads_per_sm / max 1 threads_per_team in
+  let by_warps = m.mc_max_warps_per_sm / max 1 warps_per_team in
+  let by_regs =
+    m.mc_regfile_per_sm
+    / max 1 (team_registers m ~threads_per_team ~regs_per_thread)
+  in
+  let by_smem =
+    let s = team_smem m ~shared_per_team in
+    if s <= 0 then max_int (* no SMem use: not a constraint *)
+    else m.mc_shared_per_sm / s
+  in
+  let bounds =
+    [ (by_threads, Threads); (by_warps, Warps); (by_regs, Registers);
+      (by_smem, Smem); (m.mc_max_teams_per_sm, Teams) ]
+  in
+  let binding, limiter =
+    List.fold_left
+      (fun (bv, bl) (v, l) -> if v < bv then (v, l) else (bv, bl))
+      (List.hd bounds) (List.tl bounds)
+  in
+  let teams = max 1 binding in
+  { occ_teams_per_sm = teams;
+    occ_warps_per_sm = teams * warps_per_team;
+    occ_fraction =
+      float_of_int (teams * threads_per_team)
+      /. float_of_int m.mc_max_threads_per_sm;
+    occ_limiter = limiter }
+
+(* Bridge into the cost model's occupancy record, which [kernel_time]
+   consumes for wave counting and latency hiding. *)
+let to_cost_occupancy (o : occupancy) : Ozo_vgpu.Cost.occupancy =
+  { Ozo_vgpu.Cost.o_teams_per_sm = o.occ_teams_per_sm;
+    o_occupancy = o.occ_fraction }
+
+let pp_occupancy ppf o =
+  Fmt.pf ppf "%d teams/SM, %d warps/SM, %.2f occupancy (limited by %s)"
+    o.occ_teams_per_sm o.occ_warps_per_sm o.occ_fraction
+    (limiter_name o.occ_limiter)

@@ -1,0 +1,103 @@
+(* Static shared-memory layout.
+
+   Assigns every [Shared] global of a module a byte offset in the
+   per-team scratchpad, 8-byte aligned in declaration order — the same
+   packing [Ozo_vgpu.Engine.assign_addresses] uses at launch, so the
+   layout computed at compile time is the layout the device actually
+   runs with (asserted by the backend test suite). Each slot is tagged
+   with its provenance, mirroring [Ozo_runtime.Layout]'s naming scheme:
+   runtime state (`__omp_*` / `__old_omp_*` — ICVs, the SMem sharing
+   stack, worksharing descriptors) versus globalized user buffers. The
+   paper's Fig. 11 SMem reductions are precisely the runtime-state slots
+   the co-designed optimizations fold away, so the split is what the
+   `ozo regs` table reports. *)
+
+open Ozo_ir.Types
+
+type origin =
+  | Runtime_state     (* __omp_* / __old_omp_*: ICVs, stacks, descriptors *)
+  | Globalized        (* everything else: (globalized) user data *)
+
+let origin_name = function
+  | Runtime_state -> "runtime"
+  | Globalized -> "globalized"
+
+type slot = {
+  sl_name : string;
+  sl_origin : origin;
+  sl_offset : int;   (* bytes from the team's SMem base *)
+  sl_size : int;     (* bytes *)
+}
+
+type layout = {
+  ly_slots : slot list; (* in declaration (= placement) order *)
+  ly_raw : int;         (* sum of sizes, no alignment (Engine.shared_bytes) *)
+  ly_total : int;       (* end offset after aligned packing *)
+  ly_runtime : int;     (* bytes attributed to runtime state *)
+  ly_globalized : int;  (* bytes attributed to globalized buffers *)
+}
+
+let align8 v = (v + 7) land lnot 7
+
+let classify name =
+  let starts p = String.length name >= String.length p
+                 && String.sub name 0 (String.length p) = p in
+  if starts "__omp_" || starts "__old_omp_" then Runtime_state else Globalized
+
+let of_module (m : modul) : layout =
+  let slots = ref [] in
+  let off = ref 0 in
+  let raw = ref 0 in
+  let rt = ref 0 and gl = ref 0 in
+  List.iter
+    (fun g ->
+      match g.g_space with
+      | Shared ->
+        let aligned = align8 !off in
+        let origin = classify g.g_name in
+        slots :=
+          { sl_name = g.g_name; sl_origin = origin; sl_offset = aligned;
+            sl_size = g.g_size }
+          :: !slots;
+        off := aligned + g.g_size;
+        raw := !raw + g.g_size;
+        (match origin with
+        | Runtime_state -> rt := !rt + g.g_size
+        | Globalized -> gl := !gl + g.g_size)
+      | Global | Constant | Local -> ())
+    m.m_globals;
+  { ly_slots = List.rev !slots; ly_raw = !raw; ly_total = !off;
+    ly_runtime = !rt; ly_globalized = !gl }
+
+(* SMem bytes one team reserves on [machine] (allocation-unit rounded);
+   what the occupancy calculation divides the scratchpad by. *)
+let reserved (machine : Machine.t) (l : layout) : int =
+  Machine.team_smem machine ~shared_per_team:l.ly_total
+
+(* No two slots overlap and every slot lies inside the footprint —
+   checked by the test suite against arbitrary modules. *)
+let check_non_overlap (l : layout) : (unit, string) result =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      if a.sl_offset + a.sl_size > b.sl_offset then
+        Error
+          (Fmt.str "%s [%d,%d) overlaps %s at %d" a.sl_name a.sl_offset
+             (a.sl_offset + a.sl_size) b.sl_name b.sl_offset)
+      else go rest
+    | [ a ] ->
+      if a.sl_offset + a.sl_size > l.ly_total then
+        Error (Fmt.str "%s ends past the footprint" a.sl_name)
+      else Ok ()
+    | [] -> Ok ()
+  in
+  go l.ly_slots
+
+let pp ppf l =
+  Fmt.pf ppf "@[<v>smem %d B (raw %d; runtime %d, globalized %d)@," l.ly_total
+    l.ly_raw l.ly_runtime l.ly_globalized;
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "  +%-6d %-10s %6d B  %s@," s.sl_offset
+        (origin_name s.sl_origin) s.sl_size s.sl_name)
+    l.ly_slots;
+  Fmt.pf ppf "@]"

@@ -18,6 +18,8 @@ module Counters = Ozo_vgpu.Counters
 module Cost = Ozo_vgpu.Cost
 module Trace = Ozo_obs.Trace
 module Remarks = Ozo_opt.Remarks
+module Machine = Ozo_backend.Machine
+module Backend = Ozo_backend.Lower
 
 type build = {
   b_label : string;
@@ -73,17 +75,20 @@ let without feature b =
 
 type compiled = {
   c_build : build;
-  c_module : modul;
+  c_module : modul;  (* post-backend module the device executes *)
   c_kernel : string;
   c_mode : Spmdize.exec_mode;
-  c_regs : int;  (* per-thread register estimate (liveness-based) *)
-  c_smem : int;  (* static shared memory bytes per team *)
+  c_machine : Machine.t;
+  c_lower : Backend.summary;  (* late-lowering result: VM code + resources *)
+  c_regs : int;  (* per-thread registers after allocation, incl. callee chain *)
+  c_smem : int;  (* static shared memory bytes per team (aligned layout) *)
   c_remarks : Remarks.t list; (* optimization remarks from this compile *)
 }
 
 exception Compile_error of string
 
-let compile ?(trace = Trace.null) (b : build) (k : Ast.kernel) : compiled =
+let compile ?(trace = Trace.null) ?(machine = Machine.vgpu) (b : build)
+    (k : Ast.kernel) : compiled =
   Trace.with_span trace ~cat:"compile"
     ~args:[ ("build", Trace.Str b.b_label) ]
     "compile"
@@ -116,13 +121,26 @@ let compile ?(trace = Trace.null) (b : build) (k : Ast.kernel) : compiled =
         | Lower.Cuda -> Spmdize.Spmd
         | Lower.Omp _ -> Spmdize.kernel_mode optimized k.Ast.k_name
       in
-      let kf = find_func_exn optimized k.Ast.k_name in
-      { c_build = b; c_module = optimized; c_kernel = k.Ast.k_name;
-        c_mode = mode;
-        c_regs =
-          Ozo_ir.Liveness.kernel_register_estimate
-            ~pressure_of:(Ozo_opt.Analysis.pressure am) optimized kf;
-        c_smem = Engine.shared_bytes optimized;
+      (* late lowering: register allocation against the machine's budget,
+         SMem layout, spill materialization. The device executes the
+         lowered module, so a budget-forced spill shows up both in the
+         resource columns and in the simulated local-memory traffic. *)
+      let lower =
+        Backend.run ~machine ~am ~trace optimized ~kernel:k.Ast.k_name
+      in
+      (if lower.Backend.lw_module != optimized then
+         match Ozo_ir.Verifier.check lower.Backend.lw_module with
+         | Ok () -> ()
+         | Error vs ->
+           raise
+             (Compile_error
+                (Fmt.str "post-backend: %a"
+                   (Fmt.list ~sep:Fmt.semi Ozo_ir.Verifier.pp_violation) vs)));
+      { c_build = b; c_module = lower.Backend.lw_module;
+        c_kernel = k.Ast.k_name; c_mode = mode; c_machine = machine;
+        c_lower = lower;
+        c_regs = lower.Backend.lw_kernel_regs;
+        c_smem = lower.Backend.lw_layout.Ozo_backend.Smem.ly_total;
         c_remarks = Remarks.items sink })
 
 (* hardware threads per team for a user-visible thread count: generic mode
@@ -138,8 +156,13 @@ type metrics = {
   m_regs : int;
   m_smem : int;
   m_occupancy : float;
+  m_spills : int;                    (* static spill loads + stores *)
   m_hotspots : Engine.hotspot list;  (* [] unless profiling was requested *)
 }
+
+(* static spill instructions of a compile (ptxas' "spill loads/stores") *)
+let spill_count (c : compiled) =
+  c.c_lower.Backend.lw_spill_loads + c.c_lower.Backend.lw_spill_stores
 
 (* Create a device for a compiled kernel (callers allocate buffers on it
    before launching). [~sanitize] arms the SIMT sanitizer's shadow state. *)
@@ -152,9 +175,13 @@ let launch ?(opts = Device.Launch_opts.default) (c : compiled) (dev : Device.t)
   match Device.launch ~opts dev ~teams ~threads:hw args with
   | Error e -> Error e
   | Ok r ->
+    (* residency via the backend's occupancy calculator (under the
+       default [Machine.vgpu] descriptor this computes exactly what
+       [Cost.occupancy] did) *)
     let occ =
-      Cost.occupancy Cost.default ~threads_per_team:hw ~regs_per_thread:c.c_regs
-        ~shared_per_team:c.c_smem
+      Machine.to_cost_occupancy
+        (Machine.occupancy c.c_machine ~threads_per_team:hw
+           ~regs_per_thread:c.c_regs ~shared_per_team:c.c_smem)
     in
     let cycles =
       Cost.kernel_time Cost.default ~occupancy:occ
@@ -164,4 +191,5 @@ let launch ?(opts = Device.Launch_opts.default) (c : compiled) (dev : Device.t)
     Ok
       { m_counters = r.Engine.r_total; m_kernel_cycles = cycles; m_regs = c.c_regs;
         m_smem = c.c_smem; m_occupancy = occ.Cost.o_occupancy;
+        m_spills = spill_count c;
         m_hotspots = r.Engine.r_hotspots }

@@ -30,6 +30,7 @@ type measurement = {
   r_regs : int;
   r_smem : int;
   r_occupancy : float;
+  r_spills : int;        (* static spill loads + stores (0 = fit in budget) *)
   r_counters : Ozo_vgpu.Counters.t;
   r_check : (unit, string) result;
   r_flops : float;
@@ -102,7 +103,8 @@ let measure ?(check_assumes = false) ?(sanitize = false) ?inject
         let meas =
           { r_proxy = p.Proxy.p_name; r_build = b.C.b_label;
             r_cycles = m.C.m_kernel_cycles; r_regs = m.C.m_regs; r_smem = m.C.m_smem;
-            r_occupancy = m.C.m_occupancy; r_counters = m.C.m_counters;
+            r_occupancy = m.C.m_occupancy; r_spills = m.C.m_spills;
+            r_counters = m.C.m_counters;
             r_check = check; r_flops = p.Proxy.p_flops; r_fault = None;
             r_fallbacks = []; r_phase_us = phases_of trace;
             r_hotspots = m.C.m_hotspots; r_cache = cache_of trace }
@@ -120,7 +122,8 @@ let measure ?(check_assumes = false) ?(sanitize = false) ?inject
      check result so campaign tables stay rectangular *)
   let dead_row fault fallbacks =
     { r_proxy = p.Proxy.p_name; r_build = b.C.b_label; r_cycles = 0.0; r_regs = 0;
-      r_smem = 0; r_occupancy = 0.0; r_counters = Ozo_vgpu.Counters.create ();
+      r_smem = 0; r_occupancy = 0.0; r_spills = 0;
+      r_counters = Ozo_vgpu.Counters.create ();
       r_check = Error (Fault.to_line fault); r_flops = p.Proxy.p_flops;
       r_fault = Some fault; r_fallbacks = fallbacks; r_phase_us = [];
       r_hotspots = []; r_cache = None }

@@ -58,12 +58,13 @@ let pp_fig10 ppf (title, ms) =
 (* Fig. 11-style table *)
 let pp_fig11 ppf (title, ms) =
   Fmt.pf ppf "@.%s — kernel time, registers, shared memory (Fig. 11)@." title;
-  Fmt.pf ppf "  %-26s %14s %7s %9s %6s %10s %9s@." "build" "ktime(cyc)" "#regs"
-    "smem(B)" "occup" "warp-insts" "barriers";
+  Fmt.pf ppf "  %-26s %14s %7s %9s %6s %7s %10s %9s@." "build" "ktime(cyc)"
+    "#regs" "smem(B)" "occup" "spills" "warp-insts" "barriers";
   List.iter
     (fun m ->
-      Fmt.pf ppf "  %-26s %14.0f %7d %9d %6.2f %10d %9d@." m.r_build m.r_cycles m.r_regs
-        m.r_smem m.r_occupancy m.r_counters.Ozo_vgpu.Counters.warp_instructions
+      Fmt.pf ppf "  %-26s %14.0f %7d %9d %6.2f %7d %10d %9d@." m.r_build
+        m.r_cycles m.r_regs m.r_smem m.r_occupancy m.r_spills
+        m.r_counters.Ozo_vgpu.Counters.warp_instructions
         m.r_counters.Ozo_vgpu.Counters.barriers)
     ms;
   pp_faults ppf ms
@@ -144,12 +145,13 @@ let pp_hotspots ppf (m : measurement) =
 (* machine-readable one-line records, convenient for regression diffing *)
 let pp_csv_header ppf () =
   Fmt.pf ppf
-    "proxy,build,cycles,regs,smem,occupancy,warp_insts,barriers,check,fault,fallback,\
-     compile_us,decode_us,execute_us,readback_us,cache_hits,cache_misses@."
+    "proxy,build,cycles,regs,smem,occupancy,spills,warp_insts,barriers,check,fault,\
+     fallback,compile_us,decode_us,execute_us,readback_us,cache_hits,cache_misses@."
 
 let pp_csv ppf m =
-  Fmt.pf ppf "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%d,%d@." m.r_proxy
-    m.r_build m.r_cycles m.r_regs m.r_smem m.r_occupancy
+  Fmt.pf ppf "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%d,%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%d,%d@."
+    m.r_proxy
+    m.r_build m.r_cycles m.r_regs m.r_smem m.r_occupancy m.r_spills
     m.r_counters.Ozo_vgpu.Counters.warp_instructions
     m.r_counters.Ozo_vgpu.Counters.barriers
     (match m.r_check with Ok () -> "ok" | Error _ -> "fail")

@@ -121,9 +121,17 @@ let analyse (f : func) : t =
   { live_in = !live_in; live_out = !live_out }
 
 (* Maximum register pressure: walk each block backwards from live-out,
-   recording the largest live set seen at any program point. The liveness
-   result is a parameter so a caller holding a cached analysis (the
-   analysis manager) does not recompute it. *)
+   recording the largest live set seen at any program point — including
+   the *block boundaries*. The within-block walk alone misses the phi
+   parallel-copy moment at block entry: when control transfers along an
+   edge, every phi destination is being written while its incoming source
+   (and everything live into the block) is still being read, so sources
+   and destinations are simultaneously live. The register allocator sizes
+   its intervals from exactly this overlap; underreporting it here made
+   the old estimate a max-within-block figure that a linear scan could
+   exceed at an edge. The liveness result is a parameter so a caller
+   holding a cached analysis (the analysis manager) does not recompute
+   it. *)
 let max_pressure_with (lv : t) (f : func) : int =
   let best = ref 0 in
   List.iter
@@ -139,6 +147,30 @@ let max_pressure_with (lv : t) (f : func) : int =
           live := RSet.union !live (operand_regs_set (inst_uses i));
           bump ())
         (List.rev b.b_insts);
+      (* [live] is now the set just after the phis have executed. *)
+      if b.b_phis <> [] then begin
+        let defs =
+          List.fold_left (fun acc p -> RSet.add p.phi_reg acc) RSet.empty b.b_phis
+        in
+        (* even a dead phi destination is written during the copy *)
+        let post = RSet.union !live defs in
+        let preds =
+          List.sort_uniq compare
+            (List.concat_map (fun p -> List.map fst p.phi_incoming) b.b_phis)
+        in
+        List.iter
+          (fun pred ->
+            let srcs =
+              List.fold_left
+                (fun acc p ->
+                  match List.assoc_opt pred p.phi_incoming with
+                  | Some o -> RSet.union acc (operand_regs_set [ o ])
+                  | None -> acc)
+                RSet.empty b.b_phis
+            in
+            best := max !best (RSet.cardinal (RSet.union post srcs)))
+          preds
+      end;
       List.iter (fun p -> live := RSet.remove p.phi_reg !live) b.b_phis;
       bump ())
     f.f_blocks;

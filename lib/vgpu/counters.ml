@@ -34,6 +34,7 @@ type t = {
   mutable aligned_barriers : int;   (* subset of [barriers]: aligned form *)
   mutable global_transactions : int;(* per 128B segment per warp access *)
   mutable shared_accesses : int;    (* per active lane *)
+  mutable local_accesses : int;     (* per active lane (stack + spill traffic) *)
   mutable atomics : int;            (* per warp access to global memory *)
   mutable mallocs : int;
   mutable calls : int;
@@ -44,8 +45,8 @@ type t = {
 
 let create () =
   { warp_instructions = 0; lane_instructions = 0; barriers = 0; aligned_barriers = 0;
-    global_transactions = 0; shared_accesses = 0; atomics = 0; mallocs = 0; calls = 0;
-    divergent_branches = 0; cycles = 0; traps = 0 }
+    global_transactions = 0; shared_accesses = 0; local_accesses = 0; atomics = 0;
+    mallocs = 0; calls = 0; divergent_branches = 0; cycles = 0; traps = 0 }
 
 (* structural equality over every field; used by the golden-counters
    determinism tests to pin that perf work never changes simulated results *)
@@ -56,6 +57,7 @@ let equal a b =
   && a.aligned_barriers = b.aligned_barriers
   && a.global_transactions = b.global_transactions
   && a.shared_accesses = b.shared_accesses
+  && a.local_accesses = b.local_accesses
   && a.atomics = b.atomics
   && a.mallocs = b.mallocs
   && a.calls = b.calls
@@ -70,6 +72,7 @@ let add a b =
     aligned_barriers = a.aligned_barriers + b.aligned_barriers;
     global_transactions = a.global_transactions + b.global_transactions;
     shared_accesses = a.shared_accesses + b.shared_accesses;
+    local_accesses = a.local_accesses + b.local_accesses;
     atomics = a.atomics + b.atomics;
     mallocs = a.mallocs + b.mallocs;
     calls = a.calls + b.calls;
@@ -78,7 +81,10 @@ let add a b =
     traps = a.traps + b.traps }
 
 (* cycles attributable to the memory system under the cost model [p];
-   the latency-hiding part of the makespan estimate *)
+   the latency-hiding part of the makespan estimate. [local_accesses]
+   stays out: local traffic is charged as issue-side [c_local_access]
+   cycles in the engine (stack/L1-resident), exactly as before the
+   counter existed, which keeps the golden cycle totals stable. *)
 let memory_cycles (p : Cost.params) c =
   (c.global_transactions * p.Cost.c_global_segment)
   + (c.shared_accesses * p.Cost.c_shared_access)
@@ -88,8 +94,8 @@ let memory_cycles (p : Cost.params) c =
 let pp ppf c =
   Fmt.pf ppf
     "@[<v>warp insts   %d@,lane insts   %d@,barriers     %d (aligned %d)@,\
-     global txns  %d@,shared accs  %d@,atomics      %d@,mallocs      %d@,\
-     calls        %d@,div branches %d@,cycles       %d@]"
+     global txns  %d@,shared accs  %d@,local accs   %d@,atomics      %d@,\
+     mallocs      %d@,calls        %d@,div branches %d@,cycles       %d@]"
     c.warp_instructions c.lane_instructions c.barriers c.aligned_barriers
-    c.global_transactions c.shared_accesses c.atomics c.mallocs c.calls
-    c.divergent_branches c.cycles
+    c.global_transactions c.shared_accesses c.local_accesses c.atomics
+    c.mallocs c.calls c.divergent_branches c.cycles

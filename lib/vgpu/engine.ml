@@ -652,7 +652,9 @@ let charge_mem_lanes e tc (mask : bool array) n =
       | Shared ->
         tc.tc_counters.shared_accesses <- tc.tc_counters.shared_accesses + 1;
         go (lane - 1) nsegs
-      | Local -> go (lane - 1) nsegs
+      | Local ->
+        tc.tc_counters.local_accesses <- tc.tc_counters.local_accesses + 1;
+        go (lane - 1) nsegs
     end
     else go (lane - 1) nsegs
   in

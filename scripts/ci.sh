@@ -34,6 +34,23 @@ hits=$("$CLI" run xsbench --small --profile | sed -n 's/^analysis cache: \([0-9]
   echo "FAIL: analysis cache reported no hits (got '${hits:-}')"; exit 1; }
 echo "analysis cache hits: $hits"
 
+echo "== backend: differential spill run =="
+# a tiny register budget must force spills AND still validate (spilled
+# execution is bit-identical to the unlimited-register run); plus the
+# occupancy/resource suite against hand-computed A100 limits
+dune exec test/test_main.exe -- test backend
+
+echo "== backend: ozo regs smoke =="
+# the resource table must expose regs/smem/occupancy/spills per build,
+# and a spill-forcing budget must report nonzero spill traffic
+"$CLI" regs xsbench --small --csv | grep -q "spill_loads" || {
+  echo "FAIL: ozo regs --csv missing spill columns"; exit 1; }
+spilled=$("$CLI" regs xsbench --small --csv --max-regs 8 \
+  | awk -F, '$2 == "New RT" { print $11 }')
+[ -n "$spilled" ] && [ "$spilled" -gt 0 ] || {
+  echo "FAIL: ozo regs --max-regs 8 reported no spilled registers (got '${spilled:-}')"; exit 1; }
+echo "spilled registers at budget 8: $spilled"
+
 echo "== trace smoke =="
 # emit a Chrome trace and re-validate it: schema, pass-span nesting under
 # the compile span, phase spans under the launch span, hot-spot events

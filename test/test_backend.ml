@@ -1,0 +1,289 @@
+(* Backend (late lowering) tests.
+
+   Three properties pin the new subsystem:
+
+   - allocator correctness: compiling under a deliberately tiny register
+     budget forces spills, and the spilled module must still pass every
+     proxy's differential check — spilled execution is bit-identical to
+     unlimited-register execution (both equal the host reference);
+   - SMem layout: the compile-time layout never overlaps slots and
+     matches what the engine actually assigns at launch, byte for byte;
+   - occupancy: the calculator reproduces hand-computed A100 limits for
+     each limiting resource, and under the [vgpu] descriptor degenerates
+     to exactly the cost model's original formula.
+
+   Plus the ISSUE's acceptance direction: for every proxy the full
+   pipeline reports fewer registers and less SMem than baseline. *)
+
+module C = Ozo_core.Codesign
+module E = Ozo_harness.Experiments
+module Registry = Ozo_proxies.Registry
+module Proxy = Ozo_proxies.Proxy
+module Machine = Ozo_backend.Machine
+module Smem = Ozo_backend.Smem
+module Backend = Ozo_backend.Lower
+module Vm = Ozo_backend.Vm
+module Regalloc = Ozo_backend.Regalloc
+module Pipeline = Ozo_opt.Pipeline
+module Cost = Ozo_vgpu.Cost
+module Engine = Ozo_vgpu.Engine
+module Counters = Ozo_vgpu.Counters
+
+(* compile + run one proxy/build, failing the test on any fault *)
+let run_build ?(machine = Machine.vgpu) (p : Proxy.t) (b : C.build) =
+  let k = Proxy.kernel_for p b.C.b_abi in
+  let c = C.compile ~machine b k in
+  let dev = C.device c in
+  let inst = p.Proxy.p_setup dev in
+  match
+    C.launch c dev ~teams:p.Proxy.p_teams ~threads:p.Proxy.p_threads
+      inst.Proxy.i_args
+  with
+  | Error f ->
+    Alcotest.failf "%s/%s: launch fault: %s" p.Proxy.p_name b.C.b_label
+      (Ozo_vgpu.Fault.to_line f)
+  | Ok m -> (c, m, inst.Proxy.i_check ())
+
+let check_ok what p (b : C.build) = function
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "%s/%s: %s check failed: %s" p.Proxy.p_name b.C.b_label what e
+
+(* builds covering all three code shapes: generic mode (opaque old
+   runtime), SPMD mode (co-designed runtime), and runtime-free CUDA *)
+let coverage_builds p = [ C.old_rt_nightly; E.new_rt_for p; C.cuda ]
+
+(* --- allocator: spilled == unlimited ---------------------------------------- *)
+
+let spill_budget = 8
+
+let test_spill_bit_identity () =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          let _, _, check = run_build p b in
+          check_ok "unlimited-register" p b check;
+          let tiny = Machine.with_reg_budget spill_budget Machine.vgpu in
+          let c, m, check' = run_build ~machine:tiny p b in
+          check_ok "spilled" p b check';
+          (* the tiny budget must actually have forced spills (every proxy
+             kernel needs more than [spill_budget] registers somewhere) *)
+          if C.spill_count c = 0 then
+            Alcotest.failf "%s/%s: budget %d forced no spills" p.Proxy.p_name
+              b.C.b_label spill_budget;
+          if c.C.c_lower.Backend.lw_frame_bytes = 0 then
+            Alcotest.failf "%s/%s: spills but no frame" p.Proxy.p_name
+              b.C.b_label;
+          (* spill traffic must flow through the engine's local-memory
+             path, not vanish into the cost model *)
+          if m.C.m_counters.Counters.local_accesses = 0 then
+            Alcotest.failf "%s/%s: spilled run performed no local accesses"
+              p.Proxy.p_name b.C.b_label;
+          if m.C.m_spills <> C.spill_count c then
+            Alcotest.failf "%s/%s: metrics spills %d <> static count %d"
+              p.Proxy.p_name b.C.b_label m.C.m_spills (C.spill_count c))
+        (coverage_builds p))
+    (Registry.all_small ())
+
+(* the allocator must respect its budget: every physical register index
+   it hands out (including the VM emitter's scratches) stays under
+   budget + scratch headroom, and no interval is both Phys and spilled *)
+let test_allocator_budget_respected () =
+  List.iter
+    (fun p ->
+      let b = E.new_rt_for p in
+      let tiny = Machine.with_reg_budget spill_budget Machine.vgpu in
+      let k = Proxy.kernel_for p b.C.b_abi in
+      let c = C.compile ~machine:tiny b k in
+      List.iter
+        (fun fl ->
+          let ra = fl.Backend.fl_ra in
+          Hashtbl.iter
+            (fun r loc ->
+              match loc with
+              | Regalloc.Phys n ->
+                if n >= spill_budget then
+                  Alcotest.failf "%s/%s: r%d got phys %d >= budget %d"
+                    p.Proxy.p_name fl.Backend.fl_func r n spill_budget
+              | Regalloc.Slot _ ->
+                if not (List.mem r ra.Regalloc.ra_spilled) then
+                  Alcotest.failf "%s/%s: r%d has a slot but is not in ra_spilled"
+                    p.Proxy.p_name fl.Backend.fl_func r)
+            ra.Regalloc.ra_loc)
+        c.C.c_lower.Backend.lw_funcs)
+    (Registry.all_small ())
+
+(* --- SMem layout ------------------------------------------------------------ *)
+
+let test_smem_layout () =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          let k = Proxy.kernel_for p b.C.b_abi in
+          let c = C.compile b k in
+          let l = c.C.c_lower.Backend.lw_layout in
+          (match Smem.check_non_overlap l with
+          | Ok () -> ()
+          | Error e ->
+            Alcotest.failf "%s/%s: layout overlap: %s" p.Proxy.p_name
+              b.C.b_label e);
+          (* raw footprint matches the engine's public accounting *)
+          Alcotest.(check int)
+            (p.Proxy.p_name ^ "/" ^ b.C.b_label ^ " raw bytes")
+            (Engine.shared_bytes c.C.c_module)
+            l.Smem.ly_raw;
+          (* aligned total matches what the engine assigns at launch *)
+          let mem = Ozo_vgpu.Memory.create ~threads_per_team:32 in
+          let _, _, engine_off = Engine.assign_addresses mem c.C.c_module in
+          Alcotest.(check int)
+            (p.Proxy.p_name ^ "/" ^ b.C.b_label ^ " aligned total")
+            engine_off l.Smem.ly_total;
+          (* the runtime/globalized split partitions the raw bytes *)
+          Alcotest.(check int)
+            (p.Proxy.p_name ^ "/" ^ b.C.b_label ^ " origin split")
+            l.Smem.ly_raw
+            (l.Smem.ly_runtime + l.Smem.ly_globalized))
+        (coverage_builds p))
+    (Registry.all_small ())
+
+(* --- occupancy: hand-computed A100 cases ------------------------------------ *)
+
+let occ = Machine.occupancy
+
+let check_occ name (o : Machine.occupancy) ~teams ~frac ~limiter =
+  Alcotest.(check int) (name ^ ": teams/SM") teams o.Machine.occ_teams_per_sm;
+  Alcotest.(check (float 1e-9)) (name ^ ": fraction") frac o.Machine.occ_fraction;
+  Alcotest.(check string)
+    (name ^ ": limiter")
+    (Machine.limiter_name limiter)
+    (Machine.limiter_name o.Machine.occ_limiter)
+
+let test_occupancy_a100 () =
+  let m = Machine.a100 in
+  (* 128 threads x 32 regs, no SMem: 16 blocks of 4 warps fill all 2048
+     threads; regs take 4 x roundup(32*32, 256) = 4096 of 65536, not
+     binding. Thread-bound at full occupancy. *)
+  check_occ "128thr/32regs"
+    (occ m ~threads_per_team:128 ~regs_per_thread:32 ~shared_per_team:0)
+    ~teams:16 ~frac:1.0 ~limiter:Machine.Threads;
+  (* 256 threads x 255 regs: one team takes 8 x roundup(255*32, 256)
+     = 8 x 8192 = 65536 registers — the whole file. 1 block resident,
+     256/2048 = 12.5% occupancy, register-bound. *)
+  check_occ "256thr/255regs"
+    (occ m ~threads_per_team:256 ~regs_per_thread:255 ~shared_per_team:0)
+    ~teams:1 ~frac:0.125 ~limiter:Machine.Registers;
+  (* 128 threads x 32 regs x 48 KB SMem: 164 KB / 48 KB = 3 blocks,
+     3*128/2048 = 18.75%, SMem-bound. *)
+  check_occ "128thr/48KB"
+    (occ m ~threads_per_team:128 ~regs_per_thread:32
+       ~shared_per_team:(48 * 1024))
+    ~teams:3 ~frac:0.1875 ~limiter:Machine.Smem;
+  (* 32 threads x 8 regs: threads would allow 64 blocks but the SM caps
+     at 32 resident blocks; 32*32/2048 = 50%, block-limit-bound. *)
+  check_occ "32thr/8regs"
+    (occ m ~threads_per_team:32 ~regs_per_thread:8 ~shared_per_team:0)
+    ~teams:32 ~frac:0.5 ~limiter:Machine.Teams;
+  (* warp-granular register allocation: 100 threads round to 4 warps,
+     1 reg/thread rounds to 256 regs/warp -> 1024 per team, 64 teams by
+     regs; warps bind first (64 warps / 4 = 16). *)
+  check_occ "100thr/1reg"
+    (occ m ~threads_per_team:100 ~regs_per_thread:1 ~shared_per_team:0)
+    ~teams:16 ~frac:(float_of_int (16 * 100) /. 2048.0)
+    ~limiter:Machine.Warps;
+  (* SMem allocation unit: 1 byte reserves a full 1 KB block *)
+  Alcotest.(check int) "smem alloc unit" 1024 (Machine.team_smem m ~shared_per_team:1);
+  Alcotest.(check int) "reg alloc unit" 1024
+    (Machine.team_registers m ~threads_per_team:100 ~regs_per_thread:1)
+
+(* under the [vgpu] descriptor the calculator must agree exactly with the
+   cost model's original occupancy (granularity 1), so default builds are
+   bit-identical to the pre-backend engine *)
+let test_occupancy_vgpu_parity () =
+  let p = Cost.default in
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun regs ->
+          List.iter
+            (fun smem ->
+              let old_ = Cost.occupancy p ~threads_per_team:threads
+                  ~regs_per_thread:regs ~shared_per_team:smem in
+              let nw =
+                Machine.to_cost_occupancy
+                  (occ Machine.vgpu ~threads_per_team:threads
+                     ~regs_per_thread:regs ~shared_per_team:smem)
+              in
+              if old_ <> nw then
+                Alcotest.failf
+                  "vgpu parity broken at threads=%d regs=%d smem=%d: \
+                   %d teams %.4f vs %d teams %.4f"
+                  threads regs smem old_.Cost.o_teams_per_sm
+                  old_.Cost.o_occupancy nw.Cost.o_teams_per_sm
+                  nw.Cost.o_occupancy)
+            [ 0; 8; 2336; 11344; 49152; 120 * 1024 ])
+        [ 1; 8; 16; 17; 32; 64; 255 ])
+    [ 32; 64; 96; 128; 256; 1024; 2048 ]
+
+(* --- acceptance direction: full vs baseline --------------------------------- *)
+
+let test_full_beats_baseline () =
+  List.iter
+    (fun p ->
+      let b = E.new_rt_for p in
+      let resources pipe =
+        let b = { b with C.b_pipe = pipe } in
+        let c = C.compile b (Proxy.kernel_for p b.C.b_abi) in
+        (c.C.c_regs, c.C.c_smem)
+      in
+      let regs_b, smem_b = resources Pipeline.baseline in
+      let regs_f, smem_f = resources Pipeline.full in
+      if not (regs_f < regs_b) then
+        Alcotest.failf "%s: full regs %d not < baseline regs %d" p.Proxy.p_name
+          regs_f regs_b;
+      if not (smem_f < smem_b) then
+        Alcotest.failf "%s: full smem %d not < baseline smem %d" p.Proxy.p_name
+          smem_f smem_b)
+    (Registry.all_small ())
+
+(* --- VM program sanity ------------------------------------------------------- *)
+
+(* the VM form must cover every block of every function, and under a
+   spill-forcing budget actually contain reload/spill instructions *)
+let test_vm_form () =
+  let p = Registry.find_exn "xsbench" in
+  let b = E.new_rt_for p in
+  let tiny = Machine.with_reg_budget spill_budget Machine.vgpu in
+  let c = C.compile ~machine:tiny b (Proxy.kernel_for p b.C.b_abi) in
+  let prog = c.C.c_lower.Backend.lw_program in
+  Alcotest.(check bool) "program has functions" true (prog.Vm.pr_funcs <> []);
+  let spills = ref 0 and reloads = ref 0 in
+  List.iter
+    (fun vf ->
+      Alcotest.(check bool)
+        (vf.Vm.vf_name ^ " has blocks")
+        true (vf.Vm.vf_blocks <> []);
+      List.iter
+        (fun vb ->
+          List.iter
+            (function
+              | Vm.V_spill _ -> incr spills
+              | Vm.V_reload _ -> incr reloads
+              | Vm.V_op _ | Vm.V_copy _ -> ())
+            vb.Vm.vb_insts)
+        vf.Vm.vf_blocks)
+    prog.Vm.pr_funcs;
+  Alcotest.(check bool) "vm contains spills" true (!spills > 0);
+  Alcotest.(check bool) "vm contains reloads" true (!reloads > 0)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [ tc "occupancy: hand-computed a100 limits" test_occupancy_a100;
+    tc "occupancy: vgpu descriptor matches cost model" test_occupancy_vgpu_parity;
+    tc "smem: layout non-overlap + engine parity" test_smem_layout;
+    tc "regalloc: budget respected, spills recorded" test_allocator_budget_respected;
+    tc "regalloc: spilled run bit-identical on every proxy" test_spill_bit_identity;
+    tc "vm: lowered program shape + spill code" test_vm_form;
+    tc "acceptance: full < baseline regs and smem" test_full_beats_baseline ]

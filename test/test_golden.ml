@@ -42,6 +42,28 @@ let golden : (string * string * snap) list =
     ("minifmm", "old-rt", (492, 13785, 6, 0, 375, 68, 0, 2, 11, 4, 17619));
     ("minifmm", "new-rt", (431, 11664, 3, 3, 208, 408, 0, 0, 2, 1, 9401)) ]
 
+(* Resource-model snapshot: (kernel regs, smem bytes, static spills).
+   Pins the backend's register allocator, SMem layout and spill counts
+   the same way [golden] pins the engine. Regenerate with the same
+   OZO_GOLDEN_REGEN flow (grep GOLDEN-R). *)
+type rsnap = int * int * int
+
+let golden_resources : (string * string * rsnap) list =
+  [ ("xsbench", "old-rt", (64, 2336, 0));
+    ("xsbench", "new-rt", (21, 0, 0));
+    ("rsbench", "old-rt", (64, 2336, 0));
+    ("rsbench", "new-rt", (23, 0, 0));
+    ("gridmini", "old-rt", (68, 2336, 0));
+    ("gridmini", "new-rt", (25, 0, 0));
+    ("testsnap", "old-rt", (60, 2336, 0));
+    ("testsnap", "new-rt", (22, 0, 0));
+    ("minifmm", "old-rt", (60, 2336, 0));
+    ("minifmm", "new-rt", (31, 11312, 0)) ]
+
+let rsnap_of (m : E.measurement) : rsnap = (m.E.r_regs, m.E.r_smem, m.E.r_spills)
+
+let pp_rsnap ppf (a, b, c) = Fmt.pf ppf "(%d, %d, %d)" a b c
+
 let snap_of (c : Counters.t) : snap =
   ( c.warp_instructions, c.lane_instructions, c.barriers, c.aligned_barriers,
     c.global_transactions, c.shared_accesses, c.atomics, c.mallocs, c.calls,
@@ -81,10 +103,14 @@ let regen () =
         (fun bname ->
           let m = measure_once p (build_of p bname) in
           Fmt.pr "GOLDEN    (%S, %S, %a);@." p.Proxy.p_name bname pp_snap
-            (snap_of m.E.r_counters))
+            (snap_of m.E.r_counters);
+          Fmt.pr "GOLDEN-R    (%S, %S, %a);@." p.Proxy.p_name bname pp_rsnap
+            (rsnap_of m))
         builds)
     (Registry.all_small ());
-  Alcotest.fail "golden snapshot regenerated; paste the GOLDEN lines into golden"
+  Alcotest.fail
+    "golden snapshot regenerated; paste the GOLDEN lines into golden and the \
+     GOLDEN-R lines into golden_resources"
 
 let test_run_to_run () =
   List.iter
@@ -121,6 +147,26 @@ let test_snapshot () =
           pname bname pp_snap expect pp_snap got)
     golden
 
+let test_resource_snapshot () =
+  if Sys.getenv_opt "OZO_GOLDEN_REGEN" <> None then regen ();
+  Alcotest.(check bool)
+    "resource table covers every registry proxy x build" true
+    (List.length golden_resources
+    = List.length (Registry.all_small ()) * List.length builds);
+  List.iter
+    (fun (pname, bname, expect) ->
+      let p = small pname in
+      let m = measure_once p (build_of p bname) in
+      let got = rsnap_of m in
+      if got <> expect then
+        Alcotest.failf
+          "%s/%s: (regs, smem, spills) diverge from the snapshot (resource \
+           model changed!):@.expected %a@.got      %a"
+          pname bname pp_rsnap expect pp_rsnap got)
+    golden_resources
+
 let suite =
   [ Alcotest.test_case "golden: run-to-run determinism" `Quick test_run_to_run;
-    Alcotest.test_case "golden: counters match seed snapshot" `Quick test_snapshot ]
+    Alcotest.test_case "golden: counters match seed snapshot" `Quick test_snapshot;
+    Alcotest.test_case "golden: resources match snapshot" `Quick
+      test_resource_snapshot ]

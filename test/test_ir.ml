@@ -235,8 +235,40 @@ let test_printer () =
         Alcotest.failf "printer output missing %S in:\n%s" frag s)
     [ "kernel"; "fadd"; "store f64"; "barrier.aligned" ]
 
+(* Regression: block-boundary pressure. A value [a] produced in [entry]
+   is consumed only through a phi in [loop]: during the edge copy
+   p <- a, both the source and the destination are live at once (plus
+   anything live into the block), so the pressure is 2 even though no
+   single *within-block* program point ever holds more than 1 live
+   register. The pre-fix walk reported 1 here, which made the register
+   allocator's per-edge interval overlap exceed the reported maximum. *)
+let test_liveness_boundary_pressure () =
+  let entry = blk "entry" [ Binop (0, Add, Imm_int (1L, I64), Imm_int (2L, I64)) ] (Br "loop") in
+  let loop =
+    blk "loop"
+      ~phis:[ { phi_reg = 1; phi_typ = I64; phi_incoming = [ ("entry", Reg 0); ("loop", Reg 1) ] } ]
+      [] (Cond_br (Imm_int (1L, I1), "loop", "exit"))
+  in
+  let exit_ = blk "exit" [] (Ret (Some (Reg 1))) in
+  let f = raw_func ~ret:(Some I64) ~name:"cross" [ entry; loop; exit_ ] 2 in
+  (match Ozo_ir.Verifier.check (raw_module [ f ]) with
+  | Ok () -> ()
+  | Error vs ->
+    Alcotest.failf "test function invalid: %a"
+      (Fmt.list ~sep:Fmt.semi Ozo_ir.Verifier.pp_violation) vs);
+  let lv = Ozo_ir.Liveness.analyse f in
+  let live_out_entry =
+    Ozo_ir.Cfg.SMap.find "entry" lv.Ozo_ir.Liveness.live_out
+  in
+  Alcotest.(check bool) "a live across the edge" true
+    (Ozo_ir.Liveness.RSet.mem 0 live_out_entry);
+  (* was 1 before the boundary fix: the phi copy's source+destination
+     overlap at the entry edge of [loop] went uncounted *)
+  Alcotest.(check int) "boundary pressure counted" 2 (Ozo_ir.Liveness.max_pressure f)
+
 let suite =
   [ tc "size_of_typ" test_size_of_typ;
+    tc "liveness: block-boundary (phi copy) pressure" test_liveness_boundary_pressure;
     tc "inst def/uses" test_inst_def_uses;
     tc "builder: simple kernel" test_builder_simple;
     tc "builder: append to terminated block fails" test_builder_duplicate_block_reuse;

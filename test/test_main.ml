@@ -13,6 +13,7 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("parser", Test_parser.suite);
       ("components", Test_components.suite);
+      ("backend", Test_backend.suite);
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
       ("golden", Test_golden.suite);
