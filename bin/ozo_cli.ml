@@ -418,33 +418,171 @@ let sanitize_cmd =
 
 (* --- campaign ------------------------------------------------------------- *)
 
+module Supervisor = Ozo_resilience.Supervisor
+module Campaign = Ozo_resilience.Campaign
+module Fuzz = Ozo_resilience.Fuzz
+
 let campaign_cmd =
-  let run name small sanitize inject seed profile =
+  let journal_arg =
+    let doc =
+      "Append every completed row to this crash-safe JSONL journal as the \
+       campaign runs."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Resume from the journal given by --journal: completed rows are replayed \
+       verbatim and measurement restarts at the first missing row."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let repeat_arg =
+    let doc = "Run the full build sweep N times (exercises the circuit breaker)." in
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
+  in
+  let retries_arg =
+    let doc = "Supervisor retries per row for transient faults." in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Per-launch wall-clock watchdog deadline in seconds (0 disables)."
+    in
+    Arg.(value & opt float 30.0 & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let abort_after_arg =
+    let doc =
+      "Testing hook: abort the campaign (exit non-zero) after N freshly \
+       measured rows, simulating a mid-run crash."
+    in
+    Arg.(value & opt (some int) None & info [ "abort-after" ] ~docv:"N" ~doc)
+  in
+  let run name small sanitize inject seed profile journal resume repeat retries
+      deadline abort_after =
     handle
       (let ( let* ) = Result.bind in
-       let* p = find_proxy small name in
+       let* _ = find_proxy small name in
        let* inject = parse_inject seed inject in
        (match inject with
        | Some spec ->
          Fmt.pr "injecting: %s (seed %d)@." (Ozo_vgpu.Faultinject.spec_to_string spec) seed
        | None -> ());
        let trace = if profile then Trace.make () else Trace.null in
-       let ms = E.campaign ~sanitize ?inject ~trace ~profile p in
+       let opts =
+         { Campaign.default with
+           Campaign.co_proxies = [ name ]; co_small = small;
+           co_repeat = repeat; co_sanitize = sanitize; co_inject = inject;
+           co_journal = journal; co_resume = resume;
+           co_abort_after = abort_after;
+           co_sup =
+             { Supervisor.default with
+               Supervisor.sv_retries = retries; sv_deadline_s = deadline;
+               sv_seed = seed;
+               (* with injection armed, every fault kind is worth one
+                  clean retry — injection fires only on attempt 0 *)
+               sv_transient =
+                 (if inject <> None then Ozo_vgpu.Fault.all_kinds
+                  else Supervisor.default.Supervisor.sv_transient) } }
+       in
+       let* ms =
+         match Campaign.run ~trace opts with
+         | ms -> Ok ms
+         | exception Campaign.Aborted m -> Error (`Msg m)
+         | exception E.Harness_error m -> Error (`Msg m)
+       in
        Fmt.pr "%a%a" R.pp_fig10 (name, ms) R.pp_fig11 (name, ms);
        if profile then Fmt.pr "%a" R.pp_phases (name, ms);
+       Fmt.pr "%a" R.pp_resilience (name, ms);
        Fmt.pr "%a" R.pp_csv_header ();
        List.iter (Fmt.pr "%a" R.pp_csv) ms;
-       if List.for_all (fun m -> Result.is_ok m.E.r_check) ms then Ok ()
-       else Error (`Msg "campaign finished with failing rows"))
+       let dead = List.filter (fun m -> Result.is_error m.E.r_check) ms in
+       if dead = [] then Ok ()
+       else
+         Error
+           (`Msg
+             (Fmt.str "campaign finished with %d dead row(s):@.%a"
+                (List.length dead) R.pp_faults dead)))
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
-         "Measure one proxy across all standard builds, degrading gracefully on \
-          faults (optionally injected); exit 0 iff every row ends with a valid \
-          check")
+         "Measure one proxy across all standard builds under the resilience \
+          supervisor (watchdog, retry, circuit breaker), degrading gracefully \
+          on faults (optionally injected); exit 0 iff every row ends with a \
+          valid check")
     Term.(const run $ proxy_arg $ small_arg $ sanitize_arg $ inject_arg $ seed_arg
-          $ profile_arg)
+          $ profile_arg $ journal_arg $ resume_arg $ repeat_arg $ retries_arg
+          $ deadline_arg $ abort_after_arg)
+
+(* --- fuzz ----------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let seeds_arg =
+    let doc = "Number of random kernels to generate and differentially test." in
+    Arg.(value & opt int 25 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let base_seed_arg =
+    let doc = "Base PRNG seed; case i uses seed BASE+i." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"BASE" ~doc)
+  in
+  let out_arg =
+    let doc = "Path for the minimized repro of the first failure." in
+    Arg.(value & opt string "fuzz.repro.ir" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let plant_arg =
+    let doc =
+      "Plant a known miscompile in the full pipeline (flip-add: first Add \
+       becomes Sub) to prove the fuzzer finds and shrinks it."
+    in
+    Arg.(value & opt (some string) None & info [ "plant" ] ~docv:"PASS" ~doc)
+  in
+  let run seeds base_seed out plant =
+    handle
+      (let ( let* ) = Result.bind in
+       let* plant =
+         match plant with
+         | None -> Ok None
+         | Some n -> (
+           match Fuzz.plant_of_name n with
+           | Some p -> Ok (Some p)
+           | None -> Error (`Msg ("unknown plant pass " ^ n ^ " (flip-add)")))
+       in
+       let r =
+         Fuzz.run ?plant ~seeds ~base_seed
+           ~on_case:(fun seed clean ->
+             if not clean then Fmt.pr "seed %d: FAIL@." seed)
+           ()
+       in
+       match r.Fuzz.fz_failures with
+       | [] ->
+         Fmt.pr "fuzz: %d seeds, all variants agree@." r.Fuzz.fz_seeds;
+         Ok ()
+       | failures ->
+         List.iter
+           (fun fl ->
+             Fmt.pr "seed %d: %s (shrunk %d -> %d instructions)@."
+               fl.Fuzz.fl_seed fl.Fuzz.fl_signature fl.Fuzz.fl_insts_before
+               fl.Fuzz.fl_insts_after)
+           failures;
+         let first = List.hd failures in
+         let oc = open_out out in
+         output_string oc (Fuzz.repro_text first);
+         close_out oc;
+         Fmt.pr "wrote minimized repro to %s@." out;
+         Error
+           (`Msg
+             (Fmt.str "fuzz: %d of %d seeds disagree across pipelines"
+                (List.length failures) r.Fuzz.fz_seeds)))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the compiler: generate random well-typed \
+          kernels, compile under O0 / full / spilled-regalloc pipelines, \
+          demand bit-identical results, and shrink any failure to a minimal \
+          repro")
+    Term.(const run $ seeds_arg $ base_seed_arg $ out_arg $ plant_arg)
 
 let () =
   let doc = "reproduction of the near-zero-overhead OpenMP GPU runtime (IPDPS'22)" in
@@ -452,4 +590,4 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "ozo_cli" ~doc)
           [ list_cmd; run_cmd; inspect_cmd; remarks_cmd; trace_cmd; regs_cmd;
-            ablate_cmd; sanitize_cmd; campaign_cmd ]))
+            ablate_cmd; sanitize_cmd; campaign_cmd; fuzz_cmd ]))

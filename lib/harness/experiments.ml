@@ -41,6 +41,9 @@ type measurement = {
   r_cache : (int * int * int) option;
   (* analysis-cache (hits, misses, invalidations) from the last pipeline
      run of the attempt; None untraced *)
+  r_retries : int;       (* supervisor retries consumed (0 when unsupervised) *)
+  r_deadline_hit : bool; (* some attempt tripped the wall-clock watchdog *)
+  r_breaker : string;    (* circuit-breaker state: closed | open | skipped *)
 }
 
 (* user errors outside a measurement (e.g. an unknown proxy name); runtime
@@ -79,7 +82,19 @@ let cache_of trace =
       in
       Some (arg "hits", arg "misses", arg "invalidations")
 
-let measure ?(check_assumes = false) ?(sanitize = false) ?inject
+(* A measurement row for a configuration that produced no launch at all
+   (dead after every fallback, host-side crash captured by the
+   supervisor, or a configuration skipped by an open circuit breaker). *)
+let dead_measurement ?(fallbacks = []) ~proxy ~build fault : measurement =
+  { r_proxy = proxy; r_build = build; r_cycles = 0.0; r_regs = 0;
+    r_smem = 0; r_occupancy = 0.0; r_spills = 0;
+    r_counters = Ozo_vgpu.Counters.create ();
+    r_check = Error (Fault.to_line fault); r_flops = 0.0;
+    r_fault = Some fault; r_fallbacks = fallbacks; r_phase_us = [];
+    r_hotspots = []; r_cache = None;
+    r_retries = 0; r_deadline_hit = false; r_breaker = "closed" }
+
+let measure ?(check_assumes = false) ?(sanitize = false) ?inject ?watchdog
     ?(trace = Trace.null) ?(profile = false) (p : Proxy.t) (b : C.build) :
     measurement =
   let teams = p.Proxy.p_teams and threads = p.Proxy.p_threads in
@@ -94,7 +109,7 @@ let measure ?(check_assumes = false) ?(sanitize = false) ?inject
       let inst = p.Proxy.p_setup dev in
       let opts =
         { Device.Launch_opts.default with
-          Device.Launch_opts.check_assumes; inject; trace; profile }
+          Device.Launch_opts.check_assumes; inject; trace; profile; watchdog }
       in
       match C.launch ~opts c dev ~teams ~threads inst.Proxy.i_args with
       | Error f -> Error (f, None)
@@ -107,7 +122,8 @@ let measure ?(check_assumes = false) ?(sanitize = false) ?inject
             r_counters = m.C.m_counters;
             r_check = check; r_flops = p.Proxy.p_flops; r_fault = None;
             r_fallbacks = []; r_phase_us = phases_of trace;
-            r_hotspots = m.C.m_hotspots; r_cache = cache_of trace }
+            r_hotspots = m.C.m_hotspots; r_cache = cache_of trace;
+            r_retries = 0; r_deadline_hit = false; r_breaker = "closed" }
         in
         (match check with
         | Ok () -> Ok meas
@@ -121,12 +137,8 @@ let measure ?(check_assumes = false) ?(sanitize = false) ?inject
   (* a row where even the weakest config failed: report the fault as the
      check result so campaign tables stay rectangular *)
   let dead_row fault fallbacks =
-    { r_proxy = p.Proxy.p_name; r_build = b.C.b_label; r_cycles = 0.0; r_regs = 0;
-      r_smem = 0; r_occupancy = 0.0; r_spills = 0;
-      r_counters = Ozo_vgpu.Counters.create ();
-      r_check = Error (Fault.to_line fault); r_flops = p.Proxy.p_flops;
-      r_fault = Some fault; r_fallbacks = fallbacks; r_phase_us = [];
-      r_hotspots = []; r_cache = None }
+    { (dead_measurement ~fallbacks ~proxy:p.Proxy.p_name ~build:b.C.b_label fault)
+      with r_flops = p.Proxy.p_flops }
   in
   match attempt ?inject b.C.b_pipe with
   | Ok m -> m

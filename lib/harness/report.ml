@@ -142,14 +142,34 @@ let pp_hotspots ppf (m : measurement) =
       m.r_hotspots
   end
 
+(* supervised-execution columns, printed when a campaign ran under the
+   resilience supervisor and anything noteworthy happened *)
+let pp_resilience ppf (title, ms) =
+  let noteworthy m =
+    m.r_retries > 0 || m.r_deadline_hit || m.r_breaker <> "closed"
+  in
+  if List.exists noteworthy ms then begin
+    Fmt.pf ppf "@.%s — supervisor activity@." title;
+    Fmt.pf ppf "  %-26s %8s %9s %8s@." "build" "retries" "deadline" "breaker";
+    List.iter
+      (fun m ->
+        if noteworthy m then
+          Fmt.pf ppf "  %-26s %8d %9s %8s@." m.r_build m.r_retries
+            (if m.r_deadline_hit then "hit" else "-")
+            m.r_breaker)
+      ms
+  end
+
 (* machine-readable one-line records, convenient for regression diffing *)
 let pp_csv_header ppf () =
   Fmt.pf ppf
     "proxy,build,cycles,regs,smem,occupancy,spills,warp_insts,barriers,check,fault,\
-     fallback,compile_us,decode_us,execute_us,readback_us,cache_hits,cache_misses@."
+     fallback,compile_us,decode_us,execute_us,readback_us,cache_hits,cache_misses,\
+     retries,deadline,breaker@."
 
 let pp_csv ppf m =
-  Fmt.pf ppf "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%d,%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%d,%d@."
+  Fmt.pf ppf
+    "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%d,%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%s,%s@."
     m.r_proxy
     m.r_build m.r_cycles m.r_regs m.r_smem m.r_occupancy m.r_spills
     m.r_counters.Ozo_vgpu.Counters.warp_instructions
@@ -163,3 +183,6 @@ let pp_csv ppf m =
     (phase_us m "readback")
     (match m.r_cache with Some (h, _, _) -> h | None -> 0)
     (match m.r_cache with Some (_, mi, _) -> mi | None -> 0)
+    m.r_retries
+    (if m.r_deadline_hit then "hit" else "-")
+    m.r_breaker

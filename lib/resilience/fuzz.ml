@@ -1,0 +1,391 @@
+(* Differential IR fuzzing: compile each generated kernel under several
+   pipeline/backend combinations, execute all of them on the virtual GPU,
+   and demand bit-identical results.
+
+   Variants per seed:
+     - "O0"          : unoptimized pipeline — the reference semantics;
+     - "full"        : the full co-designed pipeline (and the planted
+                       miscompile pass, when one is armed);
+     - "full+spill8" : full pipeline lowered against a machine with an
+                       8-register budget, forcing the spilled register-
+                       allocation path through the backend.
+
+   A failing case is classified by a *signature* — per-variant outcome
+   class ("ok" / "mismatch" / "fault:<kind>" / "compile-error" /
+   "verify-error") — then greedily shrunk: drop instructions (replacing a
+   deleted definition's uses with a typed zero), collapse conditional
+   branches, and prune unreachable blocks, keeping a candidate only when
+   it still verifies AND reproduces the exact signature. The minimized
+   module is rendered as a standalone repro file. *)
+
+open Ozo_ir.Types
+module Verifier = Ozo_ir.Verifier
+module Printer = Ozo_ir.Printer
+module Pipeline = Ozo_opt.Pipeline
+module Machine = Ozo_backend.Machine
+module Backend = Ozo_backend.Lower
+module Device = Ozo_vgpu.Device
+module Engine = Ozo_vgpu.Engine
+module Fault = Ozo_vgpu.Fault
+
+type digest = {
+  d_i : int array;    (* per-global-thread i64 results *)
+  d_f : int64 array;  (* per-global-thread f64 results, as bits *)
+  d_acc : int;        (* the global atomic accumulator *)
+}
+
+type outcome = Digest of digest | Fail of string
+
+type variant = {
+  v_name : string;
+  v_pipe : Pipeline.config;
+  v_machine : Machine.t;
+  v_plant : (modul -> modul) option;
+}
+
+(* Generated kernels execute a few thousand issues; a tight budget turns
+   a miscompile-induced infinite loop into a fast [Budget_exhausted]
+   outcome instead of grinding through the engine's 400M default —
+   shrinking re-executes candidates constantly, so this bound is what
+   keeps the whole fuzz loop interactive. *)
+let fuzz_budget = 200_000
+
+let variants ?plant () =
+  [ { v_name = "O0"; v_pipe = Pipeline.o0; v_machine = Machine.vgpu;
+      v_plant = None };
+    { v_name = "full"; v_pipe = Pipeline.full; v_machine = Machine.vgpu;
+      v_plant = plant };
+    { v_name = "full+spill8"; v_pipe = Pipeline.full;
+      v_machine = Machine.with_reg_budget 8 Machine.vgpu; v_plant = None } ]
+
+(* the planted miscompile used by tests and `ozo fuzz --plant flip-add`:
+   the first Add in the kernel becomes a Sub after optimization *)
+let flip_first_add (m : modul) : modul =
+  let flipped = ref false in
+  map_funcs
+    (fun f ->
+      if not f.f_is_kernel then f
+      else
+        { f with
+          f_blocks =
+            List.map
+              (fun b ->
+                { b with
+                  b_insts =
+                    List.map
+                      (fun i ->
+                        match i with
+                        | Binop (r, Add, a, b') when not !flipped ->
+                          flipped := true;
+                          Binop (r, Sub, a, b')
+                        | i -> i)
+                      b.b_insts })
+              f.f_blocks })
+    m
+
+let plant_of_name = function
+  | "flip-add" -> Some flip_first_add
+  | _ -> None
+
+let exec (m : modul) (v : variant) : outcome =
+  try
+    let opt = Pipeline.run v.v_pipe m in
+    let opt = match v.v_plant with Some p -> p opt | None -> opt in
+    match Verifier.check opt with
+    | Error _ -> Fail "verify-error"
+    | Ok () -> (
+      let low =
+        (Backend.run ~machine:v.v_machine opt ~kernel:Irgen.kernel_name)
+          .Backend.lw_module
+      in
+      let dev = Device.create low in
+      let n = Irgen.lanes in
+      let out_i = Device.alloc dev (n * 8) in
+      let out_f = Device.alloc dev (n * 8) in
+      Device.write_i64s dev out_i (List.init n (fun _ -> 0));
+      Device.write_f64s dev out_f (List.init n (fun _ -> 0.0));
+      let opts =
+        { Device.Launch_opts.default with Device.Launch_opts.budget = fuzz_budget }
+      in
+      match
+        Device.launch ~opts dev ~teams:Irgen.teams ~threads:Irgen.threads
+          [ Engine.Ai (Device.ptr out_i); Engine.Ai (Device.ptr out_f) ]
+      with
+      | Error f -> Fail ("fault:" ^ Fault.kind_name f.Fault.f_kind)
+      | Ok _ ->
+        let d_i = Device.read_i64_array dev out_i n in
+        let d_f =
+          Array.map Int64.bits_of_float (Device.read_f64_array dev out_f n)
+        in
+        let d_acc =
+          match Device.read_global_i64 dev Irgen.acc_global with
+          | Some v -> v
+          | None -> 0
+        in
+        Digest { d_i; d_f; d_acc })
+  with _ -> Fail "compile-error"
+
+let digest_equal a b = a.d_i = b.d_i && a.d_f = b.d_f && a.d_acc = b.d_acc
+
+(* None = all variants agree with the O0 reference; Some s = the failure
+   signature the shrinker must preserve *)
+let signature_of ?plant (m : modul) : string option =
+  let vs = variants ?plant () in
+  let outcomes = List.map (fun v -> (v.v_name, exec m v)) vs in
+  let reference =
+    match outcomes with (_, o) :: _ -> o | [] -> assert false
+  in
+  let classify (_, o) =
+    match (reference, o) with
+    | Digest r, Digest d -> if digest_equal r d then "ok" else "mismatch"
+    | Fail _, Digest _ -> "ok-vs-failed-ref"
+    | _, Fail c -> c
+  in
+  let classes = List.map classify outcomes in
+  if List.for_all (( = ) "ok") classes then None
+  else
+    Some
+      (String.concat ";"
+         (List.map2 (fun (n, _) c -> n ^ "=" ^ c) outcomes classes))
+
+(* ---- shrinking -------------------------------------------------------- *)
+
+(* best-effort type of every register, for typed-zero substitution when a
+   defining instruction is deleted; iterated because SSA defs (loop phis)
+   may reference registers defined later in block order *)
+let reg_types (m : modul) (f : func) : (reg, typ) Hashtbl.t =
+  let env = Hashtbl.create 64 in
+  List.iter (fun (r, t) -> Hashtbl.replace env r t) f.f_params;
+  let typ_of_operand = function
+    | Reg r -> Hashtbl.find_opt env r
+    | Imm_int (_, t) -> Some t
+    | Imm_float _ -> Some F64
+    | Global_addr n -> (
+      match find_global m n with
+      | Some g -> Some (Ptr g.g_space)
+      | None -> Some (Ptr Global))
+    | Func_addr _ -> Some (Ptr Global)
+    | Undef t -> Some t
+  in
+  let def_typ = function
+    | Binop (_, op, a, _) -> (
+      match op with
+      | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax -> Some F64
+      | _ -> typ_of_operand a)
+    | Unop (_, op, a) -> (
+      match op with
+      | Not -> typ_of_operand a
+      | Fneg | Fsqrt | Fexp | Flog | Fsin | Fcos | Fabs | Sitofp -> Some F64
+      | Fptosi | Zext32to64 -> Some I64
+      | Trunc64to32 -> Some I32)
+    | Icmp _ | Fcmp _ -> Some I1
+    | Select (_, t, _, _, _) | Load (_, t, _) | Atomic (_, _, t, _, _) ->
+      Some t
+    | Ptradd (_, base, _) -> typ_of_operand base
+    | Alloca _ -> Some (Ptr Local)
+    | Intrinsic _ -> Some I64
+    | Malloc _ -> Some (Ptr Global)
+    | Call (_, callee, _) -> (
+      match find_func m callee with Some g -> g.f_ret | None -> Some I64)
+    | Call_indirect (_, rt, _, _) -> rt
+    | Store _ | Barrier _ | Assume _ | Trap _ | Free _ | Debug_print _ ->
+      None
+  in
+  for _ = 1 to 4 do
+    List.iter
+      (fun b ->
+        List.iter (fun p -> Hashtbl.replace env p.phi_reg p.phi_typ) b.b_phis;
+        List.iter
+          (fun i ->
+            match inst_def i with
+            | Some r -> (
+              match def_typ i with
+              | Some t -> Hashtbl.replace env r t
+              | None -> ())
+            | None -> ())
+          b.b_insts)
+      f.f_blocks
+  done;
+  env
+
+let zero_of = function
+  | (I1 | I32 | I64) as t -> Imm_int (0L, t)
+  | F64 -> Imm_float 0.0
+  | Ptr _ as t -> Undef t
+
+(* substitute [value] for every use of register [r] in [f] *)
+let subst_reg (f : func) r value : func =
+  let sub = function Reg r' when r' = r -> value | o -> o in
+  { f with
+    f_blocks =
+      List.map
+        (fun b ->
+          { b with
+            b_phis = List.map (map_phi_operands sub) b.b_phis;
+            b_insts = List.map (map_inst_operands sub) b.b_insts;
+            b_term = map_term_operands sub b.b_term })
+        f.f_blocks }
+
+(* drop blocks unreachable from the entry and filter phi incomings down
+   to the surviving predecessors *)
+let prune_unreachable (f : func) : func =
+  let reach = Hashtbl.create 16 in
+  let rec visit l =
+    if not (Hashtbl.mem reach l) then begin
+      Hashtbl.replace reach l ();
+      match find_block f l with
+      | Some b -> List.iter visit (term_succs b.b_term)
+      | None -> ()
+    end
+  in
+  (match f.f_blocks with b :: _ -> visit b.b_label | [] -> ());
+  let blocks = List.filter (fun b -> Hashtbl.mem reach b.b_label) f.f_blocks in
+  let preds_of l =
+    List.filter_map
+      (fun b -> if List.mem l (term_succs b.b_term) then Some b.b_label else None)
+      blocks
+  in
+  { f with
+    f_blocks =
+      List.map
+        (fun b ->
+          let preds = preds_of b.b_label in
+          { b with
+            b_phis =
+              List.map
+                (fun p ->
+                  { p with
+                    phi_incoming =
+                      List.filter (fun (l, _) -> List.mem l preds) p.phi_incoming })
+                b.b_phis })
+        blocks }
+
+(* every one-step reduction of the kernel function: branch collapses
+   first (they delete whole regions), then single-instruction deletions *)
+let candidates (m : modul) : modul list =
+  match List.find_opt (fun f -> f.f_is_kernel) m.m_funcs with
+  | None -> []
+  | Some f ->
+    let env = reg_types m f in
+    let branch_cands =
+      List.concat_map
+        (fun b ->
+          match b.b_term with
+          | Cond_br (_, l1, l2) ->
+            List.map
+              (fun tgt ->
+                let f' =
+                  { f with
+                    f_blocks =
+                      List.map
+                        (fun b' ->
+                          if b'.b_label = b.b_label then
+                            { b' with b_term = Br tgt }
+                          else b')
+                        f.f_blocks }
+                in
+                update_func m (prune_unreachable f'))
+              (if l1 = l2 then [ l1 ] else [ l1; l2 ])
+          | _ -> [])
+        f.f_blocks
+    in
+    let inst_cands =
+      List.concat_map
+        (fun b ->
+          List.mapi
+            (fun i inst ->
+              let f' =
+                { f with
+                  f_blocks =
+                    List.map
+                      (fun b' ->
+                        if b'.b_label = b.b_label then
+                          { b' with
+                            b_insts =
+                              List.filteri (fun j _ -> j <> i) b'.b_insts }
+                        else b')
+                      f.f_blocks }
+              in
+              let f' =
+                match inst_def inst with
+                | Some r ->
+                  let t =
+                    match Hashtbl.find_opt env r with Some t -> t | None -> I64
+                  in
+                  subst_reg f' r (zero_of t)
+                | None -> f'
+              in
+              update_func m f')
+            b.b_insts)
+        f.f_blocks
+    in
+    branch_cands @ inst_cands
+
+let count_insts (m : modul) : int =
+  match List.find_opt (fun f -> f.f_is_kernel) m.m_funcs with
+  | None -> 0
+  | Some f ->
+    List.fold_left (fun acc b -> acc + List.length b.b_insts) 0 f.f_blocks
+
+(* greedy shrink: take the first candidate that still verifies and
+   reproduces the signature; restart from it; stop when none does *)
+let shrink ?plant (m : modul) ~signature : modul =
+  let ok c =
+    match Verifier.check c with
+    | Ok () -> signature_of ?plant c = Some signature
+    | Error _ -> false
+  in
+  let rec go m rounds =
+    if rounds = 0 then m
+    else
+      match List.find_opt ok (candidates m) with
+      | Some c -> go c (rounds - 1)
+      | None -> m
+  in
+  go m 400
+
+(* ---- the campaign ----------------------------------------------------- *)
+
+type failure = {
+  fl_seed : int;
+  fl_signature : string;
+  fl_insts_before : int;
+  fl_insts_after : int;
+  fl_module : modul;
+}
+
+type result = { fz_seeds : int; fz_failures : failure list }
+
+let repro_text (fl : failure) : string =
+  Fmt.str
+    "; ozo fuzz repro@.; seed %d@.; signature %s@.; shrunk %d -> %d \
+     instructions@.%a"
+    fl.fl_seed fl.fl_signature fl.fl_insts_before fl.fl_insts_after
+    Printer.pp_module fl.fl_module
+
+let run ?plant ?(on_case = fun _ _ -> ()) ~seeds ~base_seed () : result =
+  let failures = ref [] in
+  for i = 0 to seeds - 1 do
+    let seed = base_seed + i in
+    let m = Irgen.generate ~seed in
+    let sg =
+      match Verifier.check m with
+      | Ok () -> signature_of ?plant m
+      | Error vs ->
+        Some
+          (Fmt.str "generator-invalid:%a"
+             (Fmt.list ~sep:Fmt.semi Verifier.pp_violation)
+             vs)
+    in
+    (match sg with
+    | None -> ()
+    | Some signature ->
+      let before = count_insts m in
+      let small = shrink ?plant m ~signature in
+      failures :=
+        { fl_seed = seed; fl_signature = signature; fl_insts_before = before;
+          fl_insts_after = count_insts small; fl_module = small }
+        :: !failures);
+    on_case seed (sg = None)
+  done;
+  { fz_seeds = seeds; fz_failures = List.rev !failures }

@@ -1,0 +1,212 @@
+(* Seeded generator of small, well-typed IR kernels for differential
+   fuzzing. Every generated module verifies and executes deterministically
+   regardless of how much the optimizer rewrites it, because the grammar
+   is restricted to constructs whose observable results are
+   schedule-independent on the virtual GPU:
+
+   - accumulators live in per-thread [Alloca] slots (memory folds, no phi
+     bookkeeping) — exactly the shape register promotion and the memory
+     passes love to rewrite;
+   - barriers appear only in uniform control flow (top level and
+     constant-trip-count loops), never under a thread-dependent branch;
+   - cross-lane shared-memory reads happen only after a barrier, and
+     every thread writes its own slot before anyone reads a neighbor's;
+   - no integer division (trap / rounding corners), shift amounts are
+     small constants, and every integer fold is masked to 16 bits so
+     products can never exceed either a 63-bit OCaml int or an int64;
+   - the only atomic is the commutative [Atomic_add], so the final sum is
+     independent of strand ordering;
+   - no [Fptosi] (float->int corner semantics) and no float division.
+
+   The kernel writes one i64 and one f64 result per global thread plus a
+   global atomic accumulator; [Fuzz] reads all three back as the digest
+   it compares across compilation pipelines. *)
+
+module B = Ozo_ir.Builder
+open Ozo_ir.Types
+module Prng = Ozo_util.Prng
+
+let teams = 2
+let threads = 32
+let lanes = teams * threads
+let kernel_name = "fz_kernel"
+let smem_global = "fz_smem"
+let acc_global = "fz_acc"
+
+type st = {
+  g : B.t;
+  rng : Prng.t;
+  acc_i : operand; (* Ptr Local alloca holding the i64 accumulator *)
+  acc_f : operand; (* Ptr Local alloca holding the f64 accumulator *)
+  tid : operand;
+  gid : operand;
+}
+
+let pick rng xs = List.nth xs (Prng.int rng (List.length xs))
+
+let mask16 st v = B.and_ st.g v (B.i64 0xffff)
+
+(* a small integer value: the accumulator, an id, or a constant *)
+let int_atom st cur =
+  match Prng.int st.rng 4 with
+  | 0 -> cur
+  | 1 -> st.tid
+  | 2 -> st.gid
+  | _ -> B.i64 (Prng.int st.rng 256)
+
+(* depth-<=2 integer expression over masked atoms; results stay well
+   under 2^62 (atoms <= 2^16, one chained product <= 2^48) *)
+let int_expr st cur =
+  let binop a b =
+    match Prng.int st.rng 9 with
+    | 0 -> B.add st.g a b
+    | 1 -> B.sub st.g a b
+    | 2 -> B.mul st.g a b
+    | 3 -> B.and_ st.g a b
+    | 4 -> B.or_ st.g a b
+    | 5 -> B.xor st.g a b
+    | 6 -> B.smin st.g a b
+    | 7 -> B.smax st.g a b
+    | _ -> B.shl st.g a (B.i64 (Prng.int st.rng 8))
+  in
+  let e = binop (int_atom st cur) (int_atom st cur) in
+  if Prng.int st.rng 2 = 0 then binop e (int_atom st cur) else e
+
+let float_atom st cur =
+  match Prng.int st.rng 3 with
+  | 0 -> cur
+  | 1 -> B.f64 (float_of_int (Prng.int st.rng 64) /. 8.0)
+  | _ -> B.unop st.g Sitofp (mask16 st (int_atom st (B.i64 1)))
+
+let float_expr st cur =
+  let a = float_atom st cur and b = float_atom st cur in
+  match Prng.int st.rng 6 with
+  | 0 -> B.fadd st.g a b
+  | 1 -> B.fsub st.g a b
+  | 2 -> B.fmul st.g a b
+  | 3 -> B.binop st.g Fmax a b
+  | 4 -> B.binop st.g Fmin a b
+  | _ -> B.unop st.g (pick st.rng [ Fneg; Fabs ]) a
+
+(* fold the i64 accumulator through a fresh expression *)
+let fold_int st =
+  let cur = B.load st.g I64 st.acc_i in
+  let v = mask16 st (int_expr st cur) in
+  B.store st.g I64 v st.acc_i
+
+let fold_float st =
+  let cur = B.load st.g F64 st.acc_f in
+  let v = float_expr st cur in
+  B.store st.g F64 v st.acc_f
+
+let fold_select st =
+  let cur = B.load st.g I64 st.acc_i in
+  let c =
+    B.icmp st.g
+      (pick st.rng [ Eq; Ne; Slt; Sle; Sgt; Sge ])
+      (int_atom st cur) (int_atom st cur)
+  in
+  let v = B.select st.g I64 c (int_atom st cur) (int_atom st cur) in
+  B.store st.g I64 (mask16 st (B.add st.g cur v)) st.acc_i
+
+let fold_atomic st =
+  let cur = B.load st.g I64 st.acc_i in
+  let v = mask16 st (B.add st.g cur st.tid) in
+  B.atomic_add st.g I64 (Global_addr acc_global) v
+
+(* divergent region: branch on a thread-dependent predicate; the bodies
+   only touch per-thread allocas and the commutative atomic, so no
+   barriers and no cross-lane traffic *)
+let rec divergent_if st =
+  let c =
+    B.icmp st.g
+      (pick st.rng [ Slt; Sge; Eq; Ne ])
+      st.tid
+      (B.i64 (Prng.int st.rng threads))
+  in
+  B.if_then_else st.g c
+    ~then_:(fun () -> divergent_body st)
+    ~else_:(fun () -> if Prng.int st.rng 2 = 0 then divergent_body st)
+
+and divergent_body st =
+  match Prng.int st.rng 4 with
+  | 0 -> fold_int st
+  | 1 -> fold_float st
+  | 2 -> fold_select st
+  | _ -> fold_atomic st
+
+(* uniform constant-trip loop; may contain an aligned barrier (every
+   thread runs the same trip count, so the barrier stays convergent) *)
+let uniform_loop st =
+  let trips = 2 + Prng.int st.rng 4 in
+  let with_barrier = Prng.int st.rng 2 = 0 in
+  ignore
+    (B.for_loop st.g ~lo:(B.i64 0) ~hi:(B.i64 trips) ~step:(B.i64 1)
+       ~body:(fun iv ->
+         let cur = B.load st.g I64 st.acc_i in
+         B.store st.g I64 (mask16 st (B.add st.g cur iv)) st.acc_i;
+         if with_barrier then B.barrier st.g ~aligned:true;
+         if Prng.int st.rng 2 = 0 then fold_float st))
+
+(* shared-memory exchange: publish my accumulator to my slot, barrier,
+   read a neighbor's slot, barrier again so the next stmt's store cannot
+   overlap this read *)
+let smem_exchange st =
+  let my_off = B.mul st.g st.tid (B.i64 8) in
+  let my_slot = B.ptradd st.g (Global_addr smem_global) my_off in
+  let cur = B.load st.g I64 st.acc_i in
+  B.store st.g I64 cur my_slot;
+  B.barrier st.g ~aligned:true;
+  let nb = B.and_ st.g (B.add st.g st.tid (B.i64 1)) (B.i64 (threads - 1)) in
+  let nb_slot = B.ptradd st.g (Global_addr smem_global) (B.mul st.g nb (B.i64 8)) in
+  let v = B.load st.g I64 nb_slot in
+  B.store st.g I64 (mask16 st (B.add st.g cur v)) st.acc_i;
+  B.barrier st.g ~aligned:true
+
+let statement st =
+  match Prng.int st.rng 8 with
+  | 0 | 1 -> fold_int st
+  | 2 -> fold_float st
+  | 3 -> fold_select st
+  | 4 -> fold_atomic st
+  | 5 -> divergent_if st
+  | 6 -> uniform_loop st
+  | _ -> smem_exchange st
+
+let generate ~seed : modul =
+  let rng = Prng.create seed in
+  let g = B.create (Printf.sprintf "fuzz_%d" seed) in
+  ignore (B.add_global g ~space:Shared ~size:(threads * 8) smem_global);
+  ignore (B.add_global g ~space:Global ~size:8 ~init:Zero_init acc_global);
+  let params =
+    B.begin_func g ~kernel:true ~name:kernel_name
+      ~params:[ Ptr Global; Ptr Global ] ~ret:None ()
+  in
+  let out_i, out_f =
+    match params with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  B.set_block g "entry";
+  let tid = B.thread_id g in
+  let bid = B.block_id g in
+  let bdim = B.block_dim g in
+  let gid = B.add g (B.mul g bid bdim) tid in
+  let acc_i = B.alloca g 8 in
+  B.store g I64 (B.i64 (1 + Prng.int rng 1000)) acc_i;
+  let acc_f = B.alloca g 8 in
+  B.store g F64 (B.f64 (float_of_int (Prng.int rng 32) /. 4.0)) acc_f;
+  (* every thread publishes its own shared slot before any statement may
+     read a neighbor's *)
+  let slot = B.ptradd g (Global_addr smem_global) (B.mul g tid (B.i64 8)) in
+  B.store g I64 tid slot;
+  B.barrier g ~aligned:true;
+  let st = { g; rng; acc_i; acc_f; tid; gid } in
+  let n_stmts = 3 + Prng.int rng 6 in
+  for _ = 1 to n_stmts do
+    statement st
+  done;
+  let off = B.mul g gid (B.i64 8) in
+  B.store g I64 (B.load g I64 acc_i) (B.ptradd g out_i off);
+  B.store g F64 (B.load g F64 acc_f) (B.ptradd g out_f off);
+  B.ret g None;
+  ignore (B.end_func g);
+  B.finish g

@@ -1,6 +1,12 @@
 (* Deterministic 64-bit splitmix PRNG for synthetic workload generation:
    the same seed always produces the same problem instance, independent of
-   OCaml's global Random state. *)
+   OCaml's global Random state.
+
+   DOMAIN-SAFETY: all state lives in the [t] value — there is no
+   module-level mutable state and no use of [Random]'s global generator,
+   so each launch/fuzz-case owning its own [t] is domain-safe by
+   construction. Sharing one [t] across domains is not (unsynchronized
+   mutation); create one per worker instead. *)
 
 type t = { mutable state : int64 }
 

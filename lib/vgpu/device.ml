@@ -71,6 +71,15 @@ let read_f64_array t buf n = Array.init n (read_f64 t buf)
 
 let static_shared_bytes t = t.d_static_shared
 
+(* Encoded device address of a module-level global, when it exists.
+   Differential harnesses (the IR fuzzer) use this to read back
+   accumulator globals that are not reachable through any buffer. *)
+let global_ptr t name = Hashtbl.find_opt t.d_gaddr name
+
+let read_global_i64 t name =
+  Option.map (fun ptr -> Memory.load_int t.d_mem ~thread:0 ptr Ozo_ir.Types.I64)
+    (global_ptr t name)
+
 (* Launch-time options, replacing the old optional-flag soup
    (?check_assumes ?trace ?budget ?inject). Build one with record update
    on [default]:
@@ -86,11 +95,15 @@ module Launch_opts = struct
     inject : Faultinject.spec option; (* seeded fault injection *)
     trace : Ozo_obs.Trace.ctx; (* span/event destination; Trace.null = off *)
     profile : bool; (* collect the per-block hot-spot profile *)
+    watchdog : (unit -> bool) option;
+    (* wall-clock watchdog polled by the engine scheduler: returns true
+       once the launch deadline has passed, turning a wedged launch into
+       a structured [Fault.Deadline] error instead of a hung campaign *)
   }
 
   let default =
     { check_assumes = false; debug_print = false; budget = 400_000_000;
-      inject = None; trace = Ozo_obs.Trace.null; profile = false }
+      inject = None; trace = Ozo_obs.Trace.null; profile = false; watchdog = None }
 end
 
 let launch ?(opts = Launch_opts.default) t ~teams ~threads args :
@@ -114,7 +127,8 @@ let launch ?(opts = Launch_opts.default) t ~teams ~threads args :
   in
   match
     Engine.run ~budget:opts.Launch_opts.budget ~params:t.d_params ?san:t.d_san
-      ?inject:inj ~trace ~profile:opts.Launch_opts.profile t.d_module ~mem:t.d_mem
+      ?inject:inj ~trace ~profile:opts.Launch_opts.profile
+      ?watchdog:opts.Launch_opts.watchdog t.d_module ~mem:t.d_mem
       ~gaddr:t.d_gaddr ~shared_globals:t.d_shared_globals l
   with
   | r ->

@@ -287,7 +287,12 @@ type engine = {
   (* warp-sized scratch, reused across every memory instruction so the
      hot path allocates nothing: per-lane addresses and their cached
      [Memory.decode] results, the coalescing segment set, and per-lane
-     branch conditions *)
+     branch conditions.
+     DOMAIN-SAFETY: this scratch is per-engine, i.e. per-launch — a fresh
+     [engine] record is built in [run], so concurrent launches never
+     share it. It is however shared across *teams* of one launch: domain
+     sharding of teams must move these arrays (and [e_budget]) into
+     [team_ctx] or give each domain its own engine value. *)
   e_addr : int array;
   e_space : addrspace array;
   e_off : int array;
@@ -295,6 +300,10 @@ type engine = {
   e_cond : bool array;
   e_fscr : float array; (* single-slot staging for constant float stores *)
   mutable e_budget : int; (* remaining instruction issues *)
+  (* wall-clock watchdog: polled every [wd_poll_interval] block visits;
+     the closure returns true once the launch deadline has passed *)
+  e_watchdog : (unit -> bool) option;
+  mutable e_wd_fuel : int;
 }
 
 let is_float_typ = function F64 -> true | I1 | I32 | I64 | Ptr _ -> false
@@ -1684,9 +1693,27 @@ let exec_dterm e tc st slot (dt : dterm) =
 (* Run one strand until it suspends, dies or splits. The block lookup is
    hoisted out of the instruction loop: one hash probe per block entry
    instead of one per instruction. *)
+(* Watchdog granularity: one clock read per 256 block visits keeps the
+   overhead invisible while still bounding a runaway kernel's overshoot
+   to a few thousand instructions past its deadline. The cycle budget
+   ([e_budget]) guards simulated work; this guards host wall-clock. *)
+let wd_poll_interval = 256
+
+let poll_watchdog e =
+  match e.e_watchdog with
+  | None -> ()
+  | Some expired ->
+    e.e_wd_fuel <- e.e_wd_fuel - 1;
+    if e.e_wd_fuel <= 0 then begin
+      e.e_wd_fuel <- wd_poll_interval;
+      if expired () then
+        Fault.fail Fault.Deadline "wall-clock watchdog deadline exceeded"
+    end
+
 let run_strand e tc st =
   let continue_ = ref true in
   while !continue_ && st.st_status = Run do
+    poll_watchdog e;
     match st.st_stack with
     | [] ->
       st.st_status <- Dead;
@@ -2036,7 +2063,8 @@ let collect_hotspots e : hotspot list =
     !acc
 
 let run ?(params = Cost.default) ?(budget = 400_000_000) ?san ?inject
-    ?(trace = Ozo_obs.Trace.null) ?(profile = false) (m : modul) ~(mem : Memory.t)
+    ?(trace = Ozo_obs.Trace.null) ?(profile = false) ?watchdog (m : modul)
+    ~(mem : Memory.t)
     ~(gaddr : (string, int) Hashtbl.t) ~(shared_globals : (global * int) list)
     (launch : launch) : result =
   Memory.check_host ();
@@ -2053,7 +2081,7 @@ let run ?(params = Cost.default) ?(budget = 400_000_000) ?san ?inject
       e_addr = Array.make ws 0; e_space = Array.make ws Global;
       e_off = Array.make ws 0; e_segs = Array.make ws 0;
       e_cond = Array.make ws false; e_fscr = Array.make 1 0.0;
-      e_budget = budget }
+      e_budget = budget; e_watchdog = watchdog; e_wd_fuel = wd_poll_interval }
   in
   let module T = Ozo_obs.Trace in
   (* decode: pre-decode the kernel up front so instruction decoding is

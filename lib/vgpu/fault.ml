@@ -24,8 +24,11 @@ type kind =
   | Unreachable        (* control flow reached `unreachable` *)
   | Trap               (* explicit trap / failed runtime assertion *)
   | Budget_exhausted   (* instruction budget blown (runaway kernel) *)
+  | Deadline           (* wall-clock watchdog deadline exceeded *)
   | Invalid            (* other engine-detected misuse of the machine *)
   | Validation         (* differential check against the host reference failed *)
+  | Internal           (* host-side crash (compiler/backend exception) captured
+                          by the supervisor instead of aborting the campaign *)
 
 let kind_name = function
   | Oob -> "out-of-bounds"
@@ -37,8 +40,17 @@ let kind_name = function
   | Unreachable -> "unreachable"
   | Trap -> "trap"
   | Budget_exhausted -> "budget-exhausted"
+  | Deadline -> "deadline"
   | Invalid -> "invalid"
   | Validation -> "validation"
+  | Internal -> "internal"
+
+(* every kind, for classification round-trips (journal, property tests) *)
+let all_kinds =
+  [ Oob; Misaligned; Uninit_read; Race; Divergent_barrier; Assume_violation;
+    Unreachable; Trap; Budget_exhausted; Deadline; Invalid; Validation; Internal ]
+
+let kind_of_name n = List.find_opt (fun k -> kind_name k = n) all_kinds
 
 (* decode of the pointer an access faulted on *)
 type access = {
@@ -65,6 +77,13 @@ type report = t
 
 (* --- execution context ------------------------------------------------- *)
 
+(* DOMAIN-SAFETY: [ctx] below is a module-level mutable value — the one
+   intentional global in the vGPU execution path (the engine is
+   single-threaded and single-flight, so one context is unambiguous).
+   Sharding teams across OCaml domains requires making this
+   domain-local ([Domain.DLS]) or threading a per-engine context through
+   [Memory]/[Sanitizer]; until then it is the only engine state that is
+   not already per-launch. *)
 type ctx = {
   mutable c_site : bool;     (* site fields valid *)
   mutable c_strand : bool;   (* strand fields valid *)

@@ -76,7 +76,12 @@ let parse ~seed str : (spec, string) result =
           corrupt-load|drop-store|skip-barrier|trunc-shared|violate-assume[@fn][:nth])"
          str)
 
-(* per-launch state: a one-shot countdown over matching dynamic sites *)
+(* Per-launch state: a one-shot countdown over matching dynamic sites.
+   DOMAIN-SAFETY: the PRNG stream and the countdown both live in this
+   per-launch value ([Device.launch] calls [start] for every launch, and
+   [spec] is immutable) — there is no module-level mutable injection
+   state, so concurrent launches on separate domains cannot interleave
+   their injection streams. *)
 type t = {
   t_spec : spec;
   t_prng : Prng.t;

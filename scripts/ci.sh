@@ -56,7 +56,40 @@ echo "== trace smoke =="
 # the compile span, phase spans under the launch span, hot-spot events
 "$CLI" trace testsnap --small --out _build/trace_smoke.json --check
 
+echo "== fuzz: differential smoke (fixed seeds) =="
+# 25 generated kernels through O0 / full / spilled-regalloc; any variant
+# disagreement or fault is a differential failure and exits non-zero
+"$CLI" fuzz --seeds 25 --seed 1 --out _build/fuzz_smoke.ir
+
+echo "== fuzz: planted miscompile must be caught and shrunk =="
+if "$CLI" fuzz --seeds 1 --seed 1 --plant flip-add --out _build/fuzz_plant.ir; then
+  echo "FAIL: planted miscompile went undetected"; exit 1
+fi
+[ -s _build/fuzz_plant.ir ] || {
+  echo "FAIL: no minimized repro written for the planted miscompile"; exit 1; }
+echo "planted miscompile caught; repro at _build/fuzz_plant.ir"
+
+echo "== campaign: kill + resume from journal =="
+# abort after 3 fresh rows (simulated crash), resume from the journal,
+# and require the resumed CSV to be byte-identical to an uninterrupted run
+JOURNAL=_build/ci_journal.jsonl
+rm -f "$JOURNAL"
+if "$CLI" campaign xsbench --small --journal "$JOURNAL" --abort-after 3 \
+     > _build/ci_campaign_killed.out 2>&1; then
+  echo "FAIL: --abort-after did not abort the campaign"; exit 1
+fi
+"$CLI" campaign xsbench --small --journal "$JOURNAL" --resume \
+  > _build/ci_campaign_resumed.out
+"$CLI" campaign xsbench --small > _build/ci_campaign_full.out
+sed -n '/^proxy,build/,$p' _build/ci_campaign_resumed.out > _build/ci_resumed.csv
+sed -n '/^proxy,build/,$p' _build/ci_campaign_full.out > _build/ci_full.csv
+diff _build/ci_full.csv _build/ci_resumed.csv || {
+  echo "FAIL: resumed campaign CSV differs from uninterrupted run"; exit 1; }
+echo "resume OK: CSV byte-identical after kill at row 3"
+
 echo "== perf micro-suite (smoke) =="
-scripts/bench.sh --smoke
+# under a wall-clock deadline: a wedged benchmark fails CI instead of
+# hanging it
+timeout 600 scripts/bench.sh --smoke
 
 echo "CI OK"

@@ -17,4 +17,5 @@ let () =
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
       ("golden", Test_golden.suite);
+      ("resilience", Test_resilience.suite);
       ("properties", Test_props.suite) ]

@@ -389,7 +389,124 @@ let prop_generic_construct_kernels =
                    (String.concat "," (Array.to_list (Array.map string_of_int expected)))))
         builds_under_test)
 
+(* --- fault classification and journal round-trips ----------------------- *)
+
+module Journal = Ozo_resilience.Journal
+module Json = Ozo_obs.Json
+module Pipeline = Ozo_opt.Pipeline
+
+let prop_fault_kind_roundtrip =
+  QCheck.Test.make ~name:"fault kinds round-trip through their names"
+    ~count:(List.length Fault.all_kinds)
+    (QCheck.make (QCheck.Gen.oneofl Fault.all_kinds) ~print:Fault.kind_name)
+    (fun k ->
+      match Fault.kind_of_name (Fault.kind_name k) with
+      | Some k' -> k' = k
+      | None -> QCheck.Test.fail_reportf "%s did not classify" (Fault.kind_name k))
+
+(* random structured fault: any kind, printable message, optional site,
+   strand, access decode and implicated threads *)
+let gen_fault : Fault.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  oneofl Fault.all_kinds >>= fun k ->
+  name >>= fun msg ->
+  opt name >>= fun fn ->
+  opt name >>= fun blk ->
+  opt (int_range 0 500) >>= fun idx ->
+  opt (int_range 0 7) >>= fun team ->
+  opt (int_range 0 3) >>= fun warp ->
+  map Int64.of_int (int_range 0 max_int) >>= fun lanes ->
+  opt
+    (map3
+       (fun p off by -> { Fault.a_ptr = p; a_space = "global"; a_offset = off; a_bytes = by })
+       (int_range 0 0xffff) (int_range 0 4096) (oneofl [ 0; 1; 4; 8 ]))
+  >>= fun access ->
+  list_size (int_range 0 4) (int_range 0 63) >>= fun threads ->
+  return
+    { Fault.f_kind = k; f_msg = msg; f_fn = fn; f_blk = blk; f_idx = idx;
+      f_team = team; f_warp = warp; f_lanes = lanes; f_access = access;
+      f_threads = threads }
+
+let prop_fault_to_line_mentions_kind_and_msg =
+  QCheck.Test.make ~name:"fault to_line carries the kind name and message" ~count:100
+    (QCheck.make gen_fault ~print:Fault.to_line)
+    (fun f ->
+      let line = Fault.to_line f in
+      contains line (Fault.kind_name f.Fault.f_kind) && contains line f.Fault.f_msg)
+
+let prop_fault_json_roundtrip =
+  QCheck.Test.make ~name:"fault encodes to JSON and decodes back intact" ~count:100
+    (QCheck.make gen_fault ~print:Fault.to_line)
+    (fun f ->
+      match Json.parse (Journal.fault_to_json f) with
+      | Error e -> QCheck.Test.fail_reportf "unparseable encoding: %s" e
+      | Ok j -> (
+        match Journal.fault_of_json j with
+        | Error e -> QCheck.Test.fail_reportf "decode: %s" e
+        | Ok f' ->
+          f'.Fault.f_kind = f.Fault.f_kind
+          && f'.Fault.f_lanes = f.Fault.f_lanes
+          && Fault.to_line f' = Fault.to_line f
+          || QCheck.Test.fail_reportf "got %s" (Fault.to_line f')))
+
+(* --- fallback-ladder ordering ------------------------------------------- *)
+
+(* strength rank of a pipeline config: each [weaken] step must strictly
+   decrease it, so the ladder is finite and monotonically conservative *)
+let rank (c : Pipeline.config) =
+  if c.Pipeline.globalization || c.Pipeline.barrier_elim || c.Pipeline.memfold <> None
+  then 3
+  else if c.Pipeline.internalize || c.Pipeline.spmdize then 2
+  else if c.Pipeline.rounds > 0 then 1
+  else 0
+
+let gen_config : Pipeline.config QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneofl
+    [ Pipeline.o0; Pipeline.baseline; Pipeline.nightly; Pipeline.full;
+      { Pipeline.full with Pipeline.name = "custom-hi"; barrier_elim = false };
+      { Pipeline.baseline with Pipeline.name = "custom-mid"; spmdize = false;
+        internalize = true };
+      { Pipeline.o0 with Pipeline.name = "custom-lo"; rounds = 2 } ]
+
+let prop_ladder_monotone_and_finite =
+  QCheck.Test.make ~name:"fallback ladder strictly weakens, never repeats, terminates"
+    ~count:30
+    (QCheck.make gen_config ~print:(fun c -> c.Pipeline.name))
+    (fun c0 ->
+      let rec walk c seen steps =
+        if steps > 4 then QCheck.Test.fail_reportf "ladder did not terminate"
+        else
+          match Pipeline.weaken c with
+          | None ->
+            rank c = 0
+            || QCheck.Test.fail_reportf "ladder stopped at non-trivial %s" c.Pipeline.name
+          | Some w ->
+            (rank w < rank c
+            || QCheck.Test.fail_reportf "%s (rank %d) -> %s (rank %d) not weaker"
+                 c.Pipeline.name (rank c) w.Pipeline.name (rank w))
+            && (not (List.mem w.Pipeline.name seen)
+               || QCheck.Test.fail_reportf "config %s revisited" w.Pipeline.name)
+            && walk w (w.Pipeline.name :: seen) (steps + 1)
+      in
+      walk c0 [ c0.Pipeline.name ] 0)
+
+let prop_full_ladder_is_canonical =
+  QCheck.Test.make ~name:"full's ladder is nightly -> baseline -> O0" ~count:1
+    QCheck.unit (fun () ->
+      let rec chain c =
+        match Pipeline.weaken c with None -> [] | Some w -> w.Pipeline.name :: chain w
+      in
+      chain Pipeline.full = [ "nightly"; "baseline"; "O0" ]
+      || QCheck.Test.fail_reportf "got %s" (String.concat " -> " (chain Pipeline.full)))
+
 let suite =
   [ QCheck_alcotest.to_alcotest prop_all_builds_match_host;
     QCheck_alcotest.to_alcotest prop_control_flow_kernels;
-    QCheck_alcotest.to_alcotest prop_generic_construct_kernels ]
+    QCheck_alcotest.to_alcotest prop_generic_construct_kernels;
+    QCheck_alcotest.to_alcotest prop_fault_kind_roundtrip;
+    QCheck_alcotest.to_alcotest prop_fault_to_line_mentions_kind_and_msg;
+    QCheck_alcotest.to_alcotest prop_fault_json_roundtrip;
+    QCheck_alcotest.to_alcotest prop_ladder_monotone_and_finite;
+    QCheck_alcotest.to_alcotest prop_full_ladder_is_canonical ]
