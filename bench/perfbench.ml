@@ -306,16 +306,32 @@ let backend_suite ~iters =
     time_run ~iters ~name:"backend/lower-spill"
       (lower_all (Machine.with_reg_budget 8 Machine.vgpu)) ]
 
-(* End-to-end: the `bench/main.exe csv` workload (all figures' raw rows). *)
-let e2e_csv ~small () =
+(* End-to-end: the `bench/main.exe csv` workload (all figures' raw rows).
+   [domains] shards each launch's team loop over OCaml domains; counters
+   (and therefore [s_issues]) are bit-identical at every value. *)
+let e2e_csv ?(domains = 1) ~small () =
   let pool = if small then Registry.all_small () else Registry.all () in
   List.fold_left
     (fun acc p ->
       List.fold_left
-        (fun acc m ->
+        (fun acc b ->
+          let m = E.measure ~domains p b in
           acc + m.E.r_counters.Ozo_vgpu.Counters.warp_instructions)
-        acc (E.fig10 p))
+        acc (E.builds_for p))
     0 pool
+
+(* Domain-scaling curve over the end-to-end workload. The speedup these
+   samples record is bounded by the machine's core count — on a 1-core
+   container every count collapses to time-sliced sequential speed and
+   the curve documents the (small) sharding overhead instead. Alloc per
+   iteration is the schedule-independent regression signal. *)
+let par_suite ~iters =
+  List.map
+    (fun d ->
+      time_run ~iters
+        ~name:(Fmt.str "par/e2e-csv-full-d%d" d)
+        (e2e_csv ~domains:d ~small:false))
+    [ 1; 2; 4; 8 ]
 
 (* --- JSON output -------------------------------------------------------- *)
 
@@ -378,6 +394,7 @@ let () =
         time_run ~iters:2 ~name:"e2e/csv-full" (e2e_csv ~small:false) ]
   in
   let samples = samples @ e2e in
+  let samples = samples @ (if !smoke then [] else par_suite ~iters:2) in
   List.iter
     (fun s ->
       Fmt.pr "  %-26s %9.1f ms/iter  %10.0f issues/s  %12.0f B alloc/iter@."
@@ -405,6 +422,16 @@ let () =
      if per on_ > 0.0 then
        Fmt.pr "  analysis caching on: %.2fx compile-time vs uncached full pipeline@."
          (per off /. per on_)
+   | _ -> ());
+  (* domain-scaling summary: parallel vs sequential end-to-end sweep *)
+  (let find n = List.find_opt (fun s -> s.s_name = n) samples in
+   match (find "par/e2e-csv-full-d1", find "par/e2e-csv-full-d4") with
+   | Some d1, Some d4 ->
+     let per s = s.s_wall_s /. float_of_int s.s_iters in
+     if per d4 > 0.0 then
+       Fmt.pr "  4 domains: %.2fx e2e wall-clock vs 1 domain (%d core(s) available)@."
+         (per d1 /. per d4)
+         (Domain.recommended_domain_count ())
    | _ -> ());
   emit_json ~mode ~path:!out samples;
   Fmt.pr "wrote %s@." !out

@@ -65,6 +65,13 @@ let profile_arg =
   let doc = "Record a trace with the per-block hot-spot profile and print it." in
   Arg.(value & flag & info [ "profile" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Shard each launch's team loop over N OCaml domains (capped at the team \
+     count). Results are bit-identical to --domains 1; only wall-clock changes."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let parse_inject seed = function
   | None -> Ok None
   | Some s -> (
@@ -101,7 +108,7 @@ let list_cmd =
 (* --- run ---------------------------------------------------------------- *)
 
 let run_cmd =
-  let run name build small debug sanitize inject seed profile =
+  let run name build small debug sanitize inject seed profile domains =
     handle
       (let ( let* ) = Result.bind in
        let* p = find_proxy small name in
@@ -109,7 +116,10 @@ let run_cmd =
        let* inject = parse_inject seed inject in
        let b = if debug then C.with_debug b else b in
        let trace = if profile then Trace.make () else Trace.null in
-       let m = E.measure ~check_assumes:debug ~sanitize ?inject ~trace ~profile p b in
+       let m =
+         E.measure ~check_assumes:debug ~sanitize ?inject ~trace ~profile
+           ~domains p b
+       in
        Fmt.pr "%a%a" R.pp_fig11 (name, [ m ]) R.pp_csv_header ();
        Fmt.pr "%a" R.pp_csv m;
        if profile then begin
@@ -133,7 +143,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and run one proxy under one build configuration")
     Term.(const run $ proxy_arg $ build_arg $ small_arg $ debug_arg $ sanitize_arg
-          $ inject_arg $ seed_arg $ profile_arg)
+          $ inject_arg $ seed_arg $ profile_arg $ domains_arg)
 
 (* --- inspect ------------------------------------------------------------ *)
 
@@ -459,7 +469,7 @@ let campaign_cmd =
     Arg.(value & opt (some int) None & info [ "abort-after" ] ~docv:"N" ~doc)
   in
   let run name small sanitize inject seed profile journal resume repeat retries
-      deadline abort_after =
+      deadline abort_after domains =
     handle
       (let ( let* ) = Result.bind in
        let* _ = find_proxy small name in
@@ -474,7 +484,7 @@ let campaign_cmd =
            Campaign.co_proxies = [ name ]; co_small = small;
            co_repeat = repeat; co_sanitize = sanitize; co_inject = inject;
            co_journal = journal; co_resume = resume;
-           co_abort_after = abort_after;
+           co_abort_after = abort_after; co_domains = domains;
            co_sup =
              { Supervisor.default with
                Supervisor.sv_retries = retries; sv_deadline_s = deadline;
@@ -513,7 +523,7 @@ let campaign_cmd =
           valid check")
     Term.(const run $ proxy_arg $ small_arg $ sanitize_arg $ inject_arg $ seed_arg
           $ profile_arg $ journal_arg $ resume_arg $ repeat_arg $ retries_arg
-          $ deadline_arg $ abort_after_arg)
+          $ deadline_arg $ abort_after_arg $ domains_arg)
 
 (* --- fuzz ----------------------------------------------------------------- *)
 

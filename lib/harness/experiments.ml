@@ -44,6 +44,10 @@ type measurement = {
   r_retries : int;       (* supervisor retries consumed (0 when unsupervised) *)
   r_deadline_hit : bool; (* some attempt tripped the wall-clock watchdog *)
   r_breaker : string;    (* circuit-breaker state: closed | open | skipped *)
+  r_domains : int;
+  (* effective OCaml domains the launch sharded teams over: the request
+     capped at the team count, 1 when no launch happened. Results are
+     bit-identical at every value; this records only how the row ran *)
 }
 
 (* user errors outside a measurement (e.g. an unknown proxy name); runtime
@@ -92,12 +96,13 @@ let dead_measurement ?(fallbacks = []) ~proxy ~build fault : measurement =
     r_check = Error (Fault.to_line fault); r_flops = 0.0;
     r_fault = Some fault; r_fallbacks = fallbacks; r_phase_us = [];
     r_hotspots = []; r_cache = None;
-    r_retries = 0; r_deadline_hit = false; r_breaker = "closed" }
+    r_retries = 0; r_deadline_hit = false; r_breaker = "closed"; r_domains = 1 }
 
 let measure ?(check_assumes = false) ?(sanitize = false) ?inject ?watchdog
-    ?(trace = Trace.null) ?(profile = false) (p : Proxy.t) (b : C.build) :
-    measurement =
+    ?(trace = Trace.null) ?(profile = false) ?(domains = 1) (p : Proxy.t)
+    (b : C.build) : measurement =
   let teams = p.Proxy.p_teams and threads = p.Proxy.p_threads in
+  let eff_domains = max 1 (min domains (max 1 teams)) in
   (* run one pipeline config; the build label stays that of the row *)
   let attempt ?inject (pipe : Pipeline.config) :
       (measurement, Fault.t * measurement option) result =
@@ -109,7 +114,8 @@ let measure ?(check_assumes = false) ?(sanitize = false) ?inject ?watchdog
       let inst = p.Proxy.p_setup dev in
       let opts =
         { Device.Launch_opts.default with
-          Device.Launch_opts.check_assumes; inject; trace; profile; watchdog }
+          Device.Launch_opts.check_assumes; inject; trace; profile; watchdog;
+          domains = eff_domains }
       in
       match C.launch ~opts c dev ~teams ~threads inst.Proxy.i_args with
       | Error f -> Error (f, None)
@@ -123,7 +129,8 @@ let measure ?(check_assumes = false) ?(sanitize = false) ?inject ?watchdog
             r_check = check; r_flops = p.Proxy.p_flops; r_fault = None;
             r_fallbacks = []; r_phase_us = phases_of trace;
             r_hotspots = m.C.m_hotspots; r_cache = cache_of trace;
-            r_retries = 0; r_deadline_hit = false; r_breaker = "closed" }
+            r_retries = 0; r_deadline_hit = false; r_breaker = "closed";
+            r_domains = eff_domains }
         in
         (match check with
         | Ok () -> Ok meas
@@ -165,10 +172,14 @@ let fig10 (p : Proxy.t) : measurement list = List.map (measure p) (builds_for p)
 
 (* a full campaign over the standard build rows, with optional sanitizer
    and fault injection; the injection perturbs only each row's primary
-   attempt, so fallbacks re-validate clean *)
-let campaign ?check_assumes ?sanitize ?inject ?trace ?profile (p : Proxy.t) :
-    measurement list =
-  List.map (measure ?check_assumes ?sanitize ?inject ?trace ?profile p) (builds_for p)
+   attempt, so fallbacks re-validate clean. [domains] shards each row's
+   team loop over OCaml domains — results are bit-identical to
+   [domains:1], only wall-clock changes *)
+let campaign ?check_assumes ?sanitize ?inject ?trace ?profile ?domains
+    (p : Proxy.t) : measurement list =
+  List.map
+    (measure ?check_assumes ?sanitize ?inject ?trace ?profile ?domains p)
+    (builds_for p)
 
 (* Figure 11: kernel time / registers / shared memory per build. Same
    measurements as fig10; kept separate for reporting. *)

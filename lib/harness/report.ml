@@ -58,14 +58,14 @@ let pp_fig10 ppf (title, ms) =
 (* Fig. 11-style table *)
 let pp_fig11 ppf (title, ms) =
   Fmt.pf ppf "@.%s — kernel time, registers, shared memory (Fig. 11)@." title;
-  Fmt.pf ppf "  %-26s %14s %7s %9s %6s %7s %10s %9s@." "build" "ktime(cyc)"
-    "#regs" "smem(B)" "occup" "spills" "warp-insts" "barriers";
+  Fmt.pf ppf "  %-26s %14s %7s %9s %6s %7s %10s %9s %4s@." "build" "ktime(cyc)"
+    "#regs" "smem(B)" "occup" "spills" "warp-insts" "barriers" "dom";
   List.iter
     (fun m ->
-      Fmt.pf ppf "  %-26s %14.0f %7d %9d %6.2f %7d %10d %9d@." m.r_build
+      Fmt.pf ppf "  %-26s %14.0f %7d %9d %6.2f %7d %10d %9d %4d@." m.r_build
         m.r_cycles m.r_regs m.r_smem m.r_occupancy m.r_spills
         m.r_counters.Ozo_vgpu.Counters.warp_instructions
-        m.r_counters.Ozo_vgpu.Counters.barriers)
+        m.r_counters.Ozo_vgpu.Counters.barriers m.r_domains)
     ms;
   pp_faults ppf ms
 
@@ -165,11 +165,11 @@ let pp_csv_header ppf () =
   Fmt.pf ppf
     "proxy,build,cycles,regs,smem,occupancy,spills,warp_insts,barriers,check,fault,\
      fallback,compile_us,decode_us,execute_us,readback_us,cache_hits,cache_misses,\
-     retries,deadline,breaker@."
+     retries,deadline,breaker,domains@."
 
 let pp_csv ppf m =
   Fmt.pf ppf
-    "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%d,%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%s,%s@."
+    "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%d,%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%s,%s,%d@."
     m.r_proxy
     m.r_build m.r_cycles m.r_regs m.r_smem m.r_occupancy m.r_spills
     m.r_counters.Ozo_vgpu.Counters.warp_instructions
@@ -185,4 +185,4 @@ let pp_csv ppf m =
     (match m.r_cache with Some (_, mi, _) -> mi | None -> 0)
     m.r_retries
     (if m.r_deadline_hit then "hit" else "-")
-    m.r_breaker
+    m.r_breaker m.r_domains

@@ -28,26 +28,29 @@ type opts = {
   co_journal : string option;
   co_resume : bool;
   co_abort_after : int option; (* crash after N fresh rows (test hook) *)
+  co_domains : int; (* OCaml domains per launch; results identical at any value *)
   co_sup : Supervisor.opts;
 }
 
 let default =
   { co_proxies = []; co_small = false; co_repeat = 1; co_check_assumes = false;
     co_sanitize = false; co_inject = None; co_journal = None;
-    co_resume = false; co_abort_after = None; co_sup = Supervisor.default }
+    co_resume = false; co_abort_after = None; co_domains = 1;
+    co_sup = Supervisor.default }
 
 exception Aborted of string
 
 (* campaign identity for the journal header: resuming under different
    options must be refused, not silently mixed *)
 let fingerprint (o : opts) : string =
-  Printf.sprintf "proxies=%s;small=%b;repeat=%d;inject=%s;sanitize=%b;assumes=%b"
+  Printf.sprintf
+    "proxies=%s;small=%b;repeat=%d;inject=%s;sanitize=%b;assumes=%b;domains=%d"
     (String.concat "," o.co_proxies)
     o.co_small o.co_repeat
     (match o.co_inject with
     | Some s -> Faultinject.spec_to_string s ^ "#" ^ string_of_int s.Faultinject.s_seed
     | None -> "-")
-    o.co_sanitize o.co_check_assumes
+    o.co_sanitize o.co_check_assumes o.co_domains
 
 let resolve (o : opts) name : Proxy.t =
   let pool =
@@ -123,7 +126,8 @@ let run ?clock ?sleep ?(trace = Trace.null) (o : opts) : E.measurement list =
                    fault must re-validate clean on retry *)
                 let inject = if attempt = 0 then o.co_inject else None in
                 E.measure ~check_assumes:o.co_check_assumes
-                  ~sanitize:o.co_sanitize ?inject ?watchdog ~trace p b)
+                  ~sanitize:o.co_sanitize ?inject ?watchdog ~trace
+                  ~domains:o.co_domains p b)
           in
           finish_row i m;
           m

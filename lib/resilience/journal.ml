@@ -142,7 +142,8 @@ let enc_measurement b (m : E.measurement) =
           opt b (fun b (h, mi, inv) -> list_ b int_ [ h; mi; inv ]) m.E.r_cache);
       f "retries" (fun b -> int_ b m.E.r_retries);
       f "deadline" (fun b -> bool_ b m.E.r_deadline_hit);
-      f "breaker" (fun b -> esc b m.E.r_breaker))
+      f "breaker" (fun b -> esc b m.E.r_breaker);
+      f "domains" (fun b -> int_ b m.E.r_domains))
 
 (* ---- decoding --------------------------------------------------------- *)
 
@@ -282,6 +283,10 @@ let measurement_of_json (j : Json.t) : (E.measurement, string) result =
   let* retries = dec_int "retries" j in
   let* deadline = dec_bool "deadline" j in
   let* breaker = dec_str "breaker" j in
+  (* absent in journals written before the domain-parallel engine *)
+  let* domains =
+    match mem "domains" j with None -> Ok 1 | Some _ -> dec_int "domains" j
+  in
   Ok
     { E.r_proxy = proxy; r_build = build; r_cycles = cycles; r_regs = regs;
       r_smem = smem; r_occupancy = occupancy; r_spills = spills;
@@ -289,7 +294,8 @@ let measurement_of_json (j : Json.t) : (E.measurement, string) result =
       r_check = (match check with None -> Ok () | Some e -> Error e);
       r_flops = flops; r_fault = fault; r_fallbacks = fallbacks;
       r_phase_us = phase_us; r_hotspots = hotspots; r_cache = cache;
-      r_retries = retries; r_deadline_hit = deadline; r_breaker = breaker }
+      r_retries = retries; r_deadline_hit = deadline; r_breaker = breaker;
+      r_domains = domains }
 
 (* ---- the journal file ------------------------------------------------- *)
 

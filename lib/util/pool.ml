@@ -1,0 +1,55 @@
+(* A minimal Domain-based worker pool for deterministic data-parallel
+   sharding.
+
+   Design notes:
+
+   - [run ~workers body] executes [body w] for every worker id
+     [0 .. workers-1]. Worker 0 runs on the *calling* domain (so
+     [~workers:1] involves no spawn at all and is exactly a direct
+     call), the rest on freshly spawned domains. Spawning per call
+     keeps the pool stateless — no idle domains held across launches,
+     no teardown hooks — at a per-call cost of a few tens of
+     microseconds per worker, which is noise next to the team
+     execution the engine shards over it.
+
+   - Exceptions: the engine-side worker body is expected to capture
+     its own faults into per-worker slots (so faults can be merged
+     deterministically in team order). Should a body escape with an
+     exception anyway, [run] re-raises the one from the
+     lowest-numbered worker after every domain has been joined —
+     a deterministic choice, and no domain is ever left unjoined.
+
+   - [chunk ~items ~workers w] is the canonical contiguous balanced
+     split: with q = items / workers and r = items mod workers, the
+     first r workers take q+1 items and the rest q, preserving item
+     order across the worker index. Chunking is a pure function of
+     (items, workers), never of timing, which is what makes the
+     engine's team->domain assignment reproducible. *)
+
+let chunk ~items ~workers w =
+  let workers = max 1 workers in
+  let q = items / workers and r = items mod workers in
+  let lo = (w * q) + min w r in
+  let hi = lo + q + if w < r then 1 else 0 in
+  (lo, hi)
+
+let run ~workers (body : int -> unit) : unit =
+  if workers <= 1 then body 0
+  else begin
+    let spawned =
+      Array.init (workers - 1) (fun i -> Domain.spawn (fun () -> body (i + 1)))
+    in
+    let first_exn = (try body 0; None with e -> Some e) in
+    (* join every domain before re-raising anything: no orphans *)
+    let worker_exn =
+      Array.fold_left
+        (fun acc d ->
+          match (try Domain.join d; None with e -> Some e) with
+          | Some e when acc = None -> Some e
+          | _ -> acc)
+        None spawned
+    in
+    match first_exn with
+    | Some e -> raise e
+    | None -> ( match worker_exn with Some e -> raise e | None -> ())
+  end

@@ -91,19 +91,26 @@ module Launch_opts = struct
   type t = {
     check_assumes : bool; (* validate __omp_assume facts at runtime *)
     debug_print : bool; (* print Debug_print instructions as they execute *)
-    budget : int; (* instruction-issue budget (runaway-kernel guard) *)
+    budget : int; (* per-team instruction-issue budget (runaway-kernel guard) *)
     inject : Faultinject.spec option; (* seeded fault injection *)
     trace : Ozo_obs.Trace.ctx; (* span/event destination; Trace.null = off *)
     profile : bool; (* collect the per-block hot-spot profile *)
     watchdog : (unit -> bool) option;
     (* wall-clock watchdog polled by the engine scheduler: returns true
        once the launch deadline has passed, turning a wedged launch into
-       a structured [Fault.Deadline] error instead of a hung campaign *)
+       a structured [Fault.Deadline] error instead of a hung campaign.
+       Polled per domain; the first deadline wins deterministically (the
+       fault on the lowest team id is the one reported). *)
+    domains : int;
+    (* OCaml domains to shard team execution over; 1 = the exact
+       sequential path. Results are bit-identical at every count; capped
+       at the team count *)
   }
 
   let default =
     { check_assumes = false; debug_print = false; budget = 400_000_000;
-      inject = None; trace = Ozo_obs.Trace.null; profile = false; watchdog = None }
+      inject = None; trace = Ozo_obs.Trace.null; profile = false;
+      watchdog = None; domains = 1 }
 end
 
 let launch ?(opts = Launch_opts.default) t ~teams ~threads args :
@@ -114,7 +121,6 @@ let launch ?(opts = Launch_opts.default) t ~teams ~threads args :
       l_debug = opts.Launch_opts.debug_print }
   in
   let trace = opts.Launch_opts.trace in
-  let inj = Option.map Faultinject.start opts.Launch_opts.inject in
   (match t.d_san with Some s -> Sanitizer.enter_kernel s | None -> ());
   Ozo_obs.Trace.begin_span trace ~cat:"launch"
     ~args:
@@ -122,14 +128,14 @@ let launch ?(opts = Launch_opts.default) t ~teams ~threads args :
         ("threads", Ozo_obs.Trace.Int threads) ]
     "launch";
   let finish () =
-    (match t.d_san with Some s -> Sanitizer.exit_kernel s | None -> ());
-    Fault.clear_ctx ()
+    match t.d_san with Some s -> Sanitizer.exit_kernel s | None -> ()
   in
   match
     Engine.run ~budget:opts.Launch_opts.budget ~params:t.d_params ?san:t.d_san
-      ?inject:inj ~trace ~profile:opts.Launch_opts.profile
-      ?watchdog:opts.Launch_opts.watchdog t.d_module ~mem:t.d_mem
-      ~gaddr:t.d_gaddr ~shared_globals:t.d_shared_globals l
+      ?inject:opts.Launch_opts.inject ~trace ~profile:opts.Launch_opts.profile
+      ?watchdog:opts.Launch_opts.watchdog ~domains:opts.Launch_opts.domains
+      t.d_module ~mem:t.d_mem ~gaddr:t.d_gaddr
+      ~shared_globals:t.d_shared_globals l
   with
   | r ->
     Ozo_obs.Trace.end_span trace ();

@@ -10,11 +10,20 @@
    generic-mode state machine (main thread vs. worker threads in the same
    warp) requires.
 
-   Teams execute sequentially and deterministically; within a team,
-   runnable strands are scheduled in creation order, each running until it
-   blocks at a barrier, dies, or splits. Costs are charged per strand
-   instruction issue (so divergence costs extra issues) plus per-access
-   memory costs with global-memory coalescing.
+   Teams are independent by construction (team-wide barriers only,
+   per-team shared memory) and execute deterministically. With
+   [~domains:1] they run sequentially on the calling domain; with
+   [~domains:n] team ids are statically chunked over n OCaml domains
+   (contiguous balanced ranges, [Pool.chunk]), each domain owning a
+   complete engine instance — its own decode caches, scratch, memory
+   view and fault context — and executing its teams in ascending order.
+   Per-team counters, faults and profile data are merged in team order
+   at readback, so results are bit-identical to the sequential engine at
+   every domain count. Within a team, runnable strands are scheduled in
+   creation order, each running until it blocks at a barrier, dies, or
+   splits. Costs are charged per strand instruction issue (so divergence
+   costs extra issues) plus per-access memory costs with global-memory
+   coalescing.
 
    Interpretation strategy: functions are decoded once per engine into a
    flat pre-resolved form ([dinst]/[dterm]) — operands become direct
@@ -280,7 +289,10 @@ type engine = {
   e_fidx : (string, int) Hashtbl.t;       (* function name -> index+1 (0 = null) *)
   e_shared_globals : (global * int) list; (* shared-space globals and offsets *)
   e_san : Sanitizer.t option;             (* opt-in SIMT sanitizer *)
-  e_inject : Faultinject.t option;        (* opt-in fault injection *)
+  e_spec : Faultinject.spec option;       (* opt-in fault injection *)
+  (* per-team injection stream, re-derived from [e_spec] at every team
+     start; None for non-target teams *)
+  mutable e_inject : Faultinject.t option;
   e_fastmem : bool; (* no memory watcher: direct-access fast path is legal *)
   e_trace : Ozo_obs.Trace.ctx; (* phase spans + hot-spot instants *)
   e_prof : bool; (* accumulate per-block hot-spot counters *)
@@ -288,22 +300,36 @@ type engine = {
      hot path allocates nothing: per-lane addresses and their cached
      [Memory.decode] results, the coalescing segment set, and per-lane
      branch conditions.
-     DOMAIN-SAFETY: this scratch is per-engine, i.e. per-launch — a fresh
-     [engine] record is built in [run], so concurrent launches never
-     share it. It is however shared across *teams* of one launch: domain
-     sharding of teams must move these arrays (and [e_budget]) into
-     [team_ctx] or give each domain its own engine value. *)
+     DOMAIN-SAFETY: this scratch — like every mutable field below, the
+     decode caches above and the fault context — is per-engine, and the
+     parallel path builds one engine per domain, so no execution state
+     is ever shared across domains. *)
   e_addr : int array;
   e_space : addrspace array;
   e_off : int array;
   e_segs : int array;
   e_cond : bool array;
   e_fscr : float array; (* single-slot staging for constant float stores *)
-  mutable e_budget : int; (* remaining instruction issues *)
+  e_budget0 : int; (* per-team instruction-issue budget *)
+  mutable e_budget : int; (* remaining issues for the current team *)
+  (* per-team kernel-malloc arena: (base offset, bytes per team) in global
+     memory, reserved before execution so allocation addresses are a pure
+     function of (team, allocation order) — independent of the domain
+     schedule. [e_arena_cur] is the current team's bump cursor. *)
+  e_arena : (int * int) option;
+  mutable e_arena_cur : int;
+  (* fault context stamped at every issue; escaping faults are annotated
+     with it at the launch boundary *)
+  e_fctx : Fault.ctx;
   (* wall-clock watchdog: polled every [wd_poll_interval] block visits;
      the closure returns true once the launch deadline has passed *)
   e_watchdog : (unit -> bool) option;
   mutable e_wd_fuel : int;
+  (* parallel-run abort channel: the lowest faulting team id across all
+     domains (max_int = none). A domain stops early only for teams the
+     sequential engine would never have reached. *)
+  e_abort : int Atomic.t option;
+  mutable e_cur_team : int;
 }
 
 let is_float_typ = function F64 -> true | I1 | I32 | I64 | Ptr _ -> false
@@ -977,8 +1003,8 @@ let rec exec_dinst e tc (st : strand) (slot : slot) (di : dinst) :
   let ws = fr.fr_ws in
   tc.tc_counters.warp_instructions <- tc.tc_counters.warp_instructions + 1;
   tc.tc_counters.lane_instructions <- tc.tc_counters.lane_instructions + st.st_active;
-  Fault.set_site ~fn:fr.fr_info.fi_func.f_name ~blk:slot.sl_blk ~idx:slot.sl_idx;
-  Fault.set_strand ~team:tc.tc_team ~warp:st.st_warp ~mask;
+  Fault.set_site e.e_fctx ~fn:fr.fr_info.fi_func.f_name ~blk:slot.sl_blk ~idx:slot.sl_idx;
+  Fault.set_strand e.e_fctx ~team:tc.tc_team ~warp:st.st_warp ~mask;
   e.e_budget <- e.e_budget - 1;
   if e.e_budget <= 0 then
     Fault.fail Fault.Budget_exhausted "instruction budget exceeded (runaway kernel?)";
@@ -1388,10 +1414,31 @@ let rec exec_dinst e tc (st : strand) (slot : slot) (di : dinst) :
     charge tc p.c_malloc;
     tc.tc_counters.mallocs <- tc.tc_counters.mallocs + 1;
     let base = r * ws in
-    for lane = 0 to n - 1 do
-      if um mask lane then
-        fr.fr_ints.(base + lane) <- Memory.malloc e.e_mem (ieval fr lane size)
-    done;
+    (match e.e_arena with
+    | Some (abase, cap) ->
+      (* bump within the team's pre-reserved arena window: addresses
+         depend only on (team, allocation order), never on which other
+         teams have run — required for domain-count bit-identity *)
+      let limit = abase + ((tc.tc_team + 1) * cap) in
+      for lane = 0 to n - 1 do
+        if um mask lane then begin
+          let sz = ieval fr lane size in
+          let off = (e.e_arena_cur + 7) land lnot 7 in
+          if sz < 0 || off + sz > limit then
+            Fault.fail Fault.Oob
+              "kernel malloc of %dB exhausts the team's %dB arena" sz cap;
+          e.e_arena_cur <- off + sz;
+          fr.fr_ints.(base + lane) <-
+            Memory.mark_alloc e.e_mem Global ~offset:off ~size:sz
+        end
+      done
+    | None ->
+      (* unreachable when the module was scanned for Malloc at launch;
+         kept as the legacy device-wide bump for direct [run] callers *)
+      for lane = 0 to n - 1 do
+        if um mask lane then
+          fr.fr_ints.(base + lane) <- Memory.malloc e.e_mem (ieval fr lane size)
+      done);
     `Continue
   | D_free ->
     charge tc p.c_alu;
@@ -1629,8 +1676,8 @@ let exec_dterm e tc st slot (dt : dterm) =
   let mask = st.st_mask in
   let n = Array.length mask in
   charge tc e.e_params.c_branch;
-  Fault.set_site ~fn:fr.fr_info.fi_func.f_name ~blk:slot.sl_blk ~idx:slot.sl_idx;
-  Fault.set_strand ~team:tc.tc_team ~warp:st.st_warp ~mask;
+  Fault.set_site e.e_fctx ~fn:fr.fr_info.fi_func.f_name ~blk:slot.sl_blk ~idx:slot.sl_idx;
+  Fault.set_strand e.e_fctx ~team:tc.tc_team ~warp:st.st_warp ~mask;
   e.e_budget <- e.e_budget - 1;
   if e.e_budget <= 0 then
     Fault.fail Fault.Budget_exhausted "instruction budget exceeded (runaway kernel?)";
@@ -1696,18 +1743,29 @@ let exec_dterm e tc st slot (dt : dterm) =
 (* Watchdog granularity: one clock read per 256 block visits keeps the
    overhead invisible while still bounding a runaway kernel's overshoot
    to a few thousand instructions past its deadline. The cycle budget
-   ([e_budget]) guards simulated work; this guards host wall-clock. *)
+   ([e_budget]) guards simulated work; this guards host wall-clock.
+   Each domain polls the (shared, read-only) watchdog closure itself;
+   the same fuel counter also rate-limits the parallel-run abort check. *)
 let wd_poll_interval = 256
 
+(* a sibling domain recorded a fault on an earlier team: this domain's
+   current team would never have run sequentially, so stop silently *)
+exception Sibling_abort
+
 let poll_watchdog e =
-  match e.e_watchdog with
-  | None -> ()
-  | Some expired ->
+  match (e.e_watchdog, e.e_abort) with
+  | None, None -> ()
+  | wd, ab ->
     e.e_wd_fuel <- e.e_wd_fuel - 1;
     if e.e_wd_fuel <= 0 then begin
       e.e_wd_fuel <- wd_poll_interval;
-      if expired () then
+      (match ab with
+      | Some a when Atomic.get a < e.e_cur_team -> raise Sibling_abort
+      | _ -> ());
+      match wd with
+      | Some expired when expired () ->
         Fault.fail Fault.Deadline "wall-clock watchdog deadline exceeded"
+      | _ -> ()
     end
 
 let run_strand e tc st =
@@ -1864,6 +1922,20 @@ let force_partial_reconvergence tc : bool =
 let run_team e ~team =
   let p = e.e_params in
   let threads = e.e_launch.l_threads in
+  (* Per-team execution state. The issue budget is per team (not per
+     launch) so that whether a team blows it never depends on how many
+     teams ran before it — a prerequisite for domain-count bit-identity.
+     The injection stream and the malloc-arena cursor are re-derived per
+     team for the same reason. *)
+  e.e_cur_team <- team;
+  e.e_budget <- e.e_budget0;
+  e.e_inject <-
+    (match e.e_spec with
+    | Some s -> Faultinject.start_team s ~team ~teams:e.e_launch.l_teams
+    | None -> None);
+  (match e.e_arena with
+  | Some (base, cap) -> e.e_arena_cur <- base + (team * cap)
+  | None -> ());
   let tc =
     { tc_team = team; tc_threads = threads; tc_warp_size = p.warp_size;
       tc_done = Array.make threads false; tc_strands = Svec.create ();
@@ -2040,21 +2112,36 @@ let shared_bytes (m : modul) =
     (fun acc g -> match g.g_space with Shared -> acc + g.g_size | _ -> acc)
     0 m.m_globals
 
-(* Gather the per-block profile accumulated in the decoded blocks,
-   hottest (most cycles) first with a deterministic tie-break. *)
-let collect_hotspots e : hotspot list =
+(* Gather the per-block profile accumulated in the decoded blocks of one
+   or more engines (one per domain — each holds its own decode caches),
+   summed by (function, block) and sorted hottest (most cycles) first
+   with a deterministic tie-break. The merge is order-insensitive
+   (integer sums), so the profile is identical at every domain count. *)
+let collect_hotspots (engines : engine list) : hotspot list =
+  let tbl : (string * label, int * int * int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      Hashtbl.iter
+        (fun fn fi ->
+          Hashtbl.iter
+            (fun blk cb ->
+              if cb.cb_hits > 0 then begin
+                let h0, w0, c0 =
+                  match Hashtbl.find_opt tbl (fn, blk) with
+                  | Some v -> v
+                  | None -> (0, 0, 0)
+                in
+                Hashtbl.replace tbl (fn, blk)
+                  (h0 + cb.cb_hits, w0 + cb.cb_wi, c0 + cb.cb_cyc)
+              end)
+            fi.fi_blocks)
+        e.e_fn_infos)
+    engines;
   let acc = ref [] in
   Hashtbl.iter
-    (fun fn fi ->
-      Hashtbl.iter
-        (fun blk cb ->
-          if cb.cb_hits > 0 then
-            acc :=
-              { h_fn = fn; h_blk = blk; h_hits = cb.cb_hits; h_winsts = cb.cb_wi;
-                h_cycles = cb.cb_cyc }
-              :: !acc)
-        fi.fi_blocks)
-    e.e_fn_infos;
+    (fun (fn, blk) (h, w, c) ->
+      acc := { h_fn = fn; h_blk = blk; h_hits = h; h_winsts = w; h_cycles = c } :: !acc)
+    tbl;
   List.sort
     (fun a b ->
       match compare b.h_cycles a.h_cycles with
@@ -2062,42 +2149,183 @@ let collect_hotspots e : hotspot list =
       | c -> c)
     !acc
 
+(* Per-team kernel-malloc arena window, a pure function of the module
+   and the launch geometry (never of the domain count):
+
+   - a small floor covers the data-sharing slots the generic-mode
+     runtime allocates (a few dozen bytes per launch);
+   - twice the sum of all constant [Malloc] sizes covers kernels that
+     bump buffers the scan can see;
+   - a [2 MiB / teams] boost gives small-team launches headroom for
+     sizes that reach malloc through a register (e.g. the runtime's
+     alloc_shared fallback takes its size as a call argument).
+
+   The window is deliberately tight — it is reserved for every team of
+   every launch, so an over-generous cap would dominate the launch's
+   allocation profile. A kernel that outgrows its window faults with a
+   structured Oob naming the limit. Rounded to a multiple of 128 so
+   every team window keeps the 128-byte transaction phase of the
+   aligned arena base. Returns None for malloc-free modules (no arena
+   is reserved at all). *)
+let malloc_arena_cap (m : modul) ~teams : int option =
+  let found = ref false and const_bytes = ref 0 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter
+            (function
+              | Malloc (_, sz) ->
+                found := true;
+                (match sz with
+                | Imm_int (n, _) when n > 0L && n < 0x10000000L ->
+                  const_bytes := !const_bytes + ((Int64.to_int n + 7) land lnot 7)
+                | _ -> ())
+              | _ -> ())
+            b.b_insts)
+        f.f_blocks)
+    m.m_funcs;
+  if not !found then None
+  else
+    let cap = max 1024 (max (2 * !const_bytes) ((1 lsl 21) / max 1 teams)) in
+    Some ((cap + 127) land lnot 127)
+
+let make_engine ~params ~mem ~san ~spec ~trace ~profile ~watchdog ~budget ~arena
+    ~abort m launch gaddr ftable fidx shared_globals =
+  let ws = params.Cost.warp_size in
+  { e_module = m; e_params = params; e_mem = mem; e_launch = launch;
+    e_fn_infos = Hashtbl.create 16; e_gaddr = gaddr; e_ftable = ftable;
+    e_fidx = fidx; e_shared_globals = shared_globals; e_san = san;
+    e_spec = spec; e_inject = None; e_fastmem = not (Memory.has_watcher mem);
+    e_trace = trace; e_prof = profile;
+    e_addr = Array.make ws 0; e_space = Array.make ws Global;
+    e_off = Array.make ws 0; e_segs = Array.make ws 0;
+    e_cond = Array.make ws false; e_fscr = Array.make 1 0.0;
+    e_budget0 = budget; e_budget = budget; e_arena = arena; e_arena_cur = 0;
+    e_fctx = Fault.make_ctx (); e_watchdog = watchdog;
+    e_wd_fuel = wd_poll_interval; e_abort = abort; e_cur_team = 0 }
+
+(* annotate an escaping fault with the engine's execution context; any
+   other exception passes through untouched *)
+let annotated e = function
+  | Fault.Kernel_fault f -> Fault.Kernel_fault (Fault.annotate e.e_fctx f)
+  | Fault.Kernel_trap f -> Fault.Kernel_trap (Fault.annotate e.e_fctx f)
+  | exn -> exn
+
 let run ?(params = Cost.default) ?(budget = 400_000_000) ?san ?inject
-    ?(trace = Ozo_obs.Trace.null) ?(profile = false) ?watchdog (m : modul)
-    ~(mem : Memory.t)
+    ?(trace = Ozo_obs.Trace.null) ?(profile = false) ?watchdog ?(domains = 1)
+    (m : modul) ~(mem : Memory.t)
     ~(gaddr : (string, int) Hashtbl.t) ~(shared_globals : (global * int) list)
     (launch : launch) : result =
   Memory.check_host ();
   let ftable = Array.of_list m.m_funcs in
   let fidx = Hashtbl.create 16 in
   Array.iteri (fun i f -> Hashtbl.replace fidx f.f_name (i + 1)) ftable;
-  let ws = params.warp_size in
-  let e =
-    { e_module = m; e_params = params; e_mem = mem; e_launch = launch;
-      e_fn_infos = Hashtbl.create 16; e_gaddr = gaddr; e_ftable = ftable;
-      e_fidx = fidx; e_shared_globals = shared_globals; e_san = san;
-      e_inject = inject; e_fastmem = not (Memory.has_watcher mem);
-      e_trace = trace; e_prof = profile;
-      e_addr = Array.make ws 0; e_space = Array.make ws Global;
-      e_off = Array.make ws 0; e_segs = Array.make ws 0;
-      e_cond = Array.make ws false; e_fscr = Array.make 1 0.0;
-      e_budget = budget; e_watchdog = watchdog; e_wd_fuel = wd_poll_interval }
+  (* Kernel mallocs bump inside a per-team arena reserved up front (at
+     every domain count, including 1, so allocation addresses agree).
+     Reserving claims the range and pre-grows the global buffer: the
+     backing Bytes.t is never replaced while domains execute. *)
+  let arena =
+    match malloc_arena_cap m ~teams:launch.l_teams with
+    | Some cap ->
+      Some (Memory.reserve_arena mem ~teams:(max 1 launch.l_teams) ~cap, cap)
+    | None -> None
   in
+  let ndom = max 1 (min domains launch.l_teams) in
+  let abort = if ndom > 1 then Some (Atomic.make max_int) else None in
+  let mk ~mem ~san ~trace =
+    make_engine ~params ~mem ~san ~spec:inject ~trace ~profile ~watchdog ~budget
+      ~arena ~abort m launch gaddr ftable fidx shared_globals
+  in
+  let e0 = mk ~mem ~san ~trace in
   let module T = Ozo_obs.Trace in
   (* decode: pre-decode the kernel up front so instruction decoding is
      visible as its own phase (callees still decode lazily on first call
-     and land inside "execute") *)
+     and land inside "execute"; worker domains decode into their own
+     caches, also inside "execute") *)
   T.with_span trace ~cat:"phase" "decode" (fun () ->
       match List.find_opt (fun f -> f.f_is_kernel) m.m_funcs with
-      | Some k -> ignore (fn_info e k.f_name)
+      | Some k -> ignore (fn_info e0 k.f_name)
       | None -> ());
-  let counters =
+  let engines, counters =
     T.with_span trace ~cat:"phase" "execute" (fun () ->
-        List.init launch.l_teams (fun team -> run_team e ~team))
+        if ndom = 1 then
+          ( [ e0 ],
+            List.init launch.l_teams (fun team ->
+                try run_team e0 ~team with exn -> raise (annotated e0 exn)) )
+        else begin
+          (* Parallel path: one complete engine per domain (own decode
+             caches, scratch, fault context, forked memory/sanitizer);
+             contiguous balanced team chunks in ascending order. Per-team
+             results land in disjoint slots of [results]; [Domain.join]
+             (inside [Pool.run]) publishes them to this domain. *)
+          let teams = launch.l_teams in
+          let abort_a = Option.get abort in
+          let results : Counters.t option array = Array.make teams None in
+          let faults : (int * exn) option array = Array.make ndom None in
+          let engines = Array.make ndom e0 in
+          let rec note_abort v =
+            let cur = Atomic.get abort_a in
+            if v < cur && not (Atomic.compare_and_set abort_a cur v) then
+              note_abort v
+          in
+          let work w =
+            let e =
+              if w = 0 then e0
+              else begin
+                let fmem = Memory.fork mem in
+                let fsan =
+                  Option.map
+                    (fun s ->
+                      let s' = Sanitizer.fork s fmem in
+                      Memory.set_watcher fmem (Sanitizer.watcher s');
+                      s')
+                    san
+                in
+                (* workers trace nothing: Trace.ctx is not domain-safe,
+                   and the phase spans belong to the launch as a whole *)
+                mk ~mem:fmem ~san:fsan ~trace:T.null
+              end
+            in
+            engines.(w) <- e;
+            let lo, hi = Ozo_util.Pool.chunk ~items:teams ~workers:ndom w in
+            try
+              let t = ref lo in
+              while !t < hi do
+                (* stop only for teams the sequential engine would never
+                   have reached (a sibling fault on an earlier team) *)
+                if Atomic.get abort_a < !t then raise Sibling_abort;
+                results.(!t) <- Some (run_team e ~team:!t);
+                incr t
+              done
+            with
+            | Sibling_abort -> ()
+            | exn ->
+              faults.(w) <- Some (e.e_cur_team, annotated e exn);
+              note_abort e.e_cur_team
+          in
+          Ozo_util.Pool.run ~workers:ndom work;
+          (* deterministic merge: the fault on the lowest team id wins —
+             exactly the fault the sequential engine would have raised
+             first. Counters past a faulting team are discarded, matching
+             sequential execution never reaching them. *)
+          let first_fault =
+            Array.fold_left
+              (fun acc f ->
+                match (f, acc) with
+                | Some (t, _), Some (t', _) when t < t' -> f
+                | Some _, None -> f
+                | _ -> acc)
+              None faults
+          in
+          (match first_fault with Some (_, exn) -> raise exn | None -> ());
+          ( Array.to_list engines,
+            Array.to_list results |> List.map Option.get )
+        end)
   in
   T.with_span trace ~cat:"phase" "readback" (fun () ->
       let total = List.fold_left Counters.add (Counters.create ()) counters in
-      let hotspots = if profile then collect_hotspots e else [] in
+      let hotspots = if profile then collect_hotspots engines else [] in
       List.iter
         (fun h ->
           T.instant trace ~cat:"hotspot"

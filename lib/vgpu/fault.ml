@@ -8,11 +8,14 @@
    offending address. [Device.launch] returns [Error of t]; the harness
    records it and degrades gracefully instead of aborting a campaign.
 
-   The execution context is a single mutable record updated by the engine
-   as it issues instructions (the engine is single-threaded): layers below
-   the engine — [Memory], the sanitizer — can raise fully-annotated faults
-   without every accessor threading site information through its
-   arguments. *)
+   The execution context is a mutable record *owned by each engine
+   instance* and updated as it issues instructions. Layers below the
+   engine — [Memory], the sanitizer — raise faults without site
+   information; the engine annotates escaping faults with its own
+   context at the launch boundary ([annotate]). This keeps the accessor
+   signatures free of site plumbing while leaving no module-level
+   mutable state, so independent engines can execute concurrently on
+   separate domains. *)
 
 type kind =
   | Oob                (* access outside any live allocation / bad pointer *)
@@ -77,13 +80,11 @@ type report = t
 
 (* --- execution context ------------------------------------------------- *)
 
-(* DOMAIN-SAFETY: [ctx] below is a module-level mutable value — the one
-   intentional global in the vGPU execution path (the engine is
-   single-threaded and single-flight, so one context is unambiguous).
-   Sharding teams across OCaml domains requires making this
-   domain-local ([Domain.DLS]) or threading a per-engine context through
-   [Memory]/[Sanitizer]; until then it is the only engine state that is
-   not already per-launch. *)
+(* The execution context is engine-owned (one per engine instance, one
+   engine per domain): the engine stamps it on every instruction issue
+   and [annotate]s any fault escaping the launch with it. No module
+   global remains, so engines on separate domains cannot observe each
+   other's sites. *)
 type ctx = {
   mutable c_site : bool;     (* site fields valid *)
   mutable c_strand : bool;   (* strand fields valid *)
@@ -95,26 +96,21 @@ type ctx = {
   mutable c_mask : bool array;
 }
 
-let ctx =
+let make_ctx () =
   { c_site = false; c_strand = false; c_fn = ""; c_blk = ""; c_idx = 0;
     c_team = 0; c_warp = 0; c_mask = [||] }
 
-let set_site ~fn ~blk ~idx =
+let set_site ctx ~fn ~blk ~idx =
   ctx.c_site <- true;
   ctx.c_fn <- fn;
   ctx.c_blk <- blk;
   ctx.c_idx <- idx
 
-let set_strand ~team ~warp ~mask =
+let set_strand ctx ~team ~warp ~mask =
   ctx.c_strand <- true;
   ctx.c_team <- team;
   ctx.c_warp <- warp;
   ctx.c_mask <- mask
-
-let clear_ctx () =
-  ctx.c_site <- false;
-  ctx.c_strand <- false;
-  ctx.c_mask <- [||]
 
 let mask_bits (m : bool array) : int64 =
   let v = ref 0L in
@@ -124,14 +120,27 @@ let mask_bits (m : bool array) : int64 =
 let make ?access ?(threads = []) kind msg : t =
   { f_kind = kind;
     f_msg = msg;
-    f_fn = (if ctx.c_site then Some ctx.c_fn else None);
-    f_blk = (if ctx.c_site then Some ctx.c_blk else None);
-    f_idx = (if ctx.c_site then Some ctx.c_idx else None);
-    f_team = (if ctx.c_strand then Some ctx.c_team else None);
-    f_warp = (if ctx.c_strand then Some ctx.c_warp else None);
-    f_lanes = mask_bits ctx.c_mask;
+    f_fn = None;
+    f_blk = None;
+    f_idx = None;
+    f_team = None;
+    f_warp = None;
+    f_lanes = 0L;
     f_access = access;
     f_threads = threads }
+
+(* Fill in site/strand fields a raw fault is missing from the engine's
+   context. Idempotent, and never overwrites fields already present, so
+   faults constructed with explicit context survive unchanged. *)
+let annotate ctx (f : t) : t =
+  { f with
+    f_fn = (if f.f_fn = None && ctx.c_site then Some ctx.c_fn else f.f_fn);
+    f_blk = (if f.f_blk = None && ctx.c_site then Some ctx.c_blk else f.f_blk);
+    f_idx = (if f.f_idx = None && ctx.c_site then Some ctx.c_idx else f.f_idx);
+    f_team = (if f.f_team = None && ctx.c_strand then Some ctx.c_team else f.f_team);
+    f_warp = (if f.f_warp = None && ctx.c_strand then Some ctx.c_warp else f.f_warp);
+    f_lanes =
+      (if f.f_lanes = 0L && ctx.c_strand then mask_bits ctx.c_mask else f.f_lanes) }
 
 exception Kernel_trap of t
 exception Kernel_fault of t

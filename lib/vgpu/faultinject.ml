@@ -15,7 +15,13 @@
    name; [:nth] picks the nth matching dynamic occurrence (1-based). When
    [:nth] is omitted it is drawn from the seeded PRNG, so a campaign over
    seeds explores different sites deterministically. Exactly one injection
-   fires per launch. *)
+   fires per launch.
+
+   Injection state is a *per-team stream* split deterministically from
+   the spec seed: the seed picks one target team, and that team's PRNG
+   and occurrence countdown are pure functions of (seed, team id). The
+   injected site is therefore identical whether teams run sequentially
+   or sharded across domains in any schedule. *)
 
 module Prng = Ozo_util.Prng
 
@@ -76,12 +82,12 @@ let parse ~seed str : (spec, string) result =
           corrupt-load|drop-store|skip-barrier|trunc-shared|violate-assume[@fn][:nth])"
          str)
 
-(* Per-launch state: a one-shot countdown over matching dynamic sites.
-   DOMAIN-SAFETY: the PRNG stream and the countdown both live in this
-   per-launch value ([Device.launch] calls [start] for every launch, and
-   [spec] is immutable) — there is no module-level mutable injection
-   state, so concurrent launches on separate domains cannot interleave
-   their injection streams. *)
+(* Per-team state: a one-shot countdown over matching dynamic sites
+   within one team. The PRNG stream and the countdown live in this
+   per-team value ([Engine.run_team] calls [start_team] for every team,
+   and [spec] is immutable) — there is no module-level mutable injection
+   state, and a team's stream never depends on what other teams (or
+   domains) executed before it. *)
 type t = {
   t_spec : spec;
   t_prng : Prng.t;
@@ -89,12 +95,24 @@ type t = {
   mutable t_fired : bool;
 }
 
-let start (s : spec) : t =
-  let prng = Prng.create s.s_seed in
-  let nth = match s.s_nth with Some n -> n | None -> 1 + Prng.int prng 8 in
-  { t_spec = s; t_prng = prng; t_countdown = nth; t_fired = false }
+(* The one team the injection targets, drawn from the raw seed. *)
+let target_team (s : spec) ~teams =
+  if teams <= 1 then 0 else Prng.int (Prng.create s.s_seed) teams
 
-let fired t = t.t_fired
+(* Per-team stream seed: mix the team id in with a large odd constant
+   (the splitmix64 golden-ratio increment) so neighbouring teams get
+   unrelated streams. *)
+let team_seed (s : spec) ~team = s.s_seed + ((team + 1) * 0x9E3779B9)
+
+(* [start_team] returns injection state for [team], or [None] when the
+   seed targets a different team. Pure in (spec, team, teams). *)
+let start_team (s : spec) ~team ~teams : t option =
+  if team <> target_team s ~teams then None
+  else begin
+    let prng = Prng.create (team_seed s ~team) in
+    let nth = match s.s_nth with Some n -> n | None -> 1 + Prng.int prng 8 in
+    Some { t_spec = s; t_prng = prng; t_countdown = nth; t_fired = false }
+  end
 
 (* called at each candidate site; true when the perturbation triggers *)
 let fire t action ~fn =

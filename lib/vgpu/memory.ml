@@ -2,9 +2,15 @@
 
    Pointers are 63-bit integers carrying the address space in the top tag
    bits: [tag << tag_shift | offset]. Global and constant memories are
-   device-wide; shared memory is one instance per team (teams execute
-   sequentially, so a single buffer is re-initialized per team); local
-   memory is a per-thread stack.
+   device-wide; shared memory is one instance per team (each engine
+   executes its teams sequentially, so a single buffer per engine is
+   re-initialized per team); local memory is a per-thread stack.
+
+   [fork] derives a per-domain view for the parallel engine: the global
+   and constant buffers are physically shared (teams address disjoint
+   allocations by construction, so concurrent byte access is
+   well-defined), while shared/local memory — per-team by definition —
+   is private to the fork.
 
    All accesses funnel through [read_bytes]/[write_bytes]; an optional
    [watcher] observes allocations, initializations and accesses so the
@@ -424,3 +430,44 @@ let alloc_in t space buf size =
 let malloc t size = alloc_in t Global t.global size
 let alloc_const t size = alloc_in t Constant t.constant size
 let alloc_global t size = alloc_in t Global t.global size
+
+(* --- domain-parallel support ------------------------------------------- *)
+
+(* Reserve a contiguous per-team kernel-malloc arena above the host
+   allocations: [teams * cap] bytes, base aligned to a 128-byte segment
+   boundary so every team window starts at the same phase of the
+   coalescing segmentation regardless of prior host allocations. The
+   region is claimed ([used] advances) and pre-grown, so no [ensure]
+   growth can happen concurrently during team execution for in-bounds
+   programs. Returns the base offset. *)
+let reserve_arena t ~teams ~cap =
+  let base = (t.global.used + 127) land lnot 127 in
+  ensure t.global (base + (teams * cap));
+  t.global.used <- base + (teams * cap);
+  base
+
+(* Announce a kernel-side allocation carved out of the arena: fires the
+   sanitizer's allocation hook (which also clears stale shadow state for
+   the range) and returns the encoded pointer. The bump itself is done
+   by the engine's per-team cursor, not here. *)
+let mark_alloc t space ~offset ~size =
+  (match t.watch with
+  | Some w -> w.w_alloc space ~thread:0 ~offset ~size
+  | None -> ());
+  encode space offset
+
+(* Per-domain view for the parallel engine: global/constant buffers are
+   the parent's (physically shared — teams touch disjoint allocations by
+   construction, and [reserve_arena] pre-grows the global buffer so the
+   backing [Bytes.t] is not replaced mid-run); shared and local memory
+   are fresh per-fork instances since they are per-team state. The fork
+   starts with no watcher — a sanitizing launch installs each domain's
+   own forked sanitizer. *)
+let fork t =
+  { global = t.global;
+    constant = t.constant;
+    shared = create_buf (Bytes.length t.shared.data);
+    shared_size = t.shared_size;
+    locals = Array.make (Array.length t.locals) Bytes.empty;
+    local_sp = Array.make (Array.length t.local_sp) 0;
+    watch = None }

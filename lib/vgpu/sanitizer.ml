@@ -22,8 +22,18 @@
    allocations (alloca, malloc, per-team shared memory) start out
    uninitialized.
 
-   Faults raised here pick up function/block/instruction/strand context
-   from [Fault.ctx], which the engine refreshes at every issue. *)
+   Faults raised here carry only the access decode; the engine annotates
+   them with function/block/instruction/strand context from its own
+   [Fault.ctx] at the launch boundary.
+
+   For domain-parallel execution each domain gets a [fork]: a snapshot
+   of the host-initialized global/constant shadows plus fresh per-team
+   (shared/local) shadows, watching that domain's forked [Memory]. Teams
+   are independent by construction, so per-domain shadows see exactly
+   the accesses the sequential sanitizer would attribute to their teams;
+   for programs that (erroneously) communicate across teams the shadows
+   may diverge from the sequential interleaving — acceptable, since any
+   such program is already outside the model the sanitizer checks. *)
 
 open Ozo_ir.Types
 module F = Fault
@@ -123,6 +133,27 @@ let create (mem : Memory.t) : t =
     no_race = [];
     epoch = 0;
     in_kernel = false;
+    in_atomic = false }
+
+let copy_shadow sh =
+  { meta = Array.copy sh.meta;
+    a_off = Array.copy sh.a_off;
+    a_size = Array.copy sh.a_size;
+    a_n = sh.a_n }
+
+(* Per-domain sanitizer over a forked [Memory]: device-wide shadows
+   (global/constant — host allocations and initializations) are copied
+   from the parent at launch time; per-team shadows start empty, exactly
+   as they would at the team boundaries the domain is about to run. *)
+let fork (t : t) (mem : Memory.t) : t =
+  { mem;
+    global = copy_shadow t.global;
+    constant = copy_shadow t.constant;
+    shared = new_shadow ();
+    local = Array.init (Memory.threads_per_team mem) (fun _ -> new_shadow ());
+    no_race = [];
+    epoch = t.epoch;
+    in_kernel = t.in_kernel;
     in_atomic = false }
 
 let shadow_for t space ~thread =

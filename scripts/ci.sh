@@ -21,6 +21,24 @@ echo "== injection smoke campaign =="
 "$CLI" campaign xsbench --small --inject corrupt-load --seed 5
 "$CLI" campaign rsbench --small --inject skip-barrier --seed 11
 
+echo "== domain-parallel engine: bit-identity suite =="
+# sequential vs domain-sharded launches must agree byte-for-byte:
+# per-team counters, totals, faults (kind + site + team), injection
+# sites, sanitizer verdicts and campaign CSV rows
+dune exec test/test_main.exe -- test domains
+
+echo "== domain-parallel campaign smoke =="
+# the full supervised campaign path sharded over 4 domains; every row
+# must validate, and the CSV must match a sequential campaign
+# byte-for-byte once the trailing domains column is stripped
+"$CLI" campaign xsbench --small --domains 4 > _build/ci_campaign_d4.out
+"$CLI" campaign xsbench --small > _build/ci_campaign_d1.out
+sed -n '/^proxy,build/,$p' _build/ci_campaign_d4.out | sed 's/,[0-9]*$//' > _build/ci_d4.csv
+sed -n '/^proxy,build/,$p' _build/ci_campaign_d1.out | sed 's/,[0-9]*$//' > _build/ci_d1.csv
+diff _build/ci_d1.csv _build/ci_d4.csv || {
+  echo "FAIL: campaign CSV differs between --domains 1 and --domains 4"; exit 1; }
+echo "domain-parallel campaign OK: CSV identical to sequential"
+
 echo "== analysis manager: differential invalidation =="
 # every pass x config x proxy with after-each-pass coherence checking,
 # plus the cached-vs-uncached bit-identical IR pin

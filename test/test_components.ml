@@ -325,7 +325,7 @@ let test_report_formats () =
   List.iteri
     (fun i l ->
       if i > 0 then
-        Alcotest.(check int) "csv fields" 21
+        Alcotest.(check int) "csv fields" 22
           (List.length (String.split_on_char ',' l)))
     rows
 

@@ -17,5 +17,6 @@ let () =
       ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
       ("golden", Test_golden.suite);
+      ("domains", Test_domains.suite);
       ("resilience", Test_resilience.suite);
       ("properties", Test_props.suite) ]

@@ -179,15 +179,13 @@ let test_watchdog_quiet_when_unexpired () =
 (* --- journal ------------------------------------------------------------ *)
 
 let sample_fault () =
-  Fault.set_site ~fn:"k" ~blk:"entry" ~idx:3;
-  Fault.set_strand ~team:1 ~warp:0 ~mask:(Array.make 32 true);
-  let f =
-    Fault.make
-      ~access:{ Fault.a_ptr = 0xbeef; a_space = "global"; a_offset = 16; a_bytes = 8 }
-      ~threads:[ 3; 7 ] Fault.Oob "access out of bounds"
-  in
-  Fault.clear_ctx ();
-  f
+  let ctx = Fault.make_ctx () in
+  Fault.set_site ctx ~fn:"k" ~blk:"entry" ~idx:3;
+  Fault.set_strand ctx ~team:1 ~warp:0 ~mask:(Array.make 32 true);
+  Fault.annotate ctx
+    (Fault.make
+       ~access:{ Fault.a_ptr = 0xbeef; a_space = "global"; a_offset = 16; a_bytes = 8 }
+       ~threads:[ 3; 7 ] Fault.Oob "access out of bounds")
 
 let test_journal_roundtrip () =
   let path = Filename.temp_file "ozo_journal" ".jsonl" in
