@@ -320,6 +320,40 @@ let e2e_csv ?(domains = 1) ~small () =
         acc (E.builds_for p))
     0 pool
 
+(* Serving-tier suite: the full proxy x build queue drained through the
+   batched service — cold (a fresh compile cache per iteration, every
+   request compiles) vs warm (a cache pre-filled outside the timer, every
+   request served from cache). The delta is the compile pipeline + backend
+   cost the content-addressed cache elides; served results are
+   bit-identical either way, so [s_issues] (total warp instructions over
+   all served launches) must agree between the two samples. *)
+let serve_suite ~iters =
+  let module Service = Ozo_serve.Service in
+  let module Cache = Ozo_serve.Cache in
+  let queue =
+    List.concat_map
+      (fun p ->
+        List.map (fun b -> (p.Ozo_proxies.Proxy.p_name, b)) E.build_names)
+      (Registry.all_small ())
+  in
+  let opts = { Service.default with Service.sv_small = true } in
+  let issues ms =
+    List.fold_left
+      (fun acc m -> acc + m.E.r_counters.Ozo_vgpu.Counters.warp_instructions)
+      0 ms
+  in
+  let cold =
+    time_run ~iters ~name:"serve/cold" (fun () ->
+        issues (fst (Service.run opts queue)))
+  in
+  let warm_cache = Cache.create () in
+  ignore (Service.run ~cache:warm_cache opts queue);
+  let warm =
+    time_run ~iters ~name:"serve/warm" (fun () ->
+        issues (fst (Service.run ~cache:warm_cache opts queue)))
+  in
+  [ cold; warm ]
+
 (* Domain-scaling curve over the end-to-end workload. The speedup these
    samples record is bounded by the machine's core count — on a 1-core
    container every count collapses to time-sliced sequential speed and
@@ -394,6 +428,7 @@ let () =
         time_run ~iters:2 ~name:"e2e/csv-full" (e2e_csv ~small:false) ]
   in
   let samples = samples @ e2e in
+  let samples = samples @ serve_suite ~iters:(if !smoke then 1 else 4) in
   let samples = samples @ (if !smoke then [] else par_suite ~iters:2) in
   List.iter
     (fun s ->
@@ -422,6 +457,15 @@ let () =
      if per on_ > 0.0 then
        Fmt.pr "  analysis caching on: %.2fx compile-time vs uncached full pipeline@."
          (per off /. per on_)
+   | _ -> ());
+  (* serving-tier summary: warm vs cold queue drain *)
+  (let find n = List.find_opt (fun s -> s.s_name = n) samples in
+   match (find "serve/cold", find "serve/warm") with
+   | Some cold, Some warm ->
+     let per s = s.s_wall_s /. float_of_int s.s_iters in
+     if per warm > 0.0 then
+       Fmt.pr "  warm compile cache: %.2fx launches/sec vs cold service@."
+         (per cold /. per warm)
    | _ -> ());
   (* domain-scaling summary: parallel vs sequential end-to-end sweep *)
   (let find n = List.find_opt (fun s -> s.s_name = n) samples in

@@ -21,13 +21,9 @@ module Chrome = Ozo_obs.Chrome_trace
 module Json = Ozo_obs.Json
 open Cmdliner
 
-let build_of_string p = function
-  | "old-rt" -> Ok C.old_rt_nightly
-  | "new-rt-nightly" -> Ok C.new_rt_nightly
-  | "new-rt-no-assumptions" -> Ok C.new_rt_no_assumptions
-  | "new-rt" -> Ok (E.new_rt_for p)
-  | "cuda" -> Ok C.cuda
-  | s -> Error (`Msg ("unknown build " ^ s ^ " (old-rt|new-rt-nightly|new-rt-no-assumptions|new-rt|cuda)"))
+(* the harness owns the canonical name → build mapping *)
+let build_of_string p name =
+  Result.map_error (fun e -> `Msg e) (E.build_of_name p name)
 
 let proxy_arg =
   let doc = "Proxy application (xsbench, rsbench, gridmini, testsnap, minifmm)." in
@@ -525,6 +521,116 @@ let campaign_cmd =
           $ profile_arg $ journal_arg $ resume_arg $ repeat_arg $ retries_arg
           $ deadline_arg $ abort_after_arg $ domains_arg)
 
+(* --- serve ----------------------------------------------------------------- *)
+
+module Service = Ozo_serve.Service
+module Serve_cache = Ozo_serve.Cache
+
+let serve_cmd =
+  let requests_arg =
+    let doc =
+      "Request file: one \"PROXY BUILD\" per line ('#' comments, blank lines \
+       skipped), drained in order through the compile cache."
+    in
+    Arg.(required & opt (some string) None & info [ "requests" ] ~docv:"FILE" ~doc)
+  in
+  let repeat_arg =
+    let doc = "Drain the request list N times (later passes warm the cache)." in
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
+  in
+  let cache_cap_arg =
+    let doc =
+      "Maximum cached compiled modules; least-recently-used entries are \
+       evicted beyond it (default unbounded). Eviction never changes results, \
+       only recompile counts."
+    in
+    Arg.(value & opt (some int) None & info [ "cache-cap" ] ~docv:"N" ~doc)
+  in
+  let journal_arg =
+    let doc = "Append every served row to this crash-safe JSONL journal." in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let run requests small sanitize repeat cache_cap journal domains =
+    handle
+      (let ( let* ) = Result.bind in
+       let* queue =
+         match Service.load_requests requests with
+         | q -> Ok q
+         | exception Service.Service_error e -> Error (`Msg e)
+       in
+       let* () = if queue = [] then Error (`Msg "empty request file") else Ok () in
+       let opts =
+         { Service.default with
+           Service.sv_small = small; sv_sanitize = sanitize; sv_repeat = repeat;
+           sv_cache_cap = cache_cap; sv_journal = journal; sv_domains = domains }
+       in
+       let* ms, stats =
+         match Service.run opts queue with
+         | r -> Ok r
+         | exception Service.Service_error e -> Error (`Msg e)
+       in
+       Fmt.pr "%a" R.pp_csv_header ();
+       List.iter (Fmt.pr "%a" R.pp_csv) ms;
+       Fmt.pr "%a" Service.pp_stats stats;
+       let dead = List.filter (fun m -> Result.is_error m.E.r_check) ms in
+       if dead = [] then Ok ()
+       else
+         Error
+           (`Msg
+             (Fmt.str "service finished with %d dead row(s):@.%a"
+                (List.length dead) R.pp_faults dead)))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a batch of launch requests through the content-addressed \
+          compile cache: duplicate compiles are served from cache, rows print \
+          as campaign CSV (plus cache/latency columns) followed by \
+          \"serve:\"-prefixed stats (hit rate, launches/sec, latency \
+          percentiles)")
+    Term.(const run $ requests_arg $ small_arg $ sanitize_arg $ repeat_arg
+          $ cache_cap_arg $ journal_arg $ domains_arg)
+
+let bench_service_cmd =
+  let run small domains =
+    handle
+      (let ( let* ) = Result.bind in
+       let queue =
+         List.concat_map
+           (fun p -> List.map (fun b -> (p.Proxy.p_name, b)) E.build_names)
+           (Registry.all ())
+       in
+       let opts = { Service.default with Service.sv_small = small; sv_domains = domains } in
+       let cache = Serve_cache.create () in
+       let cold_ms, cold = Service.run ~cache opts queue in
+       let warm_ms, warm = Service.run ~cache opts queue in
+       Fmt.pr "cold: %a" Service.pp_stats cold;
+       Fmt.pr "warm: %a" Service.pp_stats warm;
+       Fmt.pr "warm speedup: %.2fx launches/sec@."
+         (if cold.Service.st_launches_per_sec > 0.0 then
+            warm.Service.st_launches_per_sec /. cold.Service.st_launches_per_sec
+          else 0.0);
+       let strip m = { m with E.r_cache_disp = "-"; r_latency_us = 0.0 } in
+       let* () =
+         if List.map strip warm_ms = List.map strip cold_ms then Ok ()
+         else Error (`Msg "warm rows differ from cold rows")
+       in
+       if warm.Service.st_cache.Serve_cache.cs_misses = 0 then Ok ()
+       else
+         Error
+           (`Msg
+             (Fmt.str "warm pass recompiled %d module(s); expected 0"
+                warm.Service.st_cache.Serve_cache.cs_misses)))
+  in
+  Cmd.v
+    (Cmd.info "bench-service"
+       ~doc:
+         "Benchmark the serving tier: drain every proxy under every standard \
+          build twice against one cache, report cold vs warm launches/sec and \
+          latency percentiles, check warm rows are bit-identical to cold and \
+          exit non-zero if the warm pass recompiled anything")
+    Term.(const run $ small_arg $ domains_arg)
+
 (* --- fuzz ----------------------------------------------------------------- *)
 
 let fuzz_cmd =
@@ -600,4 +706,5 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "ozo_cli" ~doc)
           [ list_cmd; run_cmd; inspect_cmd; remarks_cmd; trace_cmd; regs_cmd;
-            ablate_cmd; sanitize_cmd; campaign_cmd; fuzz_cmd ]))
+            ablate_cmd; sanitize_cmd; campaign_cmd; serve_cmd;
+            bench_service_cmd; fuzz_cmd ]))

@@ -87,25 +87,77 @@ type compiled = {
 
 exception Compile_error of string
 
-let compile ?(trace = Trace.null) ?(machine = Machine.vgpu) (b : build)
-    (k : Ast.kernel) : compiled =
+(* ---------- compile stages --------------------------------------------- *)
+
+(* Stage 1: lower the kernel under the build's ABI, link the runtime and
+   verify. The linked (pre-pipeline) module is the *content* a compile
+   is a pure function of — the serving tier's cache keys on its printout
+   ([Compile_key.of_linked]) plus everything stage 2 consumes. *)
+let link_stage (b : build) (k : Ast.kernel) : modul =
+  let app = Lower.lower ~abi:b.b_abi k in
+  let linked =
+    match b.b_rt with
+    | None -> app
+    | Some rt_cfg -> Ozo_ir.Linker.link app (Ozo_runtime.Runtime.build rt_cfg)
+  in
+  (match Ozo_ir.Verifier.check linked with
+  | Ok () -> ()
+  | Error vs ->
+    raise
+      (Compile_error
+         (Fmt.str "%a" (Fmt.list ~sep:Fmt.semi Ozo_ir.Verifier.pp_violation) vs)));
+  linked
+
+(* Canonical fingerprint of one compile: every input stage 2 reads.
+   Two requests with equal keys produce bit-identical [compiled]
+   artifacts, so the serving tier may return a cached artifact for a
+   key hit without changing any simulated result.
+
+   Ingredients (each length-prefixed so fields cannot alias):
+   - the linked IR printout — covers the kernel source, the ABI and the
+     linked runtime variant byte-for-byte;
+   - the pipeline config (marshaled [Pipeline.config], so every
+     bool/rounds/memfold flag participates, including ablation variants);
+   - the build-ladder rung (label + ABI + runtime config), belt and
+     braces on top of the printout so a label-only distinction still
+     separates rows in stats;
+   - the machine descriptor (register budget, granularities, residency
+     ceilings — all of it drives regalloc/SMem/occupancy);
+   - the cost-model parameters the metrics are priced under. *)
+module Compile_key = struct
+  type t = { ck_hex : string }
+
+  let hex k = k.ck_hex
+  let equal a b = String.equal a.ck_hex b.ck_hex
+  let pp ppf k = Fmt.string ppf k.ck_hex
+
+  let of_linked ?(cost = Cost.default) ~(machine : Machine.t) (b : build)
+      (linked : modul) : t =
+    let buf = Buffer.create 8192 in
+    let part s =
+      Buffer.add_string buf (string_of_int (String.length s));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf s
+    in
+    part (Ozo_ir.Printer.module_to_string linked);
+    part (Marshal.to_string b.b_pipe []);
+    part b.b_label;
+    part (Marshal.to_string (b.b_abi, b.b_rt) []);
+    part (Marshal.to_string machine []);
+    part (Marshal.to_string cost []);
+    { ck_hex = Digest.to_hex (Digest.string (Buffer.contents buf)) }
+end
+
+(* Stage 2: optimization pipeline + late lowering over a linked module.
+   This is the expensive, cacheable part; [compile] is stage 1 + stage 2. *)
+let compile_linked ?(trace = Trace.null) ?(machine = Machine.vgpu) (b : build)
+    ~(kernel : Ast.kernel) (linked : modul) : compiled =
+  let k = kernel in
   Trace.with_span trace ~cat:"compile"
     ~args:[ ("build", Trace.Str b.b_label) ]
     "compile"
     (fun () ->
       let sink = Remarks.make ~trace () in
-      let app = Lower.lower ~abi:b.b_abi k in
-      let linked =
-        match b.b_rt with
-        | None -> app
-        | Some rt_cfg -> Ozo_ir.Linker.link app (Ozo_runtime.Runtime.build rt_cfg)
-      in
-      (match Ozo_ir.Verifier.check linked with
-      | Ok () -> ()
-      | Error vs ->
-        raise
-          (Compile_error
-             (Fmt.str "%a" (Fmt.list ~sep:Fmt.semi Ozo_ir.Verifier.pp_violation) vs)));
       (* one analysis manager for the whole compile: the pipeline fills it,
          and the register estimate below reuses its cached liveness *)
       let am = Ozo_opt.Analysis.create () in
@@ -142,6 +194,9 @@ let compile ?(trace = Trace.null) ?(machine = Machine.vgpu) (b : build)
         c_regs = lower.Backend.lw_kernel_regs;
         c_smem = lower.Backend.lw_layout.Ozo_backend.Smem.ly_total;
         c_remarks = Remarks.items sink })
+
+let compile ?trace ?machine (b : build) (k : Ast.kernel) : compiled =
+  compile_linked ?trace ?machine b ~kernel:k (link_stage b k)
 
 (* hardware threads per team for a user-visible thread count: generic mode
    hosts the main thread in one extra warp *)
@@ -193,3 +248,62 @@ let launch ?(opts = Device.Launch_opts.default) (c : compiled) (dev : Device.t)
         m_smem = c.c_smem; m_occupancy = occ.Cost.o_occupancy;
         m_spills = spill_count c;
         m_hotspots = r.Engine.r_hotspots }
+
+(* ---------- the unified request API ------------------------------------ *)
+
+(* One record describing a complete unit of work — what to compile (build
+   × machine), how to launch it (shape × [Launch_opts.t]) and which
+   workload it belongs to. This replaces the old optional-argument split
+   between [compile ?trace ?machine] and [launch ?opts ~teams ~threads]:
+   both the one-shot harness path and the serving tier's work queue
+   consume the same [Request.t], so a queued request is exactly a
+   first-class value of the ad-hoc parameter soup it displaced. The
+   legacy entry points above survive as thin wrappers. *)
+module Request = struct
+  type t = {
+    rq_proxy : string;            (* workload name, for reporting/stats *)
+    rq_build : build;
+    rq_machine : Machine.t;
+    rq_teams : int;
+    rq_threads : int;             (* user-visible threads; hw sizing is per-mode *)
+    rq_sanitize : bool;           (* arm the SIMT sanitizer at device creation *)
+    rq_opts : Device.Launch_opts.t;
+  }
+
+  let make ?(proxy = "-") ?(machine = Machine.vgpu) ?(sanitize = false)
+      ?(opts = Device.Launch_opts.default) ~build ~teams ~threads () : t =
+    { rq_proxy = proxy; rq_build = build; rq_machine = machine;
+      rq_teams = teams; rq_threads = threads; rq_sanitize = sanitize;
+      rq_opts = opts }
+
+  (* the compile trace is the launch trace: one ctx spans the request *)
+  let trace (r : t) = r.rq_opts.Device.Launch_opts.trace
+end
+
+(* Compile the request's build on its machine; the serving tier replaces
+   this with a cache-backed equivalent of the same signature. *)
+let compile_request (r : Request.t) (k : Ast.kernel) : compiled =
+  compile ~trace:(Request.trace r) ~machine:r.Request.rq_machine
+    r.Request.rq_build k
+
+(* Stage the request's compile through the explicit (link, key, finish)
+   steps — what a content-addressed cache needs: the key is derived from
+   the linked module before any expensive work happens. *)
+let keyed_compile_request (r : Request.t) (k : Ast.kernel) :
+    Compile_key.t * (unit -> compiled) =
+  let linked = link_stage r.Request.rq_build k in
+  let key =
+    Compile_key.of_linked ~machine:r.Request.rq_machine r.Request.rq_build linked
+  in
+  ( key,
+    fun () ->
+      compile_linked ~trace:(Request.trace r) ~machine:r.Request.rq_machine
+        r.Request.rq_build ~kernel:k linked )
+
+let device_request (r : Request.t) (c : compiled) : Device.t =
+  device ~sanitize:r.Request.rq_sanitize c
+
+let launch_request (r : Request.t) (c : compiled) (dev : Device.t)
+    (args : Engine.arg list) : (metrics, Device.error) result =
+  launch ~opts:r.Request.rq_opts c dev ~teams:r.Request.rq_teams
+    ~threads:r.Request.rq_threads args

@@ -1,0 +1,7 @@
+(* The unified request record: one value describing compile target,
+   machine, launch shape and launch options. Defined inside [Codesign]
+   (the entry points consume it there); re-exported here so callers can
+   say [Ozo_core.Request.t] and build requests without spelling the
+   [Codesign.Request] path. *)
+
+include Codesign.Request

@@ -48,6 +48,15 @@ type measurement = {
   (* effective OCaml domains the launch sharded teams over: the request
      capped at the team count, 1 when no launch happened. Results are
      bit-identical at every value; this records only how the row ran *)
+  r_cache_disp : string;
+  (* compile-cache disposition of the row's primary compile: "hit",
+     "miss", or "-" for the uncached one-shot path. Like [r_domains]
+     this records only *how* the row ran: a hit returns the identical
+     compiled artifact, so every measured field is unchanged *)
+  r_latency_us : float;
+  (* end-to-end service latency of the request (host microseconds,
+     queue admission to readback) when served by the campaign service;
+     0.0 on the batch path *)
 }
 
 (* user errors outside a measurement (e.g. an unknown proxy name); runtime
@@ -62,6 +71,19 @@ let new_rt_for (p : Proxy.t) =
 
 let builds_for (p : Proxy.t) : C.build list =
   [ C.old_rt_nightly; C.new_rt_nightly; C.new_rt_no_assumptions; new_rt_for p; C.cuda ]
+
+(* canonical CLI/request-file names of the standard build rows *)
+let build_names = [ "old-rt"; "new-rt-nightly"; "new-rt-no-assumptions"; "new-rt"; "cuda" ]
+
+let build_of_name (p : Proxy.t) = function
+  | "old-rt" -> Ok C.old_rt_nightly
+  | "new-rt-nightly" -> Ok C.new_rt_nightly
+  | "new-rt-no-assumptions" -> Ok C.new_rt_no_assumptions
+  | "new-rt" -> Ok (new_rt_for p)
+  | "cuda" -> Ok C.cuda
+  | s ->
+    Error
+      ("unknown build " ^ s ^ " (" ^ String.concat "|" build_names ^ ")")
 
 (* the harness's per-phase columns: compile time plus the engine's three
    launch phases, read back from the trace after a clean attempt *)
@@ -96,28 +118,56 @@ let dead_measurement ?(fallbacks = []) ~proxy ~build fault : measurement =
     r_check = Error (Fault.to_line fault); r_flops = 0.0;
     r_fault = Some fault; r_fallbacks = fallbacks; r_phase_us = [];
     r_hotspots = []; r_cache = None;
-    r_retries = 0; r_deadline_hit = false; r_breaker = "closed"; r_domains = 1 }
+    r_retries = 0; r_deadline_hit = false; r_breaker = "closed"; r_domains = 1;
+    r_cache_disp = "-"; r_latency_us = 0.0 }
 
-let measure ?(check_assumes = false) ?(sanitize = false) ?inject ?watchdog
+(* The request for one standard harness row: the proxy's launch geometry
+   under one build, with the measurement options folded into
+   [Launch_opts.t]. Everything [measure] used to take as optional
+   arguments is a plain field here. *)
+let request_for ?(check_assumes = false) ?(sanitize = false) ?inject ?watchdog
     ?(trace = Trace.null) ?(profile = false) ?(domains = 1) (p : Proxy.t)
-    (b : C.build) : measurement =
-  let teams = p.Proxy.p_teams and threads = p.Proxy.p_threads in
-  let eff_domains = max 1 (min domains (max 1 teams)) in
-  (* run one pipeline config; the build label stays that of the row *)
-  let attempt ?inject (pipe : Pipeline.config) :
+    (b : C.build) : C.Request.t =
+  C.Request.make ~proxy:p.Proxy.p_name ~sanitize ~build:b
+    ~teams:p.Proxy.p_teams ~threads:p.Proxy.p_threads
+    ~opts:
+      { Device.Launch_opts.default with
+        Device.Launch_opts.check_assumes; inject; trace; profile; watchdog;
+        domains }
+    ()
+
+(* Measure one request. [compiler] is the compile entry point — the
+   default is the one-shot [C.compile_request]; the serving tier passes
+   a cache-backed replacement of the same signature (fallback-ladder
+   recompiles flow through it too, under their own cache keys). *)
+let measure_request ?(compiler = C.compile_request) (p : Proxy.t)
+    (req : C.Request.t) : measurement =
+  let module Rq = C.Request in
+  let module Lo = Device.Launch_opts in
+  let b = req.Rq.rq_build in
+  let trace = Rq.trace req in
+  let eff_domains =
+    max 1 (min req.Rq.rq_opts.Lo.domains (max 1 req.Rq.rq_teams))
+  in
+  (* run one pipeline config; the build label stays that of the row.
+     [primary] arms the request's injection: fallback attempts re-run
+     clean, without the injection that may have felled the primary *)
+  let attempt ~primary (pipe : Pipeline.config) :
       (measurement, Fault.t * measurement option) result =
     try
-      let b = { b with C.b_pipe = pipe } in
-      let k = Proxy.kernel_for p b.C.b_abi in
-      let c = C.compile ~trace b k in
-      let dev = C.device ~sanitize c in
-      let inst = p.Proxy.p_setup dev in
-      let opts =
-        { Device.Launch_opts.default with
-          Device.Launch_opts.check_assumes; inject; trace; profile; watchdog;
-          domains = eff_domains }
+      let r =
+        { req with
+          Rq.rq_build = { b with C.b_pipe = pipe };
+          rq_opts =
+            { req.Rq.rq_opts with
+              Lo.domains = eff_domains;
+              inject = (if primary then req.Rq.rq_opts.Lo.inject else None) } }
       in
-      match C.launch ~opts c dev ~teams ~threads inst.Proxy.i_args with
+      let k = Proxy.kernel_for p r.Rq.rq_build.C.b_abi in
+      let c = compiler r k in
+      let dev = C.device_request r c in
+      let inst = p.Proxy.p_setup dev in
+      match C.launch_request r c dev inst.Proxy.i_args with
       | Error f -> Error (f, None)
       | Ok m ->
         let check = inst.Proxy.i_check () in
@@ -130,7 +180,7 @@ let measure ?(check_assumes = false) ?(sanitize = false) ?inject ?watchdog
             r_fallbacks = []; r_phase_us = phases_of trace;
             r_hotspots = m.C.m_hotspots; r_cache = cache_of trace;
             r_retries = 0; r_deadline_hit = false; r_breaker = "closed";
-            r_domains = eff_domains }
+            r_domains = eff_domains; r_cache_disp = "-"; r_latency_us = 0.0 }
         in
         (match check with
         | Ok () -> Ok meas
@@ -147,7 +197,7 @@ let measure ?(check_assumes = false) ?(sanitize = false) ?inject ?watchdog
     { (dead_measurement ~fallbacks ~proxy:p.Proxy.p_name ~build:b.C.b_label fault)
       with r_flops = p.Proxy.p_flops }
   in
-  match attempt ?inject b.C.b_pipe with
+  match attempt ~primary:true b.C.b_pipe with
   | Ok m -> m
   | Error (primary_fault, primary_meas) ->
     let rec ladder pipe tried last_meas =
@@ -159,12 +209,19 @@ let measure ?(check_assumes = false) ?(sanitize = false) ?inject ?watchdog
         | None -> dead_row primary_fault (List.rev tried))
       | Some weaker -> (
         let tried = weaker.Pipeline.name :: tried in
-        match attempt weaker with
+        match attempt ~primary:false weaker with
         | Ok m -> { m with r_fault = Some primary_fault; r_fallbacks = List.rev tried }
         | Error (_, meas) ->
           ladder weaker tried (match meas with Some _ -> meas | None -> last_meas))
     in
     ladder b.C.b_pipe [] primary_meas
+
+(* legacy shim: the optional-argument surface, now a [Request.t] builder *)
+let measure ?check_assumes ?sanitize ?inject ?watchdog ?trace ?profile ?domains
+    ?compiler (p : Proxy.t) (b : C.build) : measurement =
+  measure_request ?compiler p
+    (request_for ?check_assumes ?sanitize ?inject ?watchdog ?trace ?profile
+       ?domains p b)
 
 (* Figure 10 (a-d) + the TestSNAP column: relative performance of every
    build, normalized to Old RT (Nightly) — the paper's baseline. *)

@@ -102,7 +102,10 @@ let pp_ablation ppf (title, rows) =
       rows
 
 (* per-phase wall-clock columns (host microseconds from the trace), one
-   row per build; printed only when the campaign ran with tracing *)
+   row per build; printed only when the campaign ran with tracing. Both
+   the table and the CSV derive their phase columns from the single
+   [Experiments.phase_names] source, so adding an engine phase cannot
+   leave header and rows disagreeing. *)
 let phase_us m name =
   match List.assoc_opt name m.r_phase_us with Some v -> v | None -> 0.0
 
@@ -117,14 +120,16 @@ let cache_str m =
 let pp_phases ppf (title, ms) =
   if List.exists (fun m -> m.r_phase_us <> []) ms then begin
     Fmt.pf ppf "@.%s — host-side phase times (us, from trace)@." title;
-    Fmt.pf ppf "  %-26s %10s %10s %10s %10s %18s@." "build" "compile" "decode"
-      "execute" "readback" "an.cache hit/miss";
+    Fmt.pf ppf "  %-26s" "build";
+    List.iter (fun n -> Fmt.pf ppf " %10s" n) phase_names;
+    Fmt.pf ppf " %18s@." "an.cache hit/miss";
     List.iter
       (fun m ->
-        if m.r_phase_us <> [] then
-          Fmt.pf ppf "  %-26s %10.1f %10.1f %10.1f %10.1f %18s@." m.r_build
-            (phase_us m "compile") (phase_us m "decode") (phase_us m "execute")
-            (phase_us m "readback") (cache_str m))
+        if m.r_phase_us <> [] then begin
+          Fmt.pf ppf "  %-26s" m.r_build;
+          List.iter (fun n -> Fmt.pf ppf " %10.1f" (phase_us m n)) phase_names;
+          Fmt.pf ppf " %18s@." (cache_str m)
+        end)
       ms
   end
 
@@ -160,16 +165,24 @@ let pp_resilience ppf (title, ms) =
       ms
   end
 
-(* machine-readable one-line records, convenient for regression diffing *)
-let pp_csv_header ppf () =
-  Fmt.pf ppf
-    "proxy,build,cycles,regs,smem,occupancy,spills,warp_insts,barriers,check,fault,\
-     fallback,compile_us,decode_us,execute_us,readback_us,cache_hits,cache_misses,\
-     retries,deadline,breaker,domains@."
+(* machine-readable one-line records, convenient for regression diffing.
+   The column list is the one source of truth: the header prints it and
+   the row writer is structured prefix / phases / suffix around the same
+   [phase_names], with a column-count assertion in the test suite.
+   The trailing cache/latency_us pair records how the row ran under the
+   serving tier ("-"/0.0 on the batch path); regression diffs against
+   the batch harness strip these two plus domains. *)
+let csv_columns =
+  [ "proxy"; "build"; "cycles"; "regs"; "smem"; "occupancy"; "spills";
+    "warp_insts"; "barriers"; "check"; "fault"; "fallback" ]
+  @ List.map (fun n -> n ^ "_us") phase_names
+  @ [ "cache_hits"; "cache_misses"; "retries"; "deadline"; "breaker"; "domains";
+      "cache"; "latency_us" ]
+
+let pp_csv_header ppf () = Fmt.pf ppf "%s@." (String.concat "," csv_columns)
 
 let pp_csv ppf m =
-  Fmt.pf ppf
-    "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%d,%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%s,%s,%d@."
+  Fmt.pf ppf "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%d,%s,%s,%s"
     m.r_proxy
     m.r_build m.r_cycles m.r_regs m.r_smem m.r_occupancy m.r_spills
     m.r_counters.Ozo_vgpu.Counters.warp_instructions
@@ -178,11 +191,11 @@ let pp_csv ppf m =
     (match m.r_fault with
     | None -> "-"
     | Some f -> Ozo_vgpu.Fault.kind_name f.Ozo_vgpu.Fault.f_kind)
-    (match m.r_fallbacks with [] -> "-" | fbs -> String.concat ">" fbs)
-    (phase_us m "compile") (phase_us m "decode") (phase_us m "execute")
-    (phase_us m "readback")
+    (match m.r_fallbacks with [] -> "-" | fbs -> String.concat ">" fbs);
+  List.iter (fun n -> Fmt.pf ppf ",%.1f" (phase_us m n)) phase_names;
+  Fmt.pf ppf ",%d,%d,%d,%s,%s,%d,%s,%.1f@."
     (match m.r_cache with Some (h, _, _) -> h | None -> 0)
     (match m.r_cache with Some (_, mi, _) -> mi | None -> 0)
     m.r_retries
     (if m.r_deadline_hit then "hit" else "-")
-    m.r_breaker m.r_domains
+    m.r_breaker m.r_domains m.r_cache_disp m.r_latency_us

@@ -14,6 +14,8 @@
 
 module E = Ozo_harness.Experiments
 module C = Ozo_core.Codesign
+module Request = Ozo_core.Request
+module Device = Ozo_vgpu.Device
 module Proxy = Ozo_proxies.Proxy
 module Trace = Ozo_obs.Trace
 module Faultinject = Ozo_vgpu.Faultinject
@@ -61,18 +63,29 @@ let resolve (o : opts) name : Proxy.t =
   | Some p -> p
   | None -> raise (E.Harness_error ("unknown proxy " ^ name))
 
-let rows_of (o : opts) : (Proxy.t * C.build) list =
+(* The campaign's deterministic row order, as first-class requests: every
+   per-row option is folded into the [Request.t] up front; only the
+   per-attempt concerns (watchdog, retry-time injection clearing) are
+   patched in by the supervised task below. *)
+let rows_of ?(trace = Trace.null) (o : opts) : (Proxy.t * Request.t) list =
   List.concat_map
     (fun name ->
       let p = resolve o name in
       List.concat_map
-        (fun _ -> List.map (fun b -> (p, b)) (E.builds_for p))
+        (fun _ ->
+          List.map
+            (fun b ->
+              ( p,
+                E.request_for ~check_assumes:o.co_check_assumes
+                  ~sanitize:o.co_sanitize ?inject:o.co_inject ~trace
+                  ~domains:o.co_domains p b ))
+            (E.builds_for p))
         (List.init (max 1 o.co_repeat) Fun.id))
     o.co_proxies
 
 let run ?clock ?sleep ?(trace = Trace.null) (o : opts) : E.measurement list =
   let sup = Supervisor.create ?clock ?sleep ~trace o.co_sup in
-  let rows = rows_of o in
+  let rows = rows_of ~trace o in
   let fp = fingerprint o in
   let replayed =
     if not o.co_resume then []
@@ -110,7 +123,7 @@ let run ?clock ?sleep ?(trace = Trace.null) (o : opts) : E.measurement list =
   in
   let out =
     List.mapi
-      (fun i (p, b) ->
+      (fun i (p, r) ->
         if i < n_replayed then begin
           (* replayed verbatim; still drives the breaker state machine *)
           let m = List.nth replayed i in
@@ -118,16 +131,19 @@ let run ?clock ?sleep ?(trace = Trace.null) (o : opts) : E.measurement list =
           m
         end
         else begin
-          let proxy = p.Proxy.p_name and build = b.C.b_label in
+          let proxy = p.Proxy.p_name
+          and build = r.Request.rq_build.C.b_label in
           let m =
             Supervisor.supervise sup ~proxy ~build
               (fun ~attempt ~watchdog ->
                 (* inject only on the first attempt: a transient injected
                    fault must re-validate clean on retry *)
-                let inject = if attempt = 0 then o.co_inject else None in
-                E.measure ~check_assumes:o.co_check_assumes
-                  ~sanitize:o.co_sanitize ?inject ?watchdog ~trace
-                  ~domains:o.co_domains p b)
+                let opts =
+                  { r.Request.rq_opts with
+                    Device.Launch_opts.watchdog;
+                    inject = (if attempt = 0 then o.co_inject else None) }
+                in
+                E.measure_request p { r with Request.rq_opts = opts })
           in
           finish_row i m;
           m

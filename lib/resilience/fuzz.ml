@@ -27,6 +27,8 @@ module Backend = Ozo_backend.Lower
 module Device = Ozo_vgpu.Device
 module Engine = Ozo_vgpu.Engine
 module Fault = Ozo_vgpu.Fault
+module C = Ozo_core.Codesign
+module Request = Ozo_core.Request
 
 type digest = {
   d_i : int array;    (* per-global-thread i64 results *)
@@ -87,15 +89,28 @@ let plant_of_name = function
   | "flip-add" -> Some flip_first_add
   | _ -> None
 
+(* each variant as a first-class [Request.t]: the synthetic build carries
+   the variant's pipeline under its name, and the launch shape/budget ride
+   in the request instead of loose arguments *)
+let request_of (v : variant) : Request.t =
+  Request.make ~proxy:"fuzz" ~machine:v.v_machine
+    ~build:{ C.cuda with C.b_label = v.v_name; b_pipe = v.v_pipe }
+    ~teams:Irgen.teams ~threads:Irgen.threads
+    ~opts:
+      { Device.Launch_opts.default with Device.Launch_opts.budget = fuzz_budget }
+    ()
+
 let exec (m : modul) (v : variant) : outcome =
+  let rq = request_of v in
   try
-    let opt = Pipeline.run v.v_pipe m in
+    let opt = Pipeline.run rq.Request.rq_build.C.b_pipe m in
     let opt = match v.v_plant with Some p -> p opt | None -> opt in
     match Verifier.check opt with
     | Error _ -> Fail "verify-error"
     | Ok () -> (
       let low =
-        (Backend.run ~machine:v.v_machine opt ~kernel:Irgen.kernel_name)
+        (Backend.run ~machine:rq.Request.rq_machine opt
+           ~kernel:Irgen.kernel_name)
           .Backend.lw_module
       in
       let dev = Device.create low in
@@ -104,11 +119,9 @@ let exec (m : modul) (v : variant) : outcome =
       let out_f = Device.alloc dev (n * 8) in
       Device.write_i64s dev out_i (List.init n (fun _ -> 0));
       Device.write_f64s dev out_f (List.init n (fun _ -> 0.0));
-      let opts =
-        { Device.Launch_opts.default with Device.Launch_opts.budget = fuzz_budget }
-      in
       match
-        Device.launch ~opts dev ~teams:Irgen.teams ~threads:Irgen.threads
+        Device.launch ~opts:rq.Request.rq_opts dev ~teams:rq.Request.rq_teams
+          ~threads:rq.Request.rq_threads
           [ Engine.Ai (Device.ptr out_i); Engine.Ai (Device.ptr out_f) ]
       with
       | Error f -> Fail ("fault:" ^ Fault.kind_name f.Fault.f_kind)

@@ -143,7 +143,9 @@ let enc_measurement b (m : E.measurement) =
       f "retries" (fun b -> int_ b m.E.r_retries);
       f "deadline" (fun b -> bool_ b m.E.r_deadline_hit);
       f "breaker" (fun b -> esc b m.E.r_breaker);
-      f "domains" (fun b -> int_ b m.E.r_domains))
+      f "domains" (fun b -> int_ b m.E.r_domains);
+      f "cachedisp" (fun b -> esc b m.E.r_cache_disp);
+      f "latency_us" (fun b -> num b m.E.r_latency_us))
 
 (* ---- decoding --------------------------------------------------------- *)
 
@@ -287,6 +289,13 @@ let measurement_of_json (j : Json.t) : (E.measurement, string) result =
   let* domains =
     match mem "domains" j with None -> Ok 1 | Some _ -> dec_int "domains" j
   in
+  (* absent in journals written before the serving tier *)
+  let* cache_disp =
+    match mem "cachedisp" j with None -> Ok "-" | Some _ -> dec_str "cachedisp" j
+  in
+  let* latency_us =
+    match mem "latency_us" j with None -> Ok 0.0 | Some _ -> dec_num "latency_us" j
+  in
   Ok
     { E.r_proxy = proxy; r_build = build; r_cycles = cycles; r_regs = regs;
       r_smem = smem; r_occupancy = occupancy; r_spills = spills;
@@ -295,7 +304,7 @@ let measurement_of_json (j : Json.t) : (E.measurement, string) result =
       r_flops = flops; r_fault = fault; r_fallbacks = fallbacks;
       r_phase_us = phase_us; r_hotspots = hotspots; r_cache = cache;
       r_retries = retries; r_deadline_hit = deadline; r_breaker = breaker;
-      r_domains = domains }
+      r_domains = domains; r_cache_disp = cache_disp; r_latency_us = latency_us }
 
 (* ---- the journal file ------------------------------------------------- *)
 

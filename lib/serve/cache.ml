@@ -1,0 +1,112 @@
+(* Content-addressed compile cache over [Codesign.keyed_compile_request].
+
+   The key is the canonical fingerprint of everything that feeds a
+   compile — the linked IR printout, the pipeline configuration, the
+   build-ladder rung, the machine descriptor and the cost-model
+   parameters (see [Codesign.Compile_key]) — so a lookup can only hit
+   when the cached [compiled] artifact is bit-identical to what a cold
+   compile would produce. That makes hits safe to serve without any
+   validation pass: same key, same artifact, same metrics.
+
+   Eviction is LRU over a fixed entry cap (unbounded when [cap] is
+   [None]). Because a hit and a recompile are indistinguishable by
+   construction, eviction can change only *when* work happens, never
+   what it produces — the property the eviction test pins.
+
+   Fallback-ladder recompiles flow through the same [compile_request]
+   entry point under their own keys (a weakened pipeline changes the
+   key's pipeline part), so a campaign that degrades rows still caches
+   each rung it actually visited. *)
+
+module C = Ozo_core.Codesign
+module Request = Ozo_core.Request
+module Ast = Ozo_frontend.Ast
+module Trace = Ozo_obs.Trace
+
+type entry = {
+  en_compiled : C.compiled;
+  mutable en_tick : int; (* last-use stamp, drives LRU eviction *)
+}
+
+type t = {
+  tbl : (string, entry) Hashtbl.t; (* keyed by [Compile_key.hex] *)
+  cap : int option;
+  trace : Trace.ctx;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  cs_entries : int;
+  cs_hits : int;
+  cs_misses : int;
+  cs_evictions : int;
+}
+
+let create ?(trace = Trace.null) ?cap () : t =
+  (match cap with
+  | Some c when c < 1 -> invalid_arg "Cache.create: cap must be >= 1"
+  | _ -> ());
+  { tbl = Hashtbl.create 64; cap; trace; tick = 0; hits = 0; misses = 0;
+    evictions = 0 }
+
+let stats (t : t) : stats =
+  { cs_entries = Hashtbl.length t.tbl; cs_hits = t.hits; cs_misses = t.misses;
+    cs_evictions = t.evictions }
+
+let hit_rate (s : stats) : float =
+  let total = s.cs_hits + s.cs_misses in
+  if total = 0 then 0.0
+  else float_of_int s.cs_hits /. float_of_int total
+
+(* O(entries) min-scan; caps are small enough that an intrusive list
+   would be structure for structure's sake *)
+let evict_lru (t : t) =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best.en_tick <= e.en_tick -> acc
+        | _ -> Some (k, e))
+      t.tbl None
+  in
+  match victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let note (t : t) disp key =
+  if Trace.enabled t.trace then
+    Trace.instant t.trace ~cat:"serve" "compile-cache"
+      ~args:
+        [ ("disp", Trace.Str disp); ("key", Trace.Str (String.sub key 0 8));
+          ("hits", Trace.Int t.hits); ("misses", Trace.Int t.misses);
+          ("evictions", Trace.Int t.evictions) ]
+
+(* The cache-backed compile entry point: same signature as
+   [Codesign.compile_request], plus the disposition. Key derivation runs
+   the cheap link stage either way; only the pipeline + backend stages
+   are skipped on a hit. *)
+let compile_request (t : t) (r : Request.t) (k : Ast.kernel) :
+    C.compiled * [ `Hit | `Miss ] =
+  let key, finish = C.keyed_compile_request r k in
+  let hex = C.Compile_key.hex key in
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.tbl hex with
+  | Some e ->
+    e.en_tick <- t.tick;
+    t.hits <- t.hits + 1;
+    note t "hit" hex;
+    (e.en_compiled, `Hit)
+  | None ->
+    let c = finish () in
+    t.misses <- t.misses + 1;
+    (match t.cap with
+    | Some cap when Hashtbl.length t.tbl >= cap -> evict_lru t
+    | _ -> ());
+    Hashtbl.replace t.tbl hex { en_compiled = c; en_tick = t.tick };
+    note t "miss" hex;
+    (c, `Miss)

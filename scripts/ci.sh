@@ -30,11 +30,12 @@ dune exec test/test_main.exe -- test domains
 echo "== domain-parallel campaign smoke =="
 # the full supervised campaign path sharded over 4 domains; every row
 # must validate, and the CSV must match a sequential campaign
-# byte-for-byte once the trailing domains column is stripped
+# byte-for-byte once the trailing domains/cache/latency columns are
+# stripped (the last three fields of every row)
 "$CLI" campaign xsbench --small --domains 4 > _build/ci_campaign_d4.out
 "$CLI" campaign xsbench --small > _build/ci_campaign_d1.out
-sed -n '/^proxy,build/,$p' _build/ci_campaign_d4.out | sed 's/,[0-9]*$//' > _build/ci_d4.csv
-sed -n '/^proxy,build/,$p' _build/ci_campaign_d1.out | sed 's/,[0-9]*$//' > _build/ci_d1.csv
+sed -n '/^proxy,build/,$p' _build/ci_campaign_d4.out | sed 's/\(,[^,]*\)\{3\}$//' > _build/ci_d4.csv
+sed -n '/^proxy,build/,$p' _build/ci_campaign_d1.out | sed 's/\(,[^,]*\)\{3\}$//' > _build/ci_d1.csv
 diff _build/ci_d1.csv _build/ci_d4.csv || {
   echo "FAIL: campaign CSV differs between --domains 1 and --domains 4"; exit 1; }
 echo "domain-parallel campaign OK: CSV identical to sequential"
@@ -104,6 +105,36 @@ sed -n '/^proxy,build/,$p' _build/ci_campaign_full.out > _build/ci_full.csv
 diff _build/ci_full.csv _build/ci_resumed.csv || {
   echo "FAIL: resumed campaign CSV differs from uninterrupted run"; exit 1; }
 echo "resume OK: CSV byte-identical after kill at row 3"
+
+echo "== serving tier: content-addressed cache + batched service =="
+# a 2-domain service over a duplicated request list (two passes via
+# --repeat 2) must serve every second-pass compile from cache (>= 50%
+# hit rate), and its CSV must be byte-identical to the sequential
+# supervised campaign modulo the trailing domains/cache/latency columns
+REQS=_build/ci_requests.txt
+: > "$REQS"
+for b in old-rt new-rt-nightly new-rt-no-assumptions new-rt cuda; do
+  echo "xsbench $b" >> "$REQS"
+done
+"$CLI" serve --requests "$REQS" --small --repeat 2 --domains 2 \
+  > _build/ci_serve.out
+hitrate=$(sed -n 's/.*(\([0-9]*\)% hit rate).*/\1/p' _build/ci_serve.out)
+[ -n "$hitrate" ] && [ "$hitrate" -ge 50 ] || {
+  echo "FAIL: serve hit rate below 50% (got '${hitrate:-}')"; exit 1; }
+"$CLI" campaign xsbench --small --repeat 2 > _build/ci_campaign_r2.out
+sed -n '/^proxy,build/,$p' _build/ci_serve.out | sed '/^serve:/d' \
+  | sed 's/\(,[^,]*\)\{3\}$//' > _build/ci_serve.csv
+sed -n '/^proxy,build/,$p' _build/ci_campaign_r2.out \
+  | sed 's/\(,[^,]*\)\{3\}$//' > _build/ci_seq.csv
+diff _build/ci_seq.csv _build/ci_serve.csv || {
+  echo "FAIL: served CSV differs from the sequential campaign"; exit 1; }
+echo "serve OK: ${hitrate}% cache hit rate, CSV identical to sequential campaign"
+
+echo "== serving tier: warm-cache bench =="
+# two passes over every proxy x build against one cache: the warm pass
+# must recompile nothing (100% hit rate) and reproduce the cold rows
+# bit-identically; prints cold vs warm launches/sec + latency percentiles
+"$CLI" bench-service --small
 
 echo "== perf micro-suite (smoke) =="
 # under a wall-clock deadline: a wedged benchmark fails CI instead of

@@ -19,4 +19,5 @@ let () =
       ("golden", Test_golden.suite);
       ("domains", Test_domains.suite);
       ("resilience", Test_resilience.suite);
+      ("serve", Test_serve.suite);
       ("properties", Test_props.suite) ]
