@@ -141,6 +141,33 @@ let diverge_kernel iters =
   ignore (B.end_func b);
   B.finish b
 
+(* Long integer dependency chain per iteration with one load/store pair:
+   execute-bound on the int ALU, the threaded-code executor's best case.
+   (The per-op dispatch — decode-record match, operand eval — is what
+   the compiled closures elide; memory ops cost the same on both.) *)
+let intchain_kernel iters =
+  let b = B.create "perf_vmchain" in
+  (match B.begin_func b ~name:"k" ~kernel:true ~params:[ I64 ] ~ret:None () with
+  | [ out ] ->
+    B.set_block b "entry";
+    let tid = B.thread_id b in
+    let acc = B.alloca b 8 in
+    B.store b I64 (B.i64 7) acc;
+    ignore
+      (B.for_loop b ~lo:(B.i64 0) ~hi:(B.i64 iters) ~step:(B.i64 1) ~body:(fun iv ->
+           let v = ref (B.load b I64 acc) in
+           for _ = 1 to 8 do
+             v := B.add b (B.mul b !v (B.i64 3)) (B.xor b !v tid);
+             v := B.and_ b (B.add b !v iv) (B.i64 0xFFFFFFF)
+           done;
+           B.store b I64 !v acc));
+    let v = B.load b I64 acc in
+    B.store b I64 v (B.ptradd b out (B.mul b tid (B.i64 8)));
+    B.ret b None
+  | _ -> assert false);
+  ignore (B.end_func b);
+  B.finish b
+
 (* --- measurement ------------------------------------------------------- *)
 
 type sample = {
@@ -306,6 +333,42 @@ let backend_suite ~iters =
     time_run ~iters ~name:"backend/lower-spill"
       (lower_all (Machine.with_reg_budget 8 Machine.vgpu)) ]
 
+(* Threaded-code executor suite: the same lowered module and register
+   plan launched on both executors, so each ir/vm pair isolates pure
+   dispatch cost. Counters are bit-identical by contract — [s_issues]
+   must agree within a pair (asserted) — and the wall-clock ratio is the
+   speedup BENCH_engine.json tracks. *)
+let vm_suite ~iters =
+  let module Backend = Ozo_backend.Lower in
+  let module Machine = Ozo_backend.Machine in
+  let threads = 128 in
+  let out_buf bytes dev = [ Engine.Ai (Device.ptr (Device.alloc dev bytes)) ] in
+  let pair name m =
+    let lower = Backend.run ~machine:Machine.vgpu m ~kernel:"k" in
+    let low = lower.Backend.lw_module in
+    let plan = lower.Backend.lw_plan in
+    let go exec () =
+      let dev = Device.create ~exec ~plan low in
+      let args = out_buf (threads * 8) dev in
+      match Device.launch dev ~teams:2 ~threads args with
+      | Error e -> fail_launch e
+      | Ok r -> r.Engine.r_total.Ozo_vgpu.Counters.warp_instructions
+    in
+    let ir =
+      time_run ~iters ~name:(Fmt.str "vm/%s-ir" name) (go Engine.Exec_ir)
+    in
+    let vm =
+      time_run ~iters ~name:(Fmt.str "vm/%s-vm" name) (go Engine.Exec_vm)
+    in
+    if ir.s_issues <> vm.s_issues then
+      Fmt.failwith "vm/%s: executors disagree (%d vs %d issues)" name
+        ir.s_issues vm.s_issues;
+    [ ir; vm ]
+  in
+  pair "int-chain" (intchain_kernel 1500)
+  @ pair "alu-loop" (alu_kernel 2000)
+  @ pair "divergence" (diverge_kernel 600)
+
 (* End-to-end: the `bench/main.exe csv` workload (all figures' raw rows).
    [domains] shards each launch's team loop over OCaml domains; counters
    (and therefore [s_issues]) are bit-identical at every value. *)
@@ -420,6 +483,7 @@ let () =
     samples @ pipeline_suite ~iters:(if !smoke then 1 else 10)
   in
   let samples = samples @ backend_suite ~iters:(if !smoke then 1 else 10) in
+  let samples = samples @ vm_suite ~iters:(if !smoke then 1 else 8) in
   let e2e =
     if !smoke then
       [ time_run ~iters:1 ~name:"e2e/csv-small" (e2e_csv ~small:true) ]
@@ -448,6 +512,15 @@ let () =
      if per off > 0.0 then
        Fmt.pr "  tracing+profiling on: %+.1f%% vs untraced alu-loop@."
          (100.0 *. (per on_ -. per off) /. per off)
+   | _ -> ());
+  (* threaded-code executor summary: vm vs ir on the execute-bound chain *)
+  (let find n = List.find_opt (fun s -> s.s_name = n) samples in
+   match (find "vm/int-chain-ir", find "vm/int-chain-vm") with
+   | Some ir, Some vm ->
+     let per s = s.s_wall_s /. float_of_int s.s_iters in
+     if per vm > 0.0 then
+       Fmt.pr "  threaded-code executor: %.2fx vs IR interpreter on vm/int-chain@."
+         (per ir /. per vm)
    | _ -> ());
   (* analysis-cache summary: cached vs uncached full pipeline *)
   (let find n = List.find_opt (fun s -> s.s_name = n) samples in

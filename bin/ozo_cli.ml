@@ -68,6 +68,19 @@ let domains_arg =
   in
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
 
+let exec_arg =
+  let doc =
+    "Execution path: ir (the decoded-IR interpreter) or vm (threaded code \
+     compiled from the register-allocated VM form). Results are bit-identical \
+     on both paths; only wall-clock changes."
+  in
+  Arg.(value & opt string "ir" & info [ "exec" ] ~docv:"PATH" ~doc)
+
+let parse_exec s =
+  match Ozo_vgpu.Engine.exec_of_name s with
+  | Some e -> Ok e
+  | None -> Error (`Msg ("unknown exec path " ^ s ^ " (ir|vm)"))
+
 let parse_inject seed = function
   | None -> Ok None
   | Some s -> (
@@ -104,17 +117,18 @@ let list_cmd =
 (* --- run ---------------------------------------------------------------- *)
 
 let run_cmd =
-  let run name build small debug sanitize inject seed profile domains =
+  let run name build small debug sanitize inject seed profile domains exec =
     handle
       (let ( let* ) = Result.bind in
        let* p = find_proxy small name in
        let* b = build_of_string p build in
        let* inject = parse_inject seed inject in
+       let* exec = parse_exec exec in
        let b = if debug then C.with_debug b else b in
        let trace = if profile then Trace.make () else Trace.null in
        let m =
          E.measure ~check_assumes:debug ~sanitize ?inject ~trace ~profile
-           ~domains p b
+           ~domains ~exec p b
        in
        Fmt.pr "%a%a" R.pp_fig11 (name, [ m ]) R.pp_csv_header ();
        Fmt.pr "%a" R.pp_csv m;
@@ -139,7 +153,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and run one proxy under one build configuration")
     Term.(const run $ proxy_arg $ build_arg $ small_arg $ debug_arg $ sanitize_arg
-          $ inject_arg $ seed_arg $ profile_arg $ domains_arg)
+          $ inject_arg $ seed_arg $ profile_arg $ domains_arg $ exec_arg)
 
 (* --- inspect ------------------------------------------------------------ *)
 
@@ -381,6 +395,104 @@ let regs_cmd =
           memory, occupancy, spills) for every build configuration")
     Term.(const run $ proxy_arg $ small_arg $ csv_arg $ machine_arg $ max_regs_arg)
 
+(* --- vm ------------------------------------------------------------------ *)
+
+let vm_cmd =
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV rows.")
+  in
+  let machine_arg =
+    let doc = "Machine descriptor for the register budget: vgpu or a100." in
+    Arg.(value & opt string "vgpu" & info [ "machine"; "m" ] ~docv:"MACHINE" ~doc)
+  in
+  let max_regs_arg =
+    let doc =
+      "Override the per-thread register budget (forces spilling below the \
+       kernel's natural pressure)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-regs" ] ~docv:"N" ~doc)
+  in
+  let listing_arg =
+    Arg.(value & flag
+         & info [ "listing" ]
+             ~doc:"Also print the full VM instruction stream per function.")
+  in
+  let run name build small csv machine max_regs listing =
+    handle
+      (let ( let* ) = Result.bind in
+       let* p = find_proxy small name in
+       let* b = build_of_string p build in
+       let* machine =
+         match Ozo_backend.Machine.find machine with
+         | Some m -> Ok m
+         | None -> Error (`Msg ("unknown machine " ^ machine ^ " (vgpu|a100)"))
+       in
+       let machine =
+         match max_regs with
+         | Some n -> Ozo_backend.Machine.with_reg_budget n machine
+         | None -> machine
+       in
+       let c = C.compile ~machine b (Proxy.kernel_for p b.C.b_abi) in
+       let module L = Ozo_backend.Lower in
+       let module V = Ozo_backend.Vm in
+       let l = c.C.c_lower in
+       let plan_of fn = List.assoc_opt fn l.L.lw_plan in
+       (* per-function rows over the VM program the resource model prices;
+          "plan" says whether the threaded executor runs this function
+          renamed (spill-free) or falls back to interpretation *)
+       let rows =
+         List.map (fun fl -> (fl, V.func_stats fl.L.fl_vm)) l.L.lw_funcs
+       in
+       if csv then begin
+         Fmt.pr
+           "proxy,build,function,blocks,edges,ops,moves,reloads,spills,regs,\
+            frame_bytes,plan,plan_regs@.";
+         List.iter
+           (fun ((fl : L.func_lowering), (s : V.vstats)) ->
+             let vf = fl.L.fl_vm in
+             Fmt.pr "%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d@." p.Proxy.p_name
+               b.C.b_label fl.L.fl_func s.V.vs_blocks s.V.vs_edges s.V.vs_ops
+               s.V.vs_moves s.V.vs_reloads s.V.vs_spills vf.V.vf_regs_used
+               vf.V.vf_frame_bytes
+               (match plan_of fl.L.fl_func with Some _ -> "vm" | None -> "ir")
+               (match plan_of fl.L.fl_func with
+               | Some pl -> pl.Ozo_vgpu.Engine.rp_nregs
+               | None -> 0))
+           rows
+       end
+       else begin
+         Fmt.pr "%s / %s — VM form on %s (budget %d regs/thread)@."
+           p.Proxy.p_name b.C.b_label machine.Ozo_backend.Machine.mc_name
+           machine.Ozo_backend.Machine.mc_max_regs_per_thread;
+         Fmt.pr "  %-24s %6s %5s %6s %6s %7s %6s %5s %8s %5s@." "function"
+           "blocks" "edges" "ops" "moves" "reloads" "spills" "regs" "frame(B)"
+           "exec";
+         List.iter
+           (fun ((fl : L.func_lowering), (s : V.vstats)) ->
+             let vf = fl.L.fl_vm in
+             Fmt.pr "  %-24s %6d %5d %6d %6d %7d %6d %5d %8d %5s@." fl.L.fl_func
+               s.V.vs_blocks s.V.vs_edges s.V.vs_ops s.V.vs_moves s.V.vs_reloads
+               s.V.vs_spills vf.V.vf_regs_used vf.V.vf_frame_bytes
+               (match plan_of fl.L.fl_func with Some _ -> "vm" | None -> "ir"))
+           rows;
+         if listing then
+           List.iter
+             (fun ((fl : L.func_lowering), _) ->
+               Fmt.pr "@.%a@." V.pp_vfunc fl.L.fl_vm)
+             rows
+       end;
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "vm"
+       ~doc:
+         "Dump the register-allocated VM form the threaded executor runs: \
+          per-function instruction mix (ops/moves/reloads/spills), resource \
+          numbers and whether the threaded path executes it renamed (vm) or \
+          interprets it (ir); --listing prints the full stream")
+    Term.(const run $ proxy_arg $ build_arg $ small_arg $ csv_arg $ machine_arg
+          $ max_regs_arg $ listing_arg)
+
 (* --- ablate -------------------------------------------------------------- *)
 
 let ablate_cmd =
@@ -465,11 +577,12 @@ let campaign_cmd =
     Arg.(value & opt (some int) None & info [ "abort-after" ] ~docv:"N" ~doc)
   in
   let run name small sanitize inject seed profile journal resume repeat retries
-      deadline abort_after domains =
+      deadline abort_after domains exec =
     handle
       (let ( let* ) = Result.bind in
        let* _ = find_proxy small name in
        let* inject = parse_inject seed inject in
+       let* exec = parse_exec exec in
        (match inject with
        | Some spec ->
          Fmt.pr "injecting: %s (seed %d)@." (Ozo_vgpu.Faultinject.spec_to_string spec) seed
@@ -480,7 +593,7 @@ let campaign_cmd =
            Campaign.co_proxies = [ name ]; co_small = small;
            co_repeat = repeat; co_sanitize = sanitize; co_inject = inject;
            co_journal = journal; co_resume = resume;
-           co_abort_after = abort_after; co_domains = domains;
+           co_abort_after = abort_after; co_domains = domains; co_exec = exec;
            co_sup =
              { Supervisor.default with
                Supervisor.sv_retries = retries; sv_deadline_s = deadline;
@@ -519,7 +632,7 @@ let campaign_cmd =
           valid check")
     Term.(const run $ proxy_arg $ small_arg $ sanitize_arg $ inject_arg $ seed_arg
           $ profile_arg $ journal_arg $ resume_arg $ repeat_arg $ retries_arg
-          $ deadline_arg $ abort_after_arg $ domains_arg)
+          $ deadline_arg $ abort_after_arg $ domains_arg $ exec_arg)
 
 (* --- serve ----------------------------------------------------------------- *)
 
@@ -706,5 +819,5 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "ozo_cli" ~doc)
           [ list_cmd; run_cmd; inspect_cmd; remarks_cmd; trace_cmd; regs_cmd;
-            ablate_cmd; sanitize_cmd; campaign_cmd; serve_cmd;
+            vm_cmd; ablate_cmd; sanitize_cmd; campaign_cmd; serve_cmd;
             bench_service_cmd; fuzz_cmd ]))

@@ -44,6 +44,10 @@ type summary = {
   lw_spill_loads : int;     (* static reload instructions *)
   lw_spill_stores : int;    (* static spill-store instructions *)
   lw_frame_bytes : int;     (* largest per-function spill frame *)
+  (* virtual→physical rename plans over the *executed* module
+     ([lw_module]), one per spill-free function — what the engine's
+     threaded-code path compiles against (see [Threaded]) *)
+  lw_plan : (string * Ozo_vgpu.Engine.reg_plan) list;
 }
 
 (* ---------- spill-type inference --------------------------------------- *)
@@ -298,6 +302,30 @@ let run ?(machine = Machine.vgpu) ?am ?(trace = Trace.null) (m : modul)
             m kf
       in
       let sum get = List.fold_left (fun a fl -> a + get fl) 0 funcs in
+      (* rename plans must describe the module the engine *executes*
+         ([m']): spill-free functions are physically unchanged there, so
+         their allocation is reused; spill-rewritten functions get a
+         fresh allocation over the rewritten body (whose single-
+         instruction reload ranges fit the budget by construction — if
+         one still spills, it is simply left off the plan and the
+         threaded path interprets it) *)
+      let ra_by_name = Hashtbl.create 16 in
+      List.iter
+        (fun (f, ra) -> Hashtbl.replace ra_by_name f.f_name ra)
+        allocated;
+      let plan =
+        List.filter_map
+          (fun f' ->
+            let ra =
+              match Hashtbl.find_opt ra_by_name f'.f_name with
+              | Some ra when ra.Regalloc.ra_spilled = [] -> ra
+              | _ -> Regalloc.run ~budget (Analysis.liveness am f') f'
+            in
+            Option.map
+              (fun p -> (f'.f_name, p))
+              (Threaded.plan_of_alloc f' ra))
+          m'.m_funcs
+      in
       let summary =
         { lw_machine = machine;
           lw_kernel = kernel;
@@ -315,7 +343,8 @@ let run ?(machine = Machine.vgpu) ?am ?(trace = Trace.null) (m : modul)
           lw_frame_bytes =
             List.fold_left
               (fun a fl -> max a fl.fl_ra.Regalloc.ra_frame_bytes)
-              0 funcs }
+              0 funcs;
+          lw_plan = plan }
       in
       Trace.instant trace ~cat:"backend"
         ~args:

@@ -173,20 +173,20 @@ let lower_inst em (i : inst) : vinst list =
 
 let loc_is_slot = function Regalloc.Slot _ -> true | Regalloc.Phys _ -> false
 
+let reads_loc l = function Vloc l' -> l' = l | _ -> false
+
 (* Sequentialize one edge's parallel copy. Hazard: a pending copy reads
    a location another pending copy writes. Emit hazard-free copies
    first; on a cycle, save the blocking destination into the
-   cycle-breaking temporary and redirect its readers there. Copies into
-   spill slots count as spill stores, copies out of slots as reloads. *)
-let sequentialize em (copies : (Regalloc.loc * vopd) list) : vinst list =
-  let reads_loc l = function Vloc l' -> l' = l | _ -> false in
-  let note_copy (d, s) =
-    if loc_is_slot d then em.em_stores <- em.em_stores + 1;
-    (match s with
-    | Vloc l when loc_is_slot l -> em.em_loads <- em.em_loads + 1
-    | _ -> ());
-    V_copy (d, s)
-  in
+   cycle-breaking temporary ([temp], called once per cycle broken) and
+   redirect its readers there.
+
+   This is the pure core — no emitter state — so the property suite can
+   drive it directly: for any copy set, executing the returned sequence
+   one move at a time must leave every destination holding the value its
+   source held *before* the copy (parallel semantics). *)
+let sequentialize_copies ~(temp : unit -> Regalloc.loc)
+    (copies : (Regalloc.loc * vopd) list) : (Regalloc.loc * vopd) list =
   let rec go acc pending =
     match pending with
     | [] -> List.rev acc
@@ -198,21 +198,36 @@ let sequentialize em (copies : (Regalloc.loc * vopd) list) : vinst list =
           pending
       in
       match free with
-      | _ :: _ -> go (List.rev_append (List.map note_copy free) acc) blocked
+      | _ :: _ -> go (List.rev_append free acc) blocked
       | [] ->
         (* pure cycle: every pending destination is read by someone *)
         let d0, s0 = List.hd blocked in
-        let t = Regalloc.Phys (scratch em reload_scratches) in
+        let t = temp () in
         let rest =
           List.map
             (fun (d, s) -> (d, if reads_loc d0 s then Vloc t else s))
             (List.tl blocked)
         in
-        go (note_copy (t, Vloc d0) :: acc) ((d0, s0) :: rest))
+        go ((t, Vloc d0) :: acc) ((d0, s0) :: rest))
   in
   go []
     (List.filter
        (fun (d, s) -> match s with Vloc l -> l <> d | _ -> true)
+       copies)
+
+(* Emitter wrapper: copies into spill slots count as spill stores,
+   copies out of slots as reloads; cycles break through the reserved
+   scratch above the reload scratches. *)
+let sequentialize em (copies : (Regalloc.loc * vopd) list) : vinst list =
+  List.map
+    (fun (d, s) ->
+      if loc_is_slot d then em.em_stores <- em.em_stores + 1;
+      (match s with
+      | Vloc l when loc_is_slot l -> em.em_loads <- em.em_loads + 1
+      | _ -> ());
+      V_copy (d, s))
+    (sequentialize_copies
+       ~temp:(fun () -> Regalloc.Phys (scratch em reload_scratches))
        copies)
 
 let lower_block em (by_label : (label, block) Hashtbl.t) (b : block) : vblock =
@@ -260,6 +275,41 @@ let lower_func ~(ra : Regalloc.result) ~(layout : Smem.layout) (f : func) :
     vf_frame_bytes = ra.Regalloc.ra_frame_bytes;
     vf_spill_loads = em.em_loads;
     vf_spill_stores = em.em_stores }
+
+(* ---------- stream statistics ------------------------------------------ *)
+
+(* Coarse instruction mix of a lowered function — what `ozo vm` tabulates
+   alongside the resource numbers. *)
+type vstats = {
+  vs_ops : int;     (* real operations (V_op) *)
+  vs_moves : int;   (* phi-lowered parallel-copy moves *)
+  vs_reloads : int; (* frame reloads *)
+  vs_spills : int;  (* frame spill stores *)
+  vs_blocks : int;
+  vs_edges : int;   (* CFG edges carrying a nonempty copy sequence *)
+}
+
+let func_stats (vf : vfunc) : vstats =
+  let ops = ref 0 and moves = ref 0 and reloads = ref 0 and spills = ref 0 in
+  let edges = ref 0 in
+  let count = function
+    | V_op _ -> incr ops
+    | V_copy _ -> incr moves
+    | V_reload _ -> incr reloads
+    | V_spill _ -> incr spills
+  in
+  List.iter
+    (fun vb ->
+      List.iter count vb.vb_insts;
+      List.iter
+        (fun (_, copies) ->
+          if copies <> [] then incr edges;
+          List.iter count copies)
+        vb.vb_term.vt_edges)
+    vf.vf_blocks;
+  { vs_ops = !ops; vs_moves = !moves; vs_reloads = !reloads;
+    vs_spills = !spills; vs_blocks = List.length vf.vf_blocks;
+    vs_edges = !edges }
 
 (* ---------- printing --------------------------------------------------- *)
 

@@ -80,6 +80,7 @@ type compiled = {
   c_mode : Spmdize.exec_mode;
   c_machine : Machine.t;
   c_lower : Backend.summary;  (* late-lowering result: VM code + resources *)
+  c_exec : Engine.exec; (* executor the device will run: IR or threaded code *)
   c_regs : int;  (* per-thread registers after allocation, incl. callee chain *)
   c_smem : int;  (* static shared memory bytes per team (aligned layout) *)
   c_remarks : Remarks.t list; (* optimization remarks from this compile *)
@@ -123,7 +124,10 @@ let link_stage (b : build) (k : Ast.kernel) : modul =
      separates rows in stats;
    - the machine descriptor (register budget, granularities, residency
      ceilings — all of it drives regalloc/SMem/occupancy);
-   - the cost-model parameters the metrics are priced under. *)
+   - the cost-model parameters the metrics are priced under;
+   - the execution path ([ir] or [vm]): the cached artifact records which
+     executor it was compiled for, so a threaded-form artifact is never
+     returned to an interpreter request (and vice versa). *)
 module Compile_key = struct
   type t = { ck_hex : string }
 
@@ -131,8 +135,8 @@ module Compile_key = struct
   let equal a b = String.equal a.ck_hex b.ck_hex
   let pp ppf k = Fmt.string ppf k.ck_hex
 
-  let of_linked ?(cost = Cost.default) ~(machine : Machine.t) (b : build)
-      (linked : modul) : t =
+  let of_linked ?(cost = Cost.default) ?(exec = Engine.Exec_ir)
+      ~(machine : Machine.t) (b : build) (linked : modul) : t =
     let buf = Buffer.create 8192 in
     let part s =
       Buffer.add_string buf (string_of_int (String.length s));
@@ -145,13 +149,15 @@ module Compile_key = struct
     part (Marshal.to_string (b.b_abi, b.b_rt) []);
     part (Marshal.to_string machine []);
     part (Marshal.to_string cost []);
+    part (Engine.exec_name exec);
     { ck_hex = Digest.to_hex (Digest.string (Buffer.contents buf)) }
 end
 
 (* Stage 2: optimization pipeline + late lowering over a linked module.
    This is the expensive, cacheable part; [compile] is stage 1 + stage 2. *)
-let compile_linked ?(trace = Trace.null) ?(machine = Machine.vgpu) (b : build)
-    ~(kernel : Ast.kernel) (linked : modul) : compiled =
+let compile_linked ?(trace = Trace.null) ?(machine = Machine.vgpu)
+    ?(exec = Engine.Exec_ir) (b : build) ~(kernel : Ast.kernel)
+    (linked : modul) : compiled =
   let k = kernel in
   Trace.with_span trace ~cat:"compile"
     ~args:[ ("build", Trace.Str b.b_label) ]
@@ -190,13 +196,13 @@ let compile_linked ?(trace = Trace.null) ?(machine = Machine.vgpu) (b : build)
                    (Fmt.list ~sep:Fmt.semi Ozo_ir.Verifier.pp_violation) vs)));
       { c_build = b; c_module = lower.Backend.lw_module;
         c_kernel = k.Ast.k_name; c_mode = mode; c_machine = machine;
-        c_lower = lower;
+        c_lower = lower; c_exec = exec;
         c_regs = lower.Backend.lw_kernel_regs;
         c_smem = lower.Backend.lw_layout.Ozo_backend.Smem.ly_total;
         c_remarks = Remarks.items sink })
 
-let compile ?trace ?machine (b : build) (k : Ast.kernel) : compiled =
-  compile_linked ?trace ?machine b ~kernel:k (link_stage b k)
+let compile ?trace ?machine ?exec (b : build) (k : Ast.kernel) : compiled =
+  compile_linked ?trace ?machine ?exec b ~kernel:k (link_stage b k)
 
 (* hardware threads per team for a user-visible thread count: generic mode
    hosts the main thread in one extra warp *)
@@ -222,7 +228,8 @@ let spill_count (c : compiled) =
 (* Create a device for a compiled kernel (callers allocate buffers on it
    before launching). [~sanitize] arms the SIMT sanitizer's shadow state. *)
 let device ?(params = Cost.default) ?(sanitize = false) (c : compiled) =
-  Device.create ~params ~sanitize c.c_module
+  Device.create ~params ~sanitize ~exec:c.c_exec
+    ~plan:c.c_lower.Backend.lw_plan c.c_module
 
 let launch ?(opts = Device.Launch_opts.default) (c : compiled) (dev : Device.t)
     ~teams ~threads (args : Engine.arg list) : (metrics, Device.error) result =
@@ -267,14 +274,16 @@ module Request = struct
     rq_teams : int;
     rq_threads : int;             (* user-visible threads; hw sizing is per-mode *)
     rq_sanitize : bool;           (* arm the SIMT sanitizer at device creation *)
+    rq_exec : Engine.exec;        (* executor: IR interpreter or threaded code *)
     rq_opts : Device.Launch_opts.t;
   }
 
   let make ?(proxy = "-") ?(machine = Machine.vgpu) ?(sanitize = false)
-      ?(opts = Device.Launch_opts.default) ~build ~teams ~threads () : t =
+      ?(exec = Engine.Exec_ir) ?(opts = Device.Launch_opts.default) ~build
+      ~teams ~threads () : t =
     { rq_proxy = proxy; rq_build = build; rq_machine = machine;
       rq_teams = teams; rq_threads = threads; rq_sanitize = sanitize;
-      rq_opts = opts }
+      rq_exec = exec; rq_opts = opts }
 
   (* the compile trace is the launch trace: one ctx spans the request *)
   let trace (r : t) = r.rq_opts.Device.Launch_opts.trace
@@ -284,7 +293,7 @@ end
    this with a cache-backed equivalent of the same signature. *)
 let compile_request (r : Request.t) (k : Ast.kernel) : compiled =
   compile ~trace:(Request.trace r) ~machine:r.Request.rq_machine
-    r.Request.rq_build k
+    ~exec:r.Request.rq_exec r.Request.rq_build k
 
 (* Stage the request's compile through the explicit (link, key, finish)
    steps — what a content-addressed cache needs: the key is derived from
@@ -293,12 +302,13 @@ let keyed_compile_request (r : Request.t) (k : Ast.kernel) :
     Compile_key.t * (unit -> compiled) =
   let linked = link_stage r.Request.rq_build k in
   let key =
-    Compile_key.of_linked ~machine:r.Request.rq_machine r.Request.rq_build linked
+    Compile_key.of_linked ~machine:r.Request.rq_machine ~exec:r.Request.rq_exec
+      r.Request.rq_build linked
   in
   ( key,
     fun () ->
       compile_linked ~trace:(Request.trace r) ~machine:r.Request.rq_machine
-        r.Request.rq_build ~kernel:k linked )
+        ~exec:r.Request.rq_exec r.Request.rq_build ~kernel:k linked )
 
 let device_request (r : Request.t) (c : compiled) : Device.t =
   device ~sanitize:r.Request.rq_sanitize c

@@ -44,6 +44,10 @@ type measurement = {
   r_retries : int;       (* supervisor retries consumed (0 when unsupervised) *)
   r_deadline_hit : bool; (* some attempt tripped the wall-clock watchdog *)
   r_breaker : string;    (* circuit-breaker state: closed | open | skipped *)
+  r_exec : string;
+  (* executor the row ran on: "ir" (interpreter) or "vm" (threaded
+     code). Like [r_domains], results are bit-identical on both paths;
+     this records only how the row ran *)
   r_domains : int;
   (* effective OCaml domains the launch sharded teams over: the request
      capped at the team count, 1 when no launch happened. Results are
@@ -118,17 +122,17 @@ let dead_measurement ?(fallbacks = []) ~proxy ~build fault : measurement =
     r_check = Error (Fault.to_line fault); r_flops = 0.0;
     r_fault = Some fault; r_fallbacks = fallbacks; r_phase_us = [];
     r_hotspots = []; r_cache = None;
-    r_retries = 0; r_deadline_hit = false; r_breaker = "closed"; r_domains = 1;
-    r_cache_disp = "-"; r_latency_us = 0.0 }
+    r_retries = 0; r_deadline_hit = false; r_breaker = "closed"; r_exec = "ir";
+    r_domains = 1; r_cache_disp = "-"; r_latency_us = 0.0 }
 
 (* The request for one standard harness row: the proxy's launch geometry
    under one build, with the measurement options folded into
    [Launch_opts.t]. Everything [measure] used to take as optional
    arguments is a plain field here. *)
 let request_for ?(check_assumes = false) ?(sanitize = false) ?inject ?watchdog
-    ?(trace = Trace.null) ?(profile = false) ?(domains = 1) (p : Proxy.t)
+    ?(trace = Trace.null) ?(profile = false) ?(domains = 1) ?exec (p : Proxy.t)
     (b : C.build) : C.Request.t =
-  C.Request.make ~proxy:p.Proxy.p_name ~sanitize ~build:b
+  C.Request.make ~proxy:p.Proxy.p_name ~sanitize ?exec ~build:b
     ~teams:p.Proxy.p_teams ~threads:p.Proxy.p_threads
     ~opts:
       { Device.Launch_opts.default with
@@ -180,6 +184,7 @@ let measure_request ?(compiler = C.compile_request) (p : Proxy.t)
             r_fallbacks = []; r_phase_us = phases_of trace;
             r_hotspots = m.C.m_hotspots; r_cache = cache_of trace;
             r_retries = 0; r_deadline_hit = false; r_breaker = "closed";
+            r_exec = Ozo_vgpu.Engine.exec_name req.Rq.rq_exec;
             r_domains = eff_domains; r_cache_disp = "-"; r_latency_us = 0.0 }
         in
         (match check with
@@ -195,7 +200,8 @@ let measure_request ?(compiler = C.compile_request) (p : Proxy.t)
      check result so campaign tables stay rectangular *)
   let dead_row fault fallbacks =
     { (dead_measurement ~fallbacks ~proxy:p.Proxy.p_name ~build:b.C.b_label fault)
-      with r_flops = p.Proxy.p_flops }
+      with r_flops = p.Proxy.p_flops;
+           r_exec = Ozo_vgpu.Engine.exec_name req.Rq.rq_exec }
   in
   match attempt ~primary:true b.C.b_pipe with
   | Ok m -> m
@@ -218,10 +224,10 @@ let measure_request ?(compiler = C.compile_request) (p : Proxy.t)
 
 (* legacy shim: the optional-argument surface, now a [Request.t] builder *)
 let measure ?check_assumes ?sanitize ?inject ?watchdog ?trace ?profile ?domains
-    ?compiler (p : Proxy.t) (b : C.build) : measurement =
+    ?exec ?compiler (p : Proxy.t) (b : C.build) : measurement =
   measure_request ?compiler p
     (request_for ?check_assumes ?sanitize ?inject ?watchdog ?trace ?profile
-       ?domains p b)
+       ?domains ?exec p b)
 
 (* Figure 10 (a-d) + the TestSNAP column: relative performance of every
    build, normalized to Old RT (Nightly) — the paper's baseline. *)
@@ -232,10 +238,10 @@ let fig10 (p : Proxy.t) : measurement list = List.map (measure p) (builds_for p)
    attempt, so fallbacks re-validate clean. [domains] shards each row's
    team loop over OCaml domains — results are bit-identical to
    [domains:1], only wall-clock changes *)
-let campaign ?check_assumes ?sanitize ?inject ?trace ?profile ?domains
+let campaign ?check_assumes ?sanitize ?inject ?trace ?profile ?domains ?exec
     (p : Proxy.t) : measurement list =
   List.map
-    (measure ?check_assumes ?sanitize ?inject ?trace ?profile ?domains p)
+    (measure ?check_assumes ?sanitize ?inject ?trace ?profile ?domains ?exec p)
     (builds_for p)
 
 (* Figure 11: kernel time / registers / shared memory per build. Same

@@ -176,8 +176,8 @@ let csv_columns =
   [ "proxy"; "build"; "cycles"; "regs"; "smem"; "occupancy"; "spills";
     "warp_insts"; "barriers"; "check"; "fault"; "fallback" ]
   @ List.map (fun n -> n ^ "_us") phase_names
-  @ [ "cache_hits"; "cache_misses"; "retries"; "deadline"; "breaker"; "domains";
-      "cache"; "latency_us" ]
+  @ [ "cache_hits"; "cache_misses"; "retries"; "deadline"; "breaker"; "exec";
+      "domains"; "cache"; "latency_us" ]
 
 let pp_csv_header ppf () = Fmt.pf ppf "%s@." (String.concat "," csv_columns)
 
@@ -193,9 +193,9 @@ let pp_csv ppf m =
     | Some f -> Ozo_vgpu.Fault.kind_name f.Ozo_vgpu.Fault.f_kind)
     (match m.r_fallbacks with [] -> "-" | fbs -> String.concat ">" fbs);
   List.iter (fun n -> Fmt.pf ppf ",%.1f" (phase_us m n)) phase_names;
-  Fmt.pf ppf ",%d,%d,%d,%s,%s,%d,%s,%.1f@."
+  Fmt.pf ppf ",%d,%d,%d,%s,%s,%s,%d,%s,%.1f@."
     (match m.r_cache with Some (h, _, _) -> h | None -> 0)
     (match m.r_cache with Some (_, mi, _) -> mi | None -> 0)
     m.r_retries
     (if m.r_deadline_hit then "hit" else "-")
-    m.r_breaker m.r_domains m.r_cache_disp m.r_latency_us
+    m.r_breaker m.r_exec m.r_domains m.r_cache_disp m.r_latency_us

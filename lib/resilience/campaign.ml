@@ -31,6 +31,7 @@ type opts = {
   co_resume : bool;
   co_abort_after : int option; (* crash after N fresh rows (test hook) *)
   co_domains : int; (* OCaml domains per launch; results identical at any value *)
+  co_exec : Ozo_vgpu.Engine.exec; (* executor; results identical on both *)
   co_sup : Supervisor.opts;
 }
 
@@ -38,7 +39,7 @@ let default =
   { co_proxies = []; co_small = false; co_repeat = 1; co_check_assumes = false;
     co_sanitize = false; co_inject = None; co_journal = None;
     co_resume = false; co_abort_after = None; co_domains = 1;
-    co_sup = Supervisor.default }
+    co_exec = Ozo_vgpu.Engine.Exec_ir; co_sup = Supervisor.default }
 
 exception Aborted of string
 
@@ -46,13 +47,14 @@ exception Aborted of string
    options must be refused, not silently mixed *)
 let fingerprint (o : opts) : string =
   Printf.sprintf
-    "proxies=%s;small=%b;repeat=%d;inject=%s;sanitize=%b;assumes=%b;domains=%d"
+    "proxies=%s;small=%b;repeat=%d;inject=%s;sanitize=%b;assumes=%b;domains=%d;exec=%s"
     (String.concat "," o.co_proxies)
     o.co_small o.co_repeat
     (match o.co_inject with
     | Some s -> Faultinject.spec_to_string s ^ "#" ^ string_of_int s.Faultinject.s_seed
     | None -> "-")
     o.co_sanitize o.co_check_assumes o.co_domains
+    (Ozo_vgpu.Engine.exec_name o.co_exec)
 
 let resolve (o : opts) name : Proxy.t =
   let pool =
@@ -78,7 +80,7 @@ let rows_of ?(trace = Trace.null) (o : opts) : (Proxy.t * Request.t) list =
               ( p,
                 E.request_for ~check_assumes:o.co_check_assumes
                   ~sanitize:o.co_sanitize ?inject:o.co_inject ~trace
-                  ~domains:o.co_domains p b ))
+                  ~domains:o.co_domains ~exec:o.co_exec p b ))
             (E.builds_for p))
         (List.init (max 1 o.co_repeat) Fun.id))
     o.co_proxies

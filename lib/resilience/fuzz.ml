@@ -3,12 +3,16 @@
    and demand bit-identical results.
 
    Variants per seed:
-     - "O0"          : unoptimized pipeline — the reference semantics;
+     - "O0"          : unoptimized pipeline — the reference semantics —
+                       executed by the IR interpreter;
      - "full"        : the full co-designed pipeline (and the planted
                        miscompile pass, when one is armed);
      - "full+spill8" : full pipeline lowered against a machine with an
                        8-register budget, forcing the spilled register-
-                       allocation path through the backend.
+                       allocation path through the backend;
+     - "full-vm"     : the full pipeline executed by the threaded-code
+                       engine path, so a miscompile in the rename-plan
+                       lowering gets a shrunk repro for free.
 
    A failing case is classified by a *signature* — per-variant outcome
    class ("ok" / "mismatch" / "fault:<kind>" / "compile-error" /
@@ -43,6 +47,7 @@ type variant = {
   v_pipe : Pipeline.config;
   v_machine : Machine.t;
   v_plant : (modul -> modul) option;
+  v_exec : Engine.exec;
 }
 
 (* Generated kernels execute a few thousand issues; a tight budget turns
@@ -54,11 +59,14 @@ let fuzz_budget = 200_000
 
 let variants ?plant () =
   [ { v_name = "O0"; v_pipe = Pipeline.o0; v_machine = Machine.vgpu;
-      v_plant = None };
+      v_plant = None; v_exec = Engine.Exec_ir };
     { v_name = "full"; v_pipe = Pipeline.full; v_machine = Machine.vgpu;
-      v_plant = plant };
+      v_plant = plant; v_exec = Engine.Exec_ir };
     { v_name = "full+spill8"; v_pipe = Pipeline.full;
-      v_machine = Machine.with_reg_budget 8 Machine.vgpu; v_plant = None } ]
+      v_machine = Machine.with_reg_budget 8 Machine.vgpu; v_plant = None;
+      v_exec = Engine.Exec_ir };
+    { v_name = "full-vm"; v_pipe = Pipeline.full; v_machine = Machine.vgpu;
+      v_plant = plant; v_exec = Engine.Exec_vm } ]
 
 (* the planted miscompile used by tests and `ozo fuzz --plant flip-add`:
    the first Add in the kernel becomes a Sub after optimization *)
@@ -93,7 +101,7 @@ let plant_of_name = function
    the variant's pipeline under its name, and the launch shape/budget ride
    in the request instead of loose arguments *)
 let request_of (v : variant) : Request.t =
-  Request.make ~proxy:"fuzz" ~machine:v.v_machine
+  Request.make ~proxy:"fuzz" ~machine:v.v_machine ~exec:v.v_exec
     ~build:{ C.cuda with C.b_label = v.v_name; b_pipe = v.v_pipe }
     ~teams:Irgen.teams ~threads:Irgen.threads
     ~opts:
@@ -108,12 +116,14 @@ let exec (m : modul) (v : variant) : outcome =
     match Verifier.check opt with
     | Error _ -> Fail "verify-error"
     | Ok () -> (
-      let low =
-        (Backend.run ~machine:rq.Request.rq_machine opt
-           ~kernel:Irgen.kernel_name)
-          .Backend.lw_module
+      let lower =
+        Backend.run ~machine:rq.Request.rq_machine opt
+          ~kernel:Irgen.kernel_name
       in
-      let dev = Device.create low in
+      let low = lower.Backend.lw_module in
+      let dev =
+        Device.create ~exec:rq.Request.rq_exec ~plan:lower.Backend.lw_plan low
+      in
       let n = Irgen.lanes in
       let out_i = Device.alloc dev (n * 8) in
       let out_f = Device.alloc dev (n * 8) in

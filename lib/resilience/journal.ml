@@ -143,6 +143,7 @@ let enc_measurement b (m : E.measurement) =
       f "retries" (fun b -> int_ b m.E.r_retries);
       f "deadline" (fun b -> bool_ b m.E.r_deadline_hit);
       f "breaker" (fun b -> esc b m.E.r_breaker);
+      f "exec" (fun b -> esc b m.E.r_exec);
       f "domains" (fun b -> int_ b m.E.r_domains);
       f "cachedisp" (fun b -> esc b m.E.r_cache_disp);
       f "latency_us" (fun b -> num b m.E.r_latency_us))
@@ -285,6 +286,10 @@ let measurement_of_json (j : Json.t) : (E.measurement, string) result =
   let* retries = dec_int "retries" j in
   let* deadline = dec_bool "deadline" j in
   let* breaker = dec_str "breaker" j in
+  (* absent in journals written before the threaded-code executor *)
+  let* exec =
+    match mem "exec" j with None -> Ok "ir" | Some _ -> dec_str "exec" j
+  in
   (* absent in journals written before the domain-parallel engine *)
   let* domains =
     match mem "domains" j with None -> Ok 1 | Some _ -> dec_int "domains" j
@@ -304,7 +309,8 @@ let measurement_of_json (j : Json.t) : (E.measurement, string) result =
       r_flops = flops; r_fault = fault; r_fallbacks = fallbacks;
       r_phase_us = phase_us; r_hotspots = hotspots; r_cache = cache;
       r_retries = retries; r_deadline_hit = deadline; r_breaker = breaker;
-      r_domains = domains; r_cache_disp = cache_disp; r_latency_us = latency_us }
+      r_exec = exec; r_domains = domains; r_cache_disp = cache_disp;
+      r_latency_us = latency_us }
 
 (* ---- the journal file ------------------------------------------------- *)
 

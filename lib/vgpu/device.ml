@@ -12,6 +12,8 @@ type t = {
   d_shared_globals : (global * int) list;
   d_static_shared : int; (* bytes of static shared memory per team *)
   d_san : Sanitizer.t option; (* SIMT sanitizer, when created with ~sanitize *)
+  d_exec : Engine.exec; (* executor: IR interpreter or threaded code *)
+  d_plan : (string * Engine.reg_plan) list; (* rename plans for Exec_vm *)
   mutable d_last : Engine.result option;
 }
 
@@ -23,7 +25,8 @@ type error = Fault.t
 
 let pp_error = Fault.pp
 
-let create ?(params = Cost.default) ?(sanitize = false) (m : modul) : t =
+let create ?(params = Cost.default) ?(sanitize = false)
+    ?(exec = Engine.Exec_ir) ?(plan = []) (m : modul) : t =
   let mem = Memory.create ~threads_per_team:params.max_threads_per_sm in
   let san = if sanitize then Some (Sanitizer.create mem) else None in
   (match san with Some s -> Memory.set_watcher mem (Sanitizer.watcher s) | None -> ());
@@ -31,7 +34,7 @@ let create ?(params = Cost.default) ?(sanitize = false) (m : modul) : t =
   mem.Memory.shared_size <- shared_size;
   { d_module = m; d_params = params; d_mem = mem; d_gaddr = gaddr;
     d_shared_globals = shared_globals; d_static_shared = shared_size; d_san = san;
-    d_last = None }
+    d_exec = exec; d_plan = plan; d_last = None }
 
 let sanitized t = t.d_san <> None
 
@@ -134,7 +137,7 @@ let launch ?(opts = Launch_opts.default) t ~teams ~threads args :
     Engine.run ~budget:opts.Launch_opts.budget ~params:t.d_params ?san:t.d_san
       ?inject:opts.Launch_opts.inject ~trace ~profile:opts.Launch_opts.profile
       ?watchdog:opts.Launch_opts.watchdog ~domains:opts.Launch_opts.domains
-      t.d_module ~mem:t.d_mem ~gaddr:t.d_gaddr
+      ~exec:t.d_exec ~plan:t.d_plan t.d_module ~mem:t.d_mem ~gaddr:t.d_gaddr
       ~shared_globals:t.d_shared_globals l
   with
   | r ->

@@ -60,6 +60,30 @@ type launch = {
   l_debug : bool; (* print Debug_print instructions as they execute *)
 }
 
+(* --- execution paths --------------------------------------------------- *)
+
+(* Which executor drives the per-strand inner loop. [Exec_ir] interprets
+   the pre-decoded [dinst] stream through one big dispatch match.
+   [Exec_vm] runs the threaded-code form: per-block arrays of
+   pre-specialized closures compiled from the same decoded stream, with
+   virtual registers renamed to the backend's dense physical indices.
+   Both paths share decoding, counters, faults, sanitizer hooks, watchdog
+   polling, scheduling and per-domain state; results are bit-identical
+   (the differential suite pins this). *)
+type exec = Exec_ir | Exec_vm
+
+let exec_name = function Exec_ir -> "ir" | Exec_vm -> "vm"
+let exec_of_name = function "ir" -> Some Exec_ir | "vm" -> Some Exec_vm | _ -> None
+
+(* Per-function register-rename plan derived from the backend's
+   linear-scan allocation: [rp_map.(vreg)] is the physical index the
+   engine's flat register file uses under [Exec_vm], and [rp_nregs] sizes
+   the frame (typically far below [f_next_reg], so frames shrink).
+   Only spill-free functions carry a plan; a function the register budget
+   forced to spill executes its (already spill-rewritten) stream with
+   virtual indices, exactly as under [Exec_ir]. *)
+type reg_plan = { rp_map : int array; rp_nregs : int }
+
 (* --- growable strand vector ------------------------------------------- *)
 
 (* Strand bookkeeping used to be a [strand list] with quadratic
@@ -186,13 +210,31 @@ type dterm =
   | T_switch of iop * (int * label) array * label
   | T_unreach
 
-(* --- per-function static caches --------------------------------------- *)
+(* --- per-function static caches & dynamic structures ------------------- *)
+
+(* [cblock] carries the threaded code ([cb_code], an [engine]-consuming
+   closure per instruction), so the whole static/dynamic structure chain
+   down to [engine] is one mutually recursive group. *)
+
+type barrier_site = { bs_fn : string; bs_blk : label; bs_idx : int; bs_aligned : bool }
+
+type status = Run | At_barrier of barrier_site | Dead
+
+(* pseudo-label for joins that reconverge at function return: divergent
+   paths that all return from the current function merge at the call's
+   continuation, as real SIMT hardware does *)
+let ret_marker = "<ret>"
 
 type cblock = {
   cb_insts : dinst array;
+  (* threaded code: one pre-specialized closure per instruction of
+     [cb_insts], built only under [Exec_vm] ([[||]] otherwise). The VM
+     inner loop indexes this array directly instead of dispatching on the
+     [dinst] constructor. *)
+  cb_code : code array;
   cb_term : dterm;
   cb_nphis : int;
-  cb_first_phi : reg; (* first phi's register, for fault messages *)
+  cb_first_phi : reg; (* first phi's *original* register, for fault messages *)
   cb_edges : (label, dphi array) Hashtbl.t; (* from-label -> parallel copy *)
   cb_ti : int array; (* phi parallel-copy staging, one slot per phi *)
   cb_tf : float array;
@@ -205,18 +247,19 @@ type cblock = {
   mutable cb_cyc : int;
 }
 
-type fn_info = {
-  fi_func : func;
+and code = engine -> team_ctx -> strand -> slot -> [ `Continue | `Suspend ]
+
+and fn_info = {
+  fi_func : func; (* under [Exec_vm] with a plan: the *renamed* function *)
+  fi_nregs : int; (* register-file height: plan's [rp_nregs] or [f_next_reg] *)
   fi_blocks : (label, cblock) Hashtbl.t;
   fi_reconv : (label, label option) Hashtbl.t; (* immediate post-dominator *)
 }
 
-(* --- dynamic structures ------------------------------------------------ *)
-
 (* Per-frame registers live in two flat register-major arrays indexed
    [(reg * warp_size) + lane]: one bounds-checked load instead of two
    dereferences per access, and a broadcast write is a contiguous run. *)
-type frame = {
+and frame = {
   fr_info : fn_info;
   fr_ws : int; (* warp width = lane stride *)
   fr_ints : int array;
@@ -225,18 +268,14 @@ type frame = {
   fr_id : int;
 }
 
-type slot = {
+and slot = {
   sl_frame : frame;
   mutable sl_blk : label;
   mutable sl_idx : int;
   sl_ret_dst : (reg * bool) option; (* destination in the caller, is_float *)
 }
 
-let copy_slot s =
-  { sl_frame = s.sl_frame; sl_blk = s.sl_blk; sl_idx = s.sl_idx;
-    sl_ret_dst = s.sl_ret_dst }
-
-type join = {
+and join = {
   j_id : int;
   j_frame : int;
   j_rpc : label;
@@ -247,16 +286,7 @@ type join = {
   j_outer : join list;
 }
 
-(* pseudo-label for joins that reconverge at function return: divergent
-   paths that all return from the current function merge at the call's
-   continuation, as real SIMT hardware does *)
-let ret_marker = "<ret>"
-
-type barrier_site = { bs_fn : string; bs_blk : label; bs_idx : int; bs_aligned : bool }
-
-type status = Run | At_barrier of barrier_site | Dead
-
-type strand = {
+and strand = {
   st_seq : int;
   st_warp : int;
   st_active : int; (* popcount of st_mask; masks are fixed at creation *)
@@ -266,7 +296,7 @@ type strand = {
   mutable st_status : status;
 }
 
-type team_ctx = {
+and team_ctx = {
   tc_team : int;
   tc_threads : int;
   tc_warp_size : int;
@@ -278,11 +308,15 @@ type team_ctx = {
   tc_counters : Counters.t;
 }
 
-type engine = {
+and engine = {
   e_module : modul;
   e_params : Cost.params;
   e_mem : Memory.t;
   e_launch : launch;
+  e_exec : exec; (* which inner-loop executor drives strands *)
+  (* per-function register-rename plans (built once at [run], shared
+     read-only across domain engines); consulted only under [Exec_vm] *)
+  e_plan : (string, reg_plan) Hashtbl.t;
   e_fn_infos : (string, fn_info) Hashtbl.t;
   e_gaddr : (string, int) Hashtbl.t;      (* global name -> encoded address *)
   e_ftable : func array;                  (* function pointer table *)
@@ -331,6 +365,10 @@ type engine = {
   e_abort : int Atomic.t option;
   mutable e_cur_team : int;
 }
+
+let copy_slot s =
+  { sl_frame = s.sl_frame; sl_blk = s.sl_blk; sl_idx = s.sl_idx;
+    sl_ret_dst = s.sl_ret_dst }
 
 let is_float_typ = function F64 -> true | I1 | I32 | I64 | Ptr _ -> false
 
@@ -436,6 +474,18 @@ let funk_of : unop -> funk = function
   | Fcos -> KFcos
   | Not | Sitofp | Fptosi | Zext32to64 | Trunc64to32 -> assert false
 
+(* Under [Exec_vm], the frame of a planned function is indexed by renamed
+   physical registers, so anything that binds values into such a frame
+   from the *original* IR (call-argument binding, kernel-argument
+   binding) must rename the target register the same way. *)
+let plan_reg e fname r =
+  match e.e_exec with
+  | Exec_ir -> r
+  | Exec_vm -> (
+    match Hashtbl.find_opt e.e_plan fname with
+    | Some p -> p.rp_map.(r)
+    | None -> r)
+
 (* Statically validate a direct call. A failure must surface exactly when
    (and only when) the call executes, with the message the dynamic lookup
    would have produced — hence the deferred [DC_fail] thunks. *)
@@ -461,6 +511,7 @@ let decode_call e dst callee args =
       let dc_args =
         List.map2
           (fun (preg, pty) op ->
+            let preg = plan_reg e callee preg in
             if is_float_typ pty then DA_f (preg, decode_fop e op)
             else DA_i (preg, decode_iop e op))
           cf.f_params args
@@ -531,7 +582,11 @@ let decode_term e f : terminator -> dterm = function
         default )
   | Unreachable -> T_unreach
 
-let decode_phis e b =
+(* [orig_regs] are the block's phi destination registers *before* any
+   register renaming (positionally aligned with [b.b_phis]): fault
+   messages must name the registers the programmer's IR uses, so the VM
+   path reports byte-identically to the IR path. *)
+let decode_phis e ~orig_regs b =
   let phis = b.b_phis in
   let edges = Hashtbl.create (max 4 (List.length phis)) in
   (* union of incoming labels across all phis of the block *)
@@ -546,12 +601,12 @@ let decode_phis e b =
     (fun lbl _ ->
       let copy =
         Array.of_list
-          (List.map
-             (fun p ->
+          (List.mapi
+             (fun i p ->
                match List.assoc_opt lbl p.phi_incoming with
                | None ->
                  PE_bad
-                   (Printf.sprintf "phi %%%d in %s lacks incoming for %s" p.phi_reg
+                   (Printf.sprintf "phi %%%d in %s lacks incoming for %s" orig_regs.(i)
                       b.b_label lbl)
                | Some op ->
                  if is_float_typ p.phi_typ then PE_f (p.phi_reg, decode_fop e op)
@@ -562,38 +617,54 @@ let decode_phis e b =
     (Hashtbl.copy edges);
   edges
 
-let make_fn_info e f =
-  let blocks = Hashtbl.create 16 in
-  List.iter
-    (fun b ->
-      let nphis = List.length b.b_phis in
-      Hashtbl.replace blocks b.b_label
-        { cb_insts = Array.of_list (List.map (decode_inst e) b.b_insts);
-          cb_term = decode_term e f b.b_term;
-          cb_nphis = nphis;
-          cb_first_phi = (match b.b_phis with p :: _ -> p.phi_reg | [] -> 0);
-          cb_edges = decode_phis e b;
-          cb_ti = Array.make nphis 0;
-          cb_tf = Array.make nphis 0.0;
-          cb_hits = 0; cb_wi = 0; cb_cyc = 0 })
-    f.f_blocks;
-  let cfg = Cfg.of_func f in
-  let pdom = Dominance.post_dominators cfg in
-  let reconv = Hashtbl.create 16 in
-  List.iter
-    (fun b ->
-      Hashtbl.replace reconv b.b_label (Dominance.reconvergence_point pdom b.b_label))
-    f.f_blocks;
-  { fi_func = f; fi_blocks = blocks; fi_reconv = reconv }
+(* --- register renaming (Exec_vm) --------------------------------------- *)
 
-let fn_info e name =
-  match Hashtbl.find_opt e.e_fn_infos name with
-  | Some fi -> fi
-  | None ->
-    let f = find_func_exn e.e_module name in
-    let fi = make_fn_info e f in
-    Hashtbl.replace e.e_fn_infos name fi;
-    fi
+(* Rewrite every register of [f] through [map] (total over
+   [0, f_next_reg)). The renamed function is what gets decoded under
+   [Exec_vm], so every downstream consumer — operand evaluation, phi
+   staging, call-argument binding, return deposit — works on dense
+   physical indices with no per-access indirection and no further
+   changes. Renaming is sound against the engine's evaluation order
+   because the allocator only merges registers whose live ranges are
+   disjoint, and every per-lane loop reads its operands before writing
+   its destination. *)
+let remap_inst_def m i =
+  match i with
+  | Binop (r, op, a, b) -> Binop (m r, op, a, b)
+  | Unop (r, op, a) -> Unop (m r, op, a)
+  | Icmp (r, op, a, b) -> Icmp (m r, op, a, b)
+  | Fcmp (r, op, a, b) -> Fcmp (m r, op, a, b)
+  | Select (r, ty, c, t, f) -> Select (m r, ty, c, t, f)
+  | Load (r, t, addr) -> Load (m r, t, addr)
+  | Ptradd (r, a, b) -> Ptradd (m r, a, b)
+  | Alloca (r, sz) -> Alloca (m r, sz)
+  | Intrinsic (r, intr) -> Intrinsic (m r, intr)
+  | Malloc (r, sz) -> Malloc (m r, sz)
+  | Call (d, callee, args) -> Call (Option.map m d, callee, args)
+  | Call_indirect (d, rt, callee, args) ->
+    Call_indirect (Option.map m d, rt, callee, args)
+  | Atomic (d, op, t, addr, ops) -> Atomic (Option.map m d, op, t, addr, ops)
+  | Store _ | Barrier _ | Assume _ | Trap _ | Free _ | Debug_print _ -> i
+
+let remap_func (map : int array) (f : func) : func =
+  let m r = map.(r) in
+  let mop = function Reg r -> Reg (m r) | op -> op in
+  let blocks =
+    List.map
+      (fun b ->
+        { b with
+          b_phis =
+            List.map
+              (fun p -> map_phi_operands mop { p with phi_reg = m p.phi_reg })
+              b.b_phis;
+          b_insts =
+            List.map (fun i -> remap_inst_def m (map_inst_operands mop i)) b.b_insts;
+          b_term = map_term_operands mop b.b_term })
+      f.f_blocks
+  in
+  { f with
+    f_params = List.map (fun (r, t) -> (m r, t)) f.f_params;
+    f_blocks = blocks }
 
 (* --- operand evaluation ------------------------------------------------ *)
 
@@ -731,6 +802,360 @@ let fill_addrs e fr (mask : bool array) n addr l0 =
   in
   go (l0 + 1) true
 
+(* --- threaded-code compilation (Exec_vm) -------------------------------- *)
+
+(* Shared issue prologue: instruction counters, fault-site stamp, issue
+   budget. This must stay byte-identical between the interpreter
+   ([exec_dinst]) and every compiled closure — factoring it here is what
+   lets the two executors share one observable cost/fault model. *)
+let[@inline] issue e tc (st : strand) (slot : slot) =
+  tc.tc_counters.warp_instructions <- tc.tc_counters.warp_instructions + 1;
+  tc.tc_counters.lane_instructions <- tc.tc_counters.lane_instructions + st.st_active;
+  Fault.set_site e.e_fctx ~fn:slot.sl_frame.fr_info.fi_func.f_name ~blk:slot.sl_blk
+    ~idx:slot.sl_idx;
+  Fault.set_strand e.e_fctx ~team:tc.tc_team ~warp:st.st_warp ~mask:st.st_mask;
+  e.e_budget <- e.e_budget - 1;
+  if e.e_budget <= 0 then
+    Fault.fail Fault.Budget_exhausted "instruction budget exceeded (runaway kernel?)"
+
+(* The compiled stream falls back to the interpreter for every operation
+   with nontrivial semantics (memory, control, calls, barriers, atomics,
+   faulting arithmetic, malformed operands): same code path, same
+   charges, same faults. [exec_dinst] is defined further down — forward-
+   reference it through a ref tied right after its definition. *)
+let exec_fallback :
+    (engine -> team_ctx -> strand -> slot -> dinst -> [ `Continue | `Suspend ]) ref =
+  ref (fun _ _ _ _ _ -> assert false)
+
+(* Non-faulting integer binops specialize to a small tag applied by a
+   direct call inside the per-lane loop; the interpreter pays a generic
+   closure application (caml_apply2 on this non-flambda compiler) per
+   lane. Faulting ops (division by zero) keep the interpreter's closures
+   so fault sites and messages cannot drift. *)
+type ibk =
+  | KAdd | KSub | KMul | KAnd | KOr | KXor | KShl | KAshr | KLshr | KSmin | KSmax
+
+let ibk_of : binop -> ibk option = function
+  | Add -> Some KAdd
+  | Sub -> Some KSub
+  | Mul -> Some KMul
+  | And -> Some KAnd
+  | Or -> Some KOr
+  | Xor -> Some KXor
+  | Shl -> Some KShl
+  | Ashr -> Some KAshr
+  | Lshr -> Some KLshr
+  | Smin -> Some KSmin
+  | Smax -> Some KSmax
+  | Sdiv | Srem | Udiv | Urem | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax -> None
+
+(* results bit-identical to [ibinop_fn]'s closures; min/max are spelled
+   out so the specialized path never calls the polymorphic compare *)
+let[@inline] ibk_apply k a b =
+  match k with
+  | KAdd -> a + b
+  | KSub -> a - b
+  | KMul -> a * b
+  | KAnd -> a land b
+  | KOr -> a lor b
+  | KXor -> a lxor b
+  | KShl -> a lsl (b land 62)
+  | KAshr -> a asr (b land 62)
+  | KLshr -> (a lsr (b land 62)) land max_int
+  | KSmin -> if a <= b then a else b
+  | KSmax -> if a >= b then a else b
+
+type ick = KEq | KNe | KSlt | KSle | KSgt | KSge | KUlt | KUle | KUgt | KUge
+
+let ick_of : icmp -> ick = function
+  | Eq -> KEq
+  | Ne -> KNe
+  | Slt -> KSlt
+  | Sle -> KSle
+  | Sgt -> KSgt
+  | Sge -> KSge
+  | Ult -> KUlt
+  | Ule -> KUle
+  | Ugt -> KUgt
+  | Uge -> KUge
+
+let[@inline] ick_apply k a b =
+  match k with
+  | KEq -> a = b
+  | KNe -> a <> b
+  | KSlt -> a < b
+  | KSle -> a <= b
+  | KSgt -> a > b
+  | KSge -> a >= b
+  | KUlt -> icmp_ult a b
+  | KUle -> a = b || icmp_ult a b
+  | KUgt -> icmp_ult b a
+  | KUge -> a = b || icmp_ult b a
+
+(* Compile one decoded instruction into a closure. [ir] is the (renamed)
+   IR instruction the [dinst] was decoded from — needed to recover the
+   binop/icmp kind hidden inside the interpreter's opaque closures.
+   Specialized: non-faulting int ALU, int compares, int unops,
+   int-to-float, each with register/constant operand shapes hoisted out
+   of the lane loop. Everything else runs through the interpreter. *)
+let compile_dinst (ir : inst) (di : dinst) : code =
+  let fallback e tc st slot = !exec_fallback e tc st slot di in
+  let prologue e tc st slot =
+    issue e tc st slot;
+    tc.tc_counters.cycles <- tc.tc_counters.cycles + e.e_params.c_alu
+  in
+  match di with
+  | D_ibin (r, _, a, b) -> (
+    let k =
+      match ir with
+      | Binop (_, op, _, _) -> ibk_of op
+      | Ptradd _ -> Some KAdd (* decodes to [( + )] *)
+      | _ -> None
+    in
+    match (k, a, b) with
+    | None, _, _ | _, IBad _, _ | _, _, IBad _ -> fallback
+    | Some k, IReg ra, IReg rb ->
+      fun e tc st slot ->
+        prologue e tc st slot;
+        let fr = slot.sl_frame in
+        let mask = st.st_mask in
+        let ws = fr.fr_ws in
+        let regs = fr.fr_ints in
+        let dbase = r * ws and abase = ra * ws and bbase = rb * ws in
+        for lane = 0 to Array.length mask - 1 do
+          if um mask lane then
+            regs.(dbase + lane) <- ibk_apply k regs.(abase + lane) regs.(bbase + lane)
+        done;
+        `Continue
+    | Some k, IReg ra, IConst y ->
+      fun e tc st slot ->
+        prologue e tc st slot;
+        let fr = slot.sl_frame in
+        let mask = st.st_mask in
+        let ws = fr.fr_ws in
+        let regs = fr.fr_ints in
+        let dbase = r * ws and abase = ra * ws in
+        for lane = 0 to Array.length mask - 1 do
+          if um mask lane then
+            regs.(dbase + lane) <- ibk_apply k regs.(abase + lane) y
+        done;
+        `Continue
+    | Some k, IConst x, IReg rb ->
+      fun e tc st slot ->
+        prologue e tc st slot;
+        let fr = slot.sl_frame in
+        let mask = st.st_mask in
+        let ws = fr.fr_ws in
+        let regs = fr.fr_ints in
+        let dbase = r * ws and bbase = rb * ws in
+        for lane = 0 to Array.length mask - 1 do
+          if um mask lane then
+            regs.(dbase + lane) <- ibk_apply k x regs.(bbase + lane)
+        done;
+        `Continue
+    | Some k, IConst x, IConst y ->
+      (* non-faulting, so folding at compile time matches the
+         interpreter's broadcast (and its empty-mask no-op) exactly *)
+      let v = ibk_apply k x y in
+      fun e tc st slot ->
+        prologue e tc st slot;
+        let fr = slot.sl_frame in
+        let mask = st.st_mask in
+        let regs = fr.fr_ints in
+        let dbase = r * fr.fr_ws in
+        for lane = 0 to Array.length mask - 1 do
+          if um mask lane then regs.(dbase + lane) <- v
+        done;
+        `Continue)
+  | D_icmp (r, _, a, b) -> (
+    let k = match ir with Icmp (_, op, _, _) -> Some (ick_of op) | _ -> None in
+    match (k, a, b) with
+    | None, _, _ | _, IBad _, _ | _, _, IBad _ -> fallback
+    | Some k, IReg ra, IReg rb ->
+      fun e tc st slot ->
+        prologue e tc st slot;
+        let fr = slot.sl_frame in
+        let mask = st.st_mask in
+        let ws = fr.fr_ws in
+        let regs = fr.fr_ints in
+        let dbase = r * ws and abase = ra * ws and bbase = rb * ws in
+        for lane = 0 to Array.length mask - 1 do
+          if um mask lane then
+            regs.(dbase + lane) <-
+              (if ick_apply k regs.(abase + lane) regs.(bbase + lane) then 1 else 0)
+        done;
+        `Continue
+    | Some k, IReg ra, IConst y ->
+      fun e tc st slot ->
+        prologue e tc st slot;
+        let fr = slot.sl_frame in
+        let mask = st.st_mask in
+        let ws = fr.fr_ws in
+        let regs = fr.fr_ints in
+        let dbase = r * ws and abase = ra * ws in
+        for lane = 0 to Array.length mask - 1 do
+          if um mask lane then
+            regs.(dbase + lane) <-
+              (if ick_apply k regs.(abase + lane) y then 1 else 0)
+        done;
+        `Continue
+    | Some k, IConst x, IReg rb ->
+      fun e tc st slot ->
+        prologue e tc st slot;
+        let fr = slot.sl_frame in
+        let mask = st.st_mask in
+        let ws = fr.fr_ws in
+        let regs = fr.fr_ints in
+        let dbase = r * ws and bbase = rb * ws in
+        for lane = 0 to Array.length mask - 1 do
+          if um mask lane then
+            regs.(dbase + lane) <-
+              (if ick_apply k x regs.(bbase + lane) then 1 else 0)
+        done;
+        `Continue
+    | Some k, IConst x, IConst y ->
+      let v = if ick_apply k x y then 1 else 0 in
+      fun e tc st slot ->
+        prologue e tc st slot;
+        let fr = slot.sl_frame in
+        let mask = st.st_mask in
+        let regs = fr.fr_ints in
+        let dbase = r * fr.fr_ws in
+        for lane = 0 to Array.length mask - 1 do
+          if um mask lane then regs.(dbase + lane) <- v
+        done;
+        `Continue)
+  | D_un_i (r, _, a) -> (
+    (* the two int unop kinds the decoder emits: Not and the 32-bit mask *)
+    let k =
+      match ir with
+      | Unop (_, Not, _) -> Some `Not
+      | Unop (_, (Zext32to64 | Trunc64to32), _) -> Some `Mask32
+      | _ -> None
+    in
+    match (k, a) with
+    | None, _ | _, IBad _ -> fallback
+    | Some k, IReg ra ->
+      fun e tc st slot ->
+        prologue e tc st slot;
+        let fr = slot.sl_frame in
+        let mask = st.st_mask in
+        let ws = fr.fr_ws in
+        let regs = fr.fr_ints in
+        let dbase = r * ws and abase = ra * ws in
+        (match k with
+        | `Not ->
+          for lane = 0 to Array.length mask - 1 do
+            if um mask lane then regs.(dbase + lane) <- lnot regs.(abase + lane)
+          done
+        | `Mask32 ->
+          for lane = 0 to Array.length mask - 1 do
+            if um mask lane then
+              regs.(dbase + lane) <- regs.(abase + lane) land 0xFFFFFFFF
+          done);
+        `Continue
+    | Some k, IConst x ->
+      let v = match k with `Not -> lnot x | `Mask32 -> x land 0xFFFFFFFF in
+      fun e tc st slot ->
+        prologue e tc st slot;
+        let fr = slot.sl_frame in
+        let mask = st.st_mask in
+        let regs = fr.fr_ints in
+        let dbase = r * fr.fr_ws in
+        for lane = 0 to Array.length mask - 1 do
+          if um mask lane then regs.(dbase + lane) <- v
+        done;
+        `Continue)
+  | D_i2f (r, a) -> (
+    match a with
+    | IBad _ -> fallback
+    | IReg ra ->
+      fun e tc st slot ->
+        prologue e tc st slot;
+        let fr = slot.sl_frame in
+        let mask = st.st_mask in
+        let ws = fr.fr_ws in
+        let dbase = r * ws and abase = ra * ws in
+        for lane = 0 to Array.length mask - 1 do
+          if um mask lane then
+            fr.fr_floats.(dbase + lane) <- float_of_int fr.fr_ints.(abase + lane)
+        done;
+        `Continue
+    | IConst x ->
+      let v = float_of_int x in
+      fun e tc st slot ->
+        prologue e tc st slot;
+        let fr = slot.sl_frame in
+        let mask = st.st_mask in
+        let dbase = r * fr.fr_ws in
+        for lane = 0 to Array.length mask - 1 do
+          if um mask lane then fr.fr_floats.(dbase + lane) <- v
+        done;
+        `Continue)
+  | _ -> fallback
+
+let compile_insts irs (dis : dinst array) : code array =
+  let irs = Array.of_list irs in
+  Array.init (Array.length dis) (fun i -> compile_dinst irs.(i) dis.(i))
+
+(* --- per-function decode ------------------------------------------------ *)
+
+let make_fn_info e f =
+  (* Under [Exec_vm], a backend register plan renames the function's
+     virtual registers to dense physical indices *before* decoding: the
+     decoded stream carries physical indices everywhere, the frame
+     shrinks to [rp_nregs] rows, and the threaded code below runs over
+     it. Fault messages keep the original register numbers (the
+     [~orig_regs]/[cb_first_phi] plumbing), byte-identical to [Exec_ir]. *)
+  let plan =
+    match e.e_exec with
+    | Exec_vm -> Hashtbl.find_opt e.e_plan f.f_name
+    | Exec_ir -> None
+  in
+  let df = match plan with Some p -> remap_func p.rp_map f | None -> f in
+  let nregs =
+    match plan with Some p -> max p.rp_nregs 1 | None -> max f.f_next_reg 1
+  in
+  let blocks = Hashtbl.create 16 in
+  List.iter2
+    (fun (ob : block) (b : block) ->
+      let nphis = List.length b.b_phis in
+      let insts = Array.of_list (List.map (decode_inst e) b.b_insts) in
+      Hashtbl.replace blocks b.b_label
+        { cb_insts = insts;
+          cb_code =
+            (match e.e_exec with
+            | Exec_vm -> compile_insts b.b_insts insts
+            | Exec_ir -> [||]);
+          cb_term = decode_term e df b.b_term;
+          cb_nphis = nphis;
+          cb_first_phi = (match ob.b_phis with p :: _ -> p.phi_reg | [] -> 0);
+          cb_edges =
+            decode_phis e
+              ~orig_regs:(Array.of_list (List.map (fun p -> p.phi_reg) ob.b_phis))
+              b;
+          cb_ti = Array.make nphis 0;
+          cb_tf = Array.make nphis 0.0;
+          cb_hits = 0; cb_wi = 0; cb_cyc = 0 })
+    f.f_blocks df.f_blocks;
+  let cfg = Cfg.of_func df in
+  let pdom = Dominance.post_dominators cfg in
+  let reconv = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      Hashtbl.replace reconv b.b_label (Dominance.reconvergence_point pdom b.b_label))
+    df.f_blocks;
+  { fi_func = df; fi_nregs = nregs; fi_blocks = blocks; fi_reconv = reconv }
+
+let fn_info e name =
+  match Hashtbl.find_opt e.e_fn_infos name with
+  | Some fi -> fi
+  | None ->
+    let f = find_func_exn e.e_module name in
+    let fi = make_fn_info e f in
+    Hashtbl.replace e.e_fn_infos name fi;
+    fi
+
 (* --- strand management ------------------------------------------------- *)
 
 let popcount mask = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mask
@@ -770,7 +1195,7 @@ and arrive_join tc st (j : join) =
 
 let make_frame tc e fname ~warp_size =
   let fi = fn_info e fname in
-  let n = max fi.fi_func.f_next_reg 1 in
+  let n = fi.fi_nregs in
   let fr =
     { fr_info = fi; fr_ws = warp_size;
       fr_ints = Array.make (n * warp_size) 0;
@@ -1001,13 +1426,7 @@ let rec exec_dinst e tc (st : strand) (slot : slot) (di : dinst) :
   let mask = st.st_mask in
   let n = Array.length mask in
   let ws = fr.fr_ws in
-  tc.tc_counters.warp_instructions <- tc.tc_counters.warp_instructions + 1;
-  tc.tc_counters.lane_instructions <- tc.tc_counters.lane_instructions + st.st_active;
-  Fault.set_site e.e_fctx ~fn:fr.fr_info.fi_func.f_name ~blk:slot.sl_blk ~idx:slot.sl_idx;
-  Fault.set_strand e.e_fctx ~team:tc.tc_team ~warp:st.st_warp ~mask;
-  e.e_budget <- e.e_budget - 1;
-  if e.e_budget <= 0 then
-    Fault.fail Fault.Budget_exhausted "instruction budget exceeded (runaway kernel?)";
+  issue e tc st slot;
   match di with
   | D_ibin (r, f, a, b) ->
     charge tc p.c_alu;
@@ -1669,6 +2088,9 @@ and do_call_dyn e tc st slot ~dst ~callee ~args =
   st.st_stack <- callee_slot :: st.st_stack;
   `Suspend
 
+(* tie the threaded-code fallback to the interpreter *)
+let () = exec_fallback := exec_dinst
+
 (* --- terminators -------------------------------------------------------- *)
 
 let exec_dterm e tc st slot (dt : dterm) =
@@ -1790,21 +2212,43 @@ let run_strand e tc st =
       let wi0 = if prof then tc.tc_counters.Counters.warp_instructions else 0 in
       let cyc0 = if prof then tc.tc_counters.Counters.cycles else 0 in
       let inner = ref true in
-      while !inner do
-        if slot.sl_idx < ninsts then begin
-          match exec_dinst e tc st slot (Array.unsafe_get b.cb_insts slot.sl_idx) with
-          | `Continue -> slot.sl_idx <- slot.sl_idx + 1
-          | `Suspend ->
+      (* the two executors share everything around this dispatch point:
+         the VM loop indexes the pre-compiled closure array, the IR loop
+         matches on the decoded constructor; terminators, suspension and
+         profiling are common *)
+      if e.e_exec = Exec_vm then begin
+        let code = b.cb_code in
+        while !inner do
+          if slot.sl_idx < ninsts then begin
+            match (Array.unsafe_get code slot.sl_idx) e tc st slot with
+            | `Continue -> slot.sl_idx <- slot.sl_idx + 1
+            | `Suspend ->
+              inner := false;
+              continue_ := false
+          end
+          else begin
+            exec_dterm e tc st slot b.cb_term;
             inner := false;
-            continue_ := false
-        end
-        else begin
-          exec_dterm e tc st slot b.cb_term;
-          inner := false;
-          (* after a terminator the outer loop re-examines status/stack *)
-          match st.st_status with Run -> () | _ -> continue_ := false
-        end
-      done;
+            match st.st_status with Run -> () | _ -> continue_ := false
+          end
+        done
+      end
+      else
+        while !inner do
+          if slot.sl_idx < ninsts then begin
+            match exec_dinst e tc st slot (Array.unsafe_get b.cb_insts slot.sl_idx) with
+            | `Continue -> slot.sl_idx <- slot.sl_idx + 1
+            | `Suspend ->
+              inner := false;
+              continue_ := false
+          end
+          else begin
+            exec_dterm e tc st slot b.cb_term;
+            inner := false;
+            (* after a terminator the outer loop re-examines status/stack *)
+            match st.st_status with Run -> () | _ -> continue_ := false
+          end
+        done;
       if prof then begin
         b.cb_hits <- b.cb_hits + 1;
         b.cb_wi <- b.cb_wi + (tc.tc_counters.Counters.warp_instructions - wi0);
@@ -1990,7 +2434,9 @@ let run_team e ~team =
           | Ai v, true -> frame.fr_floats.(base + lane) <- float_of_int v
           | Af _, false -> fault "float argument for integer kernel parameter"
         done)
-      (try List.combine kernel.f_params e.e_launch.l_args
+      (* bind against the frame's function: under [Exec_vm] its params
+         carry the renamed register indices the frame is laid out by *)
+      (try List.combine frame.fr_info.fi_func.f_params e.e_launch.l_args
        with Invalid_argument _ ->
          fault "kernel %s expects %d args, got %d" kernel.f_name
            (List.length kernel.f_params)
@@ -2191,9 +2637,10 @@ let malloc_arena_cap (m : modul) ~teams : int option =
     Some ((cap + 127) land lnot 127)
 
 let make_engine ~params ~mem ~san ~spec ~trace ~profile ~watchdog ~budget ~arena
-    ~abort m launch gaddr ftable fidx shared_globals =
+    ~abort ~exec ~plan m launch gaddr ftable fidx shared_globals =
   let ws = params.Cost.warp_size in
   { e_module = m; e_params = params; e_mem = mem; e_launch = launch;
+    e_exec = exec; e_plan = plan;
     e_fn_infos = Hashtbl.create 16; e_gaddr = gaddr; e_ftable = ftable;
     e_fidx = fidx; e_shared_globals = shared_globals; e_san = san;
     e_spec = spec; e_inject = None; e_fastmem = not (Memory.has_watcher mem);
@@ -2214,6 +2661,7 @@ let annotated e = function
 
 let run ?(params = Cost.default) ?(budget = 400_000_000) ?san ?inject
     ?(trace = Ozo_obs.Trace.null) ?(profile = false) ?watchdog ?(domains = 1)
+    ?(exec = Exec_ir) ?(plan = [])
     (m : modul) ~(mem : Memory.t)
     ~(gaddr : (string, int) Hashtbl.t) ~(shared_globals : (global * int) list)
     (launch : launch) : result =
@@ -2221,6 +2669,11 @@ let run ?(params = Cost.default) ?(budget = 400_000_000) ?san ?inject
   let ftable = Array.of_list m.m_funcs in
   let fidx = Hashtbl.create 16 in
   Array.iteri (fun i f -> Hashtbl.replace fidx f.f_name (i + 1)) ftable;
+  (* register plans, built once and shared read-only across domain engines *)
+  let plan_tbl : (string, reg_plan) Hashtbl.t =
+    Hashtbl.create (max 8 (List.length plan))
+  in
+  List.iter (fun (fname, rp) -> Hashtbl.replace plan_tbl fname rp) plan;
   (* Kernel mallocs bump inside a per-team arena reserved up front (at
      every domain count, including 1, so allocation addresses agree).
      Reserving claims the range and pre-grows the global buffer: the
@@ -2235,7 +2688,7 @@ let run ?(params = Cost.default) ?(budget = 400_000_000) ?san ?inject
   let abort = if ndom > 1 then Some (Atomic.make max_int) else None in
   let mk ~mem ~san ~trace =
     make_engine ~params ~mem ~san ~spec:inject ~trace ~profile ~watchdog ~budget
-      ~arena ~abort m launch gaddr ftable fidx shared_globals
+      ~arena ~abort ~exec ~plan:plan_tbl m launch gaddr ftable fidx shared_globals
   in
   let e0 = mk ~mem ~san ~trace in
   let module T = Ozo_obs.Trace in

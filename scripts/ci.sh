@@ -40,6 +40,34 @@ diff _build/ci_d1.csv _build/ci_d4.csv || {
   echo "FAIL: campaign CSV differs between --domains 1 and --domains 4"; exit 1; }
 echo "domain-parallel campaign OK: CSV identical to sequential"
 
+echo "== threaded-code executor: bit-identity suite =="
+# IR-interpreter vs threaded-code launches must agree byte-for-byte:
+# counters, faults, injection sites, sanitizer verdicts, campaign CSV
+# rows, compile-key separation and the parallel-copy property suite
+dune exec test/test_main.exe -- test vm
+
+echo "== threaded-code campaign smoke =="
+# the full supervised campaign on the vm execution path (every proxy
+# build row); the CSV must match the ir-path campaign byte-for-byte once
+# the trailing exec/domains/cache/latency columns are stripped (the last
+# four fields of every row — the only column allowed to differ is exec)
+"$CLI" campaign xsbench --small --exec vm > _build/ci_campaign_vm.out
+sed -n '/^proxy,build/,$p' _build/ci_campaign_vm.out | sed 's/\(,[^,]*\)\{4\}$//' > _build/ci_vm.csv
+sed -n '/^proxy,build/,$p' _build/ci_campaign_d1.out | sed 's/\(,[^,]*\)\{4\}$//' > _build/ci_ir.csv
+diff _build/ci_ir.csv _build/ci_vm.csv || {
+  echo "FAIL: campaign CSV differs between --exec ir and --exec vm"; exit 1; }
+grep -q ",vm," _build/ci_campaign_vm.out || {
+  echo "FAIL: --exec vm campaign rows do not record the vm path"; exit 1; }
+echo "threaded-code campaign OK: CSV identical to the IR interpreter"
+
+echo "== threaded-code: ozo vm smoke =="
+# the VM-form dump must expose per-function shape + the executor plan,
+# and the spill-free kernel must actually be on the compiled plan
+plan=$("$CLI" vm xsbench --small --csv | awk -F, '$2 == "New RT" { print $12 }')
+[ "$plan" = "vm" ] || {
+  echo "FAIL: ozo vm reports plan '${plan:-}' for xsbench (want vm)"; exit 1; }
+echo "xsbench kernel on the threaded-code plan"
+
 echo "== analysis manager: differential invalidation =="
 # every pass x config x proxy with after-each-pass coherence checking,
 # plus the cached-vs-uncached bit-identical IR pin

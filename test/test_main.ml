@@ -20,4 +20,5 @@ let () =
       ("domains", Test_domains.suite);
       ("resilience", Test_resilience.suite);
       ("serve", Test_serve.suite);
-      ("properties", Test_props.suite) ]
+      ("properties", Test_props.suite);
+      ("vm", Test_vm.suite) ]
