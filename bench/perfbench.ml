@@ -417,6 +417,42 @@ let serve_suite ~iters =
   in
   [ cold; warm ]
 
+(* Autotuner suite: one model-only launch-shape search (compile + probe
+   + static scoring), one search with top-3 measured refinement (adds
+   three real launches through the same compile), and the small
+   cross-machine matrix. [s_issues] reports candidates scored for the
+   searches and total warp instructions for the matrix; both are
+   deterministic, so the issue counts double as a drift check. *)
+let tune_suite ~iters =
+  let module Tune = Ozo_tune.Tune in
+  let module Matrix = Ozo_tune.Matrix in
+  let module Machine = Ozo_backend.Machine in
+  let p =
+    List.find
+      (fun p -> p.Ozo_proxies.Proxy.p_name = "xsbench")
+      (Registry.all_small ())
+  in
+  let search ~measure_top () =
+    let v =
+      Tune.search ~measure_top ~machine:Machine.mi250 p ~build_name:"new-rt"
+    in
+    List.length v.Tune.tv_candidates
+  in
+  let matrix () =
+    let t =
+      Matrix.run ~small:true ~machines:[ "vgpu"; "mi250" ]
+        ~proxies:[ "xsbench"; "gridmini" ] ()
+    in
+    List.fold_left
+      (fun acc c ->
+        acc
+        + c.Matrix.x_m.E.r_counters.Ozo_vgpu.Counters.warp_instructions)
+      0 t.Matrix.mx_cells
+  in
+  [ time_run ~iters ~name:"tune/search-model" (search ~measure_top:0);
+    time_run ~iters ~name:"tune/search-measured" (search ~measure_top:3);
+    time_run ~iters ~name:"tune/matrix-small" matrix ]
+
 (* Domain-scaling curve over the end-to-end workload. The speedup these
    samples record is bounded by the machine's core count — on a 1-core
    container every count collapses to time-sliced sequential speed and
@@ -493,6 +529,7 @@ let () =
   in
   let samples = samples @ e2e in
   let samples = samples @ serve_suite ~iters:(if !smoke then 1 else 4) in
+  let samples = samples @ tune_suite ~iters:(if !smoke then 1 else 4) in
   let samples = samples @ (if !smoke then [] else par_suite ~iters:2) in
   List.iter
     (fun s ->
@@ -539,6 +576,15 @@ let () =
      if per warm > 0.0 then
        Fmt.pr "  warm compile cache: %.2fx launches/sec vs cold service@."
          (per cold /. per warm)
+   | _ -> ());
+  (* autotuner summary: measured refinement cost over the model-only search *)
+  (let find n = List.find_opt (fun s -> s.s_name = n) samples in
+   match (find "tune/search-model", find "tune/search-measured") with
+   | Some model, Some meas ->
+     let per s = s.s_wall_s /. float_of_int s.s_iters in
+     if per model > 0.0 then
+       Fmt.pr "  measured refinement: %.2fx the model-only search@."
+         (per meas /. per model)
    | _ -> ());
   (* domain-scaling summary: parallel vs sequential end-to-end sweep *)
   (let find n = List.find_opt (fun s -> s.s_name = n) samples in

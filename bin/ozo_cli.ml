@@ -19,6 +19,9 @@ module Registry = Ozo_proxies.Registry
 module Trace = Ozo_obs.Trace
 module Chrome = Ozo_obs.Chrome_trace
 module Json = Ozo_obs.Json
+module Machine = Ozo_backend.Machine
+module Tune = Ozo_tune.Tune
+module Matrix = Ozo_tune.Matrix
 open Cmdliner
 
 (* the harness owns the canonical name → build mapping *)
@@ -81,6 +84,22 @@ let parse_exec s =
   | Some e -> Ok e
   | None -> Error (`Msg ("unknown exec path " ^ s ^ " (ir|vm)"))
 
+(* one converter for every subcommand that takes a machine descriptor *)
+let machine_names_doc = String.concat "|" Machine.names
+
+let parse_machine s =
+  match Machine.find s with
+  | Some m -> Ok m
+  | None -> Error (`Msg ("unknown machine " ^ s ^ " (" ^ machine_names_doc ^ ")"))
+
+let machine_arg =
+  let doc =
+    "Machine descriptor (" ^ machine_names_doc
+    ^ "): wavefront width, SM count and occupancy limits the compile, \
+       simulation and cost model run against."
+  in
+  Arg.(value & opt string "vgpu" & info [ "machine" ] ~docv:"MACHINE" ~doc)
+
 let parse_inject seed = function
   | None -> Ok None
   | Some s -> (
@@ -117,18 +136,20 @@ let list_cmd =
 (* --- run ---------------------------------------------------------------- *)
 
 let run_cmd =
-  let run name build small debug sanitize inject seed profile domains exec =
+  let run name build small debug sanitize inject seed profile domains exec
+      machine =
     handle
       (let ( let* ) = Result.bind in
        let* p = find_proxy small name in
        let* b = build_of_string p build in
        let* inject = parse_inject seed inject in
        let* exec = parse_exec exec in
+       let* machine = parse_machine machine in
        let b = if debug then C.with_debug b else b in
        let trace = if profile then Trace.make () else Trace.null in
        let m =
          E.measure ~check_assumes:debug ~sanitize ?inject ~trace ~profile
-           ~domains ~exec p b
+           ~domains ~exec ~machine p b
        in
        Fmt.pr "%a%a" R.pp_fig11 (name, [ m ]) R.pp_csv_header ();
        Fmt.pr "%a" R.pp_csv m;
@@ -153,7 +174,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and run one proxy under one build configuration")
     Term.(const run $ proxy_arg $ build_arg $ small_arg $ debug_arg $ sanitize_arg
-          $ inject_arg $ seed_arg $ profile_arg $ domains_arg $ exec_arg)
+          $ inject_arg $ seed_arg $ profile_arg $ domains_arg $ exec_arg
+          $ machine_arg)
 
 (* --- inspect ------------------------------------------------------------ *)
 
@@ -310,7 +332,9 @@ let regs_cmd =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV rows.")
   in
   let machine_arg =
-    let doc = "Machine descriptor for the occupancy model: vgpu or a100." in
+    let doc =
+      "Machine descriptor for the occupancy model (" ^ machine_names_doc ^ ")."
+    in
     Arg.(value & opt string "vgpu" & info [ "machine"; "m" ] ~docv:"MACHINE" ~doc)
   in
   let max_regs_arg =
@@ -324,11 +348,7 @@ let regs_cmd =
     handle
       (let ( let* ) = Result.bind in
        let* p = find_proxy small name in
-       let* machine =
-         match Ozo_backend.Machine.find machine with
-         | Some m -> Ok m
-         | None -> Error (`Msg ("unknown machine " ^ machine ^ " (vgpu|a100)"))
-       in
+       let* machine = parse_machine machine in
        let machine =
          match max_regs with
          | Some n -> Ozo_backend.Machine.with_reg_budget n machine
@@ -402,7 +422,9 @@ let vm_cmd =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV rows.")
   in
   let machine_arg =
-    let doc = "Machine descriptor for the register budget: vgpu or a100." in
+    let doc =
+      "Machine descriptor for the register budget (" ^ machine_names_doc ^ ")."
+    in
     Arg.(value & opt string "vgpu" & info [ "machine"; "m" ] ~docv:"MACHINE" ~doc)
   in
   let max_regs_arg =
@@ -422,11 +444,7 @@ let vm_cmd =
       (let ( let* ) = Result.bind in
        let* p = find_proxy small name in
        let* b = build_of_string p build in
-       let* machine =
-         match Ozo_backend.Machine.find machine with
-         | Some m -> Ok m
-         | None -> Error (`Msg ("unknown machine " ^ machine ^ " (vgpu|a100)"))
-       in
+       let* machine = parse_machine machine in
        let machine =
          match max_regs with
          | Some n -> Ozo_backend.Machine.with_reg_budget n machine
@@ -577,12 +595,13 @@ let campaign_cmd =
     Arg.(value & opt (some int) None & info [ "abort-after" ] ~docv:"N" ~doc)
   in
   let run name small sanitize inject seed profile journal resume repeat retries
-      deadline abort_after domains exec =
+      deadline abort_after domains exec machine =
     handle
       (let ( let* ) = Result.bind in
        let* _ = find_proxy small name in
        let* inject = parse_inject seed inject in
        let* exec = parse_exec exec in
+       let* machine = parse_machine machine in
        (match inject with
        | Some spec ->
          Fmt.pr "injecting: %s (seed %d)@." (Ozo_vgpu.Faultinject.spec_to_string spec) seed
@@ -594,6 +613,7 @@ let campaign_cmd =
            co_repeat = repeat; co_sanitize = sanitize; co_inject = inject;
            co_journal = journal; co_resume = resume;
            co_abort_after = abort_after; co_domains = domains; co_exec = exec;
+           co_machine = machine;
            co_sup =
              { Supervisor.default with
                Supervisor.sv_retries = retries; sv_deadline_s = deadline;
@@ -632,7 +652,8 @@ let campaign_cmd =
           valid check")
     Term.(const run $ proxy_arg $ small_arg $ sanitize_arg $ inject_arg $ seed_arg
           $ profile_arg $ journal_arg $ resume_arg $ repeat_arg $ retries_arg
-          $ deadline_arg $ abort_after_arg $ domains_arg $ exec_arg)
+          $ deadline_arg $ abort_after_arg $ domains_arg $ exec_arg
+          $ machine_arg)
 
 (* --- serve ----------------------------------------------------------------- *)
 
@@ -663,9 +684,10 @@ let serve_cmd =
     let doc = "Append every served row to this crash-safe JSONL journal." in
     Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
   in
-  let run requests small sanitize repeat cache_cap journal domains =
+  let run requests small sanitize repeat cache_cap journal domains machine =
     handle
       (let ( let* ) = Result.bind in
+       let* machine = parse_machine machine in
        let* queue =
          match Service.load_requests requests with
          | q -> Ok q
@@ -675,7 +697,8 @@ let serve_cmd =
        let opts =
          { Service.default with
            Service.sv_small = small; sv_sanitize = sanitize; sv_repeat = repeat;
-           sv_cache_cap = cache_cap; sv_journal = journal; sv_domains = domains }
+           sv_cache_cap = cache_cap; sv_journal = journal; sv_domains = domains;
+           sv_machine = machine }
        in
        let* ms, stats =
          match Service.run opts queue with
@@ -702,7 +725,7 @@ let serve_cmd =
           \"serve:\"-prefixed stats (hit rate, launches/sec, latency \
           percentiles)")
     Term.(const run $ requests_arg $ small_arg $ sanitize_arg $ repeat_arg
-          $ cache_cap_arg $ journal_arg $ domains_arg)
+          $ cache_cap_arg $ journal_arg $ domains_arg $ machine_arg)
 
 let bench_service_cmd =
   let run small domains =
@@ -766,7 +789,16 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some string) None & info [ "plant" ] ~docv:"PASS" ~doc)
   in
-  let run seeds base_seed out plant =
+  let sweep_arg =
+    let doc =
+      "Add a full-pipeline variant on this machine descriptor ("
+      ^ machine_names_doc
+      ^ ") to the differential sweep; digests must stay bit-identical across \
+         wavefront widths. Repeatable."
+    in
+    Arg.(value & opt_all string [] & info [ "machine" ] ~docv:"MACHINE" ~doc)
+  in
+  let run seeds base_seed out plant sweep =
     handle
       (let ( let* ) = Result.bind in
        let* plant =
@@ -777,8 +809,15 @@ let fuzz_cmd =
            | Some p -> Ok (Some p)
            | None -> Error (`Msg ("unknown plant pass " ^ n ^ " (flip-add)")))
        in
+       let* sweep =
+         List.fold_left
+           (fun acc name ->
+             Result.bind acc (fun ms ->
+                 Result.map (fun m -> ms @ [ m ]) (parse_machine name)))
+           (Ok []) sweep
+       in
        let r =
-         Fuzz.run ?plant ~seeds ~base_seed
+         Fuzz.run ?plant ~sweep ~seeds ~base_seed
            ~on_case:(fun seed clean ->
              if not clean then Fmt.pr "seed %d: FAIL@." seed)
            ()
@@ -811,7 +850,156 @@ let fuzz_cmd =
           kernels, compile under O0 / full / spilled-regalloc pipelines, \
           demand bit-identical results, and shrink any failure to a minimal \
           repro")
-    Term.(const run $ seeds_arg $ base_seed_arg $ out_arg $ plant_arg)
+    Term.(const run $ seeds_arg $ base_seed_arg $ out_arg $ plant_arg
+          $ sweep_arg)
+
+(* --- machines -------------------------------------------------------------- *)
+
+let machines_cmd =
+  let run () =
+    Fmt.pr "%-6s %5s %5s %7s %8s %8s %14s %13s %9s@." "name" "warp" "SMs"
+      "thr/SM" "warps/SM" "teams/SM" "regfile(unit)" "smem(unit)" "max-regs";
+    List.iter
+      (fun (m : Machine.t) ->
+        Fmt.pr "%-6s %5d %5d %7d %8d %8d %8d(%4d) %7d(%4d) %9d@."
+          m.Machine.mc_name m.Machine.mc_warp_size m.Machine.mc_n_sm
+          m.Machine.mc_max_threads_per_sm m.Machine.mc_max_warps_per_sm
+          m.Machine.mc_max_teams_per_sm m.Machine.mc_regfile_per_sm
+          m.Machine.mc_reg_alloc_unit m.Machine.mc_shared_per_sm
+          m.Machine.mc_shared_alloc_unit m.Machine.mc_max_regs_per_thread)
+      Machine.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "machines"
+       ~doc:
+         "List the machine descriptors (wavefront width, SM count, residency \
+          ceilings, register/SMem allocation granularities) every \
+          machine-aware subcommand accepts via --machine")
+    Term.(const run $ const ())
+
+(* --- tune ------------------------------------------------------------------- *)
+
+let tune_cmd =
+  let csv_arg =
+    Arg.(value & flag
+         & info [ "csv" ]
+             ~doc:"Emit one CSV row per scored candidate instead of the table.")
+  in
+  let tune_seed_arg =
+    let doc = "Seed for the deterministic tie-break among equal-scored shapes." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let measure_arg =
+    let doc =
+      "Measured refinement: launch the top K model candidates for real and \
+       pick the lowest simulated kernel time among those that validate \
+       (0 = model-only)."
+    in
+    Arg.(value & opt int 0 & info [ "measure" ] ~docv:"K" ~doc)
+  in
+  let journal_arg =
+    let doc = "Append the verdict as one JSON line to this file." in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let run name build small seed measure csv journal domains exec machine =
+    handle
+      (let ( let* ) = Result.bind in
+       let* p = find_proxy small name in
+       let* exec = parse_exec exec in
+       let* machine = parse_machine machine in
+       let* v =
+         match
+           Tune.search ~seed ~measure_top:measure ~domains ~exec ~machine p
+             ~build_name:build
+         with
+         | v -> Ok v
+         | exception Tune.Tune_error e -> Error (`Msg e)
+         | exception E.Harness_error e -> Error (`Msg e)
+       in
+       if csv then begin
+         Fmt.pr "%a" Tune.pp_csv_header ();
+         Fmt.pr "%a" Tune.pp_csv v
+       end
+       else Fmt.pr "%a" Tune.pp_verdict v;
+       (match journal with
+       | Some path -> Tune.append_journal ~path v
+       | None -> ());
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Autotune the launch shape (teams x threads) of one proxy/build on \
+          one machine: candidates are wavefront multiples covering the \
+          default iteration space, scored by the occupancy model plus a \
+          probe-calibrated cycle prediction, with deterministic seeded \
+          tie-breaks and opt-in measured refinement of the top K")
+    Term.(const run $ proxy_arg $ build_arg $ small_arg $ tune_seed_arg
+          $ measure_arg $ csv_arg $ journal_arg $ domains_arg $ exec_arg
+          $ machine_arg)
+
+(* --- matrix ----------------------------------------------------------------- *)
+
+let matrix_cmd =
+  let csv_arg =
+    Arg.(value & flag
+         & info [ "csv" ] ~doc:"Emit the machine-readable matrix CSV only.")
+  in
+  let machines_arg =
+    let doc =
+      "Comma-separated machine set to sweep (default "
+      ^ String.concat "," Matrix.default_machines ^ ")."
+    in
+    Arg.(value & opt (some string) None & info [ "machines" ] ~docv:"LIST" ~doc)
+  in
+  let proxy_opt_arg =
+    let doc = "Restrict the sweep to this proxy (repeatable; default all)." in
+    Arg.(value & opt_all string [] & info [ "proxy" ] ~docv:"PROXY" ~doc)
+  in
+  let run small csv machines proxies domains exec =
+    handle
+      (let ( let* ) = Result.bind in
+       let* exec = parse_exec exec in
+       let machines =
+         match machines with
+         | None -> Matrix.default_machines
+         | Some s ->
+           List.filter (fun x -> x <> "") (String.split_on_char ',' s)
+       in
+       let proxies = match proxies with [] -> None | ps -> Some ps in
+       let* t =
+         match Matrix.run ~small ~machines ?proxies ~domains ~exec () with
+         | t -> Ok t
+         | exception Matrix.Matrix_error e -> Error (`Msg e)
+         | exception E.Harness_error e -> Error (`Msg e)
+       in
+       if csv then begin
+         Fmt.pr "%a" Matrix.pp_csv_header ();
+         Fmt.pr "%a" Matrix.pp_csv t
+       end
+       else begin
+         Fmt.pr "%a" Matrix.pp_table t;
+         Fmt.pr "@.%a" Matrix.pp_csv_header ();
+         Fmt.pr "%a" Matrix.pp_csv t
+       end;
+       let bad = List.filter (fun c -> not (Matrix.cell_ok c)) t.Matrix.mx_cells in
+       if bad = [] then Ok ()
+       else
+         Error
+           (`Msg
+             (Fmt.str "matrix finished with %d failing cell(s)"
+                (List.length bad))))
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:
+         "Run the cross-machine campaign matrix: every proxy x build x \
+          machine through one shared compile cache, reporting per-machine \
+          relative performance (Old RT = 1.00), application efficiency and \
+          the Pennycook performance-portability harmonic mean")
+    Term.(const run $ small_arg $ csv_arg $ machines_arg $ proxy_opt_arg
+          $ domains_arg $ exec_arg)
 
 let () =
   let doc = "reproduction of the near-zero-overhead OpenMP GPU runtime (IPDPS'22)" in
@@ -820,4 +1008,4 @@ let () =
        (Cmd.group (Cmd.info "ozo_cli" ~doc)
           [ list_cmd; run_cmd; inspect_cmd; remarks_cmd; trace_cmd; regs_cmd;
             vm_cmd; ablate_cmd; sanitize_cmd; campaign_cmd; serve_cmd;
-            bench_service_cmd; fuzz_cmd ]))
+            bench_service_cmd; fuzz_cmd; machines_cmd; tune_cmd; matrix_cmd ]))

@@ -20,6 +20,20 @@
      are the limits the paper's Nsight-reported register and SMem
      figures are judged against.
 
+   The portability matrix (PR 10) adds three more, following the
+   cross-architecture assessments in the portability literature (Davis
+   et al. on V100, Fridman et al. on state-of-the-art accelerators):
+
+   - [v100] (GV100-ish): 80 SMs, 64K registers in units of 256, 96 KB
+     shared memory in units of 256.
+   - [mi250] (CDNA2-ish): **64-wide wavefronts** — the descriptor that
+     exercises reconvergence, coalescing buckets and uniform-strand
+     scalarization at a different granularity, not just the occupancy
+     arithmetic — 110 CUs, a 128K VGPR file allocated per wavefront in
+     units of 512, 64 KB LDS in units of 512, 16 workgroups per CU.
+   - [h100] (GH100-ish): 132 SMs, 64K registers, 228 KB shared memory
+     in units of 1024.
+
    [max_regs_per_thread] doubles as the register allocator's budget:
    virtual registers beyond it spill to local memory (Regalloc). *)
 
@@ -68,10 +82,67 @@ let a100 =
     mc_shared_per_sm = 164 * 1024;
     mc_shared_alloc_unit = 1024 }
 
-let find = function
-  | "vgpu" -> Some vgpu
-  | "a100" -> Some a100
-  | _ -> None
+let v100 =
+  { mc_name = "v100";
+    mc_warp_size = 32;
+    mc_n_sm = 80;
+    mc_max_threads_per_sm = 2048;
+    mc_max_warps_per_sm = 64;
+    mc_max_teams_per_sm = 32;
+    mc_regfile_per_sm = 65536;
+    mc_max_regs_per_thread = 255;
+    mc_reg_alloc_unit = 256;
+    mc_shared_per_sm = 96 * 1024;
+    mc_shared_alloc_unit = 256 }
+
+let mi250 =
+  { mc_name = "mi250";
+    mc_warp_size = 64;
+    mc_n_sm = 110;
+    mc_max_threads_per_sm = 2048;
+    mc_max_warps_per_sm = 32;   (* 64-wide wavefronts: 2048 / 64 *)
+    mc_max_teams_per_sm = 16;
+    mc_regfile_per_sm = 131072; (* CDNA2 doubles the VGPR file *)
+    mc_max_regs_per_thread = 255;
+    mc_reg_alloc_unit = 512;    (* 8 VGPRs x 64 lanes per allocation step *)
+    mc_shared_per_sm = 64 * 1024;
+    mc_shared_alloc_unit = 512 }
+
+let h100 =
+  { mc_name = "h100";
+    mc_warp_size = 32;
+    mc_n_sm = 132;
+    mc_max_threads_per_sm = 2048;
+    mc_max_warps_per_sm = 64;
+    mc_max_teams_per_sm = 32;
+    mc_regfile_per_sm = 65536;
+    mc_max_regs_per_thread = 255;
+    mc_reg_alloc_unit = 256;
+    mc_shared_per_sm = 228 * 1024;
+    mc_shared_alloc_unit = 1024 }
+
+(* every descriptor, in the fixed order reports and [ozo matrix] use *)
+let all = [ vgpu; a100; v100; mi250; h100 ]
+
+let names = List.map (fun m -> m.mc_name) all
+
+let find name = List.find_opt (fun m -> String.equal m.mc_name name) all
+
+(* Engine/cost parameters of a machine: the structural fields (wavefront
+   width, SM count, residency ceilings, register file, scratchpad) come
+   from the descriptor; the per-instruction issue costs stay those of
+   [base] so cross-machine comparisons isolate *architecture*, not a
+   retuned instruction table. For [vgpu] this is the identity on
+   [Cost.default] (the descriptor is derived from it), which keeps every
+   default simulation bit-identical. *)
+let cost_params ?(base = Ozo_vgpu.Cost.default) (m : t) : Ozo_vgpu.Cost.params =
+  { base with
+    Ozo_vgpu.Cost.warp_size = m.mc_warp_size;
+    n_sm = m.mc_n_sm;
+    max_threads_per_sm = m.mc_max_threads_per_sm;
+    max_teams_per_sm = m.mc_max_teams_per_sm;
+    regfile_per_sm = m.mc_regfile_per_sm;
+    shared_per_sm = m.mc_shared_per_sm }
 
 (* Override the spill budget (CLI --max-regs, differential spill tests). *)
 let with_reg_budget budget m = { m with mc_max_regs_per_thread = max 1 budget }

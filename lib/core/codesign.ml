@@ -94,12 +94,18 @@ exception Compile_error of string
    verify. The linked (pre-pipeline) module is the *content* a compile
    is a pure function of — the serving tier's cache keys on its printout
    ([Compile_key.of_linked]) plus everything stage 2 consumes. *)
-let link_stage (b : build) (k : Ast.kernel) : modul =
+let link_stage ?(machine = Machine.vgpu) (b : build) (k : Ast.kernel) : modul =
   let app = Lower.lower ~abi:b.b_abi k in
   let linked =
     match b.b_rt with
     | None -> app
-    | Some rt_cfg -> Ozo_ir.Linker.link app (Ozo_runtime.Runtime.build rt_cfg)
+    | Some rt_cfg ->
+      (* the runtime is built for the target machine's wavefront width:
+         generic-mode worker counts (bdim - warp_size) must match the
+         engine's warp granularity. For 32-wide machines this emits IR
+         byte-identical to the historical [Runtime.build cfg]. *)
+      Ozo_ir.Linker.link app
+        (Ozo_runtime.Runtime.build ~warp_size:machine.Machine.mc_warp_size rt_cfg)
   in
   (match Ozo_ir.Verifier.check linked with
   | Ok () -> ()
@@ -202,14 +208,14 @@ let compile_linked ?(trace = Trace.null) ?(machine = Machine.vgpu)
         c_remarks = Remarks.items sink })
 
 let compile ?trace ?machine ?exec (b : build) (k : Ast.kernel) : compiled =
-  compile_linked ?trace ?machine ?exec b ~kernel:k (link_stage b k)
+  compile_linked ?trace ?machine ?exec b ~kernel:k (link_stage ?machine b k)
 
 (* hardware threads per team for a user-visible thread count: generic mode
    hosts the main thread in one extra warp *)
 let hw_threads (c : compiled) ~threads =
   match c.c_mode with
   | Spmdize.Spmd -> threads
-  | Spmdize.Generic -> threads + Ozo_runtime.Layout.warp_size
+  | Spmdize.Generic -> threads + c.c_machine.Machine.mc_warp_size
 
 type metrics = {
   m_counters : Counters.t;           (* totals over all teams *)
@@ -227,7 +233,16 @@ let spill_count (c : compiled) =
 
 (* Create a device for a compiled kernel (callers allocate buffers on it
    before launching). [~sanitize] arms the SIMT sanitizer's shadow state. *)
-let device ?(params = Cost.default) ?(sanitize = false) (c : compiled) =
+let device ?params ?(sanitize = false) (c : compiled) =
+  (* the engine runs under the compile's machine: wavefront width drives
+     reconvergence, coalescing buckets and uniform-strand scalarization,
+     not just the occupancy arithmetic (identity on [Cost.default] for
+     the default [Machine.vgpu]) *)
+  let params =
+    match params with
+    | Some p -> p
+    | None -> Machine.cost_params c.c_machine
+  in
   Device.create ~params ~sanitize ~exec:c.c_exec
     ~plan:c.c_lower.Backend.lw_plan c.c_module
 
@@ -245,10 +260,11 @@ let launch ?(opts = Device.Launch_opts.default) (c : compiled) (dev : Device.t)
         (Machine.occupancy c.c_machine ~threads_per_team:hw
            ~regs_per_thread:c.c_regs ~shared_per_team:c.c_smem)
     in
+    let cp = Machine.cost_params c.c_machine in
     let cycles =
-      Cost.kernel_time Cost.default ~occupancy:occ
+      Cost.kernel_time cp ~occupancy:occ
         ~team_cycles:(List.map (fun ct -> ct.Counters.cycles) r.Engine.r_counters)
-        ~mem_cycles:(Counters.memory_cycles Cost.default r.Engine.r_total)
+        ~mem_cycles:(Counters.memory_cycles cp r.Engine.r_total)
     in
     Ok
       { m_counters = r.Engine.r_total; m_kernel_cycles = cycles; m_regs = c.c_regs;
@@ -300,7 +316,7 @@ let compile_request (r : Request.t) (k : Ast.kernel) : compiled =
    the linked module before any expensive work happens. *)
 let keyed_compile_request (r : Request.t) (k : Ast.kernel) :
     Compile_key.t * (unit -> compiled) =
-  let linked = link_stage r.Request.rq_build k in
+  let linked = link_stage ~machine:r.Request.rq_machine r.Request.rq_build k in
   let key =
     Compile_key.of_linked ~machine:r.Request.rq_machine ~exec:r.Request.rq_exec
       r.Request.rq_build linked

@@ -26,6 +26,7 @@ module Device = Ozo_vgpu.Device
 type measurement = {
   r_proxy : string;
   r_build : string;
+  r_machine : string;    (* machine descriptor the row compiled/ran under *)
   r_cycles : float;      (* occupancy-adjusted kernel time, simulated cycles *)
   r_regs : int;
   r_smem : int;
@@ -115,8 +116,9 @@ let cache_of trace =
 (* A measurement row for a configuration that produced no launch at all
    (dead after every fallback, host-side crash captured by the
    supervisor, or a configuration skipped by an open circuit breaker). *)
-let dead_measurement ?(fallbacks = []) ~proxy ~build fault : measurement =
-  { r_proxy = proxy; r_build = build; r_cycles = 0.0; r_regs = 0;
+let dead_measurement ?(fallbacks = []) ?(machine = "vgpu") ~proxy ~build fault :
+    measurement =
+  { r_proxy = proxy; r_build = build; r_machine = machine; r_cycles = 0.0; r_regs = 0;
     r_smem = 0; r_occupancy = 0.0; r_spills = 0;
     r_counters = Ozo_vgpu.Counters.create ();
     r_check = Error (Fault.to_line fault); r_flops = 0.0;
@@ -130,9 +132,9 @@ let dead_measurement ?(fallbacks = []) ~proxy ~build fault : measurement =
    [Launch_opts.t]. Everything [measure] used to take as optional
    arguments is a plain field here. *)
 let request_for ?(check_assumes = false) ?(sanitize = false) ?inject ?watchdog
-    ?(trace = Trace.null) ?(profile = false) ?(domains = 1) ?exec (p : Proxy.t)
-    (b : C.build) : C.Request.t =
-  C.Request.make ~proxy:p.Proxy.p_name ~sanitize ?exec ~build:b
+    ?(trace = Trace.null) ?(profile = false) ?(domains = 1) ?exec ?machine
+    (p : Proxy.t) (b : C.build) : C.Request.t =
+  C.Request.make ~proxy:p.Proxy.p_name ~sanitize ?exec ?machine ~build:b
     ~teams:p.Proxy.p_teams ~threads:p.Proxy.p_threads
     ~opts:
       { Device.Launch_opts.default with
@@ -177,6 +179,7 @@ let measure_request ?(compiler = C.compile_request) (p : Proxy.t)
         let check = inst.Proxy.i_check () in
         let meas =
           { r_proxy = p.Proxy.p_name; r_build = b.C.b_label;
+            r_machine = req.Rq.rq_machine.C.Machine.mc_name;
             r_cycles = m.C.m_kernel_cycles; r_regs = m.C.m_regs; r_smem = m.C.m_smem;
             r_occupancy = m.C.m_occupancy; r_spills = m.C.m_spills;
             r_counters = m.C.m_counters;
@@ -199,7 +202,8 @@ let measure_request ?(compiler = C.compile_request) (p : Proxy.t)
   (* a row where even the weakest config failed: report the fault as the
      check result so campaign tables stay rectangular *)
   let dead_row fault fallbacks =
-    { (dead_measurement ~fallbacks ~proxy:p.Proxy.p_name ~build:b.C.b_label fault)
+    { (dead_measurement ~fallbacks ~machine:req.Rq.rq_machine.C.Machine.mc_name
+         ~proxy:p.Proxy.p_name ~build:b.C.b_label fault)
       with r_flops = p.Proxy.p_flops;
            r_exec = Ozo_vgpu.Engine.exec_name req.Rq.rq_exec }
   in
@@ -224,10 +228,10 @@ let measure_request ?(compiler = C.compile_request) (p : Proxy.t)
 
 (* legacy shim: the optional-argument surface, now a [Request.t] builder *)
 let measure ?check_assumes ?sanitize ?inject ?watchdog ?trace ?profile ?domains
-    ?exec ?compiler (p : Proxy.t) (b : C.build) : measurement =
+    ?exec ?machine ?compiler (p : Proxy.t) (b : C.build) : measurement =
   measure_request ?compiler p
     (request_for ?check_assumes ?sanitize ?inject ?watchdog ?trace ?profile
-       ?domains ?exec p b)
+       ?domains ?exec ?machine p b)
 
 (* Figure 10 (a-d) + the TestSNAP column: relative performance of every
    build, normalized to Old RT (Nightly) — the paper's baseline. *)

@@ -58,11 +58,12 @@ let pp_fig10 ppf (title, ms) =
 (* Fig. 11-style table *)
 let pp_fig11 ppf (title, ms) =
   Fmt.pf ppf "@.%s — kernel time, registers, shared memory (Fig. 11)@." title;
-  Fmt.pf ppf "  %-26s %14s %7s %9s %6s %7s %10s %9s %4s@." "build" "ktime(cyc)"
-    "#regs" "smem(B)" "occup" "spills" "warp-insts" "barriers" "dom";
+  Fmt.pf ppf "  %-26s %-6s %14s %7s %9s %6s %7s %10s %9s %4s@." "build" "mach"
+    "ktime(cyc)" "#regs" "smem(B)" "occup" "spills" "warp-insts" "barriers" "dom";
   List.iter
     (fun m ->
-      Fmt.pf ppf "  %-26s %14.0f %7d %9d %6.2f %7d %10d %9d %4d@." m.r_build
+      Fmt.pf ppf "  %-26s %-6s %14.0f %7d %9d %6.2f %7d %10d %9d %4d@." m.r_build
+        m.r_machine
         m.r_cycles m.r_regs m.r_smem m.r_occupancy m.r_spills
         m.r_counters.Ozo_vgpu.Counters.warp_instructions
         m.r_counters.Ozo_vgpu.Counters.barriers m.r_domains)
@@ -173,7 +174,7 @@ let pp_resilience ppf (title, ms) =
    serving tier ("-"/0.0 on the batch path); regression diffs against
    the batch harness strip these two plus domains. *)
 let csv_columns =
-  [ "proxy"; "build"; "cycles"; "regs"; "smem"; "occupancy"; "spills";
+  [ "proxy"; "build"; "machine"; "cycles"; "regs"; "smem"; "occupancy"; "spills";
     "warp_insts"; "barriers"; "check"; "fault"; "fallback" ]
   @ List.map (fun n -> n ^ "_us") phase_names
   @ [ "cache_hits"; "cache_misses"; "retries"; "deadline"; "breaker"; "exec";
@@ -182,9 +183,9 @@ let csv_columns =
 let pp_csv_header ppf () = Fmt.pf ppf "%s@." (String.concat "," csv_columns)
 
 let pp_csv ppf m =
-  Fmt.pf ppf "%s,%s,%.0f,%d,%d,%.3f,%d,%d,%d,%s,%s,%s"
+  Fmt.pf ppf "%s,%s,%s,%.0f,%d,%d,%.3f,%d,%d,%d,%s,%s,%s"
     m.r_proxy
-    m.r_build m.r_cycles m.r_regs m.r_smem m.r_occupancy m.r_spills
+    m.r_build m.r_machine m.r_cycles m.r_regs m.r_smem m.r_occupancy m.r_spills
     m.r_counters.Ozo_vgpu.Counters.warp_instructions
     m.r_counters.Ozo_vgpu.Counters.barriers
     (match m.r_check with Ok () -> "ok" | Error _ -> "fail")

@@ -32,6 +32,7 @@ type opts = {
   co_abort_after : int option; (* crash after N fresh rows (test hook) *)
   co_domains : int; (* OCaml domains per launch; results identical at any value *)
   co_exec : Ozo_vgpu.Engine.exec; (* executor; results identical on both *)
+  co_machine : Ozo_backend.Machine.t; (* machine descriptor every row runs under *)
   co_sup : Supervisor.opts;
 }
 
@@ -39,7 +40,8 @@ let default =
   { co_proxies = []; co_small = false; co_repeat = 1; co_check_assumes = false;
     co_sanitize = false; co_inject = None; co_journal = None;
     co_resume = false; co_abort_after = None; co_domains = 1;
-    co_exec = Ozo_vgpu.Engine.Exec_ir; co_sup = Supervisor.default }
+    co_exec = Ozo_vgpu.Engine.Exec_ir; co_machine = Ozo_backend.Machine.vgpu;
+    co_sup = Supervisor.default }
 
 exception Aborted of string
 
@@ -55,6 +57,10 @@ let fingerprint (o : opts) : string =
     | None -> "-")
     o.co_sanitize o.co_check_assumes o.co_domains
     (Ozo_vgpu.Engine.exec_name o.co_exec)
+  (* appended only off the default so pre-matrix journals still resume *)
+  ^
+  if o.co_machine.Ozo_backend.Machine.mc_name = "vgpu" then ""
+  else ";machine=" ^ o.co_machine.Ozo_backend.Machine.mc_name
 
 let resolve (o : opts) name : Proxy.t =
   let pool =
@@ -80,7 +86,7 @@ let rows_of ?(trace = Trace.null) (o : opts) : (Proxy.t * Request.t) list =
               ( p,
                 E.request_for ~check_assumes:o.co_check_assumes
                   ~sanitize:o.co_sanitize ?inject:o.co_inject ~trace
-                  ~domains:o.co_domains ~exec:o.co_exec p b ))
+                  ~domains:o.co_domains ~exec:o.co_exec ~machine:o.co_machine p b ))
             (E.builds_for p))
         (List.init (max 1 o.co_repeat) Fun.id))
     o.co_proxies

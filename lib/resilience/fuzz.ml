@@ -12,7 +12,14 @@
                        allocation path through the backend;
      - "full-vm"     : the full pipeline executed by the threaded-code
                        engine path, so a miscompile in the rename-plan
-                       lowering gets a shrunk repro for free.
+                       lowering gets a shrunk repro for free;
+     - "full@<mach>" : (opt-in, one per [sweep] machine) the full pipeline
+                       compiled and executed under another machine
+                       descriptor — a 64-wide sweep catches
+                       wavefront-width-dependent divergence: the generated
+                       kernels use no lane intrinsics and only commutative
+                       atomics, so their digests must not depend on the
+                       warp granularity.
 
    A failing case is classified by a *signature* — per-variant outcome
    class ("ok" / "mismatch" / "fault:<kind>" / "compile-error" /
@@ -57,7 +64,7 @@ type variant = {
    keeps the whole fuzz loop interactive. *)
 let fuzz_budget = 200_000
 
-let variants ?plant () =
+let variants ?plant ?(sweep = []) () =
   [ { v_name = "O0"; v_pipe = Pipeline.o0; v_machine = Machine.vgpu;
       v_plant = None; v_exec = Engine.Exec_ir };
     { v_name = "full"; v_pipe = Pipeline.full; v_machine = Machine.vgpu;
@@ -67,6 +74,11 @@ let variants ?plant () =
       v_exec = Engine.Exec_ir };
     { v_name = "full-vm"; v_pipe = Pipeline.full; v_machine = Machine.vgpu;
       v_plant = plant; v_exec = Engine.Exec_vm } ]
+  @ List.map
+      (fun m ->
+        { v_name = "full@" ^ m.Machine.mc_name; v_pipe = Pipeline.full;
+          v_machine = m; v_plant = plant; v_exec = Engine.Exec_ir })
+      sweep
 
 (* the planted miscompile used by tests and `ozo fuzz --plant flip-add`:
    the first Add in the kernel becomes a Sub after optimization *)
@@ -122,7 +134,11 @@ let exec (m : modul) (v : variant) : outcome =
       in
       let low = lower.Backend.lw_module in
       let dev =
-        Device.create ~exec:rq.Request.rq_exec ~plan:lower.Backend.lw_plan low
+        (* machine-derived engine params: the sweep variants really run at
+           the descriptor's wavefront width (identity for the vgpu rows) *)
+        Device.create
+          ~params:(Machine.cost_params rq.Request.rq_machine)
+          ~exec:rq.Request.rq_exec ~plan:lower.Backend.lw_plan low
       in
       let n = Irgen.lanes in
       let out_i = Device.alloc dev (n * 8) in
@@ -152,8 +168,8 @@ let digest_equal a b = a.d_i = b.d_i && a.d_f = b.d_f && a.d_acc = b.d_acc
 
 (* None = all variants agree with the O0 reference; Some s = the failure
    signature the shrinker must preserve *)
-let signature_of ?plant (m : modul) : string option =
-  let vs = variants ?plant () in
+let signature_of ?plant ?sweep (m : modul) : string option =
+  let vs = variants ?plant ?sweep () in
   let outcomes = List.map (fun v -> (v.v_name, exec m v)) vs in
   let reference =
     match outcomes with (_, o) :: _ -> o | [] -> assert false
@@ -352,10 +368,10 @@ let count_insts (m : modul) : int =
 
 (* greedy shrink: take the first candidate that still verifies and
    reproduces the signature; restart from it; stop when none does *)
-let shrink ?plant (m : modul) ~signature : modul =
+let shrink ?plant ?sweep (m : modul) ~signature : modul =
   let ok c =
     match Verifier.check c with
-    | Ok () -> signature_of ?plant c = Some signature
+    | Ok () -> signature_of ?plant ?sweep c = Some signature
     | Error _ -> false
   in
   let rec go m rounds =
@@ -386,14 +402,14 @@ let repro_text (fl : failure) : string =
     fl.fl_seed fl.fl_signature fl.fl_insts_before fl.fl_insts_after
     Printer.pp_module fl.fl_module
 
-let run ?plant ?(on_case = fun _ _ -> ()) ~seeds ~base_seed () : result =
+let run ?plant ?sweep ?(on_case = fun _ _ -> ()) ~seeds ~base_seed () : result =
   let failures = ref [] in
   for i = 0 to seeds - 1 do
     let seed = base_seed + i in
     let m = Irgen.generate ~seed in
     let sg =
       match Verifier.check m with
-      | Ok () -> signature_of ?plant m
+      | Ok () -> signature_of ?plant ?sweep m
       | Error vs ->
         Some
           (Fmt.str "generator-invalid:%a"
@@ -404,7 +420,7 @@ let run ?plant ?(on_case = fun _ _ -> ()) ~seeds ~base_seed () : result =
     | None -> ()
     | Some signature ->
       let before = count_insts m in
-      let small = shrink ?plant m ~signature in
+      let small = shrink ?plant ?sweep m ~signature in
       failures :=
         { fl_seed = seed; fl_signature = signature; fl_insts_before = before;
           fl_insts_after = count_insts small; fl_module = small }

@@ -116,6 +116,7 @@ let enc_measurement b (m : E.measurement) =
   obj b (fun f ->
       f "proxy" (fun b -> esc b m.E.r_proxy);
       f "build" (fun b -> esc b m.E.r_build);
+      f "machine" (fun b -> esc b m.E.r_machine);
       f "cycles" (fun b -> num b m.E.r_cycles);
       f "regs" (fun b -> int_ b m.E.r_regs);
       f "smem" (fun b -> int_ b m.E.r_smem);
@@ -301,8 +302,13 @@ let measurement_of_json (j : Json.t) : (E.measurement, string) result =
   let* latency_us =
     match mem "latency_us" j with None -> Ok 0.0 | Some _ -> dec_num "latency_us" j
   in
+  (* absent in journals written before the portability matrix *)
+  let* machine =
+    match mem "machine" j with None -> Ok "vgpu" | Some _ -> dec_str "machine" j
+  in
   Ok
-    { E.r_proxy = proxy; r_build = build; r_cycles = cycles; r_regs = regs;
+    { E.r_proxy = proxy; r_build = build; r_machine = machine; r_cycles = cycles;
+      r_regs = regs;
       r_smem = smem; r_occupancy = occupancy; r_spills = spills;
       r_counters = counters;
       r_check = (match check with None -> Ok () | Some e -> Error e);

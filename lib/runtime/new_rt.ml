@@ -232,7 +232,7 @@ let build_worker_loop b =
    when the kernel finishes; the main thread (last thread of the team)
    initializes state and proceeds; the remaining lanes of the last warp
    park. *)
-let build_target_init b =
+let build_target_init b ~ws =
   (match B.begin_func b ~name:L.target_init ~params:[ I64 ] ~ret:(Some I64) () with
   | [ is_spmd ] ->
     B.set_block b "entry";
@@ -265,7 +265,7 @@ let build_target_init b =
     B.ret b (Some (B.i64 1));
 
     B.set_block b "generic";
-    let nworkers = B.sub b bdim (B.i64 L.warp_size) in
+    let nworkers = B.sub b bdim (B.i64 ws) in
     let is_worker = B.icmp b Slt tid nworkers in
     B.cond_br b is_worker "worker" "main_check";
     B.set_block b "worker";
@@ -435,7 +435,7 @@ let build_simple b ~name ~emit =
   | _ -> assert false);
   ignore (B.end_func b)
 
-let build (cfg : Config.t) : modul =
+let build ?(warp_size = L.warp_size) (cfg : Config.t) : modul =
   let b = B.create "openmp_device_rt_new" in
   add_globals cfg b;
   build_assert b;
@@ -446,7 +446,7 @@ let build (cfg : Config.t) : modul =
   build_push_icv b;
   build_pop_icv b;
   build_worker_loop b;
-  build_target_init b;
+  build_target_init b ~ws:warp_size;
   build_target_deinit b;
   build_parallel b;
   build_ws_loop b ~name:L.distribute_for_loop ~grid:true

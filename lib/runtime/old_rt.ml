@@ -158,7 +158,7 @@ let build_worker_loop b =
   | _ -> assert false);
   ignore (B.end_func b)
 
-let build_target_init b =
+let build_target_init b ~ws =
   (match
      B.begin_func b ~name:L.target_init ~attrs:no_inline ~params:[ I64 ] ~ret:(Some I64)
        ()
@@ -182,7 +182,7 @@ let build_target_init b =
     B.ret b (Some (B.i64 1));
 
     B.set_block b "generic";
-    let nworkers = B.sub b bdim (B.i64 L.warp_size) in
+    let nworkers = B.sub b bdim (B.i64 ws) in
     let is_worker = B.icmp b Slt tid nworkers in
     B.cond_br b is_worker "worker" "main_check";
     B.set_block b "worker";
@@ -283,7 +283,7 @@ let build_distribute_init b =
   | _ -> assert false);
   ignore (B.end_func b)
 
-let build_for_static_init b =
+let build_for_static_init b ~ws =
   (match
      B.begin_func b ~name:L.old_for_static_init ~attrs:no_inline
        ~params:[ I64; I64; I64; I64; I64 ] ~ret:None ()
@@ -297,7 +297,7 @@ let build_for_static_init b =
     let bdim = B.block_dim b in
     let nthr =
       (* in generic mode the workers are bdim - warp_size threads *)
-      B.select b I64 generic (B.sub b bdim (B.i64 L.warp_size)) bdim
+      B.select b I64 generic (B.sub b bdim (B.i64 ws)) bdim
     in
     let span = B.sub b ub lb in
     let chunk = B.sdiv b (B.sub b (B.add b span nthr) (B.i64 1)) nthr in
@@ -406,18 +406,18 @@ let build_push_pop b =
   | _ -> assert false);
   ignore (B.end_func b)
 
-let build (cfg : Config.t) : modul =
+let build ?(warp_size = L.warp_size) (cfg : Config.t) : modul =
   let b = B.create "openmp_device_rt_old" in
   add_globals cfg b;
   build_assert b;
   build_alloc_shared b;
   build_free_shared b;
   build_worker_loop b;
-  build_target_init b;
+  build_target_init b ~ws:warp_size;
   build_target_deinit b;
   build_parallel b;
   build_distribute_init b;
-  build_for_static_init b;
+  build_for_static_init b ~ws:warp_size;
   build_icv_read b ~name:L.get_num_threads ~off:o_nthreads;
   build_icv_read b ~name:L.get_level ~off:o_levels;
   build_barrier_fn b;

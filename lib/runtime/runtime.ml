@@ -1,6 +1,11 @@
 (* Entry point: build a device runtime module for a configuration. *)
 
-let build (cfg : Config.t) : Ozo_ir.Types.modul =
+(* [warp_size] is the *target machine's* wavefront width: generic-mode
+   kernels host their main thread in one extra hardware warp, so the
+   worker count [bdim - warp_size] baked into target_init (and the old
+   runtime's for_static_init) must match the machine the kernel will
+   launch on. Defaults to the vGPU's 32. *)
+let build ?warp_size (cfg : Config.t) : Ozo_ir.Types.modul =
   match cfg.Config.variant with
-  | Config.New_rt -> New_rt.build cfg
-  | Config.Old_rt -> Old_rt.build cfg
+  | Config.New_rt -> New_rt.build ?warp_size cfg
+  | Config.Old_rt -> Old_rt.build ?warp_size cfg

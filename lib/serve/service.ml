@@ -35,13 +35,14 @@ type opts = {
   sv_check_assumes : bool;
   sv_sanitize : bool;
   sv_journal : string option;
+  sv_machine : Ozo_backend.Machine.t; (* machine every queued request runs under *)
   sv_sup : Supervisor.opts;
 }
 
 let default =
   { sv_small = false; sv_repeat = 1; sv_domains = 1; sv_cache_cap = None;
     sv_check_assumes = false; sv_sanitize = false; sv_journal = None;
-    sv_sup = Supervisor.default }
+    sv_machine = Ozo_backend.Machine.vgpu; sv_sup = Supervisor.default }
 
 type stats = {
   st_requests : int;
@@ -114,6 +115,10 @@ let fingerprint (o : opts) (queue : (string * string) list) : string =
           (String.concat ";" (List.map (fun (p, b) -> p ^ " " ^ b) queue))))
     o.sv_small o.sv_repeat o.sv_sanitize o.sv_check_assumes o.sv_domains
     (match o.sv_cache_cap with Some c -> string_of_int c | None -> "-")
+  (* appended only off the default so pre-matrix journals still resume *)
+  ^
+  if o.sv_machine.Ozo_backend.Machine.mc_name = "vgpu" then ""
+  else ";machine=" ^ o.sv_machine.Ozo_backend.Machine.mc_name
 
 (* ---- percentiles ------------------------------------------------------- *)
 
@@ -184,7 +189,7 @@ let run ?cache ?clock ?sleep ?(trace = Trace.null) (o : opts)
               let req =
                 E.request_for ~check_assumes:o.sv_check_assumes
                   ~sanitize:o.sv_sanitize ?watchdog ~trace
-                  ~domains:o.sv_domains p b
+                  ~domains:o.sv_domains ~machine:o.sv_machine p b
               in
               E.measure_request ~compiler p req)
         in

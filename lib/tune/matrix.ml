@@ -1,0 +1,206 @@
+(* The cross-machine campaign matrix: every proxy x build x machine,
+   measured through the standard [Request.t] path with one serving-tier
+   compile cache shared across the whole sweep (machine is part of
+   [Compile_key], so per-machine compiles cache-separate automatically).
+
+   Reporting reproduces the performance-portability methodology of the
+   portability literature on the simulated stack:
+
+   - *relative performance*: within one (proxy, machine) column, each
+     build's speedup over the Old RT (Nightly) baseline *on that same
+     machine* — the Fig. 10 normalization, repeated per machine;
+
+   - *application efficiency*: each cell's cycles relative to the best
+     build for that (proxy, machine) — in [0,1], 1 = this build is the
+     fastest way to run this proxy on this machine;
+
+   - *performance portability* (PP, Pennycook et al.): the harmonic mean
+     of a build's application efficiencies across the machine set, 0 if
+     the build fails anywhere — one number summarizing "does this
+     runtime stay near-best everywhere?". The paper's near-zero-overhead
+     claim predicts PP(New RT) ~ PP(CUDA) >> PP(Old RT).
+
+   Cycle counts are NOT comparable across machines (each machine prices
+   against its own SM count and wavefront width); every derived column
+   normalizes within a machine first. *)
+
+module E = Ozo_harness.Experiments
+module Proxy = Ozo_proxies.Proxy
+module Machine = Ozo_backend.Machine
+module Cache = Ozo_serve.Cache
+module Trace = Ozo_obs.Trace
+
+type cell = {
+  x_proxy : string;
+  x_build : string;       (* canonical build name *)
+  x_machine : string;
+  x_m : E.measurement;    (* the full measured row *)
+}
+
+type t = {
+  mx_machines : string list;      (* column order *)
+  mx_builds : string list;        (* row order per proxy *)
+  mx_proxies : string list;
+  mx_cells : cell list;           (* proxy-major, build, machine order *)
+}
+
+let default_machines = [ "vgpu"; "a100"; "v100"; "mi250"; "h100" ]
+
+exception Matrix_error of string
+
+let machine_of_name n =
+  match Machine.find n with
+  | Some m -> m
+  | None ->
+    raise
+      (Matrix_error
+         ("unknown machine " ^ n ^ " (" ^ String.concat "|" Machine.names ^ ")"))
+
+(* Run the full sweep. [domains]/[exec] ride along like in a campaign:
+   results are bit-identical at any value, only wall-clock changes. *)
+let run ?(small = false) ?(machines = default_machines) ?proxies
+    ?(domains = 1) ?exec ?cache ?(trace = Trace.null) () : t =
+  let pool =
+    if small then Ozo_proxies.Registry.all_small ()
+    else Ozo_proxies.Registry.all ()
+  in
+  let pool =
+    match proxies with
+    | None -> pool
+    | Some names ->
+      List.map
+        (fun n ->
+          match List.find_opt (fun p -> p.Proxy.p_name = n) pool with
+          | Some p -> p
+          | None -> raise (Matrix_error ("unknown proxy " ^ n)))
+        names
+  in
+  let cache =
+    match cache with Some c -> c | None -> Cache.create ~trace ()
+  in
+  let compiler r k = fst (Cache.compile_request cache r k) in
+  let cells =
+    List.concat_map
+      (fun p ->
+        List.concat_map
+          (fun bname ->
+            let b =
+              match E.build_of_name p bname with
+              | Ok b -> b
+              | Error e -> raise (Matrix_error e)
+            in
+            List.map
+              (fun mname ->
+                let machine = machine_of_name mname in
+                let req =
+                  E.request_for ~trace ~domains ?exec ~machine p b
+                in
+                let m = E.measure_request ~compiler p req in
+                { x_proxy = p.Proxy.p_name; x_build = bname;
+                  x_machine = mname; x_m = m })
+              machines)
+          E.build_names)
+      pool
+  in
+  { mx_machines = machines; mx_builds = E.build_names;
+    mx_proxies = List.map (fun p -> p.Proxy.p_name) pool;
+    mx_cells = cells }
+
+let cell_ok (c : cell) =
+  c.x_m.E.r_fault = None && c.x_m.E.r_check = Ok ()
+
+let find_cell (t : t) ~proxy ~build ~machine =
+  List.find_opt
+    (fun c ->
+      c.x_proxy = proxy && c.x_build = build && c.x_machine = machine)
+    t.mx_cells
+
+(* speedup over the Old RT (Nightly) baseline on the same machine *)
+let rel_perf (t : t) (c : cell) : float option =
+  match find_cell t ~proxy:c.x_proxy ~build:"old-rt" ~machine:c.x_machine with
+  | Some base when cell_ok base && cell_ok c && c.x_m.E.r_cycles > 0.0 ->
+    Some (base.x_m.E.r_cycles /. c.x_m.E.r_cycles)
+  | _ -> None
+
+(* cycles of the fastest valid build for (proxy, machine) *)
+let best_cycles (t : t) ~proxy ~machine : float option =
+  List.fold_left
+    (fun acc c ->
+      if c.x_proxy = proxy && c.x_machine = machine && cell_ok c then
+        match acc with
+        | None -> Some c.x_m.E.r_cycles
+        | Some b -> Some (Float.min b c.x_m.E.r_cycles)
+      else acc)
+    None t.mx_cells
+
+let app_efficiency (t : t) (c : cell) : float option =
+  match best_cycles t ~proxy:c.x_proxy ~machine:c.x_machine with
+  | Some best when cell_ok c && c.x_m.E.r_cycles > 0.0 ->
+    Some (best /. c.x_m.E.r_cycles)
+  | _ -> None
+
+(* Pennycook harmonic mean over the machine set; 0.0 when the build
+   failed (or has no valid baseline) on any machine *)
+let pp_metric (t : t) ~proxy ~build : float =
+  let effs =
+    List.map
+      (fun machine ->
+        match find_cell t ~proxy ~build ~machine with
+        | Some c -> app_efficiency t c
+        | None -> None)
+      t.mx_machines
+  in
+  if List.exists (fun e -> e = None || e = Some 0.0) effs then 0.0
+  else
+    let n = float_of_int (List.length effs) in
+    n
+    /. List.fold_left
+         (fun acc e -> acc +. (1.0 /. Option.get e))
+         0.0 effs
+
+(* ---- reporting --------------------------------------------------------- *)
+
+let csv_columns =
+  [ "proxy"; "build"; "machine"; "cycles"; "rel_perf"; "app_eff"; "regs";
+    "smem"; "occupancy"; "warp_insts"; "check" ]
+
+let pp_csv_header ppf () = Fmt.pf ppf "%s@." (String.concat "," csv_columns)
+
+let pp_csv ppf (t : t) =
+  List.iter
+    (fun c ->
+      let opt = function Some v -> Printf.sprintf "%.3f" v | None -> "-" in
+      Fmt.pf ppf "%s,%s,%s,%.0f,%s,%s,%d,%d,%.3f,%d,%s@." c.x_proxy c.x_build
+        c.x_machine c.x_m.E.r_cycles
+        (opt (rel_perf t c))
+        (opt (app_efficiency t c))
+        c.x_m.E.r_regs c.x_m.E.r_smem c.x_m.E.r_occupancy
+        c.x_m.E.r_counters.Ozo_vgpu.Counters.warp_instructions
+        (if cell_ok c then "ok" else "fail"))
+    t.mx_cells
+
+(* per-proxy table: builds x machines, relative performance + PP column *)
+let pp_table ppf (t : t) =
+  List.iter
+    (fun proxy ->
+      Fmt.pf ppf
+        "@.%s — relative performance per machine (Old RT = 1.00) + PP@."
+        proxy;
+      Fmt.pf ppf "  %-24s" "build";
+      List.iter (fun m -> Fmt.pf ppf " %8s" m) t.mx_machines;
+      Fmt.pf ppf " %8s@." "PP";
+      List.iter
+        (fun build ->
+          Fmt.pf ppf "  %-24s" build;
+          List.iter
+            (fun machine ->
+              match find_cell t ~proxy ~build ~machine with
+              | Some c -> (
+                match rel_perf t c with
+                | Some r -> Fmt.pf ppf " %7.2fx" r
+                | None -> Fmt.pf ppf " %8s" "fail")
+              | None -> Fmt.pf ppf " %8s" "-")
+            t.mx_machines;
+          Fmt.pf ppf " %8.2f@." (pp_metric t ~proxy ~build))
+        t.mx_builds)
+    t.mx_proxies

@@ -1,0 +1,331 @@
+(* Launch-configuration autotuner (DESIGN.md §16).
+
+   The search space is team x thread shapes for one (proxy, build,
+   machine) triple. Candidates are scored *statically* against the
+   backend's occupancy calculator plus a predicted-cycles estimate from
+   the cost model, calibrated by one probe launch at the proxy's default
+   shape:
+
+   - The probe supplies the kernel's resource demands (registers, SMem —
+     shape-independent: the compile does not depend on the launch
+     geometry) and its total cycle mass M (the sum of per-team simulated
+     cycles) plus the memory share of that mass.
+
+   - A candidate (T teams, H threads) is priced as
+     [Cost.kernel_time ~occupancy:(occ for H) ~team_cycles:(T x M/T)
+     ~mem_cycles:M_mem]: work conservation spreads the probe's mass
+     uniformly over the candidate's teams, so the prediction captures
+     exactly the two effects the shape controls — wave quantization over
+     [n_sm x teams_per_sm] concurrent teams, and occupancy-driven memory
+     latency hiding. (Per-team fixed runtime overhead is *not* modeled;
+     the opt-in measured refinement below exists to catch it.)
+
+   - Candidate thread counts are multiples of the machine's wavefront
+     width (a partial trailing warp issues like a full one); candidate
+     team counts at least cover the proxy's default iteration space
+     (teams x threads >= default total), which is the precondition of
+     the CUDA one-thread-per-element style and of the OpenMP
+     oversubscription flags — a non-covering shape would change results,
+     not just performance.
+
+   The search is deterministic: candidates are enumerated in a fixed
+   order, scored by (predicted cycles, occupancy), and exact ties broken
+   by a seeded hash — the same request and seed always choose the same
+   shape. With [measure_top = k > 0] the top-k candidates are launched
+   for real through the standard [Request.t] path (so a serving-tier
+   compile cache sees one compile, k launches) and the winner is the
+   lowest *simulated* kernel time among the candidates that validated. *)
+
+module C = Ozo_core.Codesign
+module Request = Ozo_core.Request
+module E = Ozo_harness.Experiments
+module Proxy = Ozo_proxies.Proxy
+module Machine = Ozo_backend.Machine
+module Cost = Ozo_vgpu.Cost
+module Counters = Ozo_vgpu.Counters
+module Engine = Ozo_vgpu.Engine
+module Spmdize = Ozo_opt.Spmdize
+module Trace = Ozo_obs.Trace
+
+type candidate = {
+  cd_teams : int;
+  cd_threads : int;            (* user-visible threads per team *)
+  cd_hw_threads : int;         (* +1 warp in generic mode *)
+  cd_occ : Machine.occupancy;  (* modeled residency at this shape *)
+  cd_cycles : float;           (* predicted kernel cycles (cost model) *)
+}
+
+type verdict = {
+  tv_proxy : string;
+  tv_build : string;           (* canonical build name, e.g. "new-rt" *)
+  tv_machine : string;
+  tv_seed : int;
+  tv_default : candidate;      (* the proxy's own shape, scored *)
+  tv_chosen : candidate;
+  tv_candidates : candidate list; (* every scored candidate, best first *)
+  tv_pruned : int;             (* shapes dropped by the occupancy prune *)
+  tv_measured : (candidate * float) list;
+  (* measured-refinement rows (simulated cycles), model order; [] in
+     model-only mode *)
+  tv_probe_cycles : float;     (* measured kernel cycles at the default shape *)
+}
+
+let improved (v : verdict) =
+  v.tv_chosen.cd_cycles < v.tv_default.cd_cycles
+  || v.tv_chosen.cd_occ.Machine.occ_fraction
+     > v.tv_default.cd_occ.Machine.occ_fraction
+
+(* deterministic tie-break: a seeded hash of the shape, so equal-scored
+   candidates order the same way on every run with the same seed *)
+let tie_hash ~seed (teams, threads) = Hashtbl.hash (seed, teams, threads)
+
+let compare_candidates ~seed a b =
+  match compare a.cd_cycles b.cd_cycles with
+  | 0 -> (
+    match
+      compare b.cd_occ.Machine.occ_fraction a.cd_occ.Machine.occ_fraction
+    with
+    | 0 ->
+      compare
+        (tie_hash ~seed (a.cd_teams, a.cd_threads))
+        (tie_hash ~seed (b.cd_teams, b.cd_threads))
+    | c -> c)
+  | c -> c
+
+(* candidate thread counts: wavefront multiples up to the residency
+   ceiling (and 1024, the familiar block-size limit), plus the proxy's
+   own thread count so the default shape is always a member *)
+let thread_candidates (machine : Machine.t) ~default_threads ~spmd =
+  let ws = machine.Machine.mc_warp_size in
+  let hw t = if spmd then t else t + ws in
+  let cap = min 1024 machine.Machine.mc_max_threads_per_sm in
+  let muls = List.map (fun m -> ws * m) [ 1; 2; 4; 8; 16; 32 ] in
+  List.sort_uniq compare
+    (default_threads :: List.filter (fun t -> hw t <= cap) muls)
+
+let team_candidates ~total ~threads =
+  let t_min = max 1 ((total + threads - 1) / threads) in
+  List.sort_uniq compare
+    (List.filter (fun t -> t <= 4096) [ t_min; 2 * t_min; 4 * t_min ])
+
+exception Tune_error of string
+
+(* predicted kernel cycles for one shape, from the probe's cycle mass *)
+let predict ~(cp : Cost.params) ~(occ : Machine.occupancy) ~mass ~mem_mass
+    ~teams =
+  let per_team = mass / max 1 teams in
+  Cost.kernel_time cp
+    ~occupancy:(Machine.to_cost_occupancy occ)
+    ~team_cycles:(List.init teams (fun _ -> per_team))
+    ~mem_cycles:(min mass mem_mass)
+
+let search ?(seed = 0) ?(measure_top = 0) ?(domains = 1) ?exec ?compiler
+    ?(trace = Trace.null) ~(machine : Machine.t) (p : Proxy.t)
+    ~(build_name : string) : verdict =
+  let b =
+    match E.build_of_name p build_name with
+    | Ok b -> b
+    | Error e -> raise (Tune_error e)
+  in
+  let compiler =
+    match compiler with Some f -> f | None -> C.compile_request
+  in
+  let request ~teams ~threads =
+    let r = E.request_for ~trace ~domains ?exec ~machine p b in
+    { r with Request.rq_teams = teams; rq_threads = threads }
+  in
+  (* one compile tells us the execution mode and the shape-independent
+     resource demands; under a serving-tier compiler this is the only
+     cold compile the whole search performs *)
+  let rq0 = request ~teams:p.Proxy.p_teams ~threads:p.Proxy.p_threads in
+  let c0 = compiler rq0 (Proxy.kernel_for p b.C.b_abi) in
+  let spmd = c0.C.c_mode = Spmdize.Spmd in
+  (* probe: one real measurement at the proxy's default shape. Its
+     counters calibrate every static prediction *)
+  let probe = E.measure_request ~compiler p rq0 in
+  (match (probe.E.r_fault, probe.E.r_check) with
+  | None, Ok () -> ()
+  | Some f, _ ->
+    raise
+      (Tune_error
+         ("probe launch faulted: " ^ Ozo_vgpu.Fault.to_line f))
+  | None, Error e -> raise (Tune_error ("probe check failed: " ^ e)));
+  let cp = Machine.cost_params machine in
+  let regs = c0.C.c_regs and smem = c0.C.c_smem in
+  let mass = probe.E.r_counters.Counters.cycles in
+  let mem_mass = Counters.memory_cycles cp probe.E.r_counters in
+  (* generic-mode kernels host the main thread in one extra warp *)
+  let hw t = if spmd then t else t + machine.Machine.mc_warp_size in
+  let score ~teams ~threads =
+    let occ =
+      Machine.occupancy machine ~threads_per_team:(hw threads)
+        ~regs_per_thread:regs ~shared_per_team:smem
+    in
+    { cd_teams = teams; cd_threads = threads; cd_hw_threads = hw threads;
+      cd_occ = occ;
+      cd_cycles = predict ~cp ~occ ~mass ~mem_mass ~teams }
+  in
+  let total = p.Proxy.p_teams * p.Proxy.p_threads in
+  let shapes =
+    List.concat_map
+      (fun threads ->
+        List.map
+          (fun teams -> (teams, threads))
+          (team_candidates ~total ~threads))
+      (thread_candidates machine ~default_threads:p.Proxy.p_threads ~spmd)
+  in
+  let shapes =
+    if List.mem (p.Proxy.p_teams, p.Proxy.p_threads) shapes then shapes
+    else (p.Proxy.p_teams, p.Proxy.p_threads) :: shapes
+  in
+  (* occupancy prune: shapes whose modeled residency is under a quarter
+     of the best seen never win on latency hiding — skip the cycle
+     prediction (the default shape is always kept for the comparison) *)
+  let with_occ =
+    List.map
+      (fun (teams, threads) ->
+        ( (teams, threads),
+          (Machine.occupancy machine ~threads_per_team:(hw threads)
+             ~regs_per_thread:regs ~shared_per_team:smem)
+            .Machine.occ_fraction ))
+      shapes
+  in
+  let best_occ = List.fold_left (fun a (_, f) -> Float.max a f) 0.0 with_occ in
+  let keep ((teams, threads), f) =
+    f >= 0.25 *. best_occ || (teams, threads) = (p.Proxy.p_teams, p.Proxy.p_threads)
+  in
+  let kept, pruned = List.partition keep with_occ in
+  let scored =
+    List.map (fun ((teams, threads), _) -> score ~teams ~threads) kept
+  in
+  let sorted = List.sort (compare_candidates ~seed) scored in
+  let default_c = score ~teams:p.Proxy.p_teams ~threads:p.Proxy.p_threads in
+  let model_choice = match sorted with c :: _ -> c | [] -> default_c in
+  (* opt-in measured refinement: launch the top-k for real, pick the
+     lowest simulated kernel time among the rows that validated *)
+  let measured =
+    if measure_top <= 0 then []
+    else
+      List.filteri (fun i _ -> i < measure_top) sorted
+      |> List.map (fun c ->
+             let m =
+               E.measure_request ~compiler p
+                 (request ~teams:c.cd_teams ~threads:c.cd_threads)
+             in
+             let cycles =
+               match (m.E.r_fault, m.E.r_check) with
+               | None, Ok () -> m.E.r_cycles
+               | _ -> Float.infinity (* failed candidates never win *)
+             in
+             (c, cycles))
+  in
+  let chosen =
+    match measured with
+    | [] -> model_choice
+    | rows ->
+      let best =
+        List.fold_left
+          (fun (bc, bv) (c, v) -> if v < bv then (c, v) else (bc, bv))
+          (List.hd rows) (List.tl rows)
+      in
+      if Float.is_finite (snd best) then fst best else model_choice
+  in
+  let v =
+    { tv_proxy = p.Proxy.p_name; tv_build = build_name;
+      tv_machine = machine.Machine.mc_name; tv_seed = seed;
+      tv_default = default_c; tv_chosen = chosen; tv_candidates = sorted;
+      tv_pruned = List.length pruned; tv_measured = measured;
+      tv_probe_cycles = probe.E.r_cycles }
+  in
+  if Trace.enabled trace then
+    Trace.instant trace ~cat:"tune" "tune-verdict"
+      ~args:
+        [ ("proxy", Trace.Str v.tv_proxy); ("build", Trace.Str v.tv_build);
+          ("machine", Trace.Str v.tv_machine);
+          ("teams", Trace.Int chosen.cd_teams);
+          ("threads", Trace.Int chosen.cd_threads);
+          ("pred_cycles", Trace.Int (int_of_float chosen.cd_cycles)) ];
+  v
+
+(* ---- journaling -------------------------------------------------------- *)
+
+(* one JSON line per verdict, append-only: the tuner's decisions are a
+   record worth keeping next to the campaign journal. Self-contained
+   (no decode path needed — the verdict is reproducible from the seed) *)
+let verdict_json (v : verdict) : string =
+  let c = v.tv_chosen and d = v.tv_default in
+  Printf.sprintf
+    "{\"kind\":\"tune\",\"proxy\":%S,\"build\":%S,\"machine\":%S,\"seed\":%d,\
+     \"teams\":%d,\"threads\":%d,\"pred_cycles\":%.0f,\"occupancy\":%.3f,\
+     \"limiter\":%S,\"default_teams\":%d,\"default_threads\":%d,\
+     \"default_pred_cycles\":%.0f,\"probe_cycles\":%.0f,\"candidates\":%d,\
+     \"pruned\":%d,\"measured\":%d}"
+    v.tv_proxy v.tv_build v.tv_machine v.tv_seed c.cd_teams c.cd_threads
+    c.cd_cycles c.cd_occ.Machine.occ_fraction
+    (Machine.limiter_name c.cd_occ.Machine.occ_limiter)
+    d.cd_teams d.cd_threads d.cd_cycles v.tv_probe_cycles
+    (List.length v.tv_candidates) v.tv_pruned (List.length v.tv_measured)
+
+let append_journal ~path (v : verdict) : unit =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (verdict_json v ^ "\n"))
+
+(* ---- reporting --------------------------------------------------------- *)
+
+let csv_columns =
+  [ "proxy"; "build"; "machine"; "teams"; "threads"; "hw_threads";
+    "occupancy"; "limiter"; "pred_cycles"; "measured_cycles"; "chosen" ]
+
+let pp_csv_header ppf () = Fmt.pf ppf "%s@." (String.concat "," csv_columns)
+
+let pp_csv ppf (v : verdict) =
+  let measured_of c =
+    match
+      List.find_opt
+        (fun (c', _) ->
+          c'.cd_teams = c.cd_teams && c'.cd_threads = c.cd_threads)
+        v.tv_measured
+    with
+    | Some (_, cy) when Float.is_finite cy -> Printf.sprintf "%.0f" cy
+    | Some _ -> "failed"
+    | None -> "-"
+  in
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "%s,%s,%s,%d,%d,%d,%.3f,%s,%.0f,%s,%s@." v.tv_proxy
+        v.tv_build v.tv_machine c.cd_teams c.cd_threads c.cd_hw_threads
+        c.cd_occ.Machine.occ_fraction
+        (Machine.limiter_name c.cd_occ.Machine.occ_limiter)
+        c.cd_cycles (measured_of c)
+        (if c.cd_teams = v.tv_chosen.cd_teams
+            && c.cd_threads = v.tv_chosen.cd_threads
+         then "yes"
+         else "no"))
+    v.tv_candidates
+
+let pp_verdict ppf (v : verdict) =
+  Fmt.pf ppf "@.%s / %s on %s — launch-shape search (seed %d)@." v.tv_proxy
+    v.tv_build v.tv_machine v.tv_seed;
+  Fmt.pf ppf "  %-18s %8s %9s %7s %9s %14s %10s@." "" "teams" "threads"
+    "hw-thr" "occup" "pred(cyc)" "limiter";
+  let row name c =
+    Fmt.pf ppf "  %-18s %8d %9d %7d %9.2f %14.0f %10s@." name c.cd_teams
+      c.cd_threads c.cd_hw_threads c.cd_occ.Machine.occ_fraction c.cd_cycles
+      (Machine.limiter_name c.cd_occ.Machine.occ_limiter)
+  in
+  row "default" v.tv_default;
+  row "chosen" v.tv_chosen;
+  Fmt.pf ppf "  %d candidates scored, %d pruned by occupancy%s@."
+    (List.length v.tv_candidates)
+    v.tv_pruned
+    (match v.tv_measured with
+    | [] -> ""
+    | ms -> Printf.sprintf ", top-%d measured" (List.length ms));
+  if improved v then
+    Fmt.pf ppf "  -> %.2fx predicted vs default (occupancy %.2f -> %.2f)@."
+      (v.tv_default.cd_cycles /. Float.max 1.0 v.tv_chosen.cd_cycles)
+      v.tv_default.cd_occ.Machine.occ_fraction
+      v.tv_chosen.cd_occ.Machine.occ_fraction
+  else Fmt.pf ppf "  -> default shape already optimal under the model@."

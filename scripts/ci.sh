@@ -164,6 +164,49 @@ echo "== serving tier: warm-cache bench =="
 # bit-identically; prints cold vs warm launches/sec + latency percentiles
 "$CLI" bench-service --small
 
+echo "== portability: per-machine bit-identity + tuner suites =="
+# per machine descriptor (incl. the 64-wide mi250): counters, checks and
+# campaign CSV bytes identical across --domains {1,4} x --exec {ir,vm};
+# plus the autotuner/matrix determinism and soundness suites
+dune exec test/test_main.exe -- test portability
+dune exec test/test_main.exe -- test tune
+
+echo "== machines smoke =="
+# every descriptor the matrix sweeps must be listed, with its wavefront
+"$CLI" machines | grep -q "^mi250 *64" || {
+  echo "FAIL: ozo machines does not list the 64-wide mi250"; exit 1; }
+
+echo "== autotuner determinism smoke =="
+# two identical searches must emit byte-identical candidate CSVs, and
+# exactly one candidate row must be marked chosen
+"$CLI" tune xsbench --small --machine mi250 --csv > _build/ci_tune_1.csv
+"$CLI" tune xsbench --small --machine mi250 --csv > _build/ci_tune_2.csv
+diff _build/ci_tune_1.csv _build/ci_tune_2.csv || {
+  echo "FAIL: ozo tune is not deterministic"; exit 1; }
+chosen=$(grep -c ",yes$" _build/ci_tune_1.csv || true)
+[ "$chosen" -eq 1 ] || {
+  echo "FAIL: expected exactly 1 chosen candidate, got '${chosen:-}'"; exit 1; }
+echo "tuner deterministic; 1 chosen shape"
+
+echo "== 64-wide campaign smoke =="
+# a full supervised campaign on the 64-wide descriptor: every row must
+# validate and record the machine column
+"$CLI" campaign xsbench --small --machine mi250 > _build/ci_campaign_mi250.out
+grep -q ",mi250," _build/ci_campaign_mi250.out || {
+  echo "FAIL: --machine mi250 campaign rows do not record the machine"; exit 1; }
+echo "64-wide campaign OK"
+
+echo "== cross-machine matrix determinism =="
+# the matrix CSV (rel-perf + app-efficiency per proxy x build x machine)
+# must be byte-identical across two runs
+"$CLI" matrix --small --proxy xsbench --machines vgpu,mi250 --csv \
+  > _build/ci_matrix_1.csv
+"$CLI" matrix --small --proxy xsbench --machines vgpu,mi250 --csv \
+  > _build/ci_matrix_2.csv
+diff _build/ci_matrix_1.csv _build/ci_matrix_2.csv || {
+  echo "FAIL: ozo matrix CSV differs between runs"; exit 1; }
+echo "matrix OK: CSV deterministic"
+
 echo "== perf micro-suite (smoke) =="
 # under a wall-clock deadline: a wedged benchmark fails CI instead of
 # hanging it

@@ -197,6 +197,84 @@ let test_occupancy_a100 () =
   Alcotest.(check int) "reg alloc unit" 1024
     (Machine.team_registers m ~threads_per_team:100 ~regs_per_thread:1)
 
+(* --- occupancy: the portability descriptors (v100 / mi250 / h100) ---------- *)
+
+let test_occupancy_portfolio () =
+  (* v100, 128 threads x 32 regs x 33000 B SMem: SMem rounds to
+     129 x 256 = 33024 B, and 98304 / 33024 = 2 blocks — SMem-bound at
+     2*128/2048 = 12.5%. The same shape on the A100 (164 KB, 1 KB unit)
+     fits 4 blocks: capacity and granularity both differ. *)
+  check_occ "v100 128thr/33000B"
+    (occ Machine.v100 ~threads_per_team:128 ~regs_per_thread:32
+       ~shared_per_team:33000)
+    ~teams:2 ~frac:0.125 ~limiter:Machine.Smem;
+  check_occ "a100 128thr/33000B"
+    (occ Machine.a100 ~threads_per_team:128 ~regs_per_thread:32
+       ~shared_per_team:33000)
+    ~teams:4 ~frac:0.25 ~limiter:Machine.Smem;
+  (* wavefront-width rounding: 96 threads are 2 wavefronts on the
+     64-wide MI250 but 3 warps on the 32-wide V100. MI250: 32 waves / 2
+     = 16 resident groups, tied with the 16-workgroup CU ceiling — the
+     wave bound binds first in enumeration order. V100: thread bound
+     2048/96 = 21 binds (warp bound ties at 64/3 = 21). *)
+  check_occ "mi250 96thr/17regs"
+    (occ Machine.mi250 ~threads_per_team:96 ~regs_per_thread:17
+       ~shared_per_team:0)
+    ~teams:16 ~frac:0.75 ~limiter:Machine.Warps;
+  check_occ "v100 96thr/17regs"
+    (occ Machine.v100 ~threads_per_team:96 ~regs_per_thread:17
+       ~shared_per_team:0)
+    ~teams:21
+    ~frac:(float_of_int (21 * 96) /. 2048.0)
+    ~limiter:Machine.Threads;
+  (* MI250 workgroup ceiling: one wavefront of 8 regs leaves threads
+     (32), waves (32) and VGPRs (256) slack, but only 16 workgroups may
+     be resident per CU. *)
+  check_occ "mi250 64thr/8regs"
+    (occ Machine.mi250 ~threads_per_team:64 ~regs_per_thread:8
+       ~shared_per_team:0)
+    ~teams:16 ~frac:0.5 ~limiter:Machine.Teams;
+  (* H100 SMem capacity: a 100 KB team fits twice in 228 KB (unit 1024
+     divides it exactly); on the A100 the same team fits once. *)
+  check_occ "h100 256thr/100KB"
+    (occ Machine.h100 ~threads_per_team:256 ~regs_per_thread:32
+       ~shared_per_team:(100 * 1024))
+    ~teams:2 ~frac:0.25 ~limiter:Machine.Smem;
+  check_occ "a100 256thr/100KB"
+    (occ Machine.a100 ~threads_per_team:256 ~regs_per_thread:32
+       ~shared_per_team:(100 * 1024))
+    ~teams:1 ~frac:0.125 ~limiter:Machine.Smem;
+  (* MI250 allocation granularities: 100 threads = 2 waves, 1 VGPR
+     rounds to 512 per wave; 1 byte of LDS reserves a 512 B block *)
+  Alcotest.(check int) "mi250 reg alloc unit" 1024
+    (Machine.team_registers Machine.mi250 ~threads_per_team:100
+       ~regs_per_thread:1);
+  Alcotest.(check int) "mi250 smem alloc unit" 512
+    (Machine.team_smem Machine.mi250 ~shared_per_team:1)
+
+(* one shape, one resource vector — a different limiter on each side of
+   the CDNA/Hopper divide. 256 threads x 64 regs x 16 KB SMem:
+
+   - v100/h100 (32-wide, 64K regs, unit 256): 8 warps x
+     roundup(64*32, 256) = 8 x 2048 = 16384 regs/team, 65536/16384 = 4
+     — register-bound (SMem would allow 6 on v100, 14 on h100).
+   - mi250 (64-wide, 128K VGPRs, unit 512): 4 waves x
+     roundup(64*64, 512) = 4 x 4096 = 16384 VGPRs/team, 131072/16384
+     = 8 — registers slack, but 65536/16384 = 4 LDS blocks bind.
+
+   Same resident-team count, opposite limiting resource: exactly the
+   cross-machine effect the tuner's limiter column must surface. *)
+let test_limiter_flip () =
+  let shape m =
+    occ m ~threads_per_team:256 ~regs_per_thread:64 ~shared_per_team:16384
+  in
+  check_occ "v100 flip" (shape Machine.v100) ~teams:4 ~frac:0.5
+    ~limiter:Machine.Registers;
+  check_occ "h100 flip" (shape Machine.h100) ~teams:4 ~frac:0.5
+    ~limiter:Machine.Registers;
+  check_occ "mi250 flip" (shape Machine.mi250) ~teams:4 ~frac:0.5
+    ~limiter:Machine.Smem
+
 (* under the [vgpu] descriptor the calculator must agree exactly with the
    cost model's original occupancy (granularity 1), so default builds are
    bit-identical to the pre-backend engine *)
@@ -281,6 +359,8 @@ let tc name f = Alcotest.test_case name `Quick f
 
 let suite =
   [ tc "occupancy: hand-computed a100 limits" test_occupancy_a100;
+    tc "occupancy: hand-computed v100/mi250/h100 limits" test_occupancy_portfolio;
+    tc "occupancy: regs<->smem limiter flip across machines" test_limiter_flip;
     tc "occupancy: vgpu descriptor matches cost model" test_occupancy_vgpu_parity;
     tc "smem: layout non-overlap + engine parity" test_smem_layout;
     tc "regalloc: budget respected, spills recorded" test_allocator_budget_respected;

@@ -21,4 +21,6 @@ let () =
       ("resilience", Test_resilience.suite);
       ("serve", Test_serve.suite);
       ("properties", Test_props.suite);
-      ("vm", Test_vm.suite) ]
+      ("vm", Test_vm.suite);
+      ("portability", Test_portability.suite);
+      ("tune", Test_tune.suite) ]
